@@ -1,0 +1,137 @@
+// Micro-benchmarks of the building blocks (google-benchmark): constraint
+// solving, concolic discovery, flow-table operations, state hashing and
+// cloning, and a small end-to-end model-checking run.
+#include <benchmark/benchmark.h>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+#include "mc/discover.h"
+#include "sym/concolic.h"
+#include "sym/solver.h"
+
+using namespace nicemc;
+
+namespace {
+
+void BM_SolverMacEquality(benchmark::State& state) {
+  sym::ExprArena a;
+  const sym::ExprRef mac = a.var(0, 48);
+  const std::uint64_t macs[] = {0x00aa0000000aULL, 0x00aa0000000bULL,
+                                0xffffffffffffULL, 0x00feed000001ULL};
+  const sym::ExprRef dom = a.any_of(mac, macs);
+  const sym::ExprRef ne =
+      a.cmp(sym::Op::kNe, mac, a.constant(0x00aa0000000aULL, 48));
+  for (auto _ : state) {
+    sym::Solver solver(a);
+    const std::vector<sym::ExprRef> q = {dom, ne};
+    benchmark::DoNotOptimize(solver.solve(q));
+  }
+}
+BENCHMARK(BM_SolverMacEquality);
+
+void BM_ConcolicTableScan(benchmark::State& state) {
+  const auto entries = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sym::Concolic engine;
+    const sym::VarHandle key = engine.add_var("key", 16, 0);
+    const auto results = engine.explore([&](const sym::Inputs& in) {
+      const sym::Value k = in[key];
+      for (std::uint64_t e = 0; e < entries; ++e) {
+        if (k == sym::Value(e * 3 + 1, 16)) return;
+      }
+    });
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_ConcolicTableScan)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DiscoverPacketsPySwitch(benchmark::State& state) {
+  auto s = apps::pyswitch_bug2();
+  mc::Executor ex(s.config, s.properties);
+  const mc::SystemState st = ex.make_initial();
+  for (auto _ : state) {
+    mc::DiscoveryStats stats;
+    benchmark::DoNotOptimize(
+        mc::discover_packets(s.config, st, /*host=*/0, stats));
+  }
+}
+BENCHMARK(BM_DiscoverPacketsPySwitch);
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  of::FlowTable table;
+  const auto rules = static_cast<int>(state.range(0));
+  for (int i = 0; i < rules; ++i) {
+    of::Rule r;
+    r.match.fields = static_cast<std::uint16_t>(of::MatchField::kEthDst);
+    r.match.eth_dst = 0x1000 + static_cast<std::uint64_t>(i);
+    r.actions = {of::Action::output(1)};
+    table.add(r);
+  }
+  sym::PacketFields h;
+  h.eth_dst = 0x1000 + static_cast<std::uint64_t>(rules - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(1, h));
+  }
+}
+BENCHMARK(BM_FlowTableLookup)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FlowTableCanonicalSerialize(benchmark::State& state) {
+  of::FlowTable table;
+  for (int i = 0; i < 16; ++i) {
+    of::Rule r;
+    r.match.fields = static_cast<std::uint16_t>(of::MatchField::kEthDst);
+    r.match.eth_dst = 0x1000 + static_cast<std::uint64_t>(i);
+    r.priority = static_cast<std::uint16_t>(100 + (i % 3));
+    r.actions = {of::Action::output(1)};
+    table.add(r);
+  }
+  for (auto _ : state) {
+    util::Ser s;
+    table.serialize(s, true);
+    benchmark::DoNotOptimize(s.hash());
+  }
+}
+BENCHMARK(BM_FlowTableCanonicalSerialize);
+
+void BM_SystemStateHash(benchmark::State& state) {
+  auto s = apps::pyswitch_ping_chain(2);
+  mc::Executor ex(s.config, s.properties);
+  const mc::SystemState st = ex.make_initial();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(st.hash(true));
+  }
+}
+BENCHMARK(BM_SystemStateHash);
+
+void BM_SystemStateClone(benchmark::State& state) {
+  auto s = apps::pyswitch_ping_chain(2);
+  mc::Executor ex(s.config, s.properties);
+  const mc::SystemState st = ex.make_initial();
+  for (auto _ : state) {
+    mc::SystemState c = st.clone();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SystemStateClone);
+
+void BM_CheckerPingExhaustive(benchmark::State& state) {
+  const int pings = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto s = apps::pyswitch_ping_chain(pings);
+    mc::Checker checker(s.config, mc::CheckerOptions{}, s.properties);
+    benchmark::DoNotOptimize(checker.run());
+  }
+}
+BENCHMARK(BM_CheckerPingExhaustive)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+
+void BM_CheckerFindBug2(benchmark::State& state) {
+  for (auto _ : state) {
+    auto s = apps::pyswitch_bug2();
+    mc::Checker checker(s.config, mc::CheckerOptions{}, s.properties);
+    benchmark::DoNotOptimize(checker.run());
+  }
+}
+BENCHMARK(BM_CheckerFindBug2)->Unit(benchmark::kMillisecond);
+
+}  // namespace

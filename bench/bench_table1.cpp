@@ -1,0 +1,75 @@
+// Table 1 of the paper: exhaustive search with NICE-MC vs
+// NO-SWITCH-REDUCTION (no canonical flow-table representation), on the
+// Figure 1 topology with pyswitch and N concurrent pings. Reports
+// transitions, unique states, CPU time, and the state-space reduction
+// ratio ρ = (U_nsr − U_nice) / U_nsr.
+//
+// Usage: bench_table1 [max_pings] [transition_cap]
+//   default max_pings = 4 (5 in the paper takes ~14M transitions — allowed
+//   but capped so the harness terminates in bounded time).
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+
+using namespace nicemc;
+
+namespace {
+
+mc::CheckerResult run(int pings, bool canonical, std::uint64_t cap) {
+  auto s = apps::pyswitch_ping_chain(pings, canonical);
+  mc::CheckerOptions opt;
+  opt.max_transitions = cap;
+  mc::Checker checker(s.config, opt, s.properties);
+  return checker.run();
+}
+
+void print_row(int pings, const mc::CheckerResult& nice,
+               const mc::CheckerResult& nsr) {
+  const double rho =
+      nsr.unique_states == 0
+          ? 0.0
+          : static_cast<double>(nsr.unique_states - nice.unique_states) /
+                static_cast<double>(nsr.unique_states);
+  std::printf("%5d | %11llu %13llu %9.2f%s | %11llu %13llu %9.2f%s | %5.2f\n",
+              pings, static_cast<unsigned long long>(nice.transitions),
+              static_cast<unsigned long long>(nice.unique_states),
+              nice.seconds, nice.exhausted ? " " : "*",
+              static_cast<unsigned long long>(nsr.transitions),
+              static_cast<unsigned long long>(nsr.unique_states),
+              nsr.seconds, nsr.exhausted ? " " : "*", rho);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_pings = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::uint64_t cap =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20'000'000ULL;
+
+  std::printf(
+      "Table 1: NICE-MC vs NO-SWITCH-REDUCTION (pyswitch, Figure 1 "
+      "topology,\nN concurrent pings, full DFS, symbolic execution off).\n"
+      "Entries marked * hit the transition cap (%llu) before exhausting.\n\n",
+      static_cast<unsigned long long>(cap));
+  std::printf("      |             NICE-MC                  |      "
+              "NO-SWITCH-REDUCTION            |\n");
+  std::printf("pings | transitions unique-states   time[s]  | transitions "
+              "unique-states   time[s]  |  rho\n");
+  std::printf("------+--------------------------------------+---------------"
+              "-----------------------+-----\n");
+
+  for (int pings = 2; pings <= max_pings; ++pings) {
+    const auto nice = run(pings, /*canonical=*/true, cap);
+    const auto nsr = run(pings, /*canonical=*/false, cap);
+    print_row(pings, nice, nsr);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper's shape: transitions/states grow ~exponentially with pings;\n"
+      "the canonical switch model explores ~half the unique-state growth "
+      "rate,\nwith rho rising with problem size (0.38 / 0.71 / 0.84 for "
+      "2/3/4 pings\non the authors' Python prototype).\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Table 2 of the paper: for each of the eleven bugs, the number of
+// transitions and the time to the *first* property violation, under the
+// four strategies PKT-SEQ-only, NO-DELAY, FLOW-IR and UNUSUAL. "Missed"
+// means the (bounded) search completed without finding the violation —
+// the paper reports NO-DELAY missing the race/load bugs (V, X, XI) and
+// FLOW-IR missing the duplicate-SYN bug (VII).
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+
+using namespace nicemc;
+
+namespace {
+
+struct BugCase {
+  const char* name;
+  std::function<apps::Scenario()> make;
+};
+
+std::vector<BugCase> bug_cases() {
+  using apps::LbScenarioOptions;
+  using apps::TeScenarioOptions;
+  return {
+      {"I", [] { return apps::pyswitch_bug1(); }},
+      {"II", [] { return apps::pyswitch_bug2(); }},
+      {"III", [] { return apps::pyswitch_bug3(); }},
+      {"IV",
+       [] {
+         LbScenarioOptions o;
+         o.fix_install_before_delete = true;
+         return apps::lb_scenario(o);
+       }},
+      {"V",
+       [] {
+         LbScenarioOptions o;
+         o.fix_release_packet = true;
+         return apps::lb_scenario(o);
+       }},
+      {"VI",
+       [] {
+         LbScenarioOptions o;
+         o.fix_release_packet = true;
+         o.fix_install_before_delete = true;
+         o.client_sends_arp = true;
+         return apps::lb_scenario(o);
+       }},
+      {"VII",
+       [] {
+         LbScenarioOptions o;
+         o.fix_release_packet = true;
+         o.fix_install_before_delete = true;
+         o.client_can_dup_syn = true;
+         o.data_segments = 2;
+         o.check_flow_affinity = true;
+         return apps::lb_scenario(o);
+       }},
+      {"VIII", [] { return apps::te_scenario({}); }},
+      {"IX",
+       [] {
+         TeScenarioOptions o;
+         o.fix_release_packet = true;
+         return apps::te_scenario(o);
+       }},
+      {"X",
+       [] {
+         TeScenarioOptions o;
+         o.fix_release_packet = true;
+         o.fix_handle_intermediate = true;
+         o.stats_rounds = 1;
+         o.check_routing_table = true;
+         return apps::te_scenario(o);
+       }},
+      {"XI",
+       [] {
+         TeScenarioOptions o;
+         o.fix_release_packet = true;
+         o.fix_handle_intermediate = true;
+         o.stats_rounds = 2;
+         return apps::te_scenario(o);
+       }},
+  };
+}
+
+std::string run_cell(const BugCase& bug, mc::Strategy strategy) {
+  auto s = bug.make();
+  mc::CheckerOptions opt;
+  opt.max_transitions = 5'000'000;
+  apps::set_strategy(s, opt, strategy);
+  mc::Checker checker(s.config, opt, s.properties);
+  const mc::CheckerResult r = checker.run();
+  if (!r.found_violation()) return "Missed";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu / %.3fs",
+                static_cast<unsigned long long>(r.transitions), r.seconds);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Table 2: transitions / time to the first violation uncovering each "
+      "bug.\n'Missed' = bounded search exhausted without a violation.\n\n");
+  std::printf("%-5s | %-18s | %-18s | %-18s | %-18s\n", "BUG",
+              "PKT-SEQ only", "NO-DELAY", "FLOW-IR", "UNUSUAL");
+  std::printf("------+--------------------+--------------------+------------"
+              "--------+-------------------\n");
+  for (const BugCase& bug : bug_cases()) {
+    const std::string pktseq = run_cell(bug, mc::Strategy::kPktSeqOnly);
+    const std::string nodelay = run_cell(bug, mc::Strategy::kNoDelay);
+    const std::string flowir = run_cell(bug, mc::Strategy::kFlowIr);
+    const std::string unusual = run_cell(bug, mc::Strategy::kUnusual);
+    std::printf("%-5s | %-18s | %-18s | %-18s | %-18s\n", bug.name,
+                pktseq.c_str(), nodelay.c_str(), flowir.c_str(),
+                unusual.c_str());
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper's shape: every bug found under PKT-SEQ-only; NO-DELAY misses "
+      "the\nrace/load-dependent bugs; FLOW-IR misses BUG-VII (duplicate SYN "
+      "treated\nas an independent flow); counts to first violation are "
+      "small except\nBUG-VII, where UNUSUAL is an order of magnitude faster "
+      "than PKT-SEQ.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Testing the wildcard-rule server load balancer (paper Section 8.2).
+//
+// Walks the paper's debugging session: BUG-IV → fix → BUG-V → fix →
+// BUG-VI (ARP) → fix → BUG-VII (duplicate SYN, FlowAffinity), showing the
+// first counterexample trace for each, and the effect of the NO-DELAY
+// strategy (which misses the BUG-V race).
+#include <cstdio>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+
+using namespace nicemc;
+
+namespace {
+
+mc::CheckerResult run(apps::Scenario& s,
+                      mc::Strategy strategy = mc::Strategy::kPktSeqOnly) {
+  mc::CheckerOptions opt;
+  apps::set_strategy(s, opt, strategy);
+  mc::Checker checker(s.config, opt, s.properties);
+  return checker.run();
+}
+
+void report(const char* title, const mc::CheckerResult& r,
+            bool print_trace = true) {
+  std::printf("== %s ==\n", title);
+  std::printf("  transitions: %llu, unique states: %llu, %.3f s\n",
+              static_cast<unsigned long long>(r.transitions),
+              static_cast<unsigned long long>(r.unique_states), r.seconds);
+  if (!r.found_violation()) {
+    std::printf("  clean (%s)\n\n", r.exhausted ? "exhausted" : "bounded");
+    return;
+  }
+  const auto& v = r.violations.front();
+  std::printf("  VIOLATION of %s: %s\n", v.violation.property.c_str(),
+              v.violation.message.c_str());
+  if (print_trace) {
+    for (const auto& line : mc::trace_lines(v.trace)) {
+      std::printf("    %s\n", line.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Server load balancer: 1 client, 2 replicas, 1 switch, "
+              "policy change mid-run.\n\n");
+
+  {
+    apps::LbScenarioOptions o;
+    o.fix_install_before_delete = true;  // isolate BUG-IV
+    auto s = apps::lb_scenario(o);
+    report("BUG-IV: handler forgets the trigger packet", run(s));
+  }
+  {
+    apps::LbScenarioOptions o;
+    o.fix_release_packet = true;  // BUG-IV fixed; BUG-V remains
+    auto s = apps::lb_scenario(o);
+    report("BUG-V: delete-before-install reconfiguration race", run(s));
+    auto s2 = apps::lb_scenario(o);
+    report("BUG-V under NO-DELAY (race invisible in lock-step)",
+           run(s2, mc::Strategy::kNoDelay), false);
+  }
+  {
+    apps::LbScenarioOptions o;
+    o.fix_release_packet = true;
+    o.fix_install_before_delete = true;
+    o.client_sends_arp = true;
+    auto s = apps::lb_scenario(o);
+    report("BUG-VI: proxied ARP request never freed from the buffer",
+           run(s));
+  }
+  {
+    apps::LbScenarioOptions o;
+    o.fix_release_packet = true;
+    o.fix_install_before_delete = true;
+    o.client_can_dup_syn = true;
+    o.data_segments = 2;
+    o.check_flow_affinity = true;
+    auto s = apps::lb_scenario(o);
+    report("BUG-VII: duplicate SYN splits a connection across replicas",
+           run(s));
+  }
+  {
+    apps::LbScenarioOptions o;
+    o.fix_release_packet = true;
+    o.fix_install_before_delete = true;
+    o.fix_discard_arp = true;
+    o.fix_check_assignments = true;
+    o.client_sends_arp = true;
+    auto s = apps::lb_scenario(o);
+    report("all fixes applied: NoForgottenPackets", run(s), false);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: test the MAC-learning switch of Figure 3 with NICE.
+//
+// Builds the single-switch topology with two hosts, turns on symbolic
+// discovery of relevant packets, checks the StrictDirectPaths property, and
+// prints the counterexample trace for BUG-II ("delayed direct path",
+// paper Section 8.1) — then shows that the paper's correct fix passes.
+#include <cstdio>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+
+using namespace nicemc;
+
+namespace {
+
+void report(const char* title, const mc::CheckerResult& r) {
+  std::printf("== %s ==\n", title);
+  std::printf("  transitions explored: %llu\n",
+              static_cast<unsigned long long>(r.transitions));
+  std::printf("  unique states:        %llu\n",
+              static_cast<unsigned long long>(r.unique_states));
+  std::printf("  wall clock:           %.3f s\n", r.seconds);
+  if (!r.found_violation()) {
+    std::printf("  no property violation — state space %s\n\n",
+                r.exhausted ? "exhausted" : "search bounded");
+    return;
+  }
+  const auto& v = r.violations.front();
+  std::printf("  VIOLATION of %s:\n    %s\n",
+              v.violation.property.c_str(), v.violation.message.c_str());
+  std::printf("  counterexample trace (%zu steps):\n", v.trace.size());
+  for (const auto& line : mc::trace_lines(v.trace)) {
+    std::printf("    %s\n", line.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "NICE quickstart: MAC-learning switch (pyswitch), one switch, two "
+      "hosts.\nSymbolic execution discovers the relevant packets; the model "
+      "checker\nexplores event interleavings; StrictDirectPaths is the "
+      "correctness property.\n\n");
+
+  {
+    auto scenario = apps::pyswitch_bug2();
+    mc::Checker checker(scenario.config, mc::CheckerOptions{},
+                        scenario.properties);
+    report("pyswitch as shipped (BUG-II expected)", checker.run());
+  }
+  {
+    apps::PySwitchOptions fix;
+    fix.bug2 = apps::PySwitchOptions::Bug2Fix::kNaive;
+    auto scenario = apps::pyswitch_bug2(fix);
+    mc::Checker checker(scenario.config, mc::CheckerOptions{},
+                        scenario.properties);
+    report("naive fix: reverse rule installed after packet_out (still racy)",
+           checker.run());
+  }
+  {
+    apps::PySwitchOptions fix;
+    fix.bug2 = apps::PySwitchOptions::Bug2Fix::kCorrect;
+    auto scenario = apps::pyswitch_bug2(fix);
+    mc::Checker checker(scenario.config, mc::CheckerOptions{},
+                        scenario.properties);
+    report("correct fix: reverse rule installed first", checker.run());
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// NICE as a simulator (paper Section 1.3): instead of exhaustive search,
+// perform seeded random walks through the system's behaviours — useful for
+// quick smoke-testing an app before paying for a full model-checking run.
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+
+using namespace nicemc;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  const int walks = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  std::printf("Random-walk simulation of the buggy load balancer "
+              "(seed=%llu, walks=%d)\n\n",
+              static_cast<unsigned long long>(seed), walks);
+
+  apps::LbScenarioOptions o;  // all bugs present
+  auto s = apps::lb_scenario(o);
+  mc::CheckerOptions opt;
+  opt.stop_at_first_violation = true;
+  mc::Checker checker(s.config, opt, s.properties);
+  const mc::CheckerResult r =
+      checker.random_walk(seed, walks, /*max_steps=*/400);
+
+  std::printf("steps simulated: %llu, distinct states seen: %llu\n",
+              static_cast<unsigned long long>(r.transitions),
+              static_cast<unsigned long long>(r.unique_states));
+  if (r.found_violation()) {
+    const auto& v = r.violations.front();
+    std::printf("violation of %s found by random walk:\n  %s\n",
+                v.violation.property.c_str(), v.violation.message.c_str());
+    std::printf("replayable trace (%zu steps):\n", v.trace.size());
+    for (const auto& line : mc::trace_lines(v.trace)) {
+      std::printf("  %s\n", line.c_str());
+    }
+  } else {
+    std::printf("no violation encountered — random walks are cheap but "
+                "incomplete;\nthe exhaustive checker finds the bug "
+                "deterministically.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Wildcard-rule web server load balancer, after Wang et al. [9] as tested
+// in paper Section 8.2.
+//
+// One switch fronts a virtual IP. Client-IP space is split by the top
+// address bit into two wildcard rules that forward directly to a replica.
+// A policy change swaps the mapping: existing wildcard rules are replaced
+// by send-to-controller rules so the controller can inspect the "next"
+// packet of every flow — ongoing transfers keep their old replica (via an
+// exact-match microflow rule), new flows follow the new policy.
+//
+// Bugs (each on by default, fixable via options):
+//   BUG-IV  the handler installs the microflow rule but never releases the
+//           buffered trigger packet (fix_release_packet).
+//   BUG-V   reconfiguration deletes the old wildcard rules *before*
+//           installing the controller rules; packets slipping through the
+//           window arrive with reason NO_MATCH, which the handler ignores
+//           (fix_install_before_delete reverses the steps, at lower
+//           priority).
+//   BUG-VI  ARP requests (from clients or replicas) are answered by the
+//           controller, but the buffered request is never discarded
+//           (fix_discard_arp).
+//   BUG-VII during a policy transition a duplicate SYN makes the handler
+//           treat an established connection as new, splitting it across
+//           replicas (fix_check_assignments consults the microflow
+//           assignment map first).
+#ifndef NICE_APPS_LOADBALANCER_H
+#define NICE_APPS_LOADBALANCER_H
+
+#include <map>
+#include <vector>
+
+#include "ctrl/app.h"
+
+namespace nicemc::apps {
+
+struct LbReplica {
+  of::HostId host{0};
+  of::PortId port{0};  // switch port the replica hangs off
+  std::uint64_t mac{0};
+  std::uint32_t ip{0};
+};
+
+struct LbOptions {
+  of::SwitchId sw{0};
+  std::uint32_t vip{0};
+  std::uint64_t vmac{0};
+  std::uint16_t service_port{80};
+  std::vector<LbReplica> replicas;  // exactly two
+
+  bool fix_release_packet{false};        // BUG-IV
+  bool fix_install_before_delete{false};  // BUG-V
+  bool fix_discard_arp{false};           // BUG-VI
+  bool fix_check_assignments{false};     // BUG-VII
+};
+
+class LoadBalancerState final : public ctrl::AppState {
+ public:
+  std::uint8_t policy{0};
+  bool in_transition{false};
+  bool reconfigured{false};
+  /// Established-connection assignments: 5-tuple → replica index.
+  std::map<of::FiveTuple, std::uint8_t> assignments;
+
+  [[nodiscard]] std::unique_ptr<ctrl::AppState> clone() const override {
+    return std::make_unique<LoadBalancerState>(*this);
+  }
+  void serialize(util::Ser& s) const override;
+};
+
+class LoadBalancer final : public ctrl::App {
+ public:
+  explicit LoadBalancer(LbOptions options) : options_(std::move(options)) {}
+
+  [[nodiscard]] std::string name() const override { return "loadbalancer"; }
+  [[nodiscard]] std::unique_ptr<ctrl::AppState> make_initial_state()
+      const override {
+    return std::make_unique<LoadBalancerState>();
+  }
+
+  void switch_join(ctrl::AppState& state, ctrl::Ctx& ctx,
+                   of::SwitchId sw) const override;
+  void packet_in(ctrl::AppState& state, ctrl::Ctx& ctx, of::SwitchId sw,
+                 of::PortId in_port, const sym::SymPacket& pkt,
+                 std::uint32_t buffer_id,
+                 of::PacketIn::Reason reason) const override;
+
+  /// One external event: the load-balancing policy change.
+  [[nodiscard]] std::vector<std::string> external_events(
+      const ctrl::AppState& state) const override;
+  void on_external(ctrl::AppState& state, ctrl::Ctx& ctx,
+                   std::size_t event_index) const override;
+
+  /// The paper's FLOW-IR configuration for this app treats a SYN as the
+  /// start of a new, independent flow — which is exactly why FLOW-IR
+  /// misses BUG-VII.
+  [[nodiscard]] bool is_same_flow(const sym::PacketFields& a,
+                                  const sym::PacketFields& b) const override;
+
+ private:
+  /// Replica index a policy assigns to a client source IP (split on the
+  /// top address bit).
+  [[nodiscard]] std::uint8_t replica_for(std::uint8_t policy,
+                                         std::uint64_t ip_src) const {
+    const std::uint8_t side = static_cast<std::uint8_t>((ip_src >> 31) & 1);
+    return policy == 0 ? side : static_cast<std::uint8_t>(1 - side);
+  }
+
+  [[nodiscard]] of::Match wildcard_match(bool high_half) const;
+
+  LbOptions options_;
+};
+
+}  // namespace nicemc::apps
+
+#endif  // NICE_APPS_LOADBALANCER_H

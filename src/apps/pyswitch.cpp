@@ -1,0 +1,93 @@
+#include "apps/pyswitch.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace nicemc::apps {
+
+void PySwitch::switch_join(ctrl::AppState& state, ctrl::Ctx& ctx,
+                           of::SwitchId sw) const {
+  (void)ctx;
+  auto& st = static_cast<PySwitchState&>(state);
+  st.mactable.try_emplace(sw);  // Figure 3 lines 17-19
+}
+
+void PySwitch::switch_leave(ctrl::AppState& state, ctrl::Ctx& ctx,
+                            of::SwitchId sw) const {
+  (void)ctx;
+  auto& st = static_cast<PySwitchState&>(state);
+  st.mactable.erase(sw);  // Figure 3 lines 20-22
+}
+
+bool PySwitch::is_same_flow(const sym::PacketFields& a,
+                            const sym::PacketFields& b) const {
+  if (!options_.microflow_grouping) return ctrl::App::is_same_flow(a, b);
+  // Direction-insensitive microflow identity: an exchange and its reply
+  // belong to the same group; distinct exchanges are independent.
+  auto key = [](const sym::PacketFields& f) {
+    return std::tuple{std::min(f.ip_src, f.ip_dst),
+                      std::max(f.ip_src, f.ip_dst),
+                      std::min(f.tp_src, f.tp_dst),
+                      std::max(f.tp_src, f.tp_dst), f.ip_proto};
+  };
+  return key(a) == key(b);
+}
+
+void PySwitch::packet_in(ctrl::AppState& state, ctrl::Ctx& ctx,
+                         of::SwitchId sw, of::PortId in_port,
+                         const sym::SymPacket& pkt, std::uint32_t buffer_id,
+                         of::PacketIn::Reason reason) const {
+  (void)reason;
+  auto& st = static_cast<PySwitchState&>(state);
+  ctrl::SymTable& mactable = st.mactable[sw];
+
+  // Figure 3 lines 4-7. The multicast-bit tests and the dictionary probes
+  // below branch on concolic values: under discovery they carve the packet
+  // space into the handler's equivalence classes.
+  if (!pkt.src_is_multicast()) {
+    mactable.put(pkt.eth_src.concrete(), in_port);
+  }
+  if (!pkt.dst_is_multicast() && mactable.contains(pkt.eth_dst)) {
+    const of::PortId outport =
+        static_cast<of::PortId>(mactable.at(pkt.eth_dst));
+    if (outport != in_port) {  // Figure 3 line 10
+      // Figure 3 lines 11-14: install the forwarding rule for this
+      // (src, dst, type, in_port) microflow and release the packet.
+      sym::PacketFields hdr;
+      hdr.eth_src = pkt.eth_src.concrete();
+      hdr.eth_dst = pkt.eth_dst.concrete();
+      hdr.eth_type = pkt.eth_type.concrete();
+      of::Rule rule;
+      rule.match = of::Match::l2_exact(in_port, hdr);
+      rule.actions = {of::Action::output(outport)};
+      rule.idle_timeout = options_.idle_timeout;  // soft_timer=5
+      rule.hard_timeout =
+          options_.fix_hard_timeout ? options_.hard_timeout : of::kPermanent;
+
+      of::Rule reverse;  // for the BUG-II fixes
+      sym::PacketFields rev_hdr = hdr;
+      std::swap(rev_hdr.eth_src, rev_hdr.eth_dst);
+      reverse.match = of::Match::l2_exact(outport, rev_hdr);
+      reverse.actions = {of::Action::output(in_port)};
+      reverse.idle_timeout = options_.idle_timeout;
+      reverse.hard_timeout = rule.hard_timeout;
+
+      if (options_.bug2 == PySwitchOptions::Bug2Fix::kCorrect) {
+        // Correct fix: the reverse-direction rule must be in place before
+        // the released packet can trigger reply traffic.
+        ctx.install_rule(sw, reverse);
+      }
+      ctx.install_rule(sw, rule);
+      ctx.send_packet_out(sw, buffer_id, {of::Action::output(outport)});
+      if (options_.bug2 == PySwitchOptions::Bug2Fix::kNaive) {
+        // Naive fix: reverse rule installed after the packet_out — the
+        // reply can still race ahead of it (Section 8.1).
+        ctx.install_rule(sw, reverse);
+      }
+      return;
+    }
+  }
+  ctx.flood_packet(sw, buffer_id);  // Figure 3 line 16
+}
+
+}  // namespace nicemc::apps

@@ -1,0 +1,118 @@
+#include "apps/respond_te.h"
+
+namespace nicemc::apps {
+
+namespace {
+
+constexpr std::uint16_t kRulePriority = 100;
+
+of::Rule path_rule(const sym::PacketFields& hdr, of::PortId out_port) {
+  of::Rule r;
+  r.match = of::Match::five_tuple(hdr);
+  r.priority = kRulePriority;
+  r.actions = {of::Action::output(out_port)};
+  return r;
+}
+
+}  // namespace
+
+void RespondTe::stats_in(ctrl::AppState& state, ctrl::Ctx& ctx,
+                         of::SwitchId sw, const ctrl::SymStats& stats) const {
+  (void)ctx;
+  if (sw != options_.ingress) return;
+  auto& st = static_cast<RespondTeState&>(state);
+  const auto it = stats.tx_bytes.find(options_.monitored_port);
+  if (it == stats.tx_bytes.end()) return;
+  // Concolic branch: discover_stats finds both load classes from here.
+  if (it->second > std::uint64_t{options_.threshold}) {
+    st.energy_high = true;  // BUG-X: a global table choice for all flows
+  } else {
+    st.energy_high = false;
+  }
+}
+
+TeTable RespondTe::chosen_table(const RespondTeState& st,
+                                const sym::SymPacket& pkt) const {
+  if (!options_.fix_per_flow_table) {
+    // BUG-X: everything follows the global table.
+    return st.energy_high ? TeTable::kOnDemand : TeTable::kAlwaysOn;
+  }
+  if (!st.energy_high) return TeTable::kAlwaysOn;
+  // Correct behaviour: split flows between the classes (parity of the
+  // source port models the paper's probabilistic split deterministically).
+  if ((pkt.tp_src & std::uint64_t{1}) == std::uint64_t{1}) {
+    return TeTable::kOnDemand;
+  }
+  return TeTable::kAlwaysOn;
+}
+
+void RespondTe::packet_in(ctrl::AppState& state, ctrl::Ctx& ctx,
+                          of::SwitchId sw, of::PortId in_port,
+                          const sym::SymPacket& pkt, std::uint32_t buffer_id,
+                          of::PacketIn::Reason reason) const {
+  (void)in_port;
+  (void)reason;
+  auto& st = static_cast<RespondTeState&>(state);
+  if (!(pkt.eth_type == of::kEthTypeIpv4)) return;
+  if (!(pkt.ip_proto == of::kIpProtoTcp)) return;
+
+  const auto dst = static_cast<std::uint32_t>(pkt.ip_dst.concrete());
+  const auto path_it = options_.paths.find(dst);
+  if (path_it == options_.paths.end()) return;
+
+  sym::PacketFields hdr;
+  hdr.ip_src = pkt.ip_src.concrete();
+  hdr.ip_dst = pkt.ip_dst.concrete();
+  hdr.ip_proto = pkt.ip_proto.concrete();
+  hdr.tp_src = pkt.tp_src.concrete();
+  hdr.tp_dst = pkt.tp_dst.concrete();
+
+  const TeTable table = chosen_table(st, pkt);
+  const TePath& path =
+      path_it->second[static_cast<std::size_t>(table)];
+
+  if (sw == options_.ingress) {
+    // First packet of a flow: install the end-to-end path. Rules go in
+    // *reverse* path order (egress switch first) — the obvious mitigation
+    // for install races, which the paper's BUG-IX discussion notes is
+    // still not sufficient under unequal installation delays.
+    for (auto it = path.hops.rbegin(); it != path.hops.rend(); ++it) {
+      ctx.install_rule(it->first, path_rule(hdr, it->second));
+    }
+    if (options_.fix_release_packet) {
+      // BUG-VIII fix: release the trigger packet along the first hop.
+      ctx.send_packet_out(sw, buffer_id,
+                          {of::Action::output(path.hops.front().second)});
+    }
+    return;
+  }
+
+  // A packet_in from a non-ingress switch: the rule had not been installed
+  // yet when the packet arrived (communication delays, Figure 1).
+  if (!options_.fix_handle_intermediate) {
+    return;  // BUG-IX: implicitly ignored; the packet stays buffered
+  }
+  auto find_hop = [&](const TePath& p) -> const std::pair<of::SwitchId,
+                                                          of::PortId>* {
+    for (const auto& hop : p.hops) {
+      if (hop.first == sw) return &hop;
+    }
+    return nullptr;
+  };
+  const auto* hop = find_hop(path);
+  if (hop == nullptr && options_.fix_lookup_all_tables) {
+    // BUG-XI fix: the load may have changed since the flow was routed —
+    // search the other table too.
+    for (const TePath& p : path_it->second) {
+      hop = find_hop(p);
+      if (hop != nullptr) break;
+    }
+  }
+  if (hop == nullptr) {
+    return;  // BUG-XI: switch not on any recomputed path list; ignored
+  }
+  ctx.install_rule(sw, path_rule(hdr, hop->second));
+  ctx.send_packet_out(sw, buffer_id, {of::Action::output(hop->second)});
+}
+
+}  // namespace nicemc::apps

@@ -1,0 +1,286 @@
+#include "apps/scenarios.h"
+
+#include "hosts/client.h"
+#include "hosts/tcp.h"
+#include "props/correct_routing_table.h"
+#include "props/direct_paths.h"
+#include "props/flow_affinity.h"
+#include "props/no_black_holes.h"
+#include "props/no_forgotten_packets.h"
+#include "props/no_forwarding_loops.h"
+
+namespace nicemc::apps {
+
+namespace {
+
+// Host identities used across scenarios.
+constexpr std::uint64_t kMacA = 0x00aa0000000aULL;
+constexpr std::uint64_t kMacB = 0x00aa0000000bULL;
+constexpr std::uint32_t kIpA = 0x0a000001;  // 10.0.0.1
+constexpr std::uint32_t kIpB = 0x0a000002;  // 10.0.0.2
+
+void finish_config(Scenario& s) {
+  s.config.topology = s.topology.get();
+  s.config.app = s.app.get();
+}
+
+}  // namespace
+
+void set_strategy(Scenario& s, mc::CheckerOptions& options,
+                  mc::Strategy strategy) {
+  options.strategy = strategy;
+  s.config.no_delay = (strategy == mc::Strategy::kNoDelay);
+}
+
+Scenario pyswitch_ping_chain(int pings, bool canonical_tables) {
+  Scenario s;
+  s.topology = std::make_unique<topo::Topology>();
+  const auto sw0 = s.topology->add_switch({1, 2});
+  const auto sw1 = s.topology->add_switch({1, 2});
+  s.topology->add_link(sw0, 2, sw1, 2);
+  const auto a = s.topology->add_host("A", kMacA, kIpA, sw0, 1);
+  const auto b = s.topology->add_host("B", kMacB, kIpB, sw1, 1);
+
+  PySwitchOptions ps_opt;
+  ps_opt.microflow_grouping = true;  // pings are independent microflows
+  s.app = std::make_unique<PySwitch>(ps_opt);
+
+  hosts::HostBehavior ha;
+  ha.script = hosts::l2_ping_script(s.topology->host(a),
+                                    s.topology->host(b), pings,
+                                    /*first_flow_id=*/1);
+  // Distinguish concurrent pings by an echo id (modelled in tp_src), as
+  // real pings are: this is what makes them independent flows for FLOW-IR.
+  for (std::size_t i = 0; i < ha.script.size(); ++i) {
+    ha.script[i].hdr.tp_src = 2000 + i;
+  }
+  ha.initial_burst = pings;  // concurrent pings (Table 1's knob)
+  hosts::HostBehavior hb;
+  hb.echo = true;
+  s.config.host_behavior = {ha, hb};
+  s.config.symbolic_discovery = false;
+  s.config.canonical_flowtables = canonical_tables;
+  finish_config(s);
+  return s;
+}
+
+Scenario pyswitch_bug1(PySwitchOptions options) {
+  Scenario s;
+  s.topology = std::make_unique<topo::Topology>();
+  const auto sw0 = s.topology->add_switch({1, 2, 3});
+  const auto a = s.topology->add_host("A", kMacA, kIpA, sw0, 1);
+  const auto b = s.topology->add_host("B", kMacB, kIpB, sw0, 2);
+  (void)a;
+  s.topology->add_alt_location(b, sw0, 3);
+
+  s.app = std::make_unique<PySwitch>(options);
+
+  hosts::HostBehavior ha;
+  ha.discovery_sends = true;
+  ha.max_sends = 2;
+  ha.initial_burst = 2;
+  hosts::HostBehavior hb;
+  hb.echo = true;
+  hb.can_move = true;
+  hb.discovery_sends = true;
+  hb.max_sends = 1;
+  s.config.host_behavior = {ha, hb};
+  finish_config(s);
+  s.properties.push_back(std::make_unique<props::NoBlackHoles>());
+  return s;
+}
+
+Scenario pyswitch_bug2(PySwitchOptions options) {
+  Scenario s;
+  s.topology = std::make_unique<topo::Topology>();
+  const auto sw0 = s.topology->add_switch({1, 2});
+  const auto a = s.topology->add_host("A", kMacA, kIpA, sw0, 1);
+  const auto b = s.topology->add_host("B", kMacB, kIpB, sw0, 2);
+  (void)a;
+  (void)b;
+
+  s.app = std::make_unique<PySwitch>(options);
+
+  hosts::HostBehavior ha;
+  ha.discovery_sends = true;
+  ha.max_sends = 2;
+  ha.initial_burst = 1;  // second ping waits for the reply (3-way shape)
+  hosts::HostBehavior hb;
+  hb.echo = true;
+  hb.discovery_sends = true;
+  hb.max_sends = 1;
+  s.config.host_behavior = {ha, hb};
+  finish_config(s);
+  s.properties.push_back(std::make_unique<props::StrictDirectPaths>());
+  return s;
+}
+
+Scenario pyswitch_bug3(PySwitchOptions options) {
+  Scenario s;
+  s.topology = std::make_unique<topo::Topology>();
+  const auto sw0 = s.topology->add_switch({1, 2, 3});
+  const auto sw1 = s.topology->add_switch({1, 2, 3});
+  const auto sw2 = s.topology->add_switch({1, 2, 3});
+  s.topology->add_link(sw0, 2, sw1, 3);
+  s.topology->add_link(sw1, 2, sw2, 3);
+  s.topology->add_link(sw2, 2, sw0, 3);
+  const auto a = s.topology->add_host("A", kMacA, kIpA, sw0, 1);
+  const auto b = s.topology->add_host("B", kMacB, kIpB, sw1, 1);
+  (void)a;
+  (void)b;
+
+  s.app = std::make_unique<PySwitch>(options);
+
+  hosts::HostBehavior ha;
+  ha.discovery_sends = true;
+  ha.max_sends = 1;
+  hosts::HostBehavior hb;
+  hb.echo = true;
+  s.config.host_behavior = {ha, hb};
+  finish_config(s);
+  s.properties.push_back(std::make_unique<props::NoForwardingLoops>());
+  return s;
+}
+
+Scenario lb_scenario(const LbScenarioOptions& options) {
+  Scenario s;
+  s.topology = std::make_unique<topo::Topology>();
+  const auto sw0 = s.topology->add_switch({1, 2, 3});
+  const std::uint32_t vip = 0x0a000064;        // 10.0.0.100
+  const std::uint64_t vmac = 0x00aa00000099ULL;
+  const auto client =
+      s.topology->add_host("client", kMacA, kIpA, sw0, 1);
+  const auto r1 =
+      s.topology->add_host("replica1", 0x00aa00000011ULL, 0x0a000101, sw0, 2);
+  const auto r2 =
+      s.topology->add_host("replica2", 0x00aa00000012ULL, 0x0a000102, sw0, 3);
+
+  LbOptions lb;
+  lb.sw = sw0;
+  lb.vip = vip;
+  lb.vmac = vmac;
+  lb.replicas = {
+      LbReplica{r1, 2, 0x00aa00000011ULL, 0x0a000101},
+      LbReplica{r2, 3, 0x00aa00000012ULL, 0x0a000102},
+  };
+  lb.fix_release_packet = options.fix_release_packet;
+  lb.fix_install_before_delete = options.fix_install_before_delete;
+  lb.fix_discard_arp = options.fix_discard_arp;
+  lb.fix_check_assignments = options.fix_check_assignments;
+  s.app = std::make_unique<LoadBalancer>(lb);
+
+  hosts::HostBehavior hc;
+  hosts::TcpConnectionSpec conn;
+  conn.dst_ip = vip;
+  conn.dst_mac = vmac;
+  conn.src_port = 1024;
+  conn.dst_port = 80;
+  conn.data_segments = options.data_segments;
+  conn.flow_id = 1;
+  hc.script = hosts::tcp_connection(s.topology->host(client), conn);
+  if (options.client_sends_arp) {
+    auto arp = hosts::arp_request(s.topology->host(client), vip, 99);
+    hc.script.insert(hc.script.begin(), arp);
+  }
+  hc.can_dup = options.client_can_dup_syn;
+  hc.initial_burst = static_cast<int>(hc.script.size()) +
+                     (options.client_can_dup_syn ? 1 : 0);
+
+  hosts::HostBehavior hr1;
+  hosts::HostBehavior hr2;
+  if (options.replica_sends_arp) {
+    hr1.script = {hosts::arp_request(s.topology->host(r1), kIpA, 98)};
+    hr1.initial_burst = 1;
+  }
+  s.config.host_behavior = {hc, hr1, hr2};
+  s.config.symbolic_discovery = false;  // scripted TCP clients
+  s.config.extra_domain_ips = {vip};
+  finish_config(s);
+
+  if (options.check_flow_affinity) {
+    s.properties.push_back(
+        std::make_unique<props::FlowAffinity>(std::set<of::HostId>{r1, r2}));
+  } else {
+    s.properties.push_back(std::make_unique<props::NoForgottenPackets>());
+  }
+  return s;
+}
+
+Scenario te_scenario(const TeScenarioOptions& options) {
+  Scenario s;
+  s.topology = std::make_unique<topo::Topology>();
+  const auto s0 = s.topology->add_switch({1, 2, 3});     // ingress
+  const auto s1 = s.topology->add_switch({1, 2, 3, 4});  // egress
+  const auto s2 = s.topology->add_switch({2, 3});        // on-demand
+  s.topology->add_link(s0, 2, s1, 3);
+  s.topology->add_link(s0, 3, s2, 2);
+  s.topology->add_link(s2, 3, s1, 4);
+  const auto sender = s.topology->add_host("sender", kMacA, kIpA, s0, 1);
+  const auto recv1 =
+      s.topology->add_host("recv1", 0x00aa00000021ULL, 0x0a000201, s1, 1);
+  const auto recv2 =
+      s.topology->add_host("recv2", 0x00aa00000022ULL, 0x0a000202, s1, 2);
+
+  TeOptions te;
+  te.ingress = s0;
+  te.monitored_port = 2;
+  te.threshold = 500;
+  te.paths[0x0a000201] = {TePath{{{s0, 2}, {s1, 1}}},
+                          TePath{{{s0, 3}, {s2, 3}, {s1, 1}}}};
+  te.paths[0x0a000202] = {TePath{{{s0, 2}, {s1, 2}}},
+                          TePath{{{s0, 3}, {s2, 3}, {s1, 2}}}};
+  te.fix_release_packet = options.fix_release_packet;
+  te.fix_handle_intermediate = options.fix_handle_intermediate;
+  te.fix_per_flow_table = options.fix_per_flow_table;
+  te.fix_lookup_all_tables = options.fix_lookup_all_tables;
+  auto te_app = std::make_unique<RespondTe>(te);
+  const RespondTe* te_ptr = te_app.get();
+  s.app = std::move(te_app);
+
+  hosts::HostBehavior hs;
+  const topo::HostSpec& sender_spec = s.topology->host(sender);
+  for (int f = 0; f < options.flows; ++f) {
+    hosts::TcpConnectionSpec conn;
+    conn.dst_ip = f % 2 == 0 ? 0x0a000201 : 0x0a000202;
+    conn.dst_mac = f % 2 == 0 ? 0x00aa00000021ULL : 0x00aa00000022ULL;
+    conn.src_port = static_cast<std::uint16_t>(1024 + f);
+    conn.dst_port = 80;
+    conn.data_segments = 0;  // first packets only: TE routes per flow
+    conn.flow_id = static_cast<std::uint32_t>(1 + f);
+    for (auto& e : hosts::tcp_connection(sender_spec, conn)) {
+      hs.script.push_back(e);
+    }
+  }
+  hs.initial_burst = options.flows;
+  hosts::HostBehavior hr1;
+  hosts::HostBehavior hr2;
+  s.config.host_behavior = {hs, hr1, hr2};
+  s.config.symbolic_discovery = options.stats_rounds > 0;
+  s.config.max_stats_rounds = options.stats_rounds;
+  finish_config(s);
+  (void)recv1;
+  (void)recv2;
+
+  if (options.check_routing_table) {
+    s.properties.push_back(std::make_unique<props::UseCorrectRoutingTable>(
+        s0, [te_ptr](const ctrl::AppState& app_state,
+                     const sym::PacketFields& hdr) {
+          const auto& st = static_cast<const RespondTeState&>(app_state);
+          const TeTable table = te_ptr->correct_table(st, hdr);
+          std::set<of::SwitchId> expected;
+          const auto it = te_ptr->options().paths.find(
+              static_cast<std::uint32_t>(hdr.ip_dst));
+          if (it == te_ptr->options().paths.end()) return expected;
+          for (const auto& [sw, port] :
+               it->second[static_cast<std::size_t>(table)].hops) {
+            expected.insert(sw);
+          }
+          return expected;
+        }));
+  } else {
+    s.properties.push_back(std::make_unique<props::NoForgottenPackets>());
+  }
+  return s;
+}
+
+}  // namespace nicemc::apps

@@ -1,0 +1,92 @@
+// Ready-made experiment scenarios: the exact topologies, host models,
+// application configurations and properties used by the paper's evaluation
+// (Sections 7 and 8). Tests, examples and benchmarks all build on these.
+#ifndef NICE_APPS_SCENARIOS_H
+#define NICE_APPS_SCENARIOS_H
+
+#include <memory>
+
+#include "apps/loadbalancer.h"
+#include "apps/pyswitch.h"
+#include "apps/respond_te.h"
+#include "ctrl/app.h"
+#include "mc/checker.h"
+#include "mc/property.h"
+#include "mc/strategy.h"
+#include "mc/system.h"
+#include "topo/topology.h"
+
+namespace nicemc::apps {
+
+/// A self-contained, movable bundle: topology + app + model configuration +
+/// properties. `config` holds pointers into the heap-allocated topology and
+/// app, so moving the Scenario is safe.
+struct Scenario {
+  std::unique_ptr<topo::Topology> topology;
+  std::unique_ptr<ctrl::App> app;
+  mc::SystemConfig config;
+  mc::PropertyList properties;
+};
+
+/// Apply a search strategy to a scenario + checker options pair (NO-DELAY
+/// changes execution semantics, the others filter transitions).
+void set_strategy(Scenario& s, mc::CheckerOptions& options,
+                  mc::Strategy strategy);
+
+// --- Section 7 (performance evaluation) ---
+
+/// Figure 1 topology: host A — SW0 — SW1 — host B, pyswitch controller.
+/// A sends `pings` concurrent layer-2 pings, B echoes. Scripted sends,
+/// symbolic execution off — the Table 1 / Figure 6 workload.
+/// `canonical_tables = false` gives the NO-SWITCH-REDUCTION baseline.
+Scenario pyswitch_ping_chain(int pings, bool canonical_tables = true);
+
+// --- Section 8.1: pyswitch bugs ---
+
+/// BUG-I: A streams to mobile host B on one switch; B moves; the learned
+/// rule keeps forwarding to the old port. Property: NoBlackHoles.
+Scenario pyswitch_bug1(PySwitchOptions options = {});
+
+/// BUG-II: one switch, A and B; only the sender→destination rule is
+/// installed. Property: StrictDirectPaths.
+Scenario pyswitch_bug2(PySwitchOptions options = {});
+
+/// BUG-III: 3-switch cycle; flooding loops. Property: NoForwardingLoops.
+Scenario pyswitch_bug3(PySwitchOptions options = {});
+
+// --- Section 8.2: load balancer bugs ---
+
+struct LbScenarioOptions {
+  bool fix_release_packet{false};         // BUG-IV fixed
+  bool fix_install_before_delete{false};  // BUG-V fixed
+  bool fix_discard_arp{false};            // BUG-VI fixed
+  bool fix_check_assignments{false};      // BUG-VII fixed
+  bool client_sends_arp{false};           // include an ARP request (BUG-VI)
+  bool replica_sends_arp{false};          // server-generated ARP (BUG-VI)
+  bool client_can_dup_syn{false};         // duplicate SYN (BUG-VII)
+  int data_segments{1};
+  bool check_flow_affinity{false};        // property set for BUG-VII
+};
+
+/// One switch, one client, two replicas behind a virtual IP.
+Scenario lb_scenario(const LbScenarioOptions& options);
+
+// --- Section 8.3: traffic-engineering bugs ---
+
+struct TeScenarioOptions {
+  bool fix_release_packet{false};       // BUG-VIII fixed
+  bool fix_handle_intermediate{false};  // BUG-IX fixed
+  bool fix_per_flow_table{false};       // BUG-X fixed
+  bool fix_lookup_all_tables{false};    // BUG-XI fixed
+  std::uint32_t stats_rounds{0};        // port-stats query budget
+  bool check_routing_table{false};      // property set for BUG-X
+  int flows{1};                         // concurrent flows from the sender
+};
+
+/// Triangle topology: ingress S0 (sender), egress S1 (two receivers),
+/// on-demand switch S2.
+Scenario te_scenario(const TeScenarioOptions& options);
+
+}  // namespace nicemc::apps
+
+#endif  // NICE_APPS_SCENARIOS_H

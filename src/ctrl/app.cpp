@@ -1,0 +1,4 @@
+#include "ctrl/app.h"
+
+// App and AppState are interface classes; this TU anchors their vtables.
+namespace nicemc::ctrl {}

@@ -1,0 +1,31 @@
+#include "ctrl/commands.h"
+
+namespace nicemc::ctrl {
+
+of::SwitchId command_target(const Command& c) {
+  return std::visit([](const auto& v) { return v.sw; }, c);
+}
+
+of::ToSwitch command_to_message(const Command& c) {
+  if (const auto* ir = std::get_if<CmdInstallRule>(&c)) {
+    return of::FlowMod{.cmd = of::FlowMod::Cmd::kAdd, .rule = ir->rule};
+  }
+  if (const auto* dr = std::get_if<CmdDeleteRule>(&c)) {
+    of::FlowMod fm;
+    fm.cmd = dr->priority ? of::FlowMod::Cmd::kDeleteStrict
+                          : of::FlowMod::Cmd::kDelete;
+    fm.rule.match = dr->match;
+    fm.rule.priority = dr->priority.value_or(0);
+    return fm;
+  }
+  if (const auto* po = std::get_if<CmdPacketOut>(&c)) {
+    return po->msg;
+  }
+  if (const auto* sr = std::get_if<CmdRequestStats>(&c)) {
+    return of::StatsRequest{.xid = sr->xid};
+  }
+  const auto& b = std::get<CmdBarrier>(c);
+  return of::BarrierRequest{.xid = b.xid};
+}
+
+}  // namespace nicemc::ctrl

@@ -1,0 +1,123 @@
+// Commands emitted by controller event handlers through the platform API
+// (install_rule, send_packet_out, flood_packet, request_stats, barrier —
+// the NOX-style calls in Figure 3). Handlers run atomically and enqueue
+// commands; the model checker turns them into OpenFlow messages on the
+// per-switch control channels (or, in the FINE-INTERLEAVING baseline, into
+// individually interleavable transitions).
+#ifndef NICE_CTRL_COMMANDS_H
+#define NICE_CTRL_COMMANDS_H
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "of/messages.h"
+#include "of/packet.h"
+#include "of/rule.h"
+
+namespace nicemc::ctrl {
+
+struct CmdInstallRule {
+  of::SwitchId sw{0};
+  of::Rule rule;
+};
+
+struct CmdDeleteRule {
+  of::SwitchId sw{0};
+  of::Match match;
+  std::optional<std::uint16_t> priority;  // set = strict delete
+};
+
+struct CmdPacketOut {
+  of::SwitchId sw{0};
+  of::PacketOut msg;
+};
+
+struct CmdRequestStats {
+  of::SwitchId sw{0};
+  std::uint32_t xid{0};
+};
+
+struct CmdBarrier {
+  of::SwitchId sw{0};
+  std::uint32_t xid{0};
+};
+
+using Command = std::variant<CmdInstallRule, CmdDeleteRule, CmdPacketOut,
+                             CmdRequestStats, CmdBarrier>;
+
+/// Switch the command is addressed to.
+of::SwitchId command_target(const Command& c);
+
+/// Lower a command to the OpenFlow message the switch will process.
+of::ToSwitch command_to_message(const Command& c);
+
+/// Command collector handed to event handlers.
+class Ctx {
+ public:
+  explicit Ctx(std::uint32_t* next_xid) : next_xid_(next_xid) {}
+
+  /// Figure 3 line 13: install a rule on a switch.
+  void install_rule(of::SwitchId sw, of::Rule rule) {
+    commands_.push_back(CmdInstallRule{sw, std::move(rule)});
+  }
+
+  void delete_rule(of::SwitchId sw, of::Match match,
+                   std::optional<std::uint16_t> priority = std::nullopt) {
+    commands_.push_back(CmdDeleteRule{sw, std::move(match), priority});
+  }
+
+  /// Figure 3 line 14: tell the switch what to do with a buffered packet.
+  void send_packet_out(of::SwitchId sw, std::uint32_t buffer_id,
+                       of::ActionList actions) {
+    of::PacketOut po;
+    po.buffer_id = buffer_id;
+    po.actions = std::move(actions);
+    commands_.push_back(CmdPacketOut{sw, std::move(po)});
+  }
+
+  /// Inject a controller-constructed packet (e.g. a proxied ARP reply).
+  void send_packet_out_full(of::SwitchId sw, of::Packet packet,
+                            of::PortId in_port, of::ActionList actions) {
+    of::PacketOut po;
+    po.buffer_id = of::kNoBuffer;
+    po.packet = std::move(packet);
+    po.in_port = in_port;
+    po.actions = std::move(actions);
+    commands_.push_back(CmdPacketOut{sw, std::move(po)});
+  }
+
+  /// Figure 3 line 16: flood a buffered packet out of every port but the
+  /// ingress.
+  void flood_packet(of::SwitchId sw, std::uint32_t buffer_id) {
+    send_packet_out(sw, buffer_id, {of::Action::flood()});
+  }
+
+  std::uint32_t request_stats(of::SwitchId sw) {
+    const std::uint32_t xid = (*next_xid_)++;
+    commands_.push_back(CmdRequestStats{sw, xid});
+    return xid;
+  }
+
+  std::uint32_t send_barrier(of::SwitchId sw) {
+    const std::uint32_t xid = (*next_xid_)++;
+    commands_.push_back(CmdBarrier{sw, xid});
+    return xid;
+  }
+
+  [[nodiscard]] const std::vector<Command>& commands() const noexcept {
+    return commands_;
+  }
+  [[nodiscard]] std::vector<Command> take_commands() noexcept {
+    return std::move(commands_);
+  }
+
+ private:
+  std::uint32_t* next_xid_;
+  std::vector<Command> commands_;
+};
+
+}  // namespace nicemc::ctrl
+
+#endif  // NICE_CTRL_COMMANDS_H

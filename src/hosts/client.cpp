@@ -1,0 +1,41 @@
+#include "hosts/client.h"
+
+namespace nicemc::hosts {
+
+ScriptEntry l2_ping(const topo::HostSpec& from, const topo::HostSpec& to,
+                    std::uint32_t flow_id) {
+  ScriptEntry e;
+  e.hdr.eth_src = from.mac;
+  e.hdr.eth_dst = to.mac;
+  e.hdr.eth_type = of::kEthTypeIpv4;
+  e.hdr.ip_src = from.ip;
+  e.hdr.ip_dst = to.ip;
+  e.hdr.ip_proto = of::kIpProtoIcmp;
+  e.flow_id = flow_id;
+  return e;
+}
+
+std::vector<ScriptEntry> l2_ping_script(const topo::HostSpec& from,
+                                        const topo::HostSpec& to, int count,
+                                        std::uint32_t first_flow_id) {
+  std::vector<ScriptEntry> script;
+  script.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    script.push_back(l2_ping(from, to, first_flow_id + static_cast<std::uint32_t>(i)));
+  }
+  return script;
+}
+
+ScriptEntry arp_request(const topo::HostSpec& from, std::uint32_t target_ip,
+                        std::uint32_t flow_id) {
+  ScriptEntry e;
+  e.hdr.eth_src = from.mac;
+  e.hdr.eth_dst = of::kBroadcastMac;
+  e.hdr.eth_type = of::kEthTypeArp;
+  e.hdr.ip_src = from.ip;
+  e.hdr.ip_dst = target_ip;
+  e.flow_id = flow_id;
+  return e;
+}
+
+}  // namespace nicemc::hosts

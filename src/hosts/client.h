@@ -1,0 +1,30 @@
+// Packet-script builders for client host models.
+#ifndef NICE_HOSTS_CLIENT_H
+#define NICE_HOSTS_CLIENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hosts/host.h"
+#include "topo/topology.h"
+
+namespace nicemc::hosts {
+
+/// A "layer-2 ping" (the Section 7 workload): an Ethernet frame from one
+/// host to another, to which an echo host responds in kind.
+ScriptEntry l2_ping(const topo::HostSpec& from, const topo::HostSpec& to,
+                    std::uint32_t flow_id);
+
+/// `count` identical pings, each a distinct flow (the "number of concurrent
+/// pings" knob of Table 1).
+std::vector<ScriptEntry> l2_ping_script(const topo::HostSpec& from,
+                                        const topo::HostSpec& to, int count,
+                                        std::uint32_t first_flow_id);
+
+/// Broadcast ARP request asking who-has `target_ip`.
+ScriptEntry arp_request(const topo::HostSpec& from, std::uint32_t target_ip,
+                        std::uint32_t flow_id);
+
+}  // namespace nicemc::hosts
+
+#endif  // NICE_HOSTS_CLIENT_H

@@ -1,0 +1,4 @@
+#include "hosts/host.h"
+
+// Host types are header-only; this TU anchors the library target.
+namespace nicemc::hosts {}

@@ -1,0 +1,28 @@
+#include "hosts/server.h"
+
+namespace nicemc::hosts {
+
+bool should_reply(const topo::HostSpec& self, const of::Packet& received) {
+  return received.hdr.eth_dst == self.mac;
+}
+
+PendingReply echo_reply(const topo::HostSpec& self,
+                        const of::Packet& received) {
+  PendingReply r;
+  r.hdr = received.hdr;
+  r.hdr.eth_src = self.mac;
+  r.hdr.eth_dst = received.hdr.eth_src;
+  r.hdr.ip_src = received.hdr.ip_dst;
+  r.hdr.ip_dst = received.hdr.ip_src;
+  r.hdr.tp_src = received.hdr.tp_dst;
+  r.hdr.tp_dst = received.hdr.tp_src;
+  if (received.hdr.ip_proto == of::kIpProtoTcp) {
+    r.hdr.tcp_flags = (received.hdr.tcp_flags & of::kTcpSyn)
+                          ? (of::kTcpSyn | of::kTcpAck)
+                          : of::kTcpAck;
+  }
+  r.flow_id = received.flow_id;
+  return r;
+}
+
+}  // namespace nicemc::hosts

@@ -1,0 +1,22 @@
+// Echo-server behaviour: compute the reply a server host sends back for a
+// received packet (the paper's default server model: `receive` enables
+// `send_reply`).
+#ifndef NICE_HOSTS_SERVER_H
+#define NICE_HOSTS_SERVER_H
+
+#include "hosts/host.h"
+#include "topo/topology.h"
+
+namespace nicemc::hosts {
+
+/// Should this host respond to the packet at all? (Unicast to our MAC.)
+bool should_reply(const topo::HostSpec& self, const of::Packet& received);
+
+/// Reply with source/destination identities swapped; a TCP SYN elicits a
+/// SYN|ACK, other TCP segments an ACK, everything else an echo.
+PendingReply echo_reply(const topo::HostSpec& self,
+                        const of::Packet& received);
+
+}  // namespace nicemc::hosts
+
+#endif  // NICE_HOSTS_SERVER_H

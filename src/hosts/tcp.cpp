@@ -1,0 +1,30 @@
+#include "hosts/tcp.h"
+
+namespace nicemc::hosts {
+
+std::vector<ScriptEntry> tcp_connection(const topo::HostSpec& from,
+                                        const TcpConnectionSpec& spec) {
+  std::vector<ScriptEntry> script;
+  ScriptEntry base;
+  base.hdr.eth_src = from.mac;
+  base.hdr.eth_dst = spec.dst_mac;
+  base.hdr.eth_type = of::kEthTypeIpv4;
+  base.hdr.ip_src = from.ip;
+  base.hdr.ip_dst = spec.dst_ip;
+  base.hdr.ip_proto = of::kIpProtoTcp;
+  base.hdr.tp_src = spec.src_port;
+  base.hdr.tp_dst = spec.dst_port;
+  base.flow_id = spec.flow_id;
+
+  ScriptEntry syn = base;
+  syn.hdr.tcp_flags = of::kTcpSyn;
+  script.push_back(syn);
+  for (int i = 0; i < spec.data_segments; ++i) {
+    ScriptEntry data = base;
+    data.hdr.tcp_flags = of::kTcpAck;
+    script.push_back(data);
+  }
+  return script;
+}
+
+}  // namespace nicemc::hosts

@@ -1,0 +1,30 @@
+// TCP client scripts for the load-balancer scenarios (Section 8.2): a SYN
+// followed by data segments of the same connection, plus a duplicate-SYN
+// helper modelling a retransmission.
+#ifndef NICE_HOSTS_TCP_H
+#define NICE_HOSTS_TCP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hosts/host.h"
+#include "topo/topology.h"
+
+namespace nicemc::hosts {
+
+struct TcpConnectionSpec {
+  std::uint32_t dst_ip{0};  // e.g. the load balancer's virtual IP
+  std::uint64_t dst_mac{0};
+  std::uint16_t src_port{1024};
+  std::uint16_t dst_port{80};
+  int data_segments{2};
+  std::uint32_t flow_id{0};
+};
+
+/// [SYN, DATA*n] — all segments share the 5-tuple and flow id.
+std::vector<ScriptEntry> tcp_connection(const topo::HostSpec& from,
+                                        const TcpConnectionSpec& spec);
+
+}  // namespace nicemc::hosts
+
+#endif  // NICE_HOSTS_TCP_H

@@ -1,0 +1,79 @@
+// The discover_packets and discover_stats transitions of Figure 5.
+//
+// discover_packets(client): symbolically execute the packet_in handler from
+// the *current concrete controller state* and the client's location
+// context; each feasible handler path yields one equivalence class of
+// packets, from which one representative is instantiated. Results are memo-
+// ized per (client, controller-state hash) — the paper's
+// `client.packets[state(ctrl)]` map — so revisiting the same controller
+// state never re-runs symbolic execution.
+//
+// discover_stats(switch): same idea for the statistics handler, with one
+// symbolic integer per port (Section 3.3).
+#ifndef NICE_MC_DISCOVER_H
+#define NICE_MC_DISCOVER_H
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "mc/system.h"
+#include "sym/sympacket.h"
+#include "util/hash.h"
+
+namespace nicemc::mc {
+
+/// Representative per-port tx_bytes values for one stats-handler path.
+using StatsValues = std::vector<std::pair<of::PortId, std::uint64_t>>;
+
+struct DiscoveryStats {
+  std::uint64_t packet_discoveries{0};
+  std::uint64_t stats_discoveries{0};
+  std::uint64_t handler_runs{0};
+  std::uint64_t solver_queries{0};
+  std::uint64_t packets_found{0};
+};
+
+class DiscoveryCache {
+ public:
+  using PacketKey = std::pair<of::HostId, util::Hash128>;
+  using StatsKey = std::pair<of::SwitchId, util::Hash128>;
+
+  [[nodiscard]] const std::vector<sym::PacketFields>* find_packets(
+      of::HostId host, util::Hash128 ctrl_hash) const;
+  [[nodiscard]] const std::vector<StatsValues>* find_stats(
+      of::SwitchId sw, util::Hash128 ctrl_hash) const;
+
+  void store_packets(of::HostId host, util::Hash128 ctrl_hash,
+                     std::vector<sym::PacketFields> packets);
+  void store_stats(of::SwitchId sw, util::Hash128 ctrl_hash,
+                   std::vector<StatsValues> values);
+
+  [[nodiscard]] DiscoveryStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const DiscoveryStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  std::map<PacketKey, std::vector<sym::PacketFields>> packets_;
+  std::map<StatsKey, std::vector<StatsValues>> stats_values_;
+  DiscoveryStats stats_;
+};
+
+/// Run symbolic execution of packet_in for `host` at its current location.
+/// Returns one concrete representative packet per feasible handler path.
+std::vector<sym::PacketFields> discover_packets(const SystemConfig& cfg,
+                                                const SystemState& state,
+                                                of::HostId host,
+                                                DiscoveryStats& stats);
+
+/// Run symbolic execution of the stats handler for `sw`.
+std::vector<StatsValues> discover_stats(const SystemConfig& cfg,
+                                        const SystemState& state,
+                                        of::SwitchId sw,
+                                        DiscoveryStats& stats);
+
+}  // namespace nicemc::mc
+
+#endif  // NICE_MC_DISCOVER_H

@@ -1,0 +1,57 @@
+#include "mc/events.h"
+
+namespace nicemc::mc {
+
+std::string brief(const Event& e) {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, EvPacketSent>) {
+          return "sent host=" + std::to_string(v.host) + " " + v.pkt.brief();
+        } else if constexpr (std::is_same_v<T, EvCtrlPacketInjected>) {
+          return "ctrl_inject sw=" + std::to_string(v.sw) + " " +
+                 v.pkt.brief();
+        } else if constexpr (std::is_same_v<T, EvPacketProcessed>) {
+          std::string s = "processed sw=" + std::to_string(v.sw) +
+                          " in=" + std::to_string(v.in_port) +
+                          " copies=" + std::to_string(v.copies_out);
+          if (v.to_controller) s += " ->ctrl";
+          if (v.dropped_by_rule) s += " drop_rule";
+          if (v.dropped_buffer_full) s += " drop_full";
+          if (v.revisited) s += " LOOP";
+          if (v.from_buffer) s += " from_buf";
+          return s;
+        } else if constexpr (std::is_same_v<T, EvPacketDeadPort>) {
+          return "dead_port sw=" + std::to_string(v.sw) + " port=" +
+                 std::to_string(v.port) + " " + v.pkt.brief();
+        } else if constexpr (std::is_same_v<T, EvPacketDelivered>) {
+          return "delivered host=" + std::to_string(v.host) + " " +
+                 v.pkt.brief();
+        } else if constexpr (std::is_same_v<T, EvPacketIn>) {
+          return "packet_in sw=" + std::to_string(v.sw) + " " + v.pkt.brief();
+        } else if constexpr (std::is_same_v<T, EvPacketInHandled>) {
+          return "packet_in_handled sw=" + std::to_string(v.sw) +
+                 " installs=" + std::to_string(v.installs.size()) +
+                 (v.sent_packet_out ? " +packet_out" : " (no packet_out)");
+        } else if constexpr (std::is_same_v<T, EvRuleInstalled>) {
+          return "installed sw=" + std::to_string(v.sw) + " " +
+                 v.rule.brief();
+        } else if constexpr (std::is_same_v<T, EvRuleRemoved>) {
+          return "removed sw=" + std::to_string(v.sw) + " n=" +
+                 std::to_string(v.count) + " " + v.match.brief();
+        } else if constexpr (std::is_same_v<T, EvRuleExpired>) {
+          return "expired sw=" + std::to_string(v.sw) + " " + v.rule.brief();
+        } else if constexpr (std::is_same_v<T, EvChannelDrop>) {
+          return "chan_drop sw=" + std::to_string(v.sw) + " port=" +
+                 std::to_string(v.port);
+        } else if constexpr (std::is_same_v<T, EvStatsHandled>) {
+          return "stats_handled sw=" + std::to_string(v.sw);
+        } else {
+          return "host_moved host=" + std::to_string(v.host) + " -> sw=" +
+                 std::to_string(v.to_sw) + ":" + std::to_string(v.to_port);
+        }
+      },
+      e);
+}
+
+}  // namespace nicemc::mc

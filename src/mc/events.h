@@ -1,0 +1,135 @@
+// Events generated while executing a transition.
+//
+// Correctness properties are monitors over the event stream (paper
+// Section 5: property snippets "register callbacks invoked by NICE to
+// observe important transitions"). The executor appends one event per
+// observable micro-step; after the transition completes, every property
+// sees the batch together with the resulting state.
+#ifndef NICE_MC_EVENTS_H
+#define NICE_MC_EVENTS_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "of/messages.h"
+#include "of/packet.h"
+#include "of/rule.h"
+
+namespace nicemc::mc {
+
+/// A host injected a packet into the network (balance +1).
+struct EvPacketSent {
+  of::HostId host{0};
+  of::Packet pkt;
+};
+
+/// The controller injected a packet via a bufferless packet_out
+/// (balance +1), e.g. a proxied ARP reply.
+struct EvCtrlPacketInjected {
+  of::SwitchId sw{0};
+  of::Packet pkt;
+};
+
+/// A switch ran one packet through its pipeline (ingress or packet_out
+/// release). Balance delta: +copies_out, −1 if the packet came out of
+/// flight (ingress) or out of the awaiting-controller buffer.
+struct EvPacketProcessed {
+  of::SwitchId sw{0};
+  of::PortId in_port{0};
+  of::Packet pkt;
+  int copies_out{0};
+  bool to_controller{false};   // buffered + packet_in emitted
+  bool dropped_by_rule{false};  // matched a rule with no actions
+  bool dropped_buffer_full{false};
+  bool revisited{false};        // forwarding-loop signal
+  bool from_buffer{false};      // packet_out release (vs. ingress)
+  bool explicit_discard{false};  // packet_out with empty actions
+};
+
+/// A forwarded copy left a port with nothing attached (host moved away or
+/// unconnected port): the copy vanishes — a black hole.
+struct EvPacketDeadPort {
+  of::SwitchId sw{0};
+  of::PortId port{0};
+  of::Packet pkt;
+};
+
+/// A host consumed a packet from its input queue (balance −1).
+struct EvPacketDelivered {
+  of::HostId host{0};
+  of::Packet pkt;
+  /// MAC of the receiving host: flooded copies reach hosts that are not
+  /// the packet's L2 destination; DirectPaths-style properties only treat
+  /// pkt.hdr.eth_dst == host_mac as "reached its destination".
+  std::uint64_t host_mac{0};
+};
+
+/// The controller received a packet_in (for DirectPaths and the
+/// UseCorrectRoutingTable properties).
+struct EvPacketIn {
+  of::SwitchId sw{0};
+  of::PortId in_port{0};
+  of::Packet pkt;
+  of::PacketIn::Reason reason{of::PacketIn::Reason::kNoMatch};
+};
+
+/// The packet_in handler finished; `installs` are the rule installations it
+/// issued and `sent_packet_out` says whether it released/forwarded the
+/// triggering packet (UseCorrectRoutingTable inspects this batch).
+struct EvPacketInHandled {
+  of::SwitchId sw{0};
+  of::PortId in_port{0};
+  of::Packet pkt;
+  std::vector<std::pair<of::SwitchId, of::Rule>> installs;
+  bool sent_packet_out{false};
+};
+
+struct EvRuleInstalled {
+  of::SwitchId sw{0};
+  of::Rule rule;
+};
+
+struct EvRuleRemoved {
+  of::SwitchId sw{0};
+  of::Match match;
+  std::size_t count{0};
+};
+
+struct EvRuleExpired {
+  of::SwitchId sw{0};
+  of::Rule rule;
+};
+
+/// Fault-model event: the head packet of an ingress channel was dropped.
+struct EvChannelDrop {
+  of::SwitchId sw{0};
+  of::PortId port{0};
+  of::Packet pkt;
+};
+
+struct EvStatsHandled {
+  of::SwitchId sw{0};
+};
+
+struct EvHostMoved {
+  of::HostId host{0};
+  of::SwitchId to_sw{0};
+  of::PortId to_port{0};
+};
+
+using Event =
+    std::variant<EvPacketSent, EvCtrlPacketInjected, EvPacketProcessed,
+                 EvPacketDeadPort, EvPacketDelivered, EvPacketIn,
+                 EvPacketInHandled, EvRuleInstalled, EvRuleRemoved,
+                 EvRuleExpired, EvChannelDrop, EvStatsHandled, EvHostMoved>;
+
+using EventList = std::vector<Event>;
+
+/// One-line rendering for traces and debugging.
+std::string brief(const Event& e);
+
+}  // namespace nicemc::mc
+
+#endif  // NICE_MC_EVENTS_H

@@ -1,0 +1,477 @@
+#include "mc/execute.h"
+
+#include <cassert>
+
+#include "hosts/server.h"
+
+namespace nicemc::mc {
+
+namespace {
+
+/// Does this command forward/release the packet buffered under `buffer_id`
+/// at switch `sw`? (Used to report whether a handler remembered to tell the
+/// switch what to do with the triggering packet.)
+bool releases_buffer(const ctrl::Command& c, of::SwitchId sw,
+                     std::uint32_t buffer_id) {
+  const auto* po = std::get_if<ctrl::CmdPacketOut>(&c);
+  return po != nullptr && po->sw == sw && po->msg.buffer_id == buffer_id;
+}
+
+}  // namespace
+
+SystemState Executor::make_initial() const {
+  assert(cfg_.topology != nullptr && cfg_.app != nullptr);
+  assert(cfg_.host_behavior.size() == cfg_.topology->hosts().size());
+
+  SystemState st;
+  st.ctrl.app = cfg_.app->make_initial_state();
+
+  for (const topo::SwitchSpec& spec : cfg_.topology->switches()) {
+    st.switches.emplace_back(spec.id, spec.ports,
+                             cfg_.switch_buffer_capacity);
+  }
+  for (const topo::HostSpec& spec : cfg_.topology->hosts()) {
+    hosts::HostState hs;
+    hs.id = spec.id;
+    hs.sw = spec.attach_switch;
+    hs.port = spec.attach_port;
+    hs.burst = cfg_.host_behavior[spec.id].initial_burst;
+    st.hosts.push_back(std::move(hs));
+  }
+  for (const auto& prop : props_) st.props.push_back(prop->make_state());
+
+  // Dispatch switch_join for every switch and apply resulting commands
+  // synchronously (deterministic setup; not part of the explored space).
+  for (const topo::SwitchSpec& spec : cfg_.topology->switches()) {
+    ctrl::Ctx ctx(&st.ctrl.next_xid);
+    cfg_.app->switch_join(*st.ctrl.app, ctx, spec.id);
+    EventList ignored;
+    push_commands(st, ctx.take_commands(), ignored);
+  }
+  for (of::Switch& sw : st.switches) {
+    EventList ignored;
+    while (sw.can_process_of()) run_switch_of(st, sw.id, ignored);
+  }
+  return st;
+}
+
+std::vector<Transition> Executor::enabled(const SystemState& state,
+                                          DiscoveryCache& cache) const {
+  std::vector<Transition> out;
+  const util::Hash128 chash = state.ctrl_hash();
+
+  // --- controller ---
+  if (cfg_.fine_interleaving && !state.ctrl.pending_commands.empty()) {
+    out.push_back(Transition{.kind = TKind::kCtrlApplyCommand});
+  }
+  for (const of::Switch& sw : state.switches) {
+    if (sw.of_out.empty()) continue;
+    const bool head_is_stats =
+        std::holds_alternative<of::StatsReply>(sw.of_out.front());
+    if (head_is_stats && cfg_.symbolic_discovery) {
+      const std::vector<StatsValues>* vals = cache.find_stats(sw.id, chash);
+      if (vals == nullptr) {
+        auto discovered = discover_stats(cfg_, state, sw.id, cache.stats());
+        cache.store_stats(sw.id, chash, std::move(discovered));
+        vals = cache.find_stats(sw.id, chash);
+      }
+      for (const StatsValues& v : *vals) {
+        out.push_back(Transition{.kind = TKind::kCtrlProcessStats,
+                                 .a = sw.id,
+                                 .stats = v});
+      }
+      continue;
+    }
+    out.push_back(Transition{.kind = TKind::kCtrlDispatch, .a = sw.id});
+  }
+  const auto externals = cfg_.app->external_events(*state.ctrl.app);
+  for (std::size_t i = 0; i < externals.size(); ++i) {
+    out.push_back(Transition{.kind = TKind::kCtrlExternal,
+                             .aux = static_cast<std::uint32_t>(i)});
+  }
+  for (const of::Switch& sw : state.switches) {
+    if (cfg_.app->wants_stats(*state.ctrl.app, sw.id) &&
+        !state.ctrl.pending_stats.contains(sw.id) &&
+        state.ctrl.stats_rounds < cfg_.max_stats_rounds) {
+      out.push_back(Transition{.kind = TKind::kCtrlRequestStats, .a = sw.id});
+    }
+  }
+
+  // --- switches ---
+  for (const of::Switch& sw : state.switches) {
+    if (sw.can_process_pkt()) {
+      out.push_back(Transition{.kind = TKind::kSwitchProcessPkt, .a = sw.id});
+    }
+    if (sw.can_process_of()) {
+      out.push_back(Transition{.kind = TKind::kSwitchProcessOf, .a = sw.id});
+    }
+    if (cfg_.enable_rule_expiry) {
+      for (std::size_t idx : sw.expirable_rules()) {
+        out.push_back(Transition{.kind = TKind::kRuleExpire,
+                                 .a = sw.id,
+                                 .aux = static_cast<std::uint32_t>(idx)});
+      }
+    }
+    if (cfg_.enable_channel_faults) {
+      for (const auto& [port, chan] : sw.in_ports) {
+        if (chan.empty()) continue;
+        if (sw.pkt_channel_faults.may_drop) {
+          out.push_back(Transition{.kind = TKind::kChannelDropHead,
+                                   .a = sw.id,
+                                   .aux = port});
+        }
+        if (sw.pkt_channel_faults.may_duplicate) {
+          out.push_back(Transition{.kind = TKind::kChannelDupHead,
+                                   .a = sw.id,
+                                   .aux = port});
+        }
+      }
+    }
+  }
+
+  // --- hosts ---
+  for (const hosts::HostState& hs : state.hosts) {
+    const hosts::HostBehavior& hb = cfg_.host_behavior[hs.id];
+    if (!hs.input.empty()) {
+      out.push_back(Transition{.kind = TKind::kHostRecv, .a = hs.id});
+    }
+    if (!hs.pending_replies.empty()) {
+      out.push_back(Transition{.kind = TKind::kHostSendReply, .a = hs.id});
+    }
+    if (hb.can_move) {
+      const auto& alts = cfg_.topology->host(hs.id).alt_locations;
+      for (std::size_t i = 0; i < alts.size(); ++i) {
+        if ((hs.moves_used & (1u << i)) == 0) {
+          out.push_back(Transition{.kind = TKind::kHostMove,
+                                   .a = hs.id,
+                                   .aux = static_cast<std::uint32_t>(i)});
+        }
+      }
+    }
+    if (hb.can_dup && !hs.dup_used && hs.sends_done > 0 && hs.burst > 0 &&
+        !hb.script.empty()) {
+      out.push_back(Transition{.kind = TKind::kHostSendDup, .a = hs.id});
+    }
+    if (!hs.can_send(hb)) continue;
+    if (hb.discovery_sends && cfg_.symbolic_discovery) {
+      const std::vector<sym::PacketFields>* pkts =
+          cache.find_packets(hs.id, chash);
+      if (pkts == nullptr) {
+        auto discovered = discover_packets(cfg_, state, hs.id, cache.stats());
+        cache.store_packets(hs.id, chash, std::move(discovered));
+        pkts = cache.find_packets(hs.id, chash);
+      }
+      for (const sym::PacketFields& f : *pkts) {
+        out.push_back(Transition{.kind = TKind::kHostSendDiscovered,
+                                 .a = hs.id,
+                                 .fields = f});
+      }
+    } else if (!hb.discovery_sends) {
+      out.push_back(Transition{.kind = TKind::kHostSendScript, .a = hs.id});
+    }
+  }
+  return out;
+}
+
+void Executor::inject_host_packet(SystemState& state, of::HostId host,
+                                  const sym::PacketFields& hdr,
+                                  std::uint32_t flow,
+                                  EventList& events) const {
+  hosts::HostState& hs = state.hosts[host];
+  of::Packet pkt;
+  pkt.hdr = hdr;
+  pkt.flow_id = flow;
+  pkt.uid = state.next_uid++;
+  pkt.copy_id = state.next_copy++;
+  pkt.sender = host;
+  events.push_back(EvPacketSent{host, pkt});
+  state.switches[hs.sw].enqueue_packet(hs.port, std::move(pkt));
+}
+
+void Executor::deliver(SystemState& state, of::SwitchId from_sw,
+                       of::PortId out_port, of::Packet pkt,
+                       EventList& events) const {
+  const topo::PortPeer peer = cfg_.topology->switch_peer(from_sw, out_port);
+  if (peer.kind == topo::PortPeer::Kind::kSwitchLink) {
+    state.switches[peer.sw].enqueue_packet(peer.port, std::move(pkt));
+    return;
+  }
+  for (hosts::HostState& hs : state.hosts) {
+    if (hs.sw == from_sw && hs.port == out_port) {
+      hs.input.push(std::move(pkt));
+      return;
+    }
+  }
+  // Nothing attached (e.g. the host moved away): the copy vanishes.
+  events.push_back(EvPacketDeadPort{from_sw, out_port, std::move(pkt)});
+}
+
+void Executor::handle_outcome(SystemState& state, of::SwitchId sw,
+                              const of::PacketOutcome& oc,
+                              EventList& events) const {
+  events.push_back(EvPacketProcessed{
+      .sw = sw,
+      .in_port = oc.in_port,
+      .pkt = oc.packet,
+      .copies_out = static_cast<int>(oc.forwards.size()),
+      .to_controller = oc.to_controller,
+      .dropped_by_rule = oc.dropped_by_rule && !oc.explicit_discard,
+      .dropped_buffer_full = oc.dropped_buffer_full,
+      .revisited = oc.revisited,
+      .from_buffer = oc.from_buffer,
+      .explicit_discard = oc.explicit_discard,
+  });
+  for (const auto& [port, pkt] : oc.forwards) {
+    of::Packet copy = pkt;
+    copy.copy_id = state.next_copy++;
+    deliver(state, sw, port, std::move(copy), events);
+  }
+}
+
+void Executor::run_switch_pkt(SystemState& state, of::SwitchId sw,
+                              EventList& events) const {
+  for (const of::PacketOutcome& oc : state.switches[sw].process_pkt()) {
+    handle_outcome(state, sw, oc, events);
+  }
+}
+
+void Executor::run_switch_of(SystemState& state, of::SwitchId sw,
+                             EventList& events) const {
+  of::Switch& swm = state.switches[sw];
+  const of::OfOutcome oc = swm.process_of();
+  if (oc.installed) events.push_back(EvRuleInstalled{sw, *oc.installed});
+  if (oc.removed_match) {
+    events.push_back(EvRuleRemoved{sw, *oc.removed_match, oc.removed_count});
+  }
+  if (oc.packet) {
+    if (!oc.packet->from_buffer && !oc.packet->explicit_discard) {
+      events.push_back(EvCtrlPacketInjected{sw, oc.packet->packet});
+    }
+    handle_outcome(state, sw, *oc.packet, events);
+  }
+}
+
+void Executor::ctrl_dispatch(SystemState& state, of::SwitchId sw,
+                             EventList& events) const {
+  of::Switch& swm = state.switches[sw];
+  const of::ToController msg = swm.of_out.pop();
+  ctrl::DispatchResult res =
+      ctrl::dispatch_message(*cfg_.app, state.ctrl, sw, msg);
+  if (res.was_packet_in) {
+    events.push_back(EvPacketIn{sw, res.packet_in.in_port,
+                                res.packet_in.packet,
+                                res.packet_in.reason});
+    EvPacketInHandled handled;
+    handled.sw = sw;
+    handled.in_port = res.packet_in.in_port;
+    handled.pkt = res.packet_in.packet;
+    for (const ctrl::Command& c : res.commands) {
+      if (const auto* ir = std::get_if<ctrl::CmdInstallRule>(&c)) {
+        handled.installs.emplace_back(ir->sw, ir->rule);
+      }
+      if (releases_buffer(c, sw, res.packet_in.buffer_id)) {
+        handled.sent_packet_out = true;
+      }
+    }
+    events.push_back(std::move(handled));
+  } else if (std::holds_alternative<of::StatsReply>(msg)) {
+    events.push_back(EvStatsHandled{sw});
+  }
+  push_commands(state, std::move(res.commands), events);
+}
+
+void Executor::push_commands(SystemState& state,
+                             std::vector<ctrl::Command> cmds,
+                             EventList& events) const {
+  (void)events;
+  for (ctrl::Command& c : cmds) {
+    const of::SwitchId target = ctrl::command_target(c);
+    of::ToSwitch msg = ctrl::command_to_message(c);
+    // Controller-constructed packets (bufferless packet_out) get their
+    // model identity here, deterministically.
+    if (auto* po = std::get_if<of::PacketOut>(&msg)) {
+      if (po->buffer_id == of::kNoBuffer && po->packet.has_value()) {
+        po->packet->uid = state.next_uid++;
+        po->packet->copy_id = state.next_copy++;
+      }
+    }
+    if (cfg_.fine_interleaving) {
+      state.ctrl.pending_commands.emplace_back(target, std::move(msg));
+    } else {
+      state.switches[target].push_of(std::move(msg),
+                                     state.ctrl.next_of_seq++);
+    }
+  }
+}
+
+void Executor::drain_lockstep(SystemState& state, EventList& events) const {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (of::Switch& sw : state.switches) {
+      while (sw.can_process_of()) {
+        run_switch_of(state, sw.id, events);
+        progress = true;
+      }
+    }
+    for (of::Switch& sw : state.switches) {
+      if (sw.of_out.empty()) continue;
+      // Stats replies are consumed here too, with their *concrete* values:
+      // in lock-step there is no delayed-statistics nondeterminism to
+      // discover. This is why NO-DELAY misses the load-dependent TE bugs
+      // (BUG-X, BUG-XI), matching Table 2 of the paper.
+      ctrl_dispatch(state, sw.id, events);
+      progress = true;
+    }
+  }
+}
+
+void Executor::apply(SystemState& state, const Transition& t,
+                     std::vector<Violation>& violations) const {
+  EventList events;
+  switch (t.kind) {
+    case TKind::kHostSendScript: {
+      hosts::HostState& hs = state.hosts[t.a];
+      const hosts::HostBehavior& hb = cfg_.host_behavior[t.a];
+      assert(hs.sends_done < static_cast<int>(hb.script.size()));
+      const hosts::ScriptEntry& e =
+          hb.script[static_cast<std::size_t>(hs.sends_done)];
+      inject_host_packet(state, t.a, e.hdr, e.flow_id, events);
+      ++hs.sends_done;
+      --hs.burst;
+      break;
+    }
+    case TKind::kHostSendDiscovered: {
+      hosts::HostState& hs = state.hosts[t.a];
+      // Discovered packets carry a synthetic flow tag (their uid); flow
+      // grouping for FLOW-IR uses App::is_same_flow on the headers instead.
+      inject_host_packet(state, t.a, t.fields, state.next_uid, events);
+      ++hs.sends_done;
+      --hs.burst;
+      break;
+    }
+    case TKind::kHostSendDup: {
+      hosts::HostState& hs = state.hosts[t.a];
+      const hosts::HostBehavior& hb = cfg_.host_behavior[t.a];
+      const hosts::ScriptEntry& e = hb.script.front();
+      inject_host_packet(state, t.a, e.hdr, e.flow_id, events);
+      hs.dup_used = true;
+      --hs.burst;
+      break;
+    }
+    case TKind::kHostSendReply: {
+      hosts::HostState& hs = state.hosts[t.a];
+      assert(!hs.pending_replies.empty());
+      const hosts::PendingReply r = hs.pending_replies.front();
+      hs.pending_replies.pop_front();
+      inject_host_packet(state, t.a, r.hdr, r.flow_id, events);
+      break;
+    }
+    case TKind::kHostRecv: {
+      hosts::HostState& hs = state.hosts[t.a];
+      of::Packet pkt = hs.input.pop();
+      ++hs.received;
+      ++hs.burst;  // PKT-SEQ replenishment: +1 per received packet
+      const hosts::HostBehavior& hb = cfg_.host_behavior[t.a];
+      const topo::HostSpec& spec = cfg_.topology->host(t.a);
+      events.push_back(EvPacketDelivered{t.a, pkt, spec.mac});
+      if (hb.echo && hosts::should_reply(spec, pkt)) {
+        hs.pending_replies.push_back(hosts::echo_reply(spec, pkt));
+      }
+      break;
+    }
+    case TKind::kHostMove: {
+      hosts::HostState& hs = state.hosts[t.a];
+      const auto& alts = cfg_.topology->host(t.a).alt_locations;
+      const auto [to_sw, to_port] = alts[t.aux];
+      hs.sw = to_sw;
+      hs.port = to_port;
+      hs.moves_used |= static_cast<std::uint8_t>(1u << t.aux);
+      events.push_back(EvHostMoved{t.a, to_sw, to_port});
+      break;
+    }
+    case TKind::kSwitchProcessPkt:
+      run_switch_pkt(state, t.a, events);
+      break;
+    case TKind::kSwitchProcessOf:
+      run_switch_of(state, t.a, events);
+      break;
+    case TKind::kCtrlDispatch:
+      ctrl_dispatch(state, t.a, events);
+      break;
+    case TKind::kCtrlApplyCommand: {
+      assert(!state.ctrl.pending_commands.empty());
+      auto [target, msg] = std::move(state.ctrl.pending_commands.front());
+      state.ctrl.pending_commands.pop_front();
+      state.switches[target].push_of(std::move(msg),
+                                     state.ctrl.next_of_seq++);
+      break;
+    }
+    case TKind::kCtrlExternal: {
+      ctrl::Ctx ctx(&state.ctrl.next_xid);
+      cfg_.app->on_external(*state.ctrl.app, ctx, t.aux);
+      push_commands(state, ctx.take_commands(), events);
+      break;
+    }
+    case TKind::kCtrlRequestStats: {
+      ctrl::Ctx ctx(&state.ctrl.next_xid);
+      ctx.request_stats(t.a);
+      state.ctrl.pending_stats.insert(t.a);
+      ++state.ctrl.stats_rounds;
+      push_commands(state, ctx.take_commands(), events);
+      break;
+    }
+    case TKind::kCtrlProcessStats: {
+      of::Switch& swm = state.switches[t.a];
+      assert(!swm.of_out.empty() &&
+             std::holds_alternative<of::StatsReply>(swm.of_out.front()));
+      swm.of_out.pop();
+      auto cmds = ctrl::dispatch_stats_with_values(*cfg_.app, state.ctrl,
+                                                   t.a, t.stats);
+      events.push_back(EvStatsHandled{t.a});
+      push_commands(state, std::move(cmds), events);
+      break;
+    }
+    case TKind::kRuleExpire: {
+      of::Switch& swm = state.switches[t.a];
+      events.push_back(EvRuleExpired{t.a, swm.table.rules()[t.aux]});
+      swm.expire_rule(t.aux);
+      break;
+    }
+    case TKind::kChannelDropHead: {
+      of::Switch& swm = state.switches[t.a];
+      auto& chan = swm.in_ports.at(t.aux);
+      events.push_back(EvChannelDrop{t.a, t.aux, chan.front()});
+      chan.drop_head();
+      break;
+    }
+    case TKind::kChannelDupHead: {
+      state.switches[t.a].in_ports.at(t.aux).duplicate_head();
+      break;
+    }
+    case TKind::kDiscoverPackets:
+    case TKind::kDiscoverStats:
+      // Discovery runs synchronously inside enabled(); these labels exist
+      // for trace output only.
+      break;
+  }
+
+  if (cfg_.no_delay) drain_lockstep(state, events);
+  feed_properties(state, events, violations);
+}
+
+void Executor::at_quiescence(SystemState& state,
+                             std::vector<Violation>& violations) const {
+  for (std::size_t i = 0; i < props_.size(); ++i) {
+    props_[i]->at_quiescence(*state.props[i], state, violations);
+  }
+}
+
+void Executor::feed_properties(SystemState& state, const EventList& events,
+                               std::vector<Violation>& violations) const {
+  for (std::size_t i = 0; i < props_.size(); ++i) {
+    props_[i]->on_events(*state.props[i], events, state, violations);
+  }
+}
+
+}  // namespace nicemc::mc

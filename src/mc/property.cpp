@@ -1,0 +1,4 @@
+#include "mc/property.h"
+
+// Interface classes; this TU anchors their vtables.
+namespace nicemc::mc {}

@@ -1,0 +1,74 @@
+// Correctness-property interface (paper Section 5).
+//
+// A Property is a stateless monitor definition; its per-execution local
+// state (PropState) is cloned and hashed with the system state, so property
+// bookkeeping participates in state matching exactly like any other
+// component. NICE invokes the monitor after every transition with the
+// events that transition generated, and once more when an execution path
+// quiesces (for liveness-flavoured checks such as NoForgottenPackets).
+#ifndef NICE_MC_PROPERTY_H
+#define NICE_MC_PROPERTY_H
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mc/events.h"
+#include "util/ser.h"
+
+namespace nicemc::mc {
+
+struct SystemState;  // defined in mc/system.h
+
+class PropState {
+ public:
+  virtual ~PropState() = default;
+  [[nodiscard]] virtual std::unique_ptr<PropState> clone() const = 0;
+  virtual void serialize(util::Ser& s) const = 0;
+};
+
+/// For properties that need no local state.
+class EmptyPropState final : public PropState {
+ public:
+  [[nodiscard]] std::unique_ptr<PropState> clone() const override {
+    return std::make_unique<EmptyPropState>();
+  }
+  void serialize(util::Ser& s) const override { s.put_tag('0'); }
+};
+
+struct Violation {
+  std::string property;
+  std::string message;
+};
+
+class Property {
+ public:
+  virtual ~Property() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<PropState> make_state() const {
+    return std::make_unique<EmptyPropState>();
+  }
+
+  /// Observe the events of one executed transition against the resulting
+  /// state; append violations if any.
+  virtual void on_events(PropState& ps, std::span<const Event> events,
+                         const SystemState& state,
+                         std::vector<Violation>& out) const = 0;
+
+  /// Called when an execution path reaches a state with no enabled
+  /// transitions ("end of system execution").
+  virtual void at_quiescence(PropState& ps, const SystemState& state,
+                             std::vector<Violation>& out) const {
+    (void)ps;
+    (void)state;
+    (void)out;
+  }
+};
+
+using PropertyList = std::vector<std::unique_ptr<Property>>;
+
+}  // namespace nicemc::mc
+
+#endif  // NICE_MC_PROPERTY_H

@@ -1,0 +1,151 @@
+#include "mc/strategy.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/ser.h"
+
+namespace nicemc::mc {
+
+namespace {
+
+// Sends subject to FLOW-IR grouping. Discovered sends are exempt: the
+// packets discovered for one host are *alternative* behaviours competing
+// for the same PKT-SEQ send budget, so pruning all but one group would
+// remove behaviours rather than redundant orderings.
+bool is_groupable_send(const Transition& t) {
+  return t.kind == TKind::kHostSendScript ||
+         t.kind == TKind::kHostSendDup || t.kind == TKind::kHostSendReply;
+}
+
+/// Header the send transition would inject (for flow grouping).
+sym::PacketFields send_fields(const SystemConfig& cfg,
+                              const SystemState& state,
+                              const Transition& t) {
+  const hosts::HostState& hs = state.hosts[t.a];
+  const hosts::HostBehavior& hb = cfg.host_behavior[t.a];
+  switch (t.kind) {
+    case TKind::kHostSendScript:
+      return hb.script[static_cast<std::size_t>(hs.sends_done)].hdr;
+    case TKind::kHostSendDup:
+      return hb.script.front().hdr;
+    case TKind::kHostSendReply:
+      return hs.pending_replies.front().hdr;
+    case TKind::kHostSendDiscovered:
+    default:
+      return t.fields;
+  }
+}
+
+std::vector<std::byte> field_key(const sym::PacketFields& f) {
+  util::Ser s;
+  s.put_u64(f.eth_src);
+  s.put_u64(f.eth_dst);
+  s.put_u64(f.eth_type);
+  s.put_u64(f.ip_src);
+  s.put_u64(f.ip_dst);
+  s.put_u64(f.ip_proto);
+  s.put_u64(f.tp_src);
+  s.put_u64(f.tp_dst);
+  s.put_u64(f.tcp_flags);
+  const auto bytes = s.bytes();
+  return {bytes.begin(), bytes.end()};
+}
+
+std::vector<Transition> flow_ir_filter(const SystemConfig& cfg,
+                                       const SystemState& state,
+                                       std::vector<Transition> enabled) {
+  // Partition the enabled sends into flow groups with is_same_flow, pick
+  // the group whose (canonical) representative key is smallest, and drop
+  // all sends outside it. Non-send transitions are untouched, so
+  // intra-flow orderings and switch/controller races remain fully explored.
+  struct Group {
+    sym::PacketFields rep;
+    std::vector<std::byte> key;
+  };
+  std::vector<Group> groups;
+  std::vector<std::optional<std::size_t>> group_of(enabled.size());
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    if (!is_groupable_send(enabled[i])) continue;
+    const sym::PacketFields f = send_fields(cfg, state, enabled[i]);
+    std::size_t g = groups.size();
+    for (std::size_t j = 0; j < groups.size(); ++j) {
+      if (cfg.app->is_same_flow(groups[j].rep, f)) {
+        g = j;
+        break;
+      }
+    }
+    if (g == groups.size()) groups.push_back(Group{f, field_key(f)});
+    group_of[i] = g;
+  }
+  if (groups.size() <= 1) return enabled;
+  std::size_t min_group = 0;
+  for (std::size_t j = 1; j < groups.size(); ++j) {
+    if (groups[j].key < groups[min_group].key) min_group = j;
+  }
+  std::vector<Transition> out;
+  out.reserve(enabled.size());
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    if (!group_of[i] || *group_of[i] == min_group) {
+      out.push_back(std::move(enabled[i]));
+    }
+  }
+  return out;
+}
+
+std::vector<Transition> unusual_filter(const SystemState& state,
+                                       std::vector<Transition> enabled) {
+  // Keep only the process_of transition of the switch whose head message
+  // was sent last — forcing reversed cross-switch installation orders, the
+  // "unusual delays and reorderings" the paper targets at race conditions.
+  std::uint64_t best_seq = 0;
+  bool have = false;
+  for (const Transition& t : enabled) {
+    if (t.kind != TKind::kSwitchProcessOf) continue;
+    const std::uint64_t seq = state.switches[t.a].head_of_seq();
+    if (!have || seq > best_seq) {
+      best_seq = seq;
+      have = true;
+    }
+  }
+  if (!have) return enabled;
+  std::erase_if(enabled, [&](const Transition& t) {
+    return t.kind == TKind::kSwitchProcessOf &&
+           state.switches[t.a].head_of_seq() != best_seq;
+  });
+  return enabled;
+}
+
+}  // namespace
+
+std::string strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kPktSeqOnly:
+      return "PKT-SEQ";
+    case Strategy::kNoDelay:
+      return "NO-DELAY";
+    case Strategy::kFlowIr:
+      return "FLOW-IR";
+    case Strategy::kUnusual:
+      return "UNUSUAL";
+  }
+  return "?";
+}
+
+std::vector<Transition> apply_strategy(Strategy strategy,
+                                       const SystemConfig& cfg,
+                                       const SystemState& state,
+                                       std::vector<Transition> enabled) {
+  switch (strategy) {
+    case Strategy::kPktSeqOnly:
+    case Strategy::kNoDelay:  // semantics change lives in cfg.no_delay
+      return enabled;
+    case Strategy::kFlowIr:
+      return flow_ir_filter(cfg, state, std::move(enabled));
+    case Strategy::kUnusual:
+      return unusual_filter(state, std::move(enabled));
+  }
+  return enabled;
+}
+
+}  // namespace nicemc::mc

@@ -1,0 +1,41 @@
+// OpenFlow-specific search strategies (paper Section 4).
+//
+// PKT-SEQ is always active (it lives in the host models' send/burst
+// bounds). The strategies here prune the *orderings* the checker explores:
+//   * NO-DELAY  — lock-step semantics, configured via SystemConfig::no_delay
+//                 (the filter below is a no-op);
+//   * FLOW-IR   — among enabled host-send transitions belonging to several
+//                 independent flow groups (per App::is_same_flow), explore
+//                 only the canonically-smallest group's sends;
+//   * UNUSUAL   — among enabled switch process_of transitions, explore only
+//                 the one whose head message was sent *last* (reverse
+//                 installation order across switches).
+#ifndef NICE_MC_STRATEGY_H
+#define NICE_MC_STRATEGY_H
+
+#include <string>
+#include <vector>
+
+#include "mc/system.h"
+#include "mc/transition.h"
+
+namespace nicemc::mc {
+
+enum class Strategy : std::uint8_t {
+  kPktSeqOnly,  // full search over orderings (PKT-SEQ bounds only)
+  kNoDelay,
+  kFlowIr,
+  kUnusual,
+};
+
+std::string strategy_name(Strategy s);
+
+/// Filter/prune the enabled-transition set according to the strategy.
+std::vector<Transition> apply_strategy(Strategy strategy,
+                                       const SystemConfig& cfg,
+                                       const SystemState& state,
+                                       std::vector<Transition> enabled);
+
+}  // namespace nicemc::mc
+
+#endif  // NICE_MC_STRATEGY_H

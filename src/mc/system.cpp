@@ -1,0 +1,43 @@
+#include "mc/system.h"
+
+namespace nicemc::mc {
+
+SystemState SystemState::clone() const {
+  SystemState c;
+  c.ctrl = ctrl;  // ControllerState copy ctor deep-clones the app state
+  c.switches = switches;
+  c.hosts = hosts;
+  c.props.reserve(props.size());
+  for (const auto& p : props) c.props.push_back(p->clone());
+  c.next_uid = next_uid;
+  c.next_copy = next_copy;
+  return c;
+}
+
+void SystemState::serialize(util::Ser& s, bool canonical) const {
+  ctrl.serialize(s);
+  s.put_u32(static_cast<std::uint32_t>(switches.size()));
+  for (const of::Switch& sw : switches) sw.serialize(s, canonical);
+  s.put_u32(static_cast<std::uint32_t>(hosts.size()));
+  for (const hosts::HostState& h : hosts) h.serialize(s, canonical);
+  s.put_u32(static_cast<std::uint32_t>(props.size()));
+  for (const auto& p : props) p->serialize(s);
+  s.put_u32(next_uid);
+  // The copy-id counter is naming bookkeeping (see of::Packet::serialize);
+  // only the raw (NO-SWITCH-REDUCTION) form distinguishes states by it.
+  if (!canonical) s.put_u32(next_copy);
+}
+
+util::Hash128 SystemState::hash(bool canonical_tables) const {
+  util::Ser s;
+  serialize(s, canonical_tables);
+  return s.hash();
+}
+
+std::size_t SystemState::total_forgotten() const {
+  std::size_t n = 0;
+  for (const of::Switch& sw : switches) n += sw.forgotten_packets();
+  return n;
+}
+
+}  // namespace nicemc::mc

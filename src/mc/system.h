@@ -1,0 +1,91 @@
+// System model: configuration + the complete, hashable system state
+// (controller, switches, hosts, channels, property monitors) of paper
+// Section 2.2.
+#ifndef NICE_MC_SYSTEM_H
+#define NICE_MC_SYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ctrl/app.h"
+#include "ctrl/controller.h"
+#include "hosts/host.h"
+#include "mc/property.h"
+#include "of/switch.h"
+#include "sym/concolic.h"
+#include "topo/topology.h"
+#include "util/hash.h"
+#include "util/ser.h"
+
+namespace nicemc::mc {
+
+/// Static model configuration — everything that stays fixed during a
+/// search. Owned by the caller; the checker and executor hold pointers.
+struct SystemConfig {
+  const topo::Topology* topology{nullptr};
+  const ctrl::App* app{nullptr};
+  /// Per-host behaviour, parallel to topology->hosts().
+  std::vector<hosts::HostBehavior> host_behavior;
+
+  /// Enable discover_packets / discover_stats (Sections 3.3 and Figure 5).
+  bool symbolic_discovery{true};
+  /// Canonical flow-table representation (Section 2.2.2); false gives the
+  /// NO-SWITCH-REDUCTION baseline of Table 1.
+  bool canonical_flowtables{true};
+  /// NO-DELAY strategy: controller↔switch communication is atomic
+  /// (lock-step); finds design errors but misses race conditions.
+  bool no_delay{false};
+  /// FINE-INTERLEAVING baseline: each command a handler emits becomes an
+  /// individually interleavable transition (JPF-thread-like granularity).
+  bool fine_interleaving{false};
+  /// Enable nondeterministic expiry transitions for rules with timeouts.
+  bool enable_rule_expiry{false};
+  /// Enable drop/duplicate fault transitions on ingress packet channels.
+  bool enable_channel_faults{false};
+
+  std::size_t switch_buffer_capacity{64};
+  /// Bound on stats request/reply rounds (keeps the state space finite).
+  std::uint32_t max_stats_rounds{1};
+  /// Constrain discovered packets to carry the sending host's own MAC/IP
+  /// as source (domain knowledge; disable to explore spoofed sources).
+  bool constrain_src_to_sender{true};
+  sym::ConcolicConfig concolic;
+  /// Extra candidate values for the packet-field domains (e.g. the load
+  /// balancer's virtual IP / service port).
+  std::vector<std::uint64_t> extra_domain_ips;
+  std::vector<std::uint64_t> extra_domain_ports;
+};
+
+/// The complete system state. Value-semantic apart from the polymorphic
+/// controller app state and property states, which clone() deep-copies.
+struct SystemState {
+  ctrl::ControllerState ctrl;
+  std::vector<of::Switch> switches;
+  std::vector<hosts::HostState> hosts;
+  std::vector<std::unique_ptr<PropState>> props;
+  std::uint32_t next_uid{1};
+  std::uint32_t next_copy{1};
+
+  SystemState() = default;
+  SystemState(SystemState&&) noexcept = default;
+  SystemState& operator=(SystemState&&) noexcept = default;
+  SystemState(const SystemState&) = delete;
+  SystemState& operator=(const SystemState&) = delete;
+
+  [[nodiscard]] SystemState clone() const;
+
+  void serialize(util::Ser& s, bool canonical_tables) const;
+  [[nodiscard]] util::Hash128 hash(bool canonical_tables) const;
+
+  /// Hash of the controller application state only — key of the
+  /// discovered-packets cache (`client.packets[state(ctrl)]`, Figure 5).
+  [[nodiscard]] util::Hash128 ctrl_hash() const { return ctrl.app_hash(); }
+
+  /// Total packets parked in switch buffers (NoForgottenPackets).
+  [[nodiscard]] std::size_t total_forgotten() const;
+};
+
+}  // namespace nicemc::mc
+
+#endif  // NICE_MC_SYSTEM_H

@@ -1,0 +1,35 @@
+#include "mc/trace.h"
+
+#include <algorithm>
+
+namespace nicemc::mc {
+
+std::vector<Transition> trace_of(std::shared_ptr<const PathNode> node) {
+  std::vector<Transition> out;
+  for (const PathNode* n = node.get(); n != nullptr; n = n->parent.get()) {
+    out.push_back(n->transition);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> trace_lines(const std::vector<Transition>& trace) {
+  std::vector<std::string> out;
+  out.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    out.push_back(std::to_string(i + 1) + ". " + trace[i].label());
+  }
+  return out;
+}
+
+SystemState replay(const Executor& executor,
+                   const std::vector<Transition>& trace,
+                   std::vector<Violation>& violations) {
+  SystemState state = executor.make_initial();
+  for (const Transition& t : trace) {
+    executor.apply(state, t, violations);
+  }
+  return state;
+}
+
+}  // namespace nicemc::mc

@@ -1,0 +1,37 @@
+// Counterexample traces: a shared-parent chain of transitions from the
+// initial state, plus deterministic replay (paper Section 6: states are
+// restored by replaying the transition sequence; component determinism
+// makes the replay exact).
+#ifndef NICE_MC_TRACE_H
+#define NICE_MC_TRACE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mc/execute.h"
+#include "mc/property.h"
+#include "mc/transition.h"
+
+namespace nicemc::mc {
+
+struct PathNode {
+  std::shared_ptr<const PathNode> parent;
+  Transition transition;
+};
+
+/// Transitions from the initial state to (and including) `node`.
+std::vector<Transition> trace_of(std::shared_ptr<const PathNode> node);
+
+/// Human-readable rendering, one line per step.
+std::vector<std::string> trace_lines(const std::vector<Transition>& trace);
+
+/// Replay a trace from the initial state; returns the final state.
+/// Violations raised along the way are appended to `violations`.
+SystemState replay(const Executor& executor,
+                   const std::vector<Transition>& trace,
+                   std::vector<Violation>& violations);
+
+}  // namespace nicemc::mc
+
+#endif  // NICE_MC_TRACE_H

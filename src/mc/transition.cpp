@@ -1,0 +1,75 @@
+#include "mc/transition.h"
+
+#include "util/strings.h"
+
+namespace nicemc::mc {
+
+std::string Transition::label() const {
+  switch (kind) {
+    case TKind::kHostSendScript:
+      return "host" + std::to_string(a) + ".send[script]";
+    case TKind::kHostSendDiscovered:
+      return "host" + std::to_string(a) + ".send(dst=" +
+             util::mac_to_string(fields.eth_dst) +
+             " src=" + util::mac_to_string(fields.eth_src) + ")";
+    case TKind::kHostSendDup:
+      return "host" + std::to_string(a) + ".send[dup]";
+    case TKind::kHostSendReply:
+      return "host" + std::to_string(a) + ".send_reply";
+    case TKind::kHostRecv:
+      return "host" + std::to_string(a) + ".receive";
+    case TKind::kHostMove:
+      return "host" + std::to_string(a) + ".move[" + std::to_string(aux) +
+             "]";
+    case TKind::kSwitchProcessPkt:
+      return "sw" + std::to_string(a) + ".process_pkt";
+    case TKind::kSwitchProcessOf:
+      return "sw" + std::to_string(a) + ".process_of";
+    case TKind::kCtrlDispatch:
+      return "ctrl.dispatch(sw" + std::to_string(a) + ")";
+    case TKind::kCtrlApplyCommand:
+      return "ctrl.apply_command";
+    case TKind::kCtrlExternal:
+      return "ctrl.external[" + std::to_string(aux) + "]";
+    case TKind::kCtrlRequestStats:
+      return "ctrl.request_stats(sw" + std::to_string(a) + ")";
+    case TKind::kCtrlProcessStats:
+      return "ctrl.process_stats(sw" + std::to_string(a) + ")";
+    case TKind::kRuleExpire:
+      return "sw" + std::to_string(a) + ".expire_rule[" +
+             std::to_string(aux) + "]";
+    case TKind::kChannelDropHead:
+      return "sw" + std::to_string(a) + ".drop_head(port=" +
+             std::to_string(aux) + ")";
+    case TKind::kChannelDupHead:
+      return "sw" + std::to_string(a) + ".dup_head(port=" +
+             std::to_string(aux) + ")";
+    case TKind::kDiscoverPackets:
+      return "host" + std::to_string(a) + ".discover_packets";
+    case TKind::kDiscoverStats:
+      return "ctrl.discover_stats(sw" + std::to_string(a) + ")";
+  }
+  return "?";
+}
+
+void Transition::serialize(util::Ser& s) const {
+  s.put_u8(static_cast<std::uint8_t>(kind));
+  s.put_u32(a);
+  s.put_u32(aux);
+  s.put_u64(fields.eth_src);
+  s.put_u64(fields.eth_dst);
+  s.put_u64(fields.eth_type);
+  s.put_u64(fields.ip_src);
+  s.put_u64(fields.ip_dst);
+  s.put_u64(fields.ip_proto);
+  s.put_u64(fields.tp_src);
+  s.put_u64(fields.tp_dst);
+  s.put_u64(fields.tcp_flags);
+  s.put_u32(static_cast<std::uint32_t>(stats.size()));
+  for (const auto& [port, bytes] : stats) {
+    s.put_u32(port);
+    s.put_u64(bytes);
+  }
+}
+
+}  // namespace nicemc::mc

@@ -1,0 +1,60 @@
+// Transitions of the system model (paper Section 2.2): host sends/receives
+// and moves, switch packet/OpenFlow processing, controller dispatch, rule
+// expiry, channel faults, external application events, and NICE's special
+// discover_packets / discover_stats transitions (Figure 5).
+//
+// Transitions are self-describing values: replaying the sequence of
+// transitions from the initial state deterministically reproduces a state
+// (this is how counterexample traces work, paper Section 6).
+#ifndef NICE_MC_TRANSITION_H
+#define NICE_MC_TRANSITION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "of/packet.h"
+#include "sym/sympacket.h"
+#include "util/ser.h"
+
+namespace nicemc::mc {
+
+enum class TKind : std::uint8_t {
+  kHostSendScript,     // host sends its next scripted packet
+  kHostSendDiscovered,  // host sends a discovered relevant packet (fields)
+  kHostSendDup,        // host re-sends script entry 0 (duplicate SYN)
+  kHostSendReply,      // host sends the head pending reply
+  kHostRecv,           // host consumes the head of its input queue
+  kHostMove,           // mobile host moves to alt location `aux`
+  kSwitchProcessPkt,   // paper's process_pkt
+  kSwitchProcessOf,    // paper's process_of
+  kCtrlDispatch,       // controller consumes head switch→controller message
+  kCtrlApplyCommand,   // FINE-INTERLEAVING: apply one pending command
+  kCtrlExternal,       // app-level external event `aux` (e.g. LB reconfig)
+  kCtrlRequestStats,   // controller queries port stats of switch `a`
+  kCtrlProcessStats,   // consume a stats reply with representative values
+  kRuleExpire,         // rule `aux` (insertion index) of switch `a` expires
+  kChannelDropHead,    // fault model: drop head of <switch a, port aux>
+  kChannelDupHead,     // fault model: duplicate head of <switch a, port aux>
+  kDiscoverPackets,    // run symbolic execution of packet_in for host `a`
+  kDiscoverStats,      // run symbolic execution of stats handler, switch `a`
+};
+
+struct Transition {
+  TKind kind{TKind::kHostRecv};
+  std::uint32_t a{0};    // host or switch id
+  std::uint32_t aux{0};  // alt-location / external-event / rule / port index
+  /// Payload of kHostSendDiscovered: the representative packet.
+  sym::PacketFields fields;
+  /// Payload of kCtrlProcessStats: representative per-port tx_bytes.
+  std::vector<std::pair<of::PortId, std::uint64_t>> stats;
+
+  friend bool operator==(const Transition&, const Transition&) = default;
+
+  [[nodiscard]] std::string label() const;
+  void serialize(util::Ser& s) const;
+};
+
+}  // namespace nicemc::mc
+
+#endif  // NICE_MC_TRANSITION_H

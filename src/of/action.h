@@ -1,0 +1,59 @@
+// Flow-rule actions: output to a port, flood (all ports except ingress),
+// punt to the controller, or drop (an empty action list also drops).
+#ifndef NICE_OF_ACTION_H
+#define NICE_OF_ACTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "of/packet.h"
+#include "util/ser.h"
+
+namespace nicemc::of {
+
+enum class ActionType : std::uint8_t {
+  kOutput,      // forward out a specific port
+  kFlood,       // all ports except the ingress port
+  kController,  // send to the controller (packet_in with reason ACTION)
+};
+
+struct Action {
+  ActionType type{ActionType::kOutput};
+  PortId port{0};  // meaningful for kOutput
+
+  friend bool operator==(const Action&, const Action&) = default;
+
+  static Action output(PortId p) { return Action{ActionType::kOutput, p}; }
+  static Action flood() { return Action{ActionType::kFlood, 0}; }
+  static Action controller() { return Action{ActionType::kController, 0}; }
+
+  void serialize(util::Ser& s) const {
+    s.put_u8(static_cast<std::uint8_t>(type));
+    s.put_u32(port);
+  }
+
+  [[nodiscard]] std::string brief() const {
+    switch (type) {
+      case ActionType::kOutput:
+        return "output(" + std::to_string(port) + ")";
+      case ActionType::kFlood:
+        return "flood";
+      case ActionType::kController:
+        return "controller";
+    }
+    return "?";
+  }
+};
+
+/// Empty list = drop.
+using ActionList = std::vector<Action>;
+
+inline void serialize_actions(util::Ser& s, const ActionList& a) {
+  s.put_u32(static_cast<std::uint32_t>(a.size()));
+  for (const Action& x : a) x.serialize(s);
+}
+
+}  // namespace nicemc::of
+
+#endif  // NICE_OF_ACTION_H

@@ -1,0 +1,4 @@
+#include "of/channel.h"
+
+// Fifo is header-only; this TU anchors the library target.
+namespace nicemc::of {}

@@ -1,0 +1,101 @@
+#include "of/flowtable.h"
+
+#include <algorithm>
+
+namespace nicemc::of {
+
+namespace {
+
+std::vector<std::byte> key_bytes(const Rule& r) {
+  util::Ser s;
+  r.serialize_key(s);
+  const auto b = s.bytes();
+  return {b.begin(), b.end()};
+}
+
+}  // namespace
+
+void FlowTable::add(Rule r) {
+  for (Rule& existing : rules_) {
+    if (existing.match == r.match && existing.priority == r.priority) {
+      existing = std::move(r);
+      return;
+    }
+  }
+  rules_.push_back(std::move(r));
+}
+
+std::size_t FlowTable::remove(const Match& m,
+                              std::optional<std::uint16_t> priority) {
+  const std::size_t before = rules_.size();
+  std::erase_if(rules_, [&](const Rule& r) {
+    return r.match == m && (!priority || r.priority == *priority);
+  });
+  return before - rules_.size();
+}
+
+std::optional<std::size_t> FlowTable::lookup(
+    PortId port, const sym::PacketFields& h) const {
+  // Highest priority wins; equal-priority ties break by canonical key so
+  // lookups are insertion-order independent. The key is only materialized
+  // when a tie actually occurs (the common case is a unique priority).
+  std::optional<std::size_t> best;
+  std::vector<std::byte> best_key;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (!rules_[i].match.matches(port, h)) continue;
+    if (!best) {
+      best = i;
+      best_key.clear();
+      continue;
+    }
+    if (rules_[i].priority != rules_[*best].priority) {
+      if (rules_[i].priority > rules_[*best].priority) {
+        best = i;
+        best_key.clear();
+      }
+      continue;
+    }
+    if (best_key.empty()) best_key = key_bytes(rules_[*best]);
+    std::vector<std::byte> key = key_bytes(rules_[i]);
+    if (key < best_key) {
+      best = i;
+      best_key = std::move(key);
+    }
+  }
+  return best;
+}
+
+void FlowTable::count_hit(std::size_t idx, std::uint32_t bytes) {
+  rules_[idx].packet_count += 1;
+  rules_[idx].byte_count += bytes;
+}
+
+std::vector<std::size_t> FlowTable::canonical_order() const {
+  // Cache each rule's key bytes once; sorting then never re-serializes.
+  std::vector<std::vector<std::byte>> keys(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    keys[i] = key_bytes(rules_[i]);
+  }
+  std::vector<std::size_t> order(rules_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [this, &keys](std::size_t a, std::size_t b) {
+              if (rules_[a].priority != rules_[b].priority) {
+                return rules_[a].priority > rules_[b].priority;
+              }
+              return keys[a] < keys[b];
+            });
+  return order;
+}
+
+void FlowTable::serialize(util::Ser& s, bool canonical) const {
+  s.put_tag('T');
+  s.put_u32(static_cast<std::uint32_t>(rules_.size()));
+  if (canonical) {
+    for (std::size_t i : canonical_order()) rules_[i].serialize(s);
+  } else {
+    for (const Rule& r : rules_) r.serialize(s);
+  }
+}
+
+}  // namespace nicemc::of

@@ -1,0 +1,108 @@
+#include "of/match.h"
+
+#include "util/strings.h"
+
+namespace nicemc::of {
+
+namespace {
+
+/// IPv4 prefix comparison: do the top `plen` bits agree?
+bool prefix_match(std::uint64_t rule_ip, std::uint8_t plen,
+                  std::uint64_t pkt_ip) {
+  if (plen == 0) return true;
+  const std::uint32_t mask =
+      plen >= 32 ? 0xffffffffu : ~((1u << (32 - plen)) - 1);
+  return (static_cast<std::uint32_t>(rule_ip) & mask) ==
+         (static_cast<std::uint32_t>(pkt_ip) & mask);
+}
+
+}  // namespace
+
+bool Match::matches(PortId port, const sym::PacketFields& h) const {
+  if (has(MatchField::kInPort) && in_port != port) return false;
+  if (has(MatchField::kEthSrc) && eth_src != h.eth_src) return false;
+  if (has(MatchField::kEthDst) && eth_dst != h.eth_dst) return false;
+  if (has(MatchField::kEthType) && eth_type != h.eth_type) return false;
+  if (has(MatchField::kIpSrc) && !prefix_match(ip_src, ip_src_plen, h.ip_src)) {
+    return false;
+  }
+  if (has(MatchField::kIpDst) && !prefix_match(ip_dst, ip_dst_plen, h.ip_dst)) {
+    return false;
+  }
+  if (has(MatchField::kIpProto) && ip_proto != h.ip_proto) return false;
+  if (has(MatchField::kTpSrc) && tp_src != h.tp_src) return false;
+  if (has(MatchField::kTpDst) && tp_dst != h.tp_dst) return false;
+  return true;
+}
+
+Match Match::l2_exact(PortId port, const sym::PacketFields& h) {
+  Match m;
+  m.fields = MatchField::kInPort | MatchField::kEthSrc | MatchField::kEthDst |
+             MatchField::kEthType;
+  m.in_port = port;
+  m.eth_src = h.eth_src;
+  m.eth_dst = h.eth_dst;
+  m.eth_type = h.eth_type;
+  return m;
+}
+
+Match Match::five_tuple(const sym::PacketFields& h) {
+  Match m;
+  m.fields = MatchField::kEthType | MatchField::kIpSrc | MatchField::kIpDst |
+             MatchField::kIpProto | MatchField::kTpSrc | MatchField::kTpDst;
+  m.eth_type = kEthTypeIpv4;
+  m.ip_src = h.ip_src;
+  m.ip_dst = h.ip_dst;
+  m.ip_src_plen = 32;
+  m.ip_dst_plen = 32;
+  m.ip_proto = h.ip_proto;
+  m.tp_src = h.tp_src;
+  m.tp_dst = h.tp_dst;
+  return m;
+}
+
+void Match::serialize(util::Ser& s) const {
+  s.put_tag('M');
+  s.put_u16(fields);
+  s.put_u32(in_port);
+  s.put_u64(eth_src);
+  s.put_u64(eth_dst);
+  s.put_u64(eth_type);
+  s.put_u64(ip_src);
+  s.put_u64(ip_dst);
+  s.put_u8(ip_src_plen);
+  s.put_u8(ip_dst_plen);
+  s.put_u64(ip_proto);
+  s.put_u64(tp_src);
+  s.put_u64(tp_dst);
+}
+
+std::string Match::brief() const {
+  std::string s = "match{";
+  bool first = true;
+  auto add = [&](const std::string& part) {
+    if (!first) s += " ";
+    s += part;
+    first = false;
+  };
+  if (has(MatchField::kInPort)) add("in=" + std::to_string(in_port));
+  if (has(MatchField::kEthSrc)) add("src=" + util::mac_to_string(eth_src));
+  if (has(MatchField::kEthDst)) add("dst=" + util::mac_to_string(eth_dst));
+  if (has(MatchField::kEthType)) add("type=0x" + util::hex_u64(eth_type, 4));
+  if (has(MatchField::kIpSrc)) {
+    add("nw_src=" + util::ip_to_string(static_cast<std::uint32_t>(ip_src)) +
+        "/" + std::to_string(ip_src_plen));
+  }
+  if (has(MatchField::kIpDst)) {
+    add("nw_dst=" + util::ip_to_string(static_cast<std::uint32_t>(ip_dst)) +
+        "/" + std::to_string(ip_dst_plen));
+  }
+  if (has(MatchField::kIpProto)) add("proto=" + std::to_string(ip_proto));
+  if (has(MatchField::kTpSrc)) add("tp_src=" + std::to_string(tp_src));
+  if (has(MatchField::kTpDst)) add("tp_dst=" + std::to_string(tp_dst));
+  if (first) add("*");
+  s += "}";
+  return s;
+}
+
+}  // namespace nicemc::of

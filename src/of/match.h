@@ -1,0 +1,78 @@
+// OpenFlow 1.0-style match: exact or wildcarded header fields, with CIDR
+// prefix masks on the IP addresses (needed by the load balancer of
+// Section 8.2, which partitions client IP space with wildcard rules).
+#ifndef NICE_OF_MATCH_H
+#define NICE_OF_MATCH_H
+
+#include <cstdint>
+#include <string>
+
+#include "of/packet.h"
+#include "util/ser.h"
+
+namespace nicemc::of {
+
+/// Presence bits: a set bit means the field participates in matching.
+enum class MatchField : std::uint16_t {
+  kInPort = 1 << 0,
+  kEthSrc = 1 << 1,
+  kEthDst = 1 << 2,
+  kEthType = 1 << 3,
+  kIpSrc = 1 << 4,   // with ip_src_plen prefix length
+  kIpDst = 1 << 5,   // with ip_dst_plen prefix length
+  kIpProto = 1 << 6,
+  kTpSrc = 1 << 7,
+  kTpDst = 1 << 8,
+};
+
+constexpr std::uint16_t operator|(MatchField a, MatchField b) {
+  return static_cast<std::uint16_t>(a) | static_cast<std::uint16_t>(b);
+}
+constexpr std::uint16_t operator|(std::uint16_t a, MatchField b) {
+  return a | static_cast<std::uint16_t>(b);
+}
+
+struct Match {
+  std::uint16_t fields{0};  // OR of MatchField bits
+  PortId in_port{0};
+  std::uint64_t eth_src{0};
+  std::uint64_t eth_dst{0};
+  std::uint64_t eth_type{0};
+  std::uint64_t ip_src{0};
+  std::uint64_t ip_dst{0};
+  std::uint8_t ip_src_plen{32};  // prefix length, meaningful iff kIpSrc set
+  std::uint8_t ip_dst_plen{32};
+  std::uint64_t ip_proto{0};
+  std::uint64_t tp_src{0};
+  std::uint64_t tp_dst{0};
+
+  friend bool operator==(const Match&, const Match&) = default;
+
+  [[nodiscard]] bool has(MatchField f) const {
+    return (fields & static_cast<std::uint16_t>(f)) != 0;
+  }
+
+  /// Does the packet (arriving on `port`) match?
+  [[nodiscard]] bool matches(PortId port, const sym::PacketFields& h) const;
+
+  /// Wildcard match-all (lowest specificity).
+  static Match any() { return Match{}; }
+
+  /// Exact match on all L2 fields + in_port (the microflow rule of the
+  /// MAC-learning switch, Figure 3 line 11).
+  static Match l2_exact(PortId port, const sym::PacketFields& h);
+
+  /// Exact 5-tuple + L2 type (microflow rule of the load balancer).
+  static Match five_tuple(const sym::PacketFields& h);
+
+  /// Canonical total order key: used to sort flow-table rules with equal
+  /// priority into a unique order (paper Section 2.2.2, "merging
+  /// equivalent flow tables").
+  void serialize(util::Ser& s) const;
+
+  [[nodiscard]] std::string brief() const;
+};
+
+}  // namespace nicemc::of
+
+#endif  // NICE_OF_MATCH_H

@@ -1,0 +1,48 @@
+#include "of/messages.h"
+
+namespace nicemc::of {
+
+std::string brief(const ToSwitch& m) {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, FlowMod>) {
+          const char* cmd = v.cmd == FlowMod::Cmd::kAdd ? "add"
+                            : v.cmd == FlowMod::Cmd::kDelete ? "del"
+                                                             : "del_strict";
+          return std::string("flow_mod(") + cmd + " " + v.rule.brief() + ")";
+        } else if constexpr (std::is_same_v<T, PacketOut>) {
+          std::string s = "packet_out(buf=";
+          s += v.buffer_id == kNoBuffer ? "none"
+                                        : std::to_string(v.buffer_id);
+          s += " actions=" + std::to_string(v.actions.size()) + ")";
+          return s;
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          return "stats_request(xid=" + std::to_string(v.xid) + ")";
+        } else {
+          return "barrier_request(xid=" + std::to_string(v.xid) + ")";
+        }
+      },
+      m);
+}
+
+std::string brief(const ToController& m) {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, PacketIn>) {
+          std::string s = "packet_in(" + v.packet.brief();
+          s += v.reason == PacketIn::Reason::kNoMatch ? " NO_MATCH"
+                                                      : " ACTION";
+          s += ")";
+          return s;
+        } else if constexpr (std::is_same_v<T, StatsReply>) {
+          return "stats_reply(xid=" + std::to_string(v.xid) + ")";
+        } else {
+          return "barrier_reply(xid=" + std::to_string(v.xid) + ")";
+        }
+      },
+      m);
+}
+
+}  // namespace nicemc::of

@@ -1,0 +1,29 @@
+#include "of/packet.h"
+
+#include "util/strings.h"
+
+namespace nicemc::of {
+
+std::string Packet::brief() const {
+  std::string s = "pkt{";
+  s += util::mac_to_string(hdr.eth_src);
+  s += "->";
+  s += util::mac_to_string(hdr.eth_dst);
+  s += " type=0x" + util::hex_u64(hdr.eth_type, 4);
+  if (hdr.eth_type == kEthTypeIpv4) {
+    s += " " + util::ip_to_string(static_cast<std::uint32_t>(hdr.ip_src));
+    s += "->" + util::ip_to_string(static_cast<std::uint32_t>(hdr.ip_dst));
+    s += " proto=" + std::to_string(hdr.ip_proto);
+    s += " tp=" + std::to_string(hdr.tp_src) + ":" +
+         std::to_string(hdr.tp_dst);
+    if (hdr.ip_proto == kIpProtoTcp) {
+      s += " flags=0x" + util::hex_u64(hdr.tcp_flags, 2);
+    }
+  }
+  s += " flow=" + std::to_string(flow_id);
+  s += " uid=" + std::to_string(uid) + "." + std::to_string(copy_id);
+  s += "}";
+  return s;
+}
+
+}  // namespace nicemc::of

@@ -1,0 +1,24 @@
+#include "of/rule.h"
+
+namespace nicemc::of {
+
+std::string Rule::brief() const {
+  std::string s = "rule{pri=" + std::to_string(priority) + " ";
+  s += match.brief();
+  s += " -> [";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i > 0) s += ",";
+    s += actions[i].brief();
+  }
+  s += "]";
+  if (idle_timeout != kPermanent) {
+    s += " idle=" + std::to_string(idle_timeout);
+  }
+  if (hard_timeout != kPermanent) {
+    s += " hard=" + std::to_string(hard_timeout);
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace nicemc::of

@@ -1,0 +1,58 @@
+// A flow-table rule: match pattern, priority, actions, timeouts, counters.
+#ifndef NICE_OF_RULE_H
+#define NICE_OF_RULE_H
+
+#include <cstdint>
+#include <string>
+
+#include "of/action.h"
+#include "of/match.h"
+#include "util/ser.h"
+
+namespace nicemc::of {
+
+inline constexpr std::uint16_t kPermanent = 0;  // timeout value "never"
+
+struct Rule {
+  Match match;
+  std::uint16_t priority{100};
+  ActionList actions;  // empty = drop
+  std::uint16_t idle_timeout{kPermanent};  // "soft" timeout in the paper
+  std::uint16_t hard_timeout{kPermanent};
+  std::uint64_t packet_count{0};
+  std::uint64_t byte_count{0};
+
+  friend bool operator==(const Rule&, const Rule&) = default;
+
+  [[nodiscard]] bool can_expire() const {
+    return idle_timeout != kPermanent || hard_timeout != kPermanent;
+  }
+
+  /// Canonical serialization used both for state hashing and as the
+  /// canonical sort key (counters included: they are switch state).
+  void serialize(util::Ser& s) const {
+    s.put_tag('R');
+    match.serialize(s);
+    s.put_u16(priority);
+    serialize_actions(s, actions);
+    s.put_u16(idle_timeout);
+    s.put_u16(hard_timeout);
+    s.put_u64(packet_count);
+    s.put_u64(byte_count);
+  }
+
+  /// Key identifying the rule for canonical ordering; excludes counters so
+  /// two rules differing only in counters order deterministically by the
+  /// pattern first.
+  void serialize_key(util::Ser& s) const {
+    match.serialize(s);
+    s.put_u16(priority);
+    serialize_actions(s, actions);
+  }
+
+  [[nodiscard]] std::string brief() const;
+};
+
+}  // namespace nicemc::of
+
+#endif  // NICE_OF_RULE_H

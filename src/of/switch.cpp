@@ -1,0 +1,310 @@
+#include "of/switch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace nicemc::of {
+
+Switch::Switch(SwitchId sw_id, std::vector<PortId> port_list,
+               std::size_t buf_capacity)
+    : id(sw_id), ports(std::move(port_list)), buffer_capacity(buf_capacity) {
+  for (PortId p : ports) {
+    in_ports.emplace(p, Fifo<Packet>{});
+    port_stats.emplace(p, PortStatsEntry{});
+  }
+}
+
+void Switch::enqueue_packet(PortId port, Packet p) {
+  assert(in_ports.contains(port) && "delivery to unknown port");
+  in_ports.at(port).push(std::move(p));
+}
+
+bool Switch::can_process_pkt() const {
+  for (const auto& [port, chan] : in_ports) {
+    if (!chan.empty()) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<PortId, Packet>> Switch::expand_action(
+    const Action& a, PortId in_port, const Packet& p) const {
+  std::vector<std::pair<PortId, Packet>> out;
+  switch (a.type) {
+    case ActionType::kOutput:
+      out.emplace_back(a.port, p);
+      break;
+    case ActionType::kFlood:
+      for (PortId port : ports) {
+        if (port != in_port) out.emplace_back(port, p);
+      }
+      break;
+    case ActionType::kController:
+      break;  // handled by the caller (buffering)
+  }
+  return out;
+}
+
+PacketOutcome Switch::run_pipeline(Packet p, PortId in_port, bool record_hop) {
+  PacketOutcome oc;
+  oc.in_port = in_port;
+  if (record_hop) {
+    oc.revisited = p.visited_before(id, in_port);
+    p.visited.push_back(Hop{id, in_port});
+    auto& rx = port_stats[in_port];
+    rx.rx_packets += 1;
+    rx.rx_bytes += p.size_bytes;
+  }
+  oc.packet = p;
+
+  const std::optional<std::size_t> hit = table.lookup(in_port, p.hdr);
+  if (!hit) {
+    // No matching rule: buffer the packet and punt to the controller
+    // (OpenFlow NO_MATCH behaviour).
+    if (buffer.size() >= buffer_capacity) {
+      oc.dropped_buffer_full = true;
+      return oc;
+    }
+    const std::uint32_t bid = next_buffer_id++;
+    buffer.emplace(bid, BufferedPacket{p, in_port});
+    of_out.push(PacketIn{.packet = p,
+                         .in_port = in_port,
+                         .buffer_id = bid,
+                         .reason = PacketIn::Reason::kNoMatch});
+    oc.to_controller = true;
+    oc.buffer_id = bid;
+    oc.reason = PacketIn::Reason::kNoMatch;
+    return oc;
+  }
+
+  oc.rule_idx = hit;
+  table.count_hit(*hit, p.size_bytes);
+  const Rule& rule = table.rules()[*hit];
+  if (rule.actions.empty()) {
+    oc.dropped_by_rule = true;
+    return oc;
+  }
+  for (const Action& a : rule.actions) {
+    if (a.type == ActionType::kController) {
+      if (buffer.size() >= buffer_capacity) {
+        oc.dropped_buffer_full = true;
+        continue;
+      }
+      const std::uint32_t bid = next_buffer_id++;
+      buffer.emplace(bid, BufferedPacket{p, in_port});
+      of_out.push(PacketIn{.packet = p,
+                           .in_port = in_port,
+                           .buffer_id = bid,
+                           .reason = PacketIn::Reason::kAction});
+      oc.to_controller = true;
+      oc.buffer_id = bid;
+      oc.reason = PacketIn::Reason::kAction;
+      continue;
+    }
+    for (auto& [port, pkt] : expand_action(a, in_port, p)) {
+      auto& tx = port_stats[port];
+      tx.tx_packets += 1;
+      tx.tx_bytes += pkt.size_bytes;
+      oc.forwards.emplace_back(port, std::move(pkt));
+    }
+  }
+  return oc;
+}
+
+PacketOutcome Switch::apply_actions(Packet p, PortId in_port,
+                                    const ActionList& actions) {
+  PacketOutcome oc;
+  oc.in_port = in_port;
+  oc.packet = p;
+  if (actions.empty()) {
+    // Explicit "no actions": the packet is consumed (this is how an app
+    // discards a buffered packet it handled itself, e.g. an ARP request).
+    oc.dropped_by_rule = true;
+    return oc;
+  }
+  for (const Action& a : actions) {
+    assert(a.type != ActionType::kController &&
+           "packet_out back to controller is not modelled");
+    for (auto& [port, pkt] : expand_action(a, in_port, p)) {
+      auto& tx = port_stats[port];
+      tx.tx_packets += 1;
+      tx.tx_bytes += pkt.size_bytes;
+      oc.forwards.emplace_back(port, std::move(pkt));
+    }
+  }
+  return oc;
+}
+
+std::vector<PacketOutcome> Switch::process_pkt() {
+  assert(can_process_pkt());
+  std::vector<PacketOutcome> outcomes;
+  // Paper: dequeue the first packet from each channel and process all of
+  // them as a single transition.
+  for (auto& [port, chan] : in_ports) {
+    if (chan.empty()) continue;
+    outcomes.push_back(run_pipeline(chan.pop(), port, /*record_hop=*/true));
+  }
+  return outcomes;
+}
+
+OfOutcome Switch::process_of() {
+  assert(can_process_of());
+  OfOutcome oc;
+  ToSwitch msg = of_in.pop();
+  if (!of_in_seq.empty()) of_in_seq.pop_front();
+  if (auto* fm = std::get_if<FlowMod>(&msg)) {
+    switch (fm->cmd) {
+      case FlowMod::Cmd::kAdd:
+        table.add(fm->rule);
+        oc.installed = fm->rule;
+        break;
+      case FlowMod::Cmd::kDelete:
+        oc.removed_count = table.remove(fm->rule.match, std::nullopt);
+        oc.removed_match = fm->rule.match;
+        break;
+      case FlowMod::Cmd::kDeleteStrict:
+        oc.removed_count = table.remove(fm->rule.match, fm->rule.priority);
+        oc.removed_match = fm->rule.match;
+        break;
+    }
+    return oc;
+  }
+  if (auto* po = std::get_if<PacketOut>(&msg)) {
+    Packet p;
+    PortId in_port = po->in_port;
+    if (po->buffer_id != kNoBuffer) {
+      auto it = buffer.find(po->buffer_id);
+      if (it == buffer.end()) {
+        oc.missing_buffer = true;
+        return oc;
+      }
+      p = it->second.packet;
+      in_port = it->second.in_port;
+      buffer.erase(it);
+    } else {
+      assert(po->packet.has_value() &&
+             "packet_out without buffer must carry a packet");
+      p = *po->packet;
+    }
+    const bool from_buffer = po->buffer_id != kNoBuffer;
+    oc.packet = apply_actions(std::move(p), in_port, po->actions);
+    oc.packet->from_buffer = from_buffer;
+    if (po->actions.empty()) oc.packet->explicit_discard = true;
+    return oc;
+  }
+  if (auto* sr = std::get_if<StatsRequest>(&msg)) {
+    of_out.push(StatsReply{.xid = sr->xid, .ports = port_stats});
+    oc.stats_replied = true;
+    return oc;
+  }
+  const auto& br = std::get<BarrierRequest>(msg);
+  of_out.push(BarrierReply{.xid = br.xid});
+  oc.barrier_replied = true;
+  return oc;
+}
+
+std::vector<std::size_t> Switch::expirable_rules() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < table.rules().size(); ++i) {
+    if (table.rules()[i].can_expire()) out.push_back(i);
+  }
+  return out;
+}
+
+std::map<std::uint32_t, std::uint32_t> Switch::canonical_buffer_ids() const {
+  // Dense renaming of buffer ids by buffered-packet content: two
+  // interleavings that buffered the same packets under different raw ids
+  // serialize identically. The rename is applied consistently to the
+  // buffer map and to every in-flight message that references a buffer id,
+  // so the renamed state is behaviourally isomorphic to the original.
+  std::vector<std::pair<std::string, std::uint32_t>> entries;
+  entries.reserve(buffer.size());
+  for (const auto& [bid, bp] : buffer) {
+    util::Ser content;
+    bp.packet.serialize(content, /*include_copy_id=*/false);
+    content.put_u32(bp.in_port);
+    const auto bytes = content.bytes();
+    entries.emplace_back(
+        std::string(reinterpret_cast<const char*>(bytes.data()),
+                    bytes.size()),
+        bid);
+  }
+  std::sort(entries.begin(), entries.end());
+  std::map<std::uint32_t, std::uint32_t> rename;
+  for (std::uint32_t rank = 0; rank < entries.size(); ++rank) {
+    rename.emplace(entries[rank].second, rank + 1);
+  }
+  return rename;
+}
+
+void Switch::serialize(util::Ser& s, bool canonical) const {
+  s.put_tag('W');
+  s.put_u32(id);
+  table.serialize(s, canonical);
+
+  const std::map<std::uint32_t, std::uint32_t> rename =
+      canonical ? canonical_buffer_ids()
+                : std::map<std::uint32_t, std::uint32_t>{};
+  auto mapped = [&](std::uint32_t bid) {
+    if (!canonical || bid == kNoBuffer) return bid;
+    const auto it = rename.find(bid);
+    return it == rename.end() ? bid : it->second;
+  };
+
+  s.put_u32(static_cast<std::uint32_t>(in_ports.size()));
+  for (const auto& [port, chan] : in_ports) {
+    s.put_u32(port);
+    chan.serialize(s, [&](util::Ser& ser, const Packet& p) {
+      p.serialize(ser, /*include_copy_id=*/!canonical);
+    });
+  }
+  of_in.serialize(s, [&](util::Ser& ser, const ToSwitch& m) {
+    if (canonical) {
+      if (const auto* po = std::get_if<PacketOut>(&m)) {
+        PacketOut copy = *po;
+        copy.buffer_id = mapped(copy.buffer_id);
+        if (copy.packet) copy.packet->copy_id = 0;
+        serialize_message(ser, ToSwitch{copy});
+        return;
+      }
+    }
+    serialize_message(ser, m);
+  });
+  of_out.serialize(s, [&](util::Ser& ser, const ToController& m) {
+    if (canonical) {
+      if (const auto* pin = std::get_if<PacketIn>(&m)) {
+        PacketIn copy = *pin;
+        copy.buffer_id = mapped(copy.buffer_id);
+        copy.packet.copy_id = 0;
+        serialize_message(ser, ToController{copy});
+        return;
+      }
+    }
+    serialize_message(ser, m);
+  });
+  s.put_u32(static_cast<std::uint32_t>(buffer.size()));
+  if (canonical) {
+    // Iterate in renamed (content) order so the bytes are canonical.
+    std::map<std::uint32_t, std::uint32_t> inverse;
+    for (const auto& [raw, dense] : rename) inverse.emplace(dense, raw);
+    for (const auto& [dense, raw] : inverse) {
+      s.put_u32(dense);
+      const BufferedPacket& bp = buffer.at(raw);
+      bp.packet.serialize(s, /*include_copy_id=*/false);
+      s.put_u32(bp.in_port);
+    }
+  } else {
+    for (const auto& [bid, bp] : buffer) {
+      s.put_u32(bid);
+      bp.serialize(s);
+    }
+    s.put_u32(next_buffer_id);
+  }
+  s.put_u32(static_cast<std::uint32_t>(port_stats.size()));
+  for (const auto& [port, st] : port_stats) {
+    s.put_u32(port);
+    st.serialize(s);
+  }
+}
+
+}  // namespace nicemc::of

@@ -1,0 +1,160 @@
+// The simplified OpenFlow switch model of paper Section 2.2.2.
+//
+// A switch is: per-port ingress packet FIFOs, one reliable in-order OpenFlow
+// channel in each direction, a flow table with canonical representation, a
+// finite buffer of packets awaiting controller instruction, and two
+// transitions:
+//   * process_pkt — dequeues the head packet of EVERY non-empty ingress
+//     channel and processes them against the flow table in one transition
+//     (safe because the model checker already explores arrival orderings);
+//   * process_of — dequeues and applies one OpenFlow message.
+//
+// The switch is a pure state machine: it never touches the topology. Packet
+// emissions are returned as structured outcomes; the model checker's
+// executor resolves output ports to link peers and generates property
+// events.
+#ifndef NICE_OF_SWITCH_H
+#define NICE_OF_SWITCH_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "of/channel.h"
+#include "of/flowtable.h"
+#include "of/messages.h"
+#include "of/packet.h"
+#include "util/ser.h"
+
+namespace nicemc::of {
+
+struct BufferedPacket {
+  Packet packet;
+  PortId in_port{0};
+
+  friend bool operator==(const BufferedPacket&,
+                         const BufferedPacket&) = default;
+  void serialize(util::Ser& s) const {
+    packet.serialize(s);
+    s.put_u32(in_port);
+  }
+};
+
+/// What happened to one packet run through the pipeline (either on ingress
+/// or on release by a packet_out).
+struct PacketOutcome {
+  Packet packet;      // with the new hop already appended (ingress only)
+  PortId in_port{0};
+  /// (out_port, packet) emissions, flood already expanded.
+  std::vector<std::pair<PortId, Packet>> forwards;
+  bool to_controller{false};
+  std::uint32_t buffer_id{kNoBuffer};
+  PacketIn::Reason reason{PacketIn::Reason::kNoMatch};
+  bool dropped_by_rule{false};
+  bool dropped_buffer_full{false};
+  /// The packet had already entered this <switch, in_port> — forwarding loop.
+  bool revisited{false};
+  /// Released from the awaiting-controller buffer by a packet_out.
+  bool from_buffer{false};
+  /// packet_out with an empty action list: deliberate consume, not a drop.
+  bool explicit_discard{false};
+  /// Index of the matched rule in the table's insertion order, if any.
+  std::optional<std::size_t> rule_idx;
+};
+
+/// Effect of applying one controller→switch message.
+struct OfOutcome {
+  std::optional<Rule> installed;
+  std::size_t removed_count{0};
+  std::optional<Match> removed_match;
+  std::optional<PacketOutcome> packet;  // packet_out emission
+  bool barrier_replied{false};
+  bool stats_replied{false};
+  /// packet_out referenced a buffer id that does not exist (double release).
+  bool missing_buffer{false};
+};
+
+struct Switch {
+  SwitchId id{0};
+  std::vector<PortId> ports;          // all ports, for flood expansion
+  std::size_t buffer_capacity{64};
+  FlowTable table;
+  std::map<PortId, Fifo<Packet>> in_ports;   // ingress packet channels
+  Fifo<ToSwitch> of_in;                      // controller → switch
+  /// Global send-order tags parallel to of_in. Bookkeeping for the UNUSUAL
+  /// search strategy only — deterministic in the transition history, and
+  /// deliberately excluded from serialization so it never splits states.
+  std::deque<std::uint64_t> of_in_seq;
+  Fifo<ToController> of_out;                 // switch → controller
+  std::map<std::uint32_t, BufferedPacket> buffer;
+  std::uint32_t next_buffer_id{1};
+  std::map<PortId, PortStatsEntry> port_stats;
+  ChannelFaults pkt_channel_faults;
+
+  Switch() = default;
+  Switch(SwitchId sw_id, std::vector<PortId> port_list,
+         std::size_t buf_capacity = 64);
+
+  /// Enqueue a packet on an ingress channel (link delivery).
+  void enqueue_packet(PortId port, Packet p);
+
+  /// Enqueue a controller→switch message with its global send-order tag.
+  void push_of(ToSwitch msg, std::uint64_t seq) {
+    of_in.push(std::move(msg));
+    of_in_seq.push_back(seq);
+  }
+
+  /// Send-order tag of the head OpenFlow message (0 when empty).
+  [[nodiscard]] std::uint64_t head_of_seq() const {
+    return of_in_seq.empty() ? 0 : of_in_seq.front();
+  }
+
+  [[nodiscard]] bool can_process_pkt() const;
+  [[nodiscard]] bool can_process_of() const { return !of_in.empty(); }
+
+  /// The process_pkt transition: one head packet per non-empty ingress
+  /// channel, each run through the flow table.
+  std::vector<PacketOutcome> process_pkt();
+
+  /// The process_of transition: apply the head OpenFlow message.
+  OfOutcome process_of();
+
+  /// Insertion-order indices of rules that have a timeout and could expire
+  /// (drives the optional rule-expiry transitions).
+  [[nodiscard]] std::vector<std::size_t> expirable_rules() const;
+  void expire_rule(std::size_t idx) { table.erase_at(idx); }
+
+  /// All packets awaiting a controller decision (NoForgottenPackets).
+  [[nodiscard]] std::size_t forgotten_packets() const { return buffer.size(); }
+
+  /// Canonical serialization (Section 2.2.2): rules in canonical order,
+  /// buffer ids densely renamed by content, copy ids and the buffer-id
+  /// counter omitted. `canonical = false` is the raw form the
+  /// NO-SWITCH-REDUCTION baseline hashes.
+  void serialize(util::Ser& s, bool canonical = true) const;
+
+ private:
+  /// Content-ordered dense renaming of the live buffer ids.
+  [[nodiscard]] std::map<std::uint32_t, std::uint32_t> canonical_buffer_ids()
+      const;
+
+ public:
+
+ private:
+  /// Run one packet through the flow table (shared by ingress processing
+  /// and by packet_out action application when actions come from a rule).
+  PacketOutcome run_pipeline(Packet p, PortId in_port, bool record_hop);
+
+  /// Apply an explicit action list to a packet (packet_out).
+  PacketOutcome apply_actions(Packet p, PortId in_port,
+                              const ActionList& actions);
+
+  std::vector<std::pair<PortId, Packet>> expand_action(const Action& a,
+                                                       PortId in_port,
+                                                       const Packet& p) const;
+};
+
+}  // namespace nicemc::of
+
+#endif  // NICE_OF_SWITCH_H

@@ -1,0 +1,31 @@
+#include "props/correct_routing_table.h"
+
+namespace nicemc::props {
+
+void UseCorrectRoutingTable::on_events(mc::PropState& ps,
+                                       std::span<const mc::Event> events,
+                                       const mc::SystemState& state,
+                                       std::vector<mc::Violation>& out) const {
+  (void)ps;
+  for (const mc::Event& e : events) {
+    const auto* h = std::get_if<mc::EvPacketInHandled>(&e);
+    if (h == nullptr || h->sw != ingress_) continue;
+    if (h->installs.empty()) continue;  // handler ignored the packet
+    const std::set<of::SwitchId> expected =
+        expected_(*state.ctrl.app, h->pkt.hdr);
+    if (expected.empty()) continue;
+    std::set<of::SwitchId> actual;
+    for (const auto& [sw, rule] : h->installs) actual.insert(sw);
+    if (actual != expected) {
+      std::string msg = "handler for " + h->pkt.brief() +
+                        " installed rules on switches {";
+      for (of::SwitchId sw : actual) msg += std::to_string(sw) + " ";
+      msg += "} but the load-appropriate path is {";
+      for (of::SwitchId sw : expected) msg += std::to_string(sw) + " ";
+      msg += "}";
+      out.push_back(mc::Violation{name(), std::move(msg)});
+    }
+  }
+}
+
+}  // namespace nicemc::props

@@ -1,0 +1,46 @@
+// UseCorrectRoutingTable (paper Section 8.3): when the controller handles
+// the first packet of a flow arriving at an ingress switch, it must issue
+// rule installations to all and only the switches on the path appropriate
+// for the current network load.
+//
+// The expected path is computed by a scenario-supplied callback (it reads
+// the application's own state — properties may access global system state,
+// Section 5.1) so this property stays independent of any concrete app.
+#ifndef NICE_PROPS_CORRECT_ROUTING_TABLE_H
+#define NICE_PROPS_CORRECT_ROUTING_TABLE_H
+
+#include <functional>
+#include <set>
+
+#include "ctrl/app.h"
+#include "mc/property.h"
+#include "mc/system.h"
+#include "of/packet.h"
+
+namespace nicemc::props {
+
+class UseCorrectRoutingTable final : public mc::Property {
+ public:
+  /// Returns the set of switches the handler should install rules on for
+  /// this packet (empty = "no opinion"; the check is skipped).
+  using ExpectedPathFn = std::function<std::set<of::SwitchId>(
+      const ctrl::AppState&, const sym::PacketFields&)>;
+
+  UseCorrectRoutingTable(of::SwitchId ingress, ExpectedPathFn expected)
+      : ingress_(ingress), expected_(std::move(expected)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "UseCorrectRoutingTable";
+  }
+  void on_events(mc::PropState& ps, std::span<const mc::Event> events,
+                 const mc::SystemState& state,
+                 std::vector<mc::Violation>& out) const override;
+
+ private:
+  of::SwitchId ingress_;
+  ExpectedPathFn expected_;
+};
+
+}  // namespace nicemc::props
+
+#endif  // NICE_PROPS_CORRECT_ROUTING_TABLE_H

@@ -1,0 +1,80 @@
+// DirectPaths and StrictDirectPaths (paper Section 5.2).
+//
+// DirectPaths: once a packet of a flow (a directed MAC pair) has been
+// delivered, later packets of the same flow must not reach the controller.
+// StrictDirectPaths: once the two hosts have delivered at least one packet
+// in *each* direction, no later packet between them may reach the
+// controller.
+//
+// Robustness to communication delays (the "safe time" discussed in the
+// paper): only packets *sent after* the condition was already established
+// are held against the controller — packets that were already in flight
+// when the condition became true cannot trigger a violation.
+#ifndef NICE_PROPS_DIRECT_PATHS_H
+#define NICE_PROPS_DIRECT_PATHS_H
+
+#include <map>
+#include <set>
+
+#include "mc/property.h"
+#include "of/packet.h"
+
+namespace nicemc::props {
+
+/// Flow identity at the granularity MAC-learning rules can establish:
+/// source MAC, destination MAC, and Ethernet type. Keying on the type
+/// matters — an ARP frame between hosts that exchanged IPv4 traffic is a
+/// different flow and may legitimately reach the controller.
+struct L2Flow {
+  std::uint64_t src{0}, dst{0}, eth_type{0};
+
+  friend auto operator<=>(const L2Flow&, const L2Flow&) = default;
+
+  static L2Flow of_packet(const sym::PacketFields& h) {
+    return L2Flow{h.eth_src, h.eth_dst, h.eth_type};
+  }
+  [[nodiscard]] L2Flow reversed() const {
+    return L2Flow{dst, src, eth_type};
+  }
+};
+
+class DirectPathsState final : public mc::PropState {
+ public:
+  /// Directed L2 flows with at least one delivered packet.
+  std::set<L2Flow> delivered;
+  /// uids of packets sent after their flow's condition held.
+  std::set<std::uint32_t> watched;
+
+  [[nodiscard]] std::unique_ptr<mc::PropState> clone() const override {
+    return std::make_unique<DirectPathsState>(*this);
+  }
+  void serialize(util::Ser& s) const override;
+};
+
+class DirectPaths final : public mc::Property {
+ public:
+  [[nodiscard]] std::string name() const override { return "DirectPaths"; }
+  [[nodiscard]] std::unique_ptr<mc::PropState> make_state() const override {
+    return std::make_unique<DirectPathsState>();
+  }
+  void on_events(mc::PropState& ps, std::span<const mc::Event> events,
+                 const mc::SystemState& state,
+                 std::vector<mc::Violation>& out) const override;
+};
+
+class StrictDirectPaths final : public mc::Property {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "StrictDirectPaths";
+  }
+  [[nodiscard]] std::unique_ptr<mc::PropState> make_state() const override {
+    return std::make_unique<DirectPathsState>();
+  }
+  void on_events(mc::PropState& ps, std::span<const mc::Event> events,
+                 const mc::SystemState& state,
+                 std::vector<mc::Violation>& out) const override;
+};
+
+}  // namespace nicemc::props
+
+#endif  // NICE_PROPS_DIRECT_PATHS_H

@@ -1,0 +1,26 @@
+#include "props/flow_affinity.h"
+
+namespace nicemc::props {
+
+void FlowAffinity::on_events(mc::PropState& ps,
+                             std::span<const mc::Event> events,
+                             const mc::SystemState& state,
+                             std::vector<mc::Violation>& out) const {
+  (void)state;
+  auto& st = static_cast<FlowAffinityState&>(ps);
+  for (const mc::Event& e : events) {
+    const auto* del = std::get_if<mc::EvPacketDelivered>(&e);
+    if (del == nullptr || !replicas_.contains(del->host)) continue;
+    if (del->pkt.hdr.ip_proto != of::kIpProtoTcp) continue;
+    const of::FiveTuple t = of::FiveTuple::of_packet(del->pkt.hdr);
+    const auto [it, inserted] = st.assignment.emplace(t, del->host);
+    if (!inserted && it->second != del->host) {
+      out.push_back(mc::Violation{
+          name(), "connection " + del->pkt.brief() + " split across replicas " +
+                      std::to_string(it->second) + " and " +
+                      std::to_string(del->host)});
+    }
+  }
+}
+
+}  // namespace nicemc::props

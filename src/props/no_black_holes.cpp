@@ -1,0 +1,62 @@
+#include "props/no_black_holes.h"
+
+namespace nicemc::props {
+
+void NoBlackHoles::on_events(mc::PropState& ps,
+                             std::span<const mc::Event> events,
+                             const mc::SystemState& state,
+                             std::vector<mc::Violation>& out) const {
+  (void)state;
+  auto& st = static_cast<NoBlackHolesState&>(ps);
+  for (const mc::Event& e : events) {
+    if (const auto* sent = std::get_if<mc::EvPacketSent>(&e)) {
+      st.balance[sent->pkt.uid] += 1;
+    } else if (const auto* inj = std::get_if<mc::EvCtrlPacketInjected>(&e)) {
+      st.balance[inj->pkt.uid] += 1;
+    } else if (const auto* proc = std::get_if<mc::EvPacketProcessed>(&e)) {
+      // Ingress processing removes the copy from flight; a packet_out
+      // release takes it out of the buffer instead (already "consumed").
+      st.balance[proc->pkt.uid] +=
+          proc->copies_out - (proc->from_buffer ? 0 : 1);
+      if (proc->dropped_by_rule) {
+        out.push_back(mc::Violation{
+            name(), "packet " + proc->pkt.brief() +
+                        " dropped by a rule at switch " +
+                        std::to_string(proc->sw)});
+      }
+      if (proc->dropped_buffer_full) {
+        out.push_back(mc::Violation{
+            name(), "packet " + proc->pkt.brief() +
+                        " dropped: buffer full at switch " +
+                        std::to_string(proc->sw)});
+      }
+    } else if (const auto* dead = std::get_if<mc::EvPacketDeadPort>(&e)) {
+      st.balance[dead->pkt.uid] -= 1;
+      out.push_back(mc::Violation{
+          name(), "packet " + dead->pkt.brief() +
+                      " vanished at dead port " + std::to_string(dead->port) +
+                      " of switch " + std::to_string(dead->sw)});
+    } else if (const auto* del = std::get_if<mc::EvPacketDelivered>(&e)) {
+      st.balance[del->pkt.uid] -= 1;
+    } else if (const auto* drop = std::get_if<mc::EvChannelDrop>(&e)) {
+      // Fault-model drop: not a bug in the controller program.
+      st.balance[drop->pkt.uid] -= 1;
+    }
+  }
+}
+
+void NoBlackHoles::at_quiescence(mc::PropState& ps,
+                                 const mc::SystemState& state,
+                                 std::vector<mc::Violation>& out) const {
+  (void)state;
+  const auto& st = static_cast<const NoBlackHolesState&>(ps);
+  for (const auto& [uid, n] : st.balance) {
+    if (n != 0) {
+      out.push_back(mc::Violation{
+          name(), "packet uid=" + std::to_string(uid) + " has copy balance " +
+                      std::to_string(n) + " at end of execution"});
+    }
+  }
+}
+
+}  // namespace nicemc::props

@@ -1,0 +1,23 @@
+#include "props/no_forgotten_packets.h"
+
+#include "mc/system.h"
+
+namespace nicemc::props {
+
+void NoForgottenPackets::at_quiescence(mc::PropState& ps,
+                                       const mc::SystemState& state,
+                                       std::vector<mc::Violation>& out) const {
+  (void)ps;
+  for (const of::Switch& sw : state.switches) {
+    if (sw.buffer.empty()) continue;
+    std::string msg = "switch " + std::to_string(sw.id) + " still buffers " +
+                      std::to_string(sw.buffer.size()) +
+                      " packet(s) awaiting controller instruction:";
+    for (const auto& [bid, bp] : sw.buffer) {
+      msg += " [buf " + std::to_string(bid) + "] " + bp.packet.brief();
+    }
+    out.push_back(mc::Violation{name(), std::move(msg)});
+  }
+}
+
+}  // namespace nicemc::props

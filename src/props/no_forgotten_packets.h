@@ -1,0 +1,32 @@
+// NoForgottenPackets (paper Section 5.2): at the end of a system
+// execution, no switch may still hold packets that await a controller
+// decision. Controller programs violate this by handling a packet_in
+// without ever telling the switch what to do with the buffered packet
+// (BUG-IV, V, VI, VIII, IX, XI).
+#ifndef NICE_PROPS_NO_FORGOTTEN_PACKETS_H
+#define NICE_PROPS_NO_FORGOTTEN_PACKETS_H
+
+#include "mc/property.h"
+
+namespace nicemc::props {
+
+class NoForgottenPackets final : public mc::Property {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "NoForgottenPackets";
+  }
+  void on_events(mc::PropState& ps, std::span<const mc::Event> events,
+                 const mc::SystemState& state,
+                 std::vector<mc::Violation>& out) const override {
+    (void)ps;
+    (void)events;
+    (void)state;
+    (void)out;  // purely a quiescence check
+  }
+  void at_quiescence(mc::PropState& ps, const mc::SystemState& state,
+                     std::vector<mc::Violation>& out) const override;
+};
+
+}  // namespace nicemc::props
+
+#endif  // NICE_PROPS_NO_FORGOTTEN_PACKETS_H

@@ -1,0 +1,22 @@
+#include "props/no_forwarding_loops.h"
+
+namespace nicemc::props {
+
+void NoForwardingLoops::on_events(mc::PropState& ps,
+                                  std::span<const mc::Event> events,
+                                  const mc::SystemState& state,
+                                  std::vector<mc::Violation>& out) const {
+  (void)ps;
+  (void)state;
+  for (const mc::Event& e : events) {
+    const auto* p = std::get_if<mc::EvPacketProcessed>(&e);
+    if (p != nullptr && p->revisited) {
+      out.push_back(mc::Violation{
+          name(), "packet " + p->pkt.brief() + " re-entered switch " +
+                      std::to_string(p->sw) + " on port " +
+                      std::to_string(p->in_port)});
+    }
+  }
+}
+
+}  // namespace nicemc::props

@@ -1,0 +1,23 @@
+// NoForwardingLoops (paper Section 5.2): packets must not traverse any
+// <switch, input port> pair more than once. Each packet copy carries its
+// visited-hop list; the switch pipeline flags a revisit.
+#ifndef NICE_PROPS_NO_FORWARDING_LOOPS_H
+#define NICE_PROPS_NO_FORWARDING_LOOPS_H
+
+#include "mc/property.h"
+
+namespace nicemc::props {
+
+class NoForwardingLoops final : public mc::Property {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "NoForwardingLoops";
+  }
+  void on_events(mc::PropState& ps, std::span<const mc::Event> events,
+                 const mc::SystemState& state,
+                 std::vector<mc::Violation>& out) const override;
+};
+
+}  // namespace nicemc::props
+
+#endif  // NICE_PROPS_NO_FORWARDING_LOOPS_H

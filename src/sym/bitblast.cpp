@@ -1,0 +1,190 @@
+#include "sym/bitblast.h"
+
+#include <cassert>
+
+namespace nicemc::sym {
+
+BitBlaster::BitBlaster(const ExprArena& arena, SatSolver& sat)
+    : arena_(arena), sat_(sat) {
+  const SatVar t = sat_.new_var();
+  true_lit_ = make_lit(t, false);
+  sat_.add_unit(true_lit_);
+}
+
+Lit BitBlaster::fresh() { return make_lit(sat_.new_var(), false); }
+
+Lit BitBlaster::land(Lit a, Lit b) {
+  if (is_const(a)) return const_value(a) ? b : false_lit();
+  if (is_const(b)) return const_value(b) ? a : false_lit();
+  if (a == b) return a;
+  if (a == lit_neg(b)) return false_lit();
+  const Lit y = fresh();
+  sat_.add_binary(lit_neg(y), a);
+  sat_.add_binary(lit_neg(y), b);
+  sat_.add_ternary(y, lit_neg(a), lit_neg(b));
+  return y;
+}
+
+Lit BitBlaster::lor(Lit a, Lit b) {
+  return lit_neg(land(lit_neg(a), lit_neg(b)));
+}
+
+Lit BitBlaster::lxor(Lit a, Lit b) {
+  if (is_const(a)) return const_value(a) ? lit_neg(b) : b;
+  if (is_const(b)) return const_value(b) ? lit_neg(a) : a;
+  if (a == b) return false_lit();
+  if (a == lit_neg(b)) return true_lit();
+  const Lit y = fresh();
+  sat_.add_ternary(lit_neg(y), a, b);
+  sat_.add_ternary(lit_neg(y), lit_neg(a), lit_neg(b));
+  sat_.add_ternary(y, lit_neg(a), b);
+  sat_.add_ternary(y, a, lit_neg(b));
+  return y;
+}
+
+Lit BitBlaster::lmux(Lit sel, Lit then_l, Lit else_l) {
+  if (is_const(sel)) return const_value(sel) ? then_l : else_l;
+  if (then_l == else_l) return then_l;
+  const Lit y = fresh();
+  // sel → (y ↔ then), ¬sel → (y ↔ else)
+  sat_.add_ternary(lit_neg(sel), lit_neg(then_l), y);
+  sat_.add_ternary(lit_neg(sel), then_l, lit_neg(y));
+  sat_.add_ternary(sel, lit_neg(else_l), y);
+  sat_.add_ternary(sel, else_l, lit_neg(y));
+  return y;
+}
+
+const std::vector<Lit>& BitBlaster::bits(ExprRef e) {
+  auto it = memo_.find(e);
+  if (it != memo_.end()) return it->second;
+  auto [ins, _] = memo_.emplace(e, blast(e));
+  return ins->second;
+}
+
+Lit BitBlaster::bit1(ExprRef e) {
+  assert(arena_.node(e).width == 1);
+  return bits(e)[0];
+}
+
+std::vector<Lit> BitBlaster::blast(ExprRef e) {
+  const Node& n = arena_.node(e);
+  const unsigned w = n.width;
+  std::vector<Lit> out;
+  out.reserve(w);
+  switch (n.op) {
+    case Op::kConst: {
+      for (unsigned i = 0; i < w; ++i) {
+        out.push_back((n.aux >> i) & 1 ? true_lit() : false_lit());
+      }
+      return out;
+    }
+    case Op::kVar: {
+      auto it = inputs_.find(static_cast<VarId>(n.aux));
+      if (it == inputs_.end()) {
+        std::vector<Lit> vs;
+        vs.reserve(w);
+        for (unsigned i = 0; i < w; ++i) vs.push_back(fresh());
+        it = inputs_.emplace(static_cast<VarId>(n.aux), std::move(vs)).first;
+      }
+      assert(it->second.size() == w && "variable width mismatch");
+      return it->second;
+    }
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor: {
+      const auto& a = bits(n.a);
+      const auto& b = bits(n.b);
+      for (unsigned i = 0; i < w; ++i) {
+        out.push_back(n.op == Op::kAnd   ? land(a[i], b[i])
+                      : n.op == Op::kOr  ? lor(a[i], b[i])
+                                         : lxor(a[i], b[i]));
+      }
+      return out;
+    }
+    case Op::kNot: {
+      const auto& a = bits(n.a);
+      for (unsigned i = 0; i < w; ++i) out.push_back(lit_neg(a[i]));
+      return out;
+    }
+    case Op::kAdd:
+    case Op::kSub: {
+      const auto& a = bits(n.a);
+      const auto bsrc = bits(n.b);  // copy: bits() may rehash memo_
+      // a - b == a + ~b + 1.
+      Lit carry = n.op == Op::kSub ? true_lit() : false_lit();
+      for (unsigned i = 0; i < w; ++i) {
+        const Lit bi = n.op == Op::kSub ? lit_neg(bsrc[i]) : bsrc[i];
+        const Lit axb = lxor(a[i], bi);
+        out.push_back(lxor(axb, carry));
+        carry = lor(land(a[i], bi), land(axb, carry));
+      }
+      return out;
+    }
+    case Op::kEq:
+    case Op::kNe: {
+      const auto a = bits(n.a);
+      const auto b = bits(n.b);
+      Lit acc = true_lit();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        acc = land(acc, lit_neg(lxor(a[i], b[i])));
+      }
+      out.push_back(n.op == Op::kEq ? acc : lit_neg(acc));
+      return out;
+    }
+    case Op::kUlt:
+    case Op::kUle: {
+      const auto a = bits(n.a);
+      const auto b = bits(n.b);
+      // Scan LSB→MSB: lt := (a_i < b_i) if bits differ else carry previous.
+      Lit lt = n.op == Op::kUle ? true_lit() : false_lit();  // a==b base case
+      // For kUle the base case "all bits equal" yields true; for kUlt false.
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const Lit differ = lxor(a[i], b[i]);
+        const Lit ai_lt_bi = land(lit_neg(a[i]), b[i]);
+        lt = lmux(differ, ai_lt_bi, lt);
+      }
+      out.push_back(lt);
+      return out;
+    }
+    case Op::kIte: {
+      const Lit sel = bit1(n.a);
+      const auto t = bits(n.b);
+      const auto f = bits(n.c);
+      for (unsigned i = 0; i < w; ++i) out.push_back(lmux(sel, t[i], f[i]));
+      return out;
+    }
+    case Op::kShl: {
+      const auto& a = bits(n.a);
+      const auto k = static_cast<unsigned>(n.aux);
+      for (unsigned i = 0; i < w; ++i) {
+        out.push_back(i < k ? false_lit() : a[i - k]);
+      }
+      return out;
+    }
+    case Op::kLshr: {
+      const auto& a = bits(n.a);
+      const auto k = static_cast<unsigned>(n.aux);
+      for (unsigned i = 0; i < w; ++i) {
+        out.push_back(i + k < a.size() ? a[i + k] : false_lit());
+      }
+      return out;
+    }
+    case Op::kExtract: {
+      const auto& a = bits(n.a);
+      const auto lo = static_cast<unsigned>(n.aux);
+      for (unsigned i = 0; i < w; ++i) out.push_back(a[lo + i]);
+      return out;
+    }
+    case Op::kZext: {
+      const auto& a = bits(n.a);
+      for (unsigned i = 0; i < w; ++i) {
+        out.push_back(i < a.size() ? a[i] : false_lit());
+      }
+      return out;
+    }
+  }
+  assert(false && "unhandled op in bit-blaster");
+  return out;
+}
+
+}  // namespace nicemc::sym

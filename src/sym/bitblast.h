@@ -1,0 +1,64 @@
+// Tseitin bit-blasting of bit-vector expressions to CNF.
+//
+// Every ExprRef is lowered to a vector of SAT literals (LSB first). Gates
+// are encoded with the standard Tseitin clauses; adders are ripple-carry;
+// unsigned comparisons are borrow chains. Constant literals are expressed
+// through a dedicated always-true variable so that downstream gates can
+// shortcut on them.
+#ifndef NICE_SYM_BITBLAST_H
+#define NICE_SYM_BITBLAST_H
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sym/expr.h"
+#include "sym/sat.h"
+
+namespace nicemc::sym {
+
+class BitBlaster {
+ public:
+  BitBlaster(const ExprArena& arena, SatSolver& sat);
+
+  /// SAT literals for each bit of `e`, LSB first.
+  const std::vector<Lit>& bits(ExprRef e);
+
+  /// Single literal for a width-1 expression.
+  Lit bit1(ExprRef e);
+
+  /// Literal that is constrained to true in every model.
+  [[nodiscard]] Lit true_lit() const noexcept { return true_lit_; }
+  [[nodiscard]] Lit false_lit() const noexcept { return lit_neg(true_lit_); }
+
+  /// For model extraction: the SAT variables backing each symbolic input
+  /// variable that was blasted (VarId → literals LSB first).
+  [[nodiscard]] const std::map<VarId, std::vector<Lit>>& input_bits()
+      const noexcept {
+    return inputs_;
+  }
+
+ private:
+  [[nodiscard]] bool is_const(Lit l) const {
+    return lit_var(l) == lit_var(true_lit_);
+  }
+  [[nodiscard]] bool const_value(Lit l) const { return l == true_lit_; }
+
+  Lit fresh();
+  Lit land(Lit a, Lit b);
+  Lit lor(Lit a, Lit b);
+  Lit lxor(Lit a, Lit b);
+  Lit lmux(Lit sel, Lit then_l, Lit else_l);  // sel ? then : else
+
+  std::vector<Lit> blast(ExprRef e);
+
+  const ExprArena& arena_;
+  SatSolver& sat_;
+  Lit true_lit_;
+  std::unordered_map<ExprRef, std::vector<Lit>> memo_;
+  std::map<VarId, std::vector<Lit>> inputs_;
+};
+
+}  // namespace nicemc::sym
+
+#endif  // NICE_SYM_BITBLAST_H

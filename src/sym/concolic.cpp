@@ -1,0 +1,116 @@
+#include "sym/concolic.h"
+
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace nicemc::sym {
+
+namespace {
+
+/// Signature of an executed path, for de-duplication.
+std::uint64_t path_signature(const std::vector<BranchRecord>& path) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const BranchRecord& b : path) {
+    h = util::hash_combine(h, b.cond);
+    h = util::hash_combine(h, b.taken ? 1 : 0);
+  }
+  return h;
+}
+
+std::uint64_t assignment_signature(const Assignment& asg) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t v : asg) h = util::hash_combine(h, v);
+  return h;
+}
+
+}  // namespace
+
+Concolic::Concolic(ConcolicConfig config) : config_(config) {}
+
+VarHandle Concolic::add_var(std::string name, unsigned width,
+                            std::uint64_t initial) {
+  const VarId id = static_cast<VarId>(names_.size());
+  names_.push_back(std::move(name));
+  widths_.push_back(static_cast<std::uint8_t>(width));
+  initial_.push_back(initial & width_mask(width));
+  domains_.emplace_back();
+  return VarHandle{id};
+}
+
+void Concolic::restrict_to(VarHandle h, std::vector<std::uint64_t> candidates) {
+  assert(!candidates.empty());
+  domains_[h.id] = std::move(candidates);
+}
+
+std::vector<ExprRef> Concolic::domain_constraints() {
+  std::vector<ExprRef> out;
+  for (VarId id = 0; id < domains_.size(); ++id) {
+    if (domains_[id].empty()) continue;
+    const ExprRef v = arena_.var(id, widths_[id]);
+    out.push_back(arena_.any_of(v, domains_[id]));
+  }
+  return out;
+}
+
+std::vector<Assignment> Concolic::explore(const RunFn& fn) {
+  std::vector<Assignment> results;
+  std::deque<Pending> worklist;
+  std::set<std::uint64_t> seen_paths;
+  std::set<std::uint64_t> seen_assignments;
+
+  worklist.push_back(Pending{initial_, 0});
+  seen_assignments.insert(assignment_signature(initial_));
+
+  const std::vector<ExprRef> domain = domain_constraints();
+  Solver solver(arena_);
+
+  while (!worklist.empty() &&
+         static_cast<int>(results.size()) < config_.max_paths) {
+    Pending cur = std::move(worklist.front());
+    worklist.pop_front();
+
+    // 1. Concrete run with branch tracing.
+    Tracer tracer(arena_);
+    Inputs inputs(widths_, cur.asg);
+    {
+      Tracer::Activation act(tracer);
+      fn(inputs);
+    }
+    ++stats_.runs;
+
+    const std::vector<BranchRecord>& path = tracer.path();
+    if (!seen_paths.insert(path_signature(path)).second) continue;
+    ++stats_.paths;
+    results.push_back(cur.asg);
+
+    // 2. Generational expansion: flip each branch at depth >= flip_from.
+    const int flip_limit =
+        std::min<int>(static_cast<int>(path.size()), config_.max_flip_depth);
+    for (int d = cur.flip_from; d < flip_limit; ++d) {
+      std::vector<ExprRef> query = domain;
+      for (int i = 0; i < d; ++i) {
+        query.push_back(path[i].taken ? path[i].cond
+                                      : arena_.not_of(path[i].cond));
+      }
+      query.push_back(path[d].taken ? arena_.not_of(path[d].cond)
+                                    : path[d].cond);
+
+      ++stats_.solver_queries;
+      const std::optional<Model> model = solver.solve(query);
+      if (!model) continue;
+      ++stats_.solver_sat;
+
+      Assignment next = cur.asg;
+      for (const auto& [var, value] : *model) {
+        if (var < next.size()) next[var] = value;
+      }
+      if (seen_assignments.insert(assignment_signature(next)).second) {
+        worklist.push_back(Pending{std::move(next), d + 1});
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace nicemc::sym

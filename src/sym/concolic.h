@@ -1,0 +1,127 @@
+// DART-style concolic path exploration of event handlers.
+//
+// Given a set of symbolic input variables (packet header fields or traffic
+// statistics), a set of domain constraints (Section 3.2 "symbolic packets":
+// header fields range over addresses that exist in the topology, plus
+// broadcast and a fresh value), and a deterministic function that runs the
+// handler on those inputs, the explorer repeatedly:
+//   1. runs the handler concretely with the current assignment while an
+//      ambient Tracer records the path condition,
+//   2. records the assignment as the representative of the new path
+//      (one equivalence class of packets per feasible handler path), and
+//   3. for each branch along the path, asks the solver for an assignment
+//      that follows the same prefix but takes the other direction
+//      (generational search: children only flip at depths beyond the branch
+//      that created them, so no prefix is explored twice).
+//
+// The result is exactly the paper's set of "relevant packets": one concrete
+// input per equivalence class of handler behaviours.
+#ifndef NICE_SYM_CONCOLIC_H
+#define NICE_SYM_CONCOLIC_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sym/expr.h"
+#include "sym/solver.h"
+#include "sym/value.h"
+
+namespace nicemc::sym {
+
+/// Opaque handle to an input variable registered with the explorer.
+struct VarHandle {
+  VarId id{0};
+};
+
+/// A concrete assignment of all registered input variables, indexed by
+/// VarId in registration order.
+using Assignment = std::vector<std::uint64_t>;
+
+struct ConcolicConfig {
+  /// Cap on executed paths per discovery session; prevents path explosion
+  /// (Section 9 "infinite execution trees").
+  int max_paths = 128;
+  /// Branches beyond this depth are executed but not flipped.
+  int max_flip_depth = 128;
+};
+
+struct ConcolicStats {
+  std::uint64_t runs{0};
+  std::uint64_t paths{0};
+  std::uint64_t solver_queries{0};
+  std::uint64_t solver_sat{0};
+};
+
+/// Per-run view: concolic values of the registered inputs under the current
+/// assignment. Only valid inside the run callback.
+class Inputs {
+ public:
+  Inputs(std::span<const std::uint8_t> widths, const Assignment& asg)
+      : widths_(widths), asg_(asg) {}
+
+  /// Concolic value for a registered input variable.
+  [[nodiscard]] Value operator[](VarHandle h) const {
+    return Value::input(h.id, widths_[h.id], asg_[h.id]);
+  }
+
+  [[nodiscard]] std::uint64_t concrete(VarHandle h) const {
+    return asg_[h.id];
+  }
+
+ private:
+  std::span<const std::uint8_t> widths_;
+  const Assignment& asg_;
+};
+
+class Concolic {
+ public:
+  explicit Concolic(ConcolicConfig config = {});
+
+  /// Register a symbolic input variable with its width and the concrete
+  /// value used for the first run.
+  VarHandle add_var(std::string name, unsigned width, std::uint64_t initial);
+
+  /// Constrain a variable to a candidate set (domain knowledge). A variable
+  /// may have at most one candidate-set constraint; extra calls replace it.
+  void restrict_to(VarHandle h, std::vector<std::uint64_t> candidates);
+
+  /// The handler wrapper. It must be deterministic in the inputs and must
+  /// not leak state across invocations (the caller re-clones controller
+  /// state per run).
+  using RunFn = std::function<void(const Inputs&)>;
+
+  /// Explore all feasible paths (bounded by config) and return one
+  /// representative assignment per discovered path.
+  std::vector<Assignment> explore(const RunFn& fn);
+
+  [[nodiscard]] const ConcolicStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] ExprArena& arena() noexcept { return arena_; }
+  [[nodiscard]] const std::vector<std::string>& var_names() const noexcept {
+    return names_;
+  }
+
+ private:
+  struct Pending {
+    Assignment asg;
+    int flip_from{0};  // generational bound
+  };
+
+  [[nodiscard]] std::vector<ExprRef> domain_constraints();
+
+  ConcolicConfig config_;
+  ExprArena arena_;
+  std::vector<std::string> names_;
+  std::vector<std::uint8_t> widths_;
+  Assignment initial_;
+  std::vector<std::vector<std::uint64_t>> domains_;  // empty = unconstrained
+  ConcolicStats stats_;
+};
+
+}  // namespace nicemc::sym
+
+#endif  // NICE_SYM_CONCOLIC_H

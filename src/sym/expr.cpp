@@ -1,0 +1,349 @@
+#include "sym/expr.h"
+
+#include <cassert>
+
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace nicemc::sym {
+
+namespace {
+
+bool is_commutative(Op op) {
+  switch (op) {
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kAdd:
+    case Op::kEq:
+    case Op::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t fold_bin(Op op, std::uint64_t a, std::uint64_t b, unsigned w) {
+  const std::uint64_t m = width_mask(w);
+  switch (op) {
+    case Op::kAnd:
+      return a & b;
+    case Op::kOr:
+      return a | b;
+    case Op::kXor:
+      return a ^ b;
+    case Op::kAdd:
+      return (a + b) & m;
+    case Op::kSub:
+      return (a - b) & m;
+    default:
+      assert(false && "not a foldable binary op");
+      return 0;
+  }
+}
+
+std::uint64_t fold_cmp(Op op, std::uint64_t a, std::uint64_t b) {
+  switch (op) {
+    case Op::kEq:
+      return a == b ? 1 : 0;
+    case Op::kNe:
+      return a != b ? 1 : 0;
+    case Op::kUlt:
+      return a < b ? 1 : 0;
+    case Op::kUle:
+      return a <= b ? 1 : 0;
+    default:
+      assert(false && "not a comparison op");
+      return 0;
+  }
+}
+
+}  // namespace
+
+std::size_t ExprArena::NodeHash::operator()(const Node& n) const noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  h = util::hash_combine(h, static_cast<std::uint64_t>(n.op));
+  h = util::hash_combine(h, n.width);
+  h = util::hash_combine(h, n.a);
+  h = util::hash_combine(h, n.b);
+  h = util::hash_combine(h, n.c);
+  h = util::hash_combine(h, n.aux);
+  return static_cast<std::size_t>(h);
+}
+
+ExprArena::ExprArena() {
+  nodes_.reserve(256);
+}
+
+ExprRef ExprArena::intern(Node n) {
+  auto [it, inserted] =
+      cons_.try_emplace(n, static_cast<ExprRef>(nodes_.size()));
+  if (inserted) nodes_.push_back(n);
+  return it->second;
+}
+
+ExprRef ExprArena::constant(std::uint64_t v, unsigned width) {
+  assert(width >= 1 && width <= 64);
+  return intern(Node{.op = Op::kConst,
+                     .width = static_cast<std::uint8_t>(width),
+                     .aux = v & width_mask(width)});
+}
+
+ExprRef ExprArena::var(VarId id, unsigned width) {
+  assert(width >= 1 && width <= 64);
+  return intern(Node{.op = Op::kVar,
+                     .width = static_cast<std::uint8_t>(width),
+                     .aux = id});
+}
+
+ExprRef ExprArena::bin(Op op, ExprRef a, ExprRef b) {
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  assert(na.width == nb.width && "operand width mismatch");
+  const unsigned w = na.width;
+  if (na.op == Op::kConst && nb.op == Op::kConst) {
+    return constant(fold_bin(op, na.aux, nb.aux, w), w);
+  }
+  // Identity simplifications keep path conditions small.
+  if (nb.op == Op::kConst) {
+    if ((op == Op::kOr || op == Op::kXor || op == Op::kAdd ||
+         op == Op::kSub) &&
+        nb.aux == 0) {
+      return a;
+    }
+    if (op == Op::kAnd && nb.aux == width_mask(w)) return a;
+    if (op == Op::kAnd && nb.aux == 0) return constant(0, w);
+  }
+  if (na.op == Op::kConst) {
+    if ((op == Op::kOr || op == Op::kXor || op == Op::kAdd) && na.aux == 0) {
+      return b;
+    }
+    if (op == Op::kAnd && na.aux == width_mask(w)) return b;
+    if (op == Op::kAnd && na.aux == 0) return constant(0, w);
+  }
+  if (is_commutative(op) && a > b) std::swap(a, b);
+  return intern(Node{.op = op,
+                     .width = static_cast<std::uint8_t>(w),
+                     .a = a,
+                     .b = b});
+}
+
+ExprRef ExprArena::cmp(Op op, ExprRef a, ExprRef b) {
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  assert(na.width == nb.width && "operand width mismatch");
+  if (na.op == Op::kConst && nb.op == Op::kConst) {
+    return constant(fold_cmp(op, na.aux, nb.aux), 1);
+  }
+  if (a == b) {
+    switch (op) {
+      case Op::kEq:
+      case Op::kUle:
+        return constant(1, 1);
+      case Op::kNe:
+      case Op::kUlt:
+        return constant(0, 1);
+      default:
+        break;
+    }
+  }
+  if (is_commutative(op) && a > b) std::swap(a, b);
+  return intern(Node{.op = op, .width = 1, .a = a, .b = b});
+}
+
+ExprRef ExprArena::not_of(ExprRef a) {
+  const Node& na = node(a);
+  if (na.op == Op::kConst) {
+    return constant(~na.aux & width_mask(na.width), na.width);
+  }
+  if (na.op == Op::kNot) return na.a;  // double negation
+  // Push negation through comparisons: !(a == b) → (a != b), etc. This only
+  // applies on width-1 results and keeps CNF small.
+  if (na.width == 1) {
+    switch (na.op) {
+      case Op::kEq:
+        return cmp(Op::kNe, na.a, na.b);
+      case Op::kNe:
+        return cmp(Op::kEq, na.a, na.b);
+      case Op::kUlt:
+        return cmp(Op::kUle, na.b, na.a);
+      case Op::kUle:
+        return cmp(Op::kUlt, na.b, na.a);
+      default:
+        break;
+    }
+  }
+  return intern(Node{.op = Op::kNot, .width = na.width, .a = a});
+}
+
+ExprRef ExprArena::shl(ExprRef a, unsigned amount) {
+  const Node& na = node(a);
+  if (amount == 0) return a;
+  if (na.op == Op::kConst) {
+    const std::uint64_t v =
+        amount >= na.width ? 0 : (na.aux << amount) & width_mask(na.width);
+    return constant(v, na.width);
+  }
+  return intern(Node{.op = Op::kShl, .width = na.width, .a = a,
+                     .aux = amount});
+}
+
+ExprRef ExprArena::lshr(ExprRef a, unsigned amount) {
+  const Node& na = node(a);
+  if (amount == 0) return a;
+  if (na.op == Op::kConst) {
+    const std::uint64_t v = amount >= na.width ? 0 : (na.aux >> amount);
+    return constant(v, na.width);
+  }
+  return intern(Node{.op = Op::kLshr, .width = na.width, .a = a,
+                     .aux = amount});
+}
+
+ExprRef ExprArena::extract(ExprRef a, unsigned low, unsigned width) {
+  const Node& na = node(a);
+  assert(low + width <= na.width);
+  if (low == 0 && width == na.width) return a;
+  if (na.op == Op::kConst) return constant(na.aux >> low, width);
+  return intern(Node{.op = Op::kExtract,
+                     .width = static_cast<std::uint8_t>(width),
+                     .a = a,
+                     .aux = low});
+}
+
+ExprRef ExprArena::zext(ExprRef a, unsigned width) {
+  const Node& na = node(a);
+  assert(width >= na.width);
+  if (width == na.width) return a;
+  if (na.op == Op::kConst) return constant(na.aux, width);
+  return intern(Node{.op = Op::kZext,
+                     .width = static_cast<std::uint8_t>(width),
+                     .a = a});
+}
+
+ExprRef ExprArena::ite(ExprRef cond, ExprRef then_e, ExprRef else_e) {
+  const Node& nc = node(cond);
+  assert(nc.width == 1);
+  assert(node(then_e).width == node(else_e).width);
+  if (nc.op == Op::kConst) return nc.aux ? then_e : else_e;
+  if (then_e == else_e) return then_e;
+  return intern(Node{.op = Op::kIte,
+                     .width = node(then_e).width,
+                     .a = cond,
+                     .b = then_e,
+                     .c = else_e});
+}
+
+ExprRef ExprArena::any_of(ExprRef v,
+                          std::span<const std::uint64_t> candidates) {
+  const unsigned w = node(v).width;
+  ExprRef acc = constant(0, 1);
+  for (std::uint64_t c : candidates) {
+    acc = bin(Op::kOr, acc, cmp(Op::kEq, v, constant(c, w)));
+  }
+  return acc;
+}
+
+ExprRef ExprArena::all_of(std::span<const ExprRef> conjuncts) {
+  ExprRef acc = constant(1, 1);
+  for (ExprRef c : conjuncts) acc = bin(Op::kAnd, acc, c);
+  return acc;
+}
+
+std::uint64_t ExprArena::eval(
+    ExprRef r, const std::vector<std::uint64_t>& var_values) const {
+  const Node& n = node(r);
+  const std::uint64_t m = width_mask(n.width);
+  switch (n.op) {
+    case Op::kConst:
+      return n.aux;
+    case Op::kVar:
+      return (n.aux < var_values.size() ? var_values[n.aux] : 0) & m;
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kAdd:
+    case Op::kSub:
+      return fold_bin(n.op, eval(n.a, var_values), eval(n.b, var_values),
+                      n.width);
+    case Op::kNot:
+      return ~eval(n.a, var_values) & m;
+    case Op::kShl: {
+      const std::uint64_t v = eval(n.a, var_values);
+      return n.aux >= n.width ? 0 : (v << n.aux) & m;
+    }
+    case Op::kLshr: {
+      const std::uint64_t v = eval(n.a, var_values);
+      return n.aux >= n.width ? 0 : v >> n.aux;
+    }
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kUlt:
+    case Op::kUle:
+      return fold_cmp(n.op, eval(n.a, var_values), eval(n.b, var_values));
+    case Op::kIte:
+      return eval(n.a, var_values) ? eval(n.b, var_values)
+                                   : eval(n.c, var_values);
+    case Op::kExtract:
+      return (eval(n.a, var_values) >> n.aux) & m;
+    case Op::kZext:
+      return eval(n.a, var_values);
+  }
+  return 0;
+}
+
+void ExprArena::collect_vars(ExprRef r, std::set<VarId>& out) const {
+  const Node& n = node(r);
+  if (n.op == Op::kVar) {
+    out.insert(static_cast<VarId>(n.aux));
+    return;
+  }
+  if (n.a != kNilExpr) collect_vars(n.a, out);
+  if (n.b != kNilExpr) collect_vars(n.b, out);
+  if (n.c != kNilExpr) collect_vars(n.c, out);
+}
+
+std::string ExprArena::to_string(ExprRef r) const {
+  const Node& n = node(r);
+  auto name = [](Op op) -> const char* {
+    switch (op) {
+      case Op::kConst: return "const";
+      case Op::kVar: return "var";
+      case Op::kAnd: return "and";
+      case Op::kOr: return "or";
+      case Op::kXor: return "xor";
+      case Op::kNot: return "not";
+      case Op::kAdd: return "add";
+      case Op::kSub: return "sub";
+      case Op::kShl: return "shl";
+      case Op::kLshr: return "lshr";
+      case Op::kEq: return "eq";
+      case Op::kNe: return "ne";
+      case Op::kUlt: return "ult";
+      case Op::kUle: return "ule";
+      case Op::kIte: return "ite";
+      case Op::kExtract: return "extract";
+      case Op::kZext: return "zext";
+    }
+    return "?";
+  };
+  switch (n.op) {
+    case Op::kConst:
+      return "0x" + util::hex_u64(n.aux, (n.width + 3) / 4);
+    case Op::kVar:
+      return "v" + std::to_string(n.aux) + ":" + std::to_string(n.width);
+    default: {
+      std::string s = "(";
+      s += name(n.op);
+      if (n.op == Op::kShl || n.op == Op::kLshr || n.op == Op::kExtract) {
+        s += " " + std::to_string(n.aux);
+      }
+      if (n.a != kNilExpr) s += " " + to_string(n.a);
+      if (n.b != kNilExpr) s += " " + to_string(n.b);
+      if (n.c != kNilExpr) s += " " + to_string(n.c);
+      s += ")";
+      return s;
+    }
+  }
+}
+
+}  // namespace nicemc::sym

@@ -1,0 +1,124 @@
+// Hash-consed bit-vector expression DAG.
+//
+// This is the constraint language of NICE's symbolic packets (paper
+// Section 3.2): packet header fields are fixed-width unsigned integers
+// (MAC 48, IP 32, ports 16, ...), and event handlers branch on equality,
+// ordering, and bit tests over them. Expressions are immutable nodes in an
+// arena; structurally identical nodes are shared (hash-consing), which keeps
+// path conditions compact when the same sub-expressions recur across
+// branches of a handler.
+#ifndef NICE_SYM_EXPR_H
+#define NICE_SYM_EXPR_H
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nicemc::sym {
+
+/// Index of a node inside its ExprArena.
+using ExprRef = std::uint32_t;
+inline constexpr ExprRef kNilExpr = 0xffffffffu;
+
+/// Identifier of a symbolic input variable (assigned by the concolic engine).
+using VarId = std::uint32_t;
+
+enum class Op : std::uint8_t {
+  kConst,    // aux = value
+  kVar,      // aux = VarId
+  kAnd,      // bitwise; on width-1 this is logical AND
+  kOr,
+  kXor,
+  kNot,
+  kAdd,
+  kSub,
+  kShl,      // aux = shift amount (constant)
+  kLshr,     // aux = shift amount (constant)
+  kEq,       // width-1 result
+  kNe,
+  kUlt,      // unsigned <
+  kUle,      // unsigned <=
+  kIte,      // a = cond (width 1), b = then, c = else
+  kExtract,  // aux = low bit; node width = extracted width
+  kZext,     // zero-extend a to node width
+};
+
+struct Node {
+  Op op{Op::kConst};
+  std::uint8_t width{0};  // result width in bits, 1..64
+  ExprRef a{kNilExpr};
+  ExprRef b{kNilExpr};
+  ExprRef c{kNilExpr};
+  std::uint64_t aux{0};
+
+  friend bool operator==(const Node&, const Node&) = default;
+};
+
+/// All-ones mask for a width in [1, 64].
+constexpr std::uint64_t width_mask(unsigned w) noexcept {
+  return w >= 64 ? ~0ULL : ((1ULL << w) - 1);
+}
+
+/// Arena of hash-consed expression nodes. One arena lives per concolic
+/// discovery session; ExprRefs are only meaningful relative to their arena.
+class ExprArena {
+ public:
+  ExprArena();
+
+  ExprRef constant(std::uint64_t v, unsigned width);
+  ExprRef var(VarId id, unsigned width);
+
+  /// Binary bitwise/arithmetic op (kAnd/kOr/kXor/kAdd/kSub). Both operands
+  /// must have equal width; the result has the same width. Folds constants
+  /// and normalizes commutative operand order.
+  ExprRef bin(Op op, ExprRef a, ExprRef b);
+
+  /// Comparison (kEq/kNe/kUlt/kUle); operands equal width, result width 1.
+  ExprRef cmp(Op op, ExprRef a, ExprRef b);
+
+  ExprRef not_of(ExprRef a);
+  ExprRef shl(ExprRef a, unsigned amount);
+  ExprRef lshr(ExprRef a, unsigned amount);
+  ExprRef extract(ExprRef a, unsigned low, unsigned width);
+  ExprRef zext(ExprRef a, unsigned width);
+  ExprRef ite(ExprRef cond, ExprRef then_e, ExprRef else_e);
+
+  /// Disjunction of equalities: v ∈ {candidates...}. Used for the
+  /// domain-knowledge constraints of Section 3.2 (restrict header fields to
+  /// addresses that exist in the topology, plus broadcast / fresh values).
+  ExprRef any_of(ExprRef v, std::span<const std::uint64_t> candidates);
+
+  /// Logical AND of a conjunct list (width-1 exprs); true for empty list.
+  ExprRef all_of(std::span<const ExprRef> conjuncts);
+
+  [[nodiscard]] const Node& node(ExprRef r) const { return nodes_[r]; }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Evaluate under a variable assignment (indexed by VarId; missing ids
+  /// evaluate as 0). Used to validate solver models and in tests.
+  [[nodiscard]] std::uint64_t eval(
+      ExprRef r, const std::vector<std::uint64_t>& var_values) const;
+
+  /// All VarIds appearing under r.
+  void collect_vars(ExprRef r, std::set<VarId>& out) const;
+
+  /// Debug rendering, e.g. "(eq v0:48 0xffffffffffff)".
+  [[nodiscard]] std::string to_string(ExprRef r) const;
+
+ private:
+  struct NodeHash {
+    std::size_t operator()(const Node& n) const noexcept;
+  };
+
+  ExprRef intern(Node n);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<Node, ExprRef, NodeHash> cons_;
+};
+
+}  // namespace nicemc::sym
+
+#endif  // NICE_SYM_EXPR_H

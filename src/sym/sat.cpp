@@ -1,0 +1,155 @@
+#include "sym/sat.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nicemc::sym {
+
+SatVar SatSolver::new_var() {
+  const SatVar v = static_cast<SatVar>(value_.size());
+  value_.push_back(kUndef);
+  watches_.push_back({});
+  watches_.push_back({});
+  occurrence_.push_back(0);
+  return v;
+}
+
+void SatSolver::add_clause(std::vector<Lit> lits) {
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  // Tautology check: adjacent after sorting, since lit and ¬lit differ in
+  // the low bit only.
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lit_var(lits[i]) == lit_var(lits[i + 1])) return;  // p ∨ ¬p
+  }
+  if (lits.empty()) {
+    trivially_unsat_ = true;
+    return;
+  }
+  for (Lit l : lits) {
+    assert(lit_var(l) < value_.size() && "literal for unknown variable");
+    ++occurrence_[lit_var(l)];
+  }
+  const auto idx = static_cast<std::uint32_t>(clauses_.size());
+  clauses_.push_back(std::move(lits));
+  const auto& c = clauses_.back();
+  // Watch the first two literals (a unit clause watches its only literal
+  // twice; propagation handles that case naturally).
+  watches_[c[0]].push_back(idx);
+  watches_[c.size() > 1 ? c[1] : c[0]].push_back(idx);
+}
+
+bool SatSolver::enqueue(Lit l) {
+  const LBool v = value_of(l);
+  if (v == 0) return false;  // already false: conflict
+  if (v == 1) return true;   // already true: no-op
+  value_[lit_var(l)] = lit_sign(l) ? 0 : 1;
+  trail_.push_back(l);
+  ++propagations_;
+  return true;
+}
+
+bool SatSolver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    const Lit false_lit = lit_neg(p);  // literals that just became false
+    auto& watch_list = watches_[false_lit];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const std::uint32_t ci = watch_list[i];
+      auto& c = clauses_[ci];
+      // Normalize: put the false literal in position 1.
+      if (c[0] == false_lit && c.size() > 1) std::swap(c[0], c[1]);
+      const Lit other = c[0];
+      if (c.size() > 1 && value_of(other) == 1) {
+        watch_list[keep++] = ci;  // clause already satisfied
+        continue;
+      }
+      // Find a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (value_of(c[k]) != 0) {
+          std::swap(c[1], c[k]);
+          watches_[c[1]].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // watch moved: drop from this list
+      watch_list[keep++] = ci;
+      // Clause is unit (or conflicting).
+      if (!enqueue(other)) {
+        // Conflict: keep remaining watches intact before reporting.
+        for (std::size_t k = i + 1; k < watch_list.size(); ++k) {
+          watch_list[keep++] = watch_list[k];
+        }
+        watch_list.resize(keep);
+        return false;
+      }
+    }
+    watch_list.resize(keep);
+  }
+  return true;
+}
+
+SatVar SatSolver::pick_branch_var() const {
+  SatVar best = static_cast<SatVar>(num_vars());
+  std::uint32_t best_score = 0;
+  for (SatVar v = 0; v < num_vars(); ++v) {
+    if (value_[v] == kUndef && (best == num_vars() ||
+                                occurrence_[v] > best_score)) {
+      best = v;
+      best_score = occurrence_[v];
+    }
+  }
+  return best;
+}
+
+void SatSolver::unwind_to(std::size_t trail_mark) {
+  while (trail_.size() > trail_mark) {
+    value_[lit_var(trail_.back())] = kUndef;
+    trail_.pop_back();
+  }
+  propagate_head_ = trail_.size();
+}
+
+SatResult SatSolver::solve() {
+  if (trivially_unsat_) return SatResult::kUnsat;
+  // Reset any previous search.
+  unwind_to(0);
+  frames_.clear();
+
+  // Assert unit clauses up-front.
+  for (const auto& c : clauses_) {
+    if (c.size() == 1 && !enqueue(c[0])) return SatResult::kUnsat;
+  }
+
+  for (;;) {
+    if (!propagate()) {
+      // Conflict: backtrack chronologically to the most recent unflipped
+      // decision and assert its negation.
+      while (!frames_.empty() && frames_.back().flipped) frames_.pop_back();
+      if (frames_.empty()) return SatResult::kUnsat;
+      Frame& f = frames_.back();
+      unwind_to(f.trail_mark);
+      f.flipped = true;
+      if (!enqueue(lit_neg(f.decision))) return SatResult::kUnsat;
+      continue;
+    }
+    const SatVar v = pick_branch_var();
+    if (v == num_vars()) return SatResult::kSat;  // full assignment
+    ++decisions_;
+    const Lit decision = make_lit(v, /*negated=*/false);
+    frames_.push_back(Frame{.decision = decision,
+                            .flipped = false,
+                            .trail_mark = trail_.size()});
+    enqueue(decision);
+  }
+}
+
+bool SatSolver::model_value(SatVar v) const {
+  assert(v < num_vars());
+  return value_[v] == 1;
+}
+
+}  // namespace nicemc::sym

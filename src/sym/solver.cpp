@@ -1,0 +1,37 @@
+#include "sym/solver.h"
+
+#include <cassert>
+
+#include "sym/bitblast.h"
+#include "sym/sat.h"
+
+namespace nicemc::sym {
+
+std::optional<Model> Solver::solve(std::span<const ExprRef> conjuncts) {
+  ++stats_.queries;
+  SatSolver sat;
+  BitBlaster blaster(arena_, sat);
+  for (ExprRef c : conjuncts) {
+    assert(arena_.node(c).width == 1 && "constraints must be width-1");
+    sat.add_unit(blaster.bit1(c));
+  }
+  stats_.clauses_total += sat.num_clauses();
+  stats_.sat_vars_total += sat.num_vars();
+  if (sat.solve() == SatResult::kUnsat) {
+    ++stats_.unsat;
+    return std::nullopt;
+  }
+  ++stats_.sat;
+  Model model;
+  for (const auto& [var, lits] : blaster.input_bits()) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < lits.size(); ++i) {
+      const bool bit = sat.model_value(lit_var(lits[i])) != lit_sign(lits[i]);
+      if (bit) v |= (1ULL << i);
+    }
+    model[var] = v;
+  }
+  return model;
+}
+
+}  // namespace nicemc::sym

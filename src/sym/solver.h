@@ -1,0 +1,44 @@
+// Bit-vector constraint solver facade: conjunction of width-1 expressions
+// in, satisfying assignment of the symbolic input variables out.
+#ifndef NICE_SYM_SOLVER_H
+#define NICE_SYM_SOLVER_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+
+#include "sym/expr.h"
+
+namespace nicemc::sym {
+
+/// Model: values for the input variables that appeared in the query.
+/// Variables not mentioned by any constraint are absent.
+using Model = std::map<VarId, std::uint64_t>;
+
+struct SolverStats {
+  std::uint64_t queries{0};
+  std::uint64_t sat{0};
+  std::uint64_t unsat{0};
+  std::uint64_t clauses_total{0};
+  std::uint64_t sat_vars_total{0};
+};
+
+class Solver {
+ public:
+  explicit Solver(const ExprArena& arena) : arena_(arena) {}
+
+  /// Solve the conjunction of the given width-1 expressions. Returns a
+  /// model if satisfiable, std::nullopt otherwise.
+  std::optional<Model> solve(std::span<const ExprRef> conjuncts);
+
+  [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
+
+ private:
+  const ExprArena& arena_;
+  SolverStats stats_;
+};
+
+}  // namespace nicemc::sym
+
+#endif  // NICE_SYM_SOLVER_H

@@ -1,0 +1,82 @@
+#include "sym/sympacket.h"
+
+namespace nicemc::sym {
+
+SymPacket SymPacket::concrete(const PacketFields& f) {
+  SymPacket p;
+  p.eth_src = Value(f.eth_src, kEthAddrBits);
+  p.eth_dst = Value(f.eth_dst, kEthAddrBits);
+  p.eth_type = Value(f.eth_type, kEthTypeBits);
+  p.ip_src = Value(f.ip_src, kIpAddrBits);
+  p.ip_dst = Value(f.ip_dst, kIpAddrBits);
+  p.ip_proto = Value(f.ip_proto, kIpProtoBits);
+  p.tp_src = Value(f.tp_src, kTpPortBits);
+  p.tp_dst = Value(f.tp_dst, kTpPortBits);
+  p.tcp_flags = Value(f.tcp_flags, kTcpFlagsBits);
+  return p;
+}
+
+SymPacketVars SymPacketVars::register_with(Concolic& engine,
+                                           const PacketFields& initial) {
+  SymPacketVars v;
+  v.eth_src = engine.add_var("eth_src", kEthAddrBits, initial.eth_src);
+  v.eth_dst = engine.add_var("eth_dst", kEthAddrBits, initial.eth_dst);
+  v.eth_type = engine.add_var("eth_type", kEthTypeBits, initial.eth_type);
+  v.ip_src = engine.add_var("ip_src", kIpAddrBits, initial.ip_src);
+  v.ip_dst = engine.add_var("ip_dst", kIpAddrBits, initial.ip_dst);
+  v.ip_proto = engine.add_var("ip_proto", kIpProtoBits, initial.ip_proto);
+  v.tp_src = engine.add_var("tp_src", kTpPortBits, initial.tp_src);
+  v.tp_dst = engine.add_var("tp_dst", kTpPortBits, initial.tp_dst);
+  v.tcp_flags = engine.add_var("tcp_flags", kTcpFlagsBits, initial.tcp_flags);
+  return v;
+}
+
+SymPacket SymPacketVars::bind(const Inputs& in) const {
+  SymPacket p;
+  p.eth_src = in[eth_src];
+  p.eth_dst = in[eth_dst];
+  p.eth_type = in[eth_type];
+  p.ip_src = in[ip_src];
+  p.ip_dst = in[ip_dst];
+  p.ip_proto = in[ip_proto];
+  p.tp_src = in[tp_src];
+  p.tp_dst = in[tp_dst];
+  p.tcp_flags = in[tcp_flags];
+  return p;
+}
+
+PacketFields SymPacketVars::materialize(const Assignment& asg) const {
+  PacketFields f;
+  f.eth_src = asg[eth_src.id];
+  f.eth_dst = asg[eth_dst.id];
+  f.eth_type = asg[eth_type.id];
+  f.ip_src = asg[ip_src.id];
+  f.ip_dst = asg[ip_dst.id];
+  f.ip_proto = asg[ip_proto.id];
+  f.tp_src = asg[tp_src.id];
+  f.tp_dst = asg[tp_dst.id];
+  f.tcp_flags = asg[tcp_flags.id];
+  return f;
+}
+
+void PacketDomain::apply(Concolic& engine, const SymPacketVars& vars) const {
+  if (!eth_addrs.empty()) {
+    engine.restrict_to(vars.eth_src, eth_addrs);
+    engine.restrict_to(vars.eth_dst, eth_addrs);
+  }
+  if (!eth_types.empty()) engine.restrict_to(vars.eth_type, eth_types);
+  if (!ip_addrs.empty()) {
+    engine.restrict_to(vars.ip_src, ip_addrs);
+    engine.restrict_to(vars.ip_dst, ip_addrs);
+  }
+  if (!ip_protos.empty()) engine.restrict_to(vars.ip_proto, ip_protos);
+  if (!tp_ports.empty()) {
+    engine.restrict_to(vars.tp_src, tp_ports);
+    engine.restrict_to(vars.tp_dst, tp_ports);
+  }
+  if (!tcp_flag_values.empty()) {
+    engine.restrict_to(vars.tcp_flags, tcp_flag_values);
+  }
+}
+
+}  // namespace nicemc::sym

@@ -1,0 +1,101 @@
+// Symbolic packets (paper Section 3.2): a group of symbolic integer
+// variables, one per header field, rather than a generic byte array. Field
+// widths follow the OpenFlow 1.0 match fields the paper's applications use.
+#ifndef NICE_SYM_SYMPACKET_H
+#define NICE_SYM_SYMPACKET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sym/concolic.h"
+#include "sym/value.h"
+
+namespace nicemc::sym {
+
+/// Widths (bits) of the symbolic packet header fields.
+inline constexpr unsigned kEthAddrBits = 48;
+inline constexpr unsigned kEthTypeBits = 16;
+inline constexpr unsigned kIpAddrBits = 32;
+inline constexpr unsigned kIpProtoBits = 8;
+inline constexpr unsigned kTpPortBits = 16;
+inline constexpr unsigned kTcpFlagsBits = 8;
+
+/// Concrete header field values — what a discovery session ultimately
+/// produces (one per equivalence class of handler paths).
+struct PacketFields {
+  std::uint64_t eth_src{0};
+  std::uint64_t eth_dst{0};
+  std::uint64_t eth_type{0};
+  std::uint64_t ip_src{0};
+  std::uint64_t ip_dst{0};
+  std::uint64_t ip_proto{0};
+  std::uint64_t tp_src{0};
+  std::uint64_t tp_dst{0};
+  std::uint64_t tcp_flags{0};
+
+  friend bool operator==(const PacketFields&, const PacketFields&) = default;
+  friend auto operator<=>(const PacketFields&, const PacketFields&) = default;
+};
+
+/// Concolic view of a packet inside an event handler: each field is a
+/// sym::Value. In the model checker (no tracer) the fields are concrete;
+/// during discovery they are symbolic inputs.
+struct SymPacket {
+  Value eth_src{0, kEthAddrBits};
+  Value eth_dst{0, kEthAddrBits};
+  Value eth_type{0, kEthTypeBits};
+  Value ip_src{0, kIpAddrBits};
+  Value ip_dst{0, kIpAddrBits};
+  Value ip_proto{0, kIpProtoBits};
+  Value tp_src{0, kTpPortBits};
+  Value tp_dst{0, kTpPortBits};
+  Value tcp_flags{0, kTcpFlagsBits};
+
+  /// A fully concrete SymPacket.
+  static SymPacket concrete(const PacketFields& f);
+
+  /// Multicast/broadcast bit of an Ethernet address: least-significant bit
+  /// of the first octet, i.e. bit 40 of the 48-bit value (Figure 3,
+  /// "pkt.src[0] & 1").
+  [[nodiscard]] Bool src_is_multicast() const {
+    return eth_src.lshr(40).extract(0, 1) == Value(1, 1);
+  }
+  [[nodiscard]] Bool dst_is_multicast() const {
+    return eth_dst.lshr(40).extract(0, 1) == Value(1, 1);
+  }
+};
+
+/// The variable handles of a symbolic packet registered with a Concolic
+/// engine, plus helpers to bind/materialize them.
+struct SymPacketVars {
+  VarHandle eth_src, eth_dst, eth_type, ip_src, ip_dst, ip_proto, tp_src,
+      tp_dst, tcp_flags;
+
+  /// Register all fields with the engine; `initial` seeds the first run.
+  static SymPacketVars register_with(Concolic& engine,
+                                     const PacketFields& initial);
+
+  /// Concolic packet for the current run.
+  [[nodiscard]] SymPacket bind(const Inputs& in) const;
+
+  /// Concrete fields from a discovered assignment.
+  [[nodiscard]] PacketFields materialize(const Assignment& asg) const;
+};
+
+/// Domain-knowledge candidate sets for the packet fields (addresses that
+/// exist in the topology plus broadcast and a fresh value). Empty vectors
+/// leave the corresponding field unconstrained.
+struct PacketDomain {
+  std::vector<std::uint64_t> eth_addrs;
+  std::vector<std::uint64_t> eth_types;
+  std::vector<std::uint64_t> ip_addrs;
+  std::vector<std::uint64_t> ip_protos;
+  std::vector<std::uint64_t> tp_ports;
+  std::vector<std::uint64_t> tcp_flag_values;
+
+  void apply(Concolic& engine, const SymPacketVars& vars) const;
+};
+
+}  // namespace nicemc::sym
+
+#endif  // NICE_SYM_SYMPACKET_H

@@ -1,0 +1,86 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nicemc::topo {
+
+SwitchId Topology::add_switch(std::vector<PortId> ports) {
+  const SwitchId id = static_cast<SwitchId>(switches_.size());
+  switches_.push_back(SwitchSpec{.id = id, .ports = std::move(ports)});
+  return id;
+}
+
+HostId Topology::add_host(std::string name, std::uint64_t mac,
+                          std::uint32_t ip, SwitchId sw, PortId port) {
+  assert(sw < switches_.size());
+  const HostId id = static_cast<HostId>(hosts_.size());
+  hosts_.push_back(HostSpec{.id = id,
+                            .name = std::move(name),
+                            .mac = mac,
+                            .ip = ip,
+                            .attach_switch = sw,
+                            .attach_port = port,
+                            .alt_locations = {}});
+  return id;
+}
+
+void Topology::add_link(SwitchId a, PortId port_a, SwitchId b, PortId port_b) {
+  assert(a < switches_.size() && b < switches_.size());
+  links_.push_back(LinkSpec{a, port_a, b, port_b});
+}
+
+void Topology::add_alt_location(HostId h, SwitchId sw, PortId port) {
+  hosts_[h].alt_locations.emplace_back(sw, port);
+}
+
+PortPeer Topology::switch_peer(SwitchId sw, PortId port) const {
+  for (const LinkSpec& l : links_) {
+    if (l.sw_a == sw && l.port_a == port) {
+      return PortPeer{PortPeer::Kind::kSwitchLink, l.sw_b, l.port_b};
+    }
+    if (l.sw_b == sw && l.port_b == port) {
+      return PortPeer{PortPeer::Kind::kSwitchLink, l.sw_a, l.port_a};
+    }
+  }
+  return PortPeer{};
+}
+
+std::optional<HostId> Topology::host_by_mac(std::uint64_t mac) const {
+  for (const HostSpec& h : hosts_) {
+    if (h.mac == mac) return h.id;
+  }
+  return std::nullopt;
+}
+
+sym::PacketDomain Topology::packet_domain(
+    std::vector<std::uint64_t> extra_ips,
+    std::vector<std::uint64_t> extra_ports) const {
+  sym::PacketDomain d;
+  for (const HostSpec& h : hosts_) {
+    d.eth_addrs.push_back(h.mac);
+    d.ip_addrs.push_back(h.ip);
+  }
+  d.eth_addrs.push_back(of::kBroadcastMac);
+  // One fresh MAC outside the topology: lets symbolic execution produce the
+  // "unknown destination" equivalence class.
+  d.eth_addrs.push_back(0x00feed000001ULL);
+  d.eth_types = {of::kEthTypeIpv4, of::kEthTypeArp};
+  d.ip_protos = {of::kIpProtoTcp, of::kIpProtoIcmp};
+  for (std::uint64_t ip : extra_ips) d.ip_addrs.push_back(ip);
+  d.tp_ports = {80, 1024, 1025};
+  for (std::uint64_t p : extra_ports) d.tp_ports.push_back(p);
+  d.tcp_flag_values = {0, of::kTcpSyn, of::kTcpAck,
+                       of::kTcpSyn | of::kTcpAck, of::kTcpFin};
+  // De-duplicate candidate sets (hosts may share addresses in tests).
+  auto dedup = [](std::vector<std::uint64_t>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedup(d.eth_addrs);
+  dedup(d.ip_addrs);
+  dedup(d.tp_ports);
+  return d;
+}
+
+}  // namespace nicemc::topo

@@ -1,0 +1,94 @@
+// Static network topology: switches with ports, switch-switch links, hosts
+// with initial attachment points and L2/L3 identifiers.
+//
+// The topology is configuration, not model state: it never changes during a
+// search (host *location* can — mobile hosts carry their current attachment
+// in their own state). It also supplies the domain knowledge of paper
+// Section 3.2: the candidate MAC/IP values the solver may assign to
+// symbolic packet fields.
+#ifndef NICE_TOPO_TOPOLOGY_H
+#define NICE_TOPO_TOPOLOGY_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "of/packet.h"
+#include "sym/sympacket.h"
+
+namespace nicemc::topo {
+
+using of::HostId;
+using of::PortId;
+using of::SwitchId;
+
+struct SwitchSpec {
+  SwitchId id{0};
+  std::vector<PortId> ports;
+};
+
+struct HostSpec {
+  HostId id{0};
+  std::string name;
+  std::uint64_t mac{0};
+  std::uint32_t ip{0};
+  SwitchId attach_switch{0};
+  PortId attach_port{0};
+  /// Alternative <switch, port> locations a mobile host may move to.
+  std::vector<std::pair<SwitchId, PortId>> alt_locations;
+};
+
+struct LinkSpec {
+  SwitchId sw_a{0};
+  PortId port_a{0};
+  SwitchId sw_b{0};
+  PortId port_b{0};
+};
+
+/// What is attached on the far side of a switch port.
+struct PortPeer {
+  enum class Kind : std::uint8_t { kNone, kSwitchLink } kind{Kind::kNone};
+  SwitchId sw{0};
+  PortId port{0};
+};
+
+class Topology {
+ public:
+  SwitchId add_switch(std::vector<PortId> ports);
+  HostId add_host(std::string name, std::uint64_t mac, std::uint32_t ip,
+                  SwitchId sw, PortId port);
+  void add_link(SwitchId a, PortId port_a, SwitchId b, PortId port_b);
+  void add_alt_location(HostId h, SwitchId sw, PortId port);
+
+  [[nodiscard]] const std::vector<SwitchSpec>& switches() const noexcept {
+    return switches_;
+  }
+  [[nodiscard]] const std::vector<HostSpec>& hosts() const noexcept {
+    return hosts_;
+  }
+  [[nodiscard]] const HostSpec& host(HostId h) const { return hosts_[h]; }
+
+  /// Static switch-switch peer of a port (host attachment is dynamic and
+  /// resolved by the model checker against current host locations).
+  [[nodiscard]] PortPeer switch_peer(SwitchId sw, PortId port) const;
+
+  /// Host whose MAC is `mac`, if any.
+  [[nodiscard]] std::optional<HostId> host_by_mac(std::uint64_t mac) const;
+
+  /// Domain-knowledge candidate sets: all host MACs + broadcast (+ one
+  /// fresh MAC), all host IPs (+ provided extras such as a load balancer's
+  /// virtual IP).
+  [[nodiscard]] sym::PacketDomain packet_domain(
+      std::vector<std::uint64_t> extra_ips = {},
+      std::vector<std::uint64_t> extra_ports = {}) const;
+
+ private:
+  std::vector<SwitchSpec> switches_;
+  std::vector<HostSpec> hosts_;
+  std::vector<LinkSpec> links_;
+};
+
+}  // namespace nicemc::topo
+
+#endif  // NICE_TOPO_TOPOLOGY_H

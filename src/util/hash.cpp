@@ -1,0 +1,24 @@
+#include "util/hash.h"
+
+namespace nicemc::util {
+
+std::uint64_t fnv1a64(std::span<const std::byte> bytes,
+                      std::uint64_t basis) noexcept {
+  std::uint64_t h = basis;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x00000100000001b3ULL;
+  }
+  return h;
+}
+
+Hash128 hash128(std::span<const std::byte> bytes) noexcept {
+  // Two FNV-1a streams with independent offset bases. The second basis is
+  // the first basis run through the splitmix64 finalizer.
+  return Hash128{
+      .lo = fnv1a64(bytes, 0xcbf29ce484222325ULL),
+      .hi = fnv1a64(bytes, 0x9ae16a3b2f90404fULL),
+  };
+}
+
+}  // namespace nicemc::util

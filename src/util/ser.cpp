@@ -1,0 +1,4 @@
+#include "util/ser.h"
+
+// Ser is header-only; this TU anchors the library target.
+namespace nicemc::util {}

@@ -1,0 +1,102 @@
+// Canonical byte serialization for state hashing and state comparison.
+//
+// Every model component (flow tables, channels, host state, controller app
+// state, property-monitor state) serializes itself into a Ser buffer; the
+// model checker hashes the buffer to detect revisited states (paper
+// Section 6). Two states are "the same" exactly when their canonical
+// serializations are byte-identical, so serializers must write data in a
+// canonical order (e.g. std::map iteration, canonically sorted flow tables).
+#ifndef NICE_UTIL_SER_H
+#define NICE_UTIL_SER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace nicemc::util {
+
+/// Append-only canonical byte buffer.
+class Ser {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+
+  void put_u16(std::uint16_t v) {
+    put_u8(static_cast<std::uint8_t>(v >> 8));
+    put_u8(static_cast<std::uint8_t>(v));
+  }
+
+  void put_u32(std::uint32_t v) {
+    put_u16(static_cast<std::uint16_t>(v >> 16));
+    put_u16(static_cast<std::uint16_t>(v));
+  }
+
+  void put_u64(std::uint64_t v) {
+    put_u32(static_cast<std::uint32_t>(v >> 32));
+    put_u32(static_cast<std::uint32_t>(v));
+  }
+
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  /// Length-prefixed string (prevents ambiguity between adjacent fields).
+  void put_str(std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    for (char c : s) put_u8(static_cast<std::uint8_t>(c));
+  }
+
+  /// Tag byte for discriminating variants / sections; improves hash quality
+  /// and debuggability of canonical forms.
+  void put_tag(char c) { put_u8(static_cast<std::uint8_t>(c)); }
+
+  template <typename T>
+  void put_vec(const std::vector<T>& v, void (*f)(Ser&, const T&)) {
+    put_u32(static_cast<std::uint32_t>(v.size()));
+    for (const T& x : v) f(*this, x);
+  }
+
+  /// Serialize any type that exposes `void serialize(Ser&) const`.
+  template <typename T>
+  void put(const T& v) {
+    v.serialize(*this);
+  }
+
+  /// Ordered map of integers — iteration order of std::map is canonical.
+  void put_map_u64(const std::map<std::uint64_t, std::uint64_t>& m) {
+    put_u32(static_cast<std::uint32_t>(m.size()));
+    for (const auto& [k, v] : m) {
+      put_u64(k);
+      put_u64(v);
+    }
+  }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] Hash128 hash() const noexcept { return hash128(buf_); }
+
+  void clear() noexcept { buf_.clear(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Hash any serializable object in one call.
+template <typename T>
+Hash128 hash_of(const T& v) {
+  Ser s;
+  v.serialize(s);
+  return s.hash();
+}
+
+}  // namespace nicemc::util
+
+#endif  // NICE_UTIL_SER_H

@@ -1,0 +1,36 @@
+#include "util/strings.h"
+
+#include <array>
+#include <cstdio>
+
+namespace nicemc::util {
+
+std::string mac_to_string(std::uint64_t mac) {
+  std::array<char, 18> buf{};
+  std::snprintf(buf.data(), buf.size(), "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((mac >> 40) & 0xff),
+                static_cast<unsigned>((mac >> 32) & 0xff),
+                static_cast<unsigned>((mac >> 24) & 0xff),
+                static_cast<unsigned>((mac >> 16) & 0xff),
+                static_cast<unsigned>((mac >> 8) & 0xff),
+                static_cast<unsigned>(mac & 0xff));
+  return std::string(buf.data());
+}
+
+std::string ip_to_string(std::uint32_t ip) {
+  std::array<char, 16> buf{};
+  std::snprintf(buf.data(), buf.size(), "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+  return std::string(buf.data());
+}
+
+std::string hex_u64(std::uint64_t v, int digits) {
+  std::string out(static_cast<std::size_t>(digits), '0');
+  for (int i = digits - 1; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = "0123456789abcdef"[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace nicemc::util

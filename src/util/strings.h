@@ -1,0 +1,21 @@
+// Human-readable formatting of network identifiers for traces and logs.
+#ifndef NICE_UTIL_STRINGS_H
+#define NICE_UTIL_STRINGS_H
+
+#include <cstdint>
+#include <string>
+
+namespace nicemc::util {
+
+/// "aa:bb:cc:dd:ee:ff" from a 48-bit MAC stored in the low bits.
+std::string mac_to_string(std::uint64_t mac);
+
+/// Dotted quad from a 32-bit IPv4 address.
+std::string ip_to_string(std::uint32_t ip);
+
+/// Fixed-width lowercase hex, e.g. hex_u64(0x2a, 4) == "002a".
+std::string hex_u64(std::uint64_t v, int digits);
+
+}  // namespace nicemc::util
+
+#endif  // NICE_UTIL_STRINGS_H

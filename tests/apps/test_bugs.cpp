@@ -1,0 +1,261 @@
+// End-to-end reproduction of the paper's eleven bugs (Section 8): for each
+// bug, NICE's search must find the documented property violation, and the
+// fixed application must come up clean (where the paper's fix is complete).
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+
+namespace nicemc::apps {
+namespace {
+
+mc::CheckerResult search(Scenario& s, mc::Strategy strategy =
+                                          mc::Strategy::kPktSeqOnly,
+                         std::uint64_t max_transitions = 2'000'000) {
+  mc::CheckerOptions opt;
+  opt.max_transitions = max_transitions;
+  set_strategy(s, opt, strategy);
+  mc::Checker checker(s.config, opt, s.properties);
+  return checker.run();
+}
+
+// ---- Section 8.1: pyswitch ----
+
+TEST(Bugs, Bug1HostUnreachableAfterMoving) {
+  auto s = pyswitch_bug1();
+  const auto r = search(s);
+  ASSERT_TRUE(r.found_violation());
+  EXPECT_EQ(r.violations.front().violation.property, "NoBlackHoles");
+}
+
+TEST(Bugs, Bug2DelayedDirectPath) {
+  auto s = pyswitch_bug2();
+  const auto r = search(s);
+  ASSERT_TRUE(r.found_violation());
+  EXPECT_EQ(r.violations.front().violation.property, "StrictDirectPaths");
+}
+
+TEST(Bugs, Bug2NaiveFixStillRaces) {
+  PySwitchOptions opt;
+  opt.bug2 = PySwitchOptions::Bug2Fix::kNaive;
+  auto s = pyswitch_bug2(opt);
+  const auto r = search(s);
+  // The naive fix installs the reverse rule after releasing the packet:
+  // the race of Section 8.1 persists.
+  EXPECT_TRUE(r.found_violation());
+}
+
+TEST(Bugs, Bug2CorrectFixIsClean) {
+  PySwitchOptions opt;
+  opt.bug2 = PySwitchOptions::Bug2Fix::kCorrect;
+  auto s = pyswitch_bug2(opt);
+  const auto r = search(s);
+  EXPECT_FALSE(r.found_violation());
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(Bugs, Bug3ForwardingLoopOnCyclicTopology) {
+  auto s = pyswitch_bug3();
+  const auto r = search(s);
+  ASSERT_TRUE(r.found_violation());
+  EXPECT_EQ(r.violations.front().violation.property, "NoForwardingLoops");
+}
+
+// ---- Section 8.2: load balancer ----
+
+TEST(Bugs, Bug4NextPacketDroppedAfterReconfiguration) {
+  LbScenarioOptions o;
+  o.fix_install_before_delete = true;  // isolate BUG-IV from BUG-V
+  auto s = lb_scenario(o);
+  const auto r = search(s);
+  ASSERT_TRUE(r.found_violation());
+  EXPECT_EQ(r.violations.front().violation.property, "NoForgottenPackets");
+}
+
+TEST(Bugs, Bug5NoMatchWindowDuringReconfiguration) {
+  LbScenarioOptions o;
+  o.fix_release_packet = true;  // BUG-IV fixed; the race remains
+  auto s = lb_scenario(o);
+  const auto r = search(s);
+  ASSERT_TRUE(r.found_violation());
+  EXPECT_EQ(r.violations.front().violation.property, "NoForgottenPackets");
+}
+
+TEST(Bugs, Bug5FixedOrderIsClean) {
+  LbScenarioOptions o;
+  o.fix_release_packet = true;
+  o.fix_install_before_delete = true;
+  auto s = lb_scenario(o);
+  const auto r = search(s);
+  EXPECT_FALSE(r.found_violation());
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(Bugs, Bug6ClientArpForgotten) {
+  LbScenarioOptions o;
+  o.fix_release_packet = true;
+  o.fix_install_before_delete = true;
+  o.client_sends_arp = true;
+  auto s = lb_scenario(o);
+  const auto r = search(s);
+  ASSERT_TRUE(r.found_violation());
+  EXPECT_EQ(r.violations.front().violation.property, "NoForgottenPackets");
+}
+
+TEST(Bugs, Bug6ServerArpForgotten) {
+  LbScenarioOptions o;
+  o.fix_release_packet = true;
+  o.fix_install_before_delete = true;
+  o.replica_sends_arp = true;
+  auto s = lb_scenario(o);
+  const auto r = search(s);
+  ASSERT_TRUE(r.found_violation());
+  EXPECT_EQ(r.violations.front().violation.property, "NoForgottenPackets");
+}
+
+TEST(Bugs, Bug6FixIsClean) {
+  LbScenarioOptions o;
+  o.fix_release_packet = true;
+  o.fix_install_before_delete = true;
+  o.fix_discard_arp = true;
+  o.client_sends_arp = true;
+  o.replica_sends_arp = true;
+  auto s = lb_scenario(o);
+  const auto r = search(s);
+  EXPECT_FALSE(r.found_violation());
+}
+
+TEST(Bugs, Bug7DuplicateSynSplitsConnection) {
+  LbScenarioOptions o;
+  o.fix_release_packet = true;
+  o.fix_install_before_delete = true;
+  o.client_can_dup_syn = true;
+  o.data_segments = 2;
+  o.check_flow_affinity = true;
+  auto s = lb_scenario(o);
+  const auto r = search(s);
+  ASSERT_TRUE(r.found_violation());
+  EXPECT_EQ(r.violations.front().violation.property, "FlowAffinity");
+}
+
+TEST(Bugs, Bug7HasNoEasyFix) {
+  // Consulting the assignment map (fix_check_assignments) only helps when
+  // the controller has already inspected a packet of the connection. A
+  // duplicate SYN arriving before any such packet still splits the
+  // connection — the paper notes the authors "only realized this was a
+  // problem after careful consideration" and offers no complete fix.
+  LbScenarioOptions o;
+  o.fix_release_packet = true;
+  o.fix_install_before_delete = true;
+  o.fix_check_assignments = true;
+  o.client_can_dup_syn = true;
+  o.data_segments = 2;
+  o.check_flow_affinity = true;
+  auto s = lb_scenario(o);
+  const auto r = search(s);
+  EXPECT_TRUE(r.found_violation());
+}
+
+// ---- Section 8.3: traffic engineering ----
+
+TEST(Bugs, Bug8FirstPacketOfFlowDropped) {
+  TeScenarioOptions o;
+  auto s = te_scenario(o);
+  const auto r = search(s);
+  ASSERT_TRUE(r.found_violation());
+  EXPECT_EQ(r.violations.front().violation.property, "NoForgottenPackets");
+}
+
+TEST(Bugs, Bug9PacketOutracesRuleInstallation) {
+  TeScenarioOptions o;
+  o.fix_release_packet = true;
+  auto s = te_scenario(o);
+  const auto r = search(s);
+  ASSERT_TRUE(r.found_violation());
+  EXPECT_EQ(r.violations.front().violation.property, "NoForgottenPackets");
+}
+
+TEST(Bugs, Bug9FixIsClean) {
+  TeScenarioOptions o;
+  o.fix_release_packet = true;
+  o.fix_handle_intermediate = true;
+  auto s = te_scenario(o);
+  const auto r = search(s);
+  EXPECT_FALSE(r.found_violation());
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(Bugs, Bug10OnlyOnDemandRoutesUnderHighLoad) {
+  TeScenarioOptions o;
+  o.fix_release_packet = true;
+  o.fix_handle_intermediate = true;
+  o.stats_rounds = 1;
+  o.check_routing_table = true;
+  auto s = te_scenario(o);
+  const auto r = search(s);
+  ASSERT_TRUE(r.found_violation());
+  EXPECT_EQ(r.violations.front().violation.property,
+            "UseCorrectRoutingTable");
+}
+
+TEST(Bugs, Bug10FixSplitsCorrectly) {
+  TeScenarioOptions o;
+  o.fix_release_packet = true;
+  o.fix_handle_intermediate = true;
+  o.fix_per_flow_table = true;
+  o.stats_rounds = 1;
+  o.check_routing_table = true;
+  auto s = te_scenario(o);
+  const auto r = search(s);
+  EXPECT_FALSE(r.found_violation());
+}
+
+TEST(Bugs, Bug11PacketsDroppedWhenLoadReduces) {
+  TeScenarioOptions o;
+  o.fix_release_packet = true;
+  o.fix_handle_intermediate = true;
+  o.stats_rounds = 2;  // load can rise and then fall
+  auto s = te_scenario(o);
+  const auto r = search(s);
+  ASSERT_TRUE(r.found_violation());
+  EXPECT_EQ(r.violations.front().violation.property, "NoForgottenPackets");
+}
+
+TEST(Bugs, Bug11FixIsClean) {
+  TeScenarioOptions o;
+  o.fix_release_packet = true;
+  o.fix_handle_intermediate = true;
+  o.fix_lookup_all_tables = true;
+  o.stats_rounds = 2;
+  auto s = te_scenario(o);
+  const auto r = search(s);
+  EXPECT_FALSE(r.found_violation());
+}
+
+// ---- Strategy behaviour on the bug suite (Table 2's qualitative claims) --
+
+TEST(Bugs, NoDelayMissesBug5Race) {
+  LbScenarioOptions o;
+  o.fix_release_packet = true;
+  auto s = lb_scenario(o);
+  const auto r = search(s, mc::Strategy::kNoDelay);
+  // The delete/install window closes under lock-step semantics.
+  EXPECT_FALSE(r.found_violation());
+}
+
+TEST(Bugs, UnusualFindsBug9) {
+  TeScenarioOptions o;
+  o.fix_release_packet = true;
+  auto s = te_scenario(o);
+  const auto r = search(s, mc::Strategy::kUnusual);
+  EXPECT_TRUE(r.found_violation());
+}
+
+TEST(Bugs, FlowIrStillFindsBug2) {
+  auto s = pyswitch_bug2();
+  const auto r = search(s, mc::Strategy::kFlowIr);
+  EXPECT_TRUE(r.found_violation());
+}
+
+}  // namespace
+}  // namespace nicemc::apps

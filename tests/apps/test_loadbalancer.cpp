@@ -1,0 +1,241 @@
+// Handler-level tests of the Section 8.2 load balancer.
+#include "apps/loadbalancer.h"
+
+#include <gtest/gtest.h>
+
+namespace nicemc::apps {
+namespace {
+
+constexpr std::uint32_t kVip = 0x0a000064;
+constexpr std::uint64_t kVmac = 0x00aa00000099ULL;
+
+LbOptions base_options() {
+  LbOptions o;
+  o.sw = 0;
+  o.vip = kVip;
+  o.vmac = kVmac;
+  o.replicas = {LbReplica{1, 2, 0x11, 0x0a000101},
+                LbReplica{2, 3, 0x12, 0x0a000102}};
+  return o;
+}
+
+sym::SymPacket tcp_to_vip(std::uint32_t src_ip, std::uint64_t flags) {
+  sym::PacketFields f;
+  f.eth_src = 0x0a;
+  f.eth_dst = kVmac;
+  f.eth_type = of::kEthTypeIpv4;
+  f.ip_src = src_ip;
+  f.ip_dst = kVip;
+  f.ip_proto = of::kIpProtoTcp;
+  f.tp_src = 1024;
+  f.tp_dst = 80;
+  f.tcp_flags = flags;
+  return sym::SymPacket::concrete(f);
+}
+
+std::vector<ctrl::Command> run_packet_in(
+    const LoadBalancer& app, ctrl::AppState& state, const sym::SymPacket& pkt,
+    of::PacketIn::Reason reason = of::PacketIn::Reason::kAction) {
+  std::uint32_t xid = 1;
+  ctrl::Ctx ctx(&xid);
+  app.packet_in(state, ctx, 0, 1, pkt, 1, reason);
+  return ctx.take_commands();
+}
+
+TEST(LoadBalancer, JoinInstallsTwoWildcardRules) {
+  LoadBalancer app(base_options());
+  auto state = app.make_initial_state();
+  std::uint32_t xid = 1;
+  ctrl::Ctx ctx(&xid);
+  app.switch_join(*state, ctx, 0);
+  const auto cmds = ctx.take_commands();
+  ASSERT_EQ(cmds.size(), 2u);
+  for (const auto& c : cmds) {
+    const auto& install = std::get<ctrl::CmdInstallRule>(c);
+    EXPECT_EQ(install.rule.match.ip_dst, kVip);
+    EXPECT_EQ(install.rule.match.ip_src_plen, 1);  // /1 client split
+    ASSERT_EQ(install.rule.actions.size(), 1u);
+    EXPECT_EQ(install.rule.actions[0].type, of::ActionType::kOutput);
+  }
+}
+
+TEST(LoadBalancer, ReconfigBuggyOrderDeletesBeforeInstalling) {
+  LoadBalancer app(base_options());
+  auto state = app.make_initial_state();
+  std::uint32_t xid = 1;
+  ctrl::Ctx ctx(&xid);
+  app.on_external(*state, ctx, 0);
+  const auto cmds = ctx.take_commands();
+  ASSERT_EQ(cmds.size(), 4u);
+  // BUG-V: delete, install, delete, install.
+  EXPECT_TRUE(std::holds_alternative<ctrl::CmdDeleteRule>(cmds[0]));
+  EXPECT_TRUE(std::holds_alternative<ctrl::CmdInstallRule>(cmds[1]));
+  const auto& inspect = std::get<ctrl::CmdInstallRule>(cmds[1]);
+  ASSERT_EQ(inspect.rule.actions.size(), 1u);
+  EXPECT_EQ(inspect.rule.actions[0].type, of::ActionType::kController);
+}
+
+TEST(LoadBalancer, ReconfigFixedOrderInstallsFirstAtLowerPriority) {
+  auto opt = base_options();
+  opt.fix_install_before_delete = true;
+  LoadBalancer app(opt);
+  auto state = app.make_initial_state();
+  std::uint32_t xid = 1;
+  ctrl::Ctx ctx(&xid);
+  app.on_external(*state, ctx, 0);
+  const auto cmds = ctx.take_commands();
+  ASSERT_EQ(cmds.size(), 4u);
+  const auto& install = std::get<ctrl::CmdInstallRule>(cmds[0]);
+  EXPECT_LT(install.rule.priority, 100);  // below the wildcard rules
+  EXPECT_TRUE(std::holds_alternative<ctrl::CmdDeleteRule>(cmds[1]));
+}
+
+TEST(LoadBalancer, ReconfigIsEnabledExactlyOnce) {
+  LoadBalancer app(base_options());
+  auto state = app.make_initial_state();
+  EXPECT_EQ(app.external_events(*state).size(), 1u);
+  std::uint32_t xid = 1;
+  ctrl::Ctx ctx(&xid);
+  app.on_external(*state, ctx, 0);
+  EXPECT_TRUE(app.external_events(*state).empty());
+}
+
+TEST(LoadBalancer, Bug4MicroflowRuleWithoutPacketOut) {
+  LoadBalancer app(base_options());
+  auto state = app.make_initial_state();
+  static_cast<LoadBalancerState&>(*state).in_transition = true;
+  const auto cmds = run_packet_in(app, *state, tcp_to_vip(1, of::kTcpSyn));
+  ASSERT_EQ(cmds.size(), 1u);  // BUG-IV: install only, no packet_out
+  EXPECT_TRUE(std::holds_alternative<ctrl::CmdInstallRule>(cmds[0]));
+}
+
+TEST(LoadBalancer, Bug4FixReleasesTriggerPacket) {
+  auto opt = base_options();
+  opt.fix_release_packet = true;
+  LoadBalancer app(opt);
+  auto state = app.make_initial_state();
+  const auto cmds = run_packet_in(app, *state, tcp_to_vip(1, of::kTcpSyn));
+  ASSERT_EQ(cmds.size(), 2u);
+  const auto& po = std::get<ctrl::CmdPacketOut>(cmds[1]);
+  EXPECT_EQ(po.msg.buffer_id, 1u);
+}
+
+TEST(LoadBalancer, Bug5HandlerIgnoresNoMatchPackets) {
+  LoadBalancer app(base_options());
+  auto state = app.make_initial_state();
+  const auto cmds = run_packet_in(app, *state, tcp_to_vip(1, 0),
+                                  of::PacketIn::Reason::kNoMatch);
+  EXPECT_TRUE(cmds.empty());  // packet stays buffered: NoForgottenPackets
+}
+
+TEST(LoadBalancer, ArpRequestIsAnsweredButBufferLeaks) {
+  LoadBalancer app(base_options());
+  auto state = app.make_initial_state();
+  sym::PacketFields f;
+  f.eth_src = 0x0a;
+  f.eth_dst = of::kBroadcastMac;
+  f.eth_type = of::kEthTypeArp;
+  f.ip_src = 0x0a000001;
+  f.ip_dst = kVip;
+  const auto cmds =
+      run_packet_in(app, *state, sym::SymPacket::concrete(f),
+                    of::PacketIn::Reason::kNoMatch);
+  ASSERT_EQ(cmds.size(), 1u);  // BUG-VI: reply only, no buffer discard
+  const auto& po = std::get<ctrl::CmdPacketOut>(cmds[0]);
+  ASSERT_TRUE(po.msg.packet.has_value());
+  EXPECT_EQ(po.msg.packet->hdr.eth_src, kVmac);
+  EXPECT_EQ(po.msg.packet->hdr.eth_dst, 0x0au);
+}
+
+TEST(LoadBalancer, ArpFixDiscardsBufferedRequest) {
+  auto opt = base_options();
+  opt.fix_discard_arp = true;
+  LoadBalancer app(opt);
+  auto state = app.make_initial_state();
+  sym::PacketFields f;
+  f.eth_type = of::kEthTypeArp;
+  f.eth_src = 0x0a;
+  const auto cmds = run_packet_in(app, *state, sym::SymPacket::concrete(f),
+                                  of::PacketIn::Reason::kNoMatch);
+  ASSERT_EQ(cmds.size(), 2u);
+  const auto& discard = std::get<ctrl::CmdPacketOut>(cmds[1]);
+  EXPECT_TRUE(discard.msg.actions.empty());
+  EXPECT_EQ(discard.msg.buffer_id, 1u);
+}
+
+TEST(LoadBalancer, DuplicateSynSwitchesReplicaDuringTransition) {
+  // BUG-VII mechanism at the handler level.
+  LoadBalancer app(base_options());
+  auto state = app.make_initial_state();
+  auto& st = static_cast<LoadBalancerState&>(*state);
+  st.in_transition = true;
+  st.policy = 1;
+  // The connection is established on replica 0 (old policy).
+  const of::FiveTuple conn{0x0a000001, kVip, of::kIpProtoTcp, 1024, 80};
+  st.assignments[conn] = 0;
+  // A duplicate SYN arrives mid-transition: new policy says replica 1.
+  const auto cmds =
+      run_packet_in(app, *state, tcp_to_vip(0x0a000001, of::kTcpSyn));
+  ASSERT_FALSE(cmds.empty());
+  const auto& install = std::get<ctrl::CmdInstallRule>(cmds[0]);
+  EXPECT_EQ(install.rule.actions[0].port, 3u);  // replica 1's port: split!
+  EXPECT_EQ(st.assignments.at(conn), 1);
+}
+
+TEST(LoadBalancer, Bug7FixKeepsEstablishedAssignment) {
+  auto opt = base_options();
+  opt.fix_check_assignments = true;
+  LoadBalancer app(opt);
+  auto state = app.make_initial_state();
+  auto& st = static_cast<LoadBalancerState&>(*state);
+  st.in_transition = true;
+  st.policy = 1;
+  const of::FiveTuple conn{0x0a000001, kVip, of::kIpProtoTcp, 1024, 80};
+  st.assignments[conn] = 0;
+  const auto cmds =
+      run_packet_in(app, *state, tcp_to_vip(0x0a000001, of::kTcpSyn));
+  ASSERT_FALSE(cmds.empty());
+  const auto& install = std::get<ctrl::CmdInstallRule>(cmds[0]);
+  EXPECT_EQ(install.rule.actions[0].port, 2u);  // sticks with replica 0
+}
+
+TEST(LoadBalancer, PolicySplitsClientsByTopAddressBit) {
+  auto opt = base_options();
+  opt.fix_release_packet = true;
+  LoadBalancer app(opt);
+  auto state = app.make_initial_state();
+  const auto low = run_packet_in(app, *state, tcp_to_vip(0x0a000001,
+                                                         of::kTcpSyn));
+  const auto& low_install = std::get<ctrl::CmdInstallRule>(low[0]);
+  EXPECT_EQ(low_install.rule.actions[0].port, 2u);  // policy 0: low → R1
+  auto state2 = app.make_initial_state();
+  const auto high = run_packet_in(app, *state2, tcp_to_vip(0xc0000001,
+                                                           of::kTcpSyn));
+  const auto& high_install = std::get<ctrl::CmdInstallRule>(high[0]);
+  EXPECT_EQ(high_install.rule.actions[0].port, 3u);  // high → R2
+}
+
+TEST(LoadBalancer, NonVipTrafficIsIgnored) {
+  LoadBalancer app(base_options());
+  auto state = app.make_initial_state();
+  sym::PacketFields f;
+  f.eth_type = of::kEthTypeIpv4;
+  f.ip_proto = of::kIpProtoTcp;
+  f.ip_dst = 0x01020304;  // not the VIP
+  EXPECT_TRUE(run_packet_in(app, *state, sym::SymPacket::concrete(f))
+                  .empty());
+}
+
+TEST(LoadBalancer, SynPacketsAreTheirOwnFlowGroups) {
+  LoadBalancer app(base_options());
+  sym::PacketFields syn;
+  syn.ip_proto = of::kIpProtoTcp;
+  syn.tcp_flags = of::kTcpSyn;
+  sym::PacketFields data = syn;
+  data.tcp_flags = of::kTcpAck;
+  EXPECT_FALSE(app.is_same_flow(syn, data));  // why FLOW-IR misses BUG-VII
+  EXPECT_TRUE(app.is_same_flow(data, data));
+}
+
+}  // namespace
+}  // namespace nicemc::apps

@@ -1,0 +1,151 @@
+// Handler-level tests of the Figure 3 MAC-learning switch.
+#include "apps/pyswitch.h"
+
+#include <gtest/gtest.h>
+
+namespace nicemc::apps {
+namespace {
+
+class PySwitchTest : public ::testing::Test {
+ protected:
+  sym::SymPacket packet(std::uint64_t src, std::uint64_t dst) {
+    sym::PacketFields f;
+    f.eth_src = src;
+    f.eth_dst = dst;
+    f.eth_type = of::kEthTypeIpv4;
+    return sym::SymPacket::concrete(f);
+  }
+
+  std::vector<ctrl::Command> run_packet_in(const PySwitch& app,
+                                           ctrl::AppState& state,
+                                           of::PortId in_port,
+                                           const sym::SymPacket& pkt) {
+    std::uint32_t xid = 1;
+    ctrl::Ctx ctx(&xid);
+    app.packet_in(state, ctx, 0, in_port, pkt, 1,
+                  of::PacketIn::Reason::kNoMatch);
+    return ctx.take_commands();
+  }
+};
+
+TEST_F(PySwitchTest, LearnsSourceMacOnArrival) {
+  PySwitch app;
+  auto state = app.make_initial_state();
+  std::uint32_t xid = 1;
+  ctrl::Ctx ctx(&xid);
+  app.switch_join(*state, ctx, 0);
+  run_packet_in(app, *state, 3, packet(0x0a, 0x0b));
+  const auto& st = static_cast<PySwitchState&>(*state);
+  EXPECT_EQ(st.mactable.at(0).raw().at(0x0a), 3u);
+}
+
+TEST_F(PySwitchTest, BroadcastSourceIsNotLearned) {
+  PySwitch app;
+  auto state = app.make_initial_state();
+  run_packet_in(app, *state, 3, packet(of::kBroadcastMac, 0x0b));
+  const auto& st = static_cast<PySwitchState&>(*state);
+  EXPECT_TRUE(st.mactable.at(0).raw().empty());
+}
+
+TEST_F(PySwitchTest, UnknownDestinationFloods) {
+  PySwitch app;
+  auto state = app.make_initial_state();
+  const auto cmds = run_packet_in(app, *state, 1, packet(0x0a, 0x0b));
+  ASSERT_EQ(cmds.size(), 1u);
+  const auto& po = std::get<ctrl::CmdPacketOut>(cmds[0]);
+  ASSERT_EQ(po.msg.actions.size(), 1u);
+  EXPECT_EQ(po.msg.actions[0].type, of::ActionType::kFlood);
+}
+
+TEST_F(PySwitchTest, KnownDestinationInstallsRuleAndForwards) {
+  PySwitch app;
+  auto state = app.make_initial_state();
+  run_packet_in(app, *state, 2, packet(0x0b, 0x0a));  // learn B@2
+  const auto cmds = run_packet_in(app, *state, 1, packet(0x0a, 0x0b));
+  ASSERT_EQ(cmds.size(), 2u);
+  const auto& install = std::get<ctrl::CmdInstallRule>(cmds[0]);
+  EXPECT_EQ(install.rule.match.eth_dst, 0x0bu);
+  EXPECT_EQ(install.rule.match.in_port, 1u);
+  EXPECT_EQ(install.rule.idle_timeout, 5);  // soft_timer=5, Figure 3
+  EXPECT_EQ(install.rule.hard_timeout, of::kPermanent);  // BUG-I
+  const auto& po = std::get<ctrl::CmdPacketOut>(cmds[1]);
+  ASSERT_EQ(po.msg.actions.size(), 1u);
+  EXPECT_EQ(po.msg.actions[0].port, 2u);
+}
+
+TEST_F(PySwitchTest, SameInAndOutPortFloodsInstead) {
+  PySwitch app;
+  auto state = app.make_initial_state();
+  run_packet_in(app, *state, 1, packet(0x0b, 0x0a));  // learn B@1
+  // Packet to B arriving on B's own port: outport == inport → flood path.
+  const auto cmds = run_packet_in(app, *state, 1, packet(0x0a, 0x0b));
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<ctrl::CmdPacketOut>(cmds[0]));
+}
+
+TEST_F(PySwitchTest, HardTimeoutFixSetsTimeout) {
+  PySwitchOptions opt;
+  opt.fix_hard_timeout = true;
+  PySwitch app(opt);
+  auto state = app.make_initial_state();
+  run_packet_in(app, *state, 2, packet(0x0b, 0x0a));
+  const auto cmds = run_packet_in(app, *state, 1, packet(0x0a, 0x0b));
+  const auto& install = std::get<ctrl::CmdInstallRule>(cmds[0]);
+  EXPECT_EQ(install.rule.hard_timeout, opt.hard_timeout);
+}
+
+TEST_F(PySwitchTest, Bug2NaiveFixInstallsReverseAfterPacketOut) {
+  PySwitchOptions opt;
+  opt.bug2 = PySwitchOptions::Bug2Fix::kNaive;
+  PySwitch app(opt);
+  auto state = app.make_initial_state();
+  run_packet_in(app, *state, 2, packet(0x0b, 0x0a));
+  const auto cmds = run_packet_in(app, *state, 1, packet(0x0a, 0x0b));
+  ASSERT_EQ(cmds.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<ctrl::CmdInstallRule>(cmds[0]));
+  EXPECT_TRUE(std::holds_alternative<ctrl::CmdPacketOut>(cmds[1]));
+  EXPECT_TRUE(std::holds_alternative<ctrl::CmdInstallRule>(cmds[2]));
+}
+
+TEST_F(PySwitchTest, Bug2CorrectFixInstallsReverseFirst) {
+  PySwitchOptions opt;
+  opt.bug2 = PySwitchOptions::Bug2Fix::kCorrect;
+  PySwitch app(opt);
+  auto state = app.make_initial_state();
+  run_packet_in(app, *state, 2, packet(0x0b, 0x0a));
+  const auto cmds = run_packet_in(app, *state, 1, packet(0x0a, 0x0b));
+  ASSERT_EQ(cmds.size(), 3u);
+  const auto& reverse = std::get<ctrl::CmdInstallRule>(cmds[0]);
+  // The reverse rule matches the *other* direction at the learned port.
+  EXPECT_EQ(reverse.rule.match.eth_src, 0x0bu);
+  EXPECT_EQ(reverse.rule.match.eth_dst, 0x0au);
+  EXPECT_EQ(reverse.rule.match.in_port, 2u);
+  EXPECT_TRUE(std::holds_alternative<ctrl::CmdPacketOut>(cmds[2]));
+}
+
+TEST_F(PySwitchTest, SwitchLeaveForgetsTable) {
+  PySwitch app;
+  auto state = app.make_initial_state();
+  std::uint32_t xid = 1;
+  ctrl::Ctx ctx(&xid);
+  app.switch_join(*state, ctx, 0);
+  run_packet_in(app, *state, 1, packet(0x0a, 0x0b));
+  app.switch_leave(*state, ctx, 0);
+  const auto& st = static_cast<PySwitchState&>(*state);
+  EXPECT_FALSE(st.mactable.contains(0));
+}
+
+TEST_F(PySwitchTest, StateCloneAndSerializeRoundTrip) {
+  PySwitch app;
+  auto state = app.make_initial_state();
+  run_packet_in(app, *state, 1, packet(0x0a, 0x0b));
+  auto clone = state->clone();
+  util::Ser s1;
+  util::Ser s2;
+  state->serialize(s1);
+  clone->serialize(s2);
+  EXPECT_EQ(s1.hash(), s2.hash());
+}
+
+}  // namespace
+}  // namespace nicemc::apps

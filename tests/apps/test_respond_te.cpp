@@ -1,0 +1,180 @@
+// Handler-level tests of the Section 8.3 traffic-engineering app.
+#include "apps/respond_te.h"
+
+#include <gtest/gtest.h>
+
+namespace nicemc::apps {
+namespace {
+
+TeOptions base_options() {
+  TeOptions o;
+  o.ingress = 0;
+  o.monitored_port = 2;
+  o.threshold = 500;
+  o.paths[0x0a000201] = {TePath{{{0, 2}, {1, 1}}},
+                         TePath{{{0, 3}, {2, 3}, {1, 1}}}};
+  return o;
+}
+
+sym::SymPacket flow_packet(std::uint16_t tp_src) {
+  sym::PacketFields f;
+  f.eth_type = of::kEthTypeIpv4;
+  f.ip_proto = of::kIpProtoTcp;
+  f.ip_src = 0x0a000001;
+  f.ip_dst = 0x0a000201;
+  f.tp_src = tp_src;
+  f.tp_dst = 80;
+  return sym::SymPacket::concrete(f);
+}
+
+std::vector<ctrl::Command> run_packet_in(const RespondTe& app,
+                                         ctrl::AppState& state,
+                                         of::SwitchId sw,
+                                         const sym::SymPacket& pkt) {
+  std::uint32_t xid = 1;
+  ctrl::Ctx ctx(&xid);
+  app.packet_in(state, ctx, sw, 1, pkt, 1, of::PacketIn::Reason::kNoMatch);
+  return ctx.take_commands();
+}
+
+void run_stats(const RespondTe& app, ctrl::AppState& state,
+               std::uint64_t tx_bytes) {
+  std::uint32_t xid = 1;
+  ctrl::Ctx ctx(&xid);
+  ctrl::SymStats stats;
+  stats.tx_bytes.emplace(2, sym::Value(tx_bytes, 32));
+  app.stats_in(state, ctx, 0, stats);
+}
+
+TEST(RespondTe, LowLoadInstallsAlwaysOnPathEgressFirst) {
+  RespondTe app(base_options());
+  auto state = app.make_initial_state();
+  const auto cmds = run_packet_in(app, *state, 0, flow_packet(1024));
+  ASSERT_EQ(cmds.size(), 2u);  // two hops, no packet_out (BUG-VIII)
+  // Rules are installed egress-first (the BUG-IX mitigation the paper
+  // notes is still insufficient).
+  EXPECT_EQ(std::get<ctrl::CmdInstallRule>(cmds[0]).sw, 1u);
+  EXPECT_EQ(std::get<ctrl::CmdInstallRule>(cmds[1]).sw, 0u);
+}
+
+TEST(RespondTe, StatsAboveThresholdRaisesEnergyState) {
+  RespondTe app(base_options());
+  auto state = app.make_initial_state();
+  run_stats(app, *state, 501);
+  EXPECT_TRUE(static_cast<RespondTeState&>(*state).energy_high);
+  run_stats(app, *state, 100);
+  EXPECT_FALSE(static_cast<RespondTeState&>(*state).energy_high);
+}
+
+TEST(RespondTe, Bug10AllFlowsTakeOnDemandUnderHighLoad) {
+  RespondTe app(base_options());
+  auto state = app.make_initial_state();
+  run_stats(app, *state, 1000);
+  // Even-parity flow *should* stay always-on, but the global table wins.
+  const auto cmds = run_packet_in(app, *state, 0, flow_packet(1024));
+  ASSERT_EQ(cmds.size(), 3u);  // on-demand path has three hops
+  EXPECT_EQ(std::get<ctrl::CmdInstallRule>(cmds[1]).sw, 2u);
+}
+
+TEST(RespondTe, Bug10FixSplitsFlowsByParity) {
+  auto opt = base_options();
+  opt.fix_per_flow_table = true;
+  RespondTe app(opt);
+  auto state = app.make_initial_state();
+  run_stats(app, *state, 1000);
+  const auto even = run_packet_in(app, *state, 0, flow_packet(1024));
+  EXPECT_EQ(even.size(), 2u);  // always-on
+  const auto odd = run_packet_in(app, *state, 0, flow_packet(1025));
+  EXPECT_EQ(odd.size(), 3u);  // on-demand
+}
+
+TEST(RespondTe, Bug8FixReleasesFirstPacket) {
+  auto opt = base_options();
+  opt.fix_release_packet = true;
+  RespondTe app(opt);
+  auto state = app.make_initial_state();
+  const auto cmds = run_packet_in(app, *state, 0, flow_packet(1024));
+  ASSERT_EQ(cmds.size(), 3u);
+  const auto& po = std::get<ctrl::CmdPacketOut>(cmds[2]);
+  ASSERT_EQ(po.msg.actions.size(), 1u);
+  EXPECT_EQ(po.msg.actions[0].port, 2u);  // first hop of the path
+}
+
+TEST(RespondTe, Bug9IntermediateSwitchPacketIgnored) {
+  RespondTe app(base_options());
+  auto state = app.make_initial_state();
+  const auto cmds = run_packet_in(app, *state, 1, flow_packet(1024));
+  EXPECT_TRUE(cmds.empty());  // ignored: NoForgottenPackets fodder
+}
+
+TEST(RespondTe, Bug9FixHandlesIntermediateSwitch) {
+  auto opt = base_options();
+  opt.fix_handle_intermediate = true;
+  RespondTe app(opt);
+  auto state = app.make_initial_state();
+  const auto cmds = run_packet_in(app, *state, 1, flow_packet(1024));
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(std::get<ctrl::CmdInstallRule>(cmds[0]).sw, 1u);
+  const auto& po = std::get<ctrl::CmdPacketOut>(cmds[1]);
+  EXPECT_EQ(po.msg.actions[0].port, 1u);  // egress toward the receiver
+}
+
+TEST(RespondTe, Bug11SwitchOffRecomputedPathIgnored) {
+  auto opt = base_options();
+  opt.fix_handle_intermediate = true;  // BUG-IX fixed, XI remains
+  RespondTe app(opt);
+  auto state = app.make_initial_state();
+  // Load was high when the flow started, has dropped since: the always-on
+  // list no longer contains the on-demand switch 2.
+  run_stats(app, *state, 100);
+  const auto cmds = run_packet_in(app, *state, 2, flow_packet(1025));
+  EXPECT_TRUE(cmds.empty());  // BUG-XI
+}
+
+TEST(RespondTe, Bug11FixSearchesBothTables) {
+  auto opt = base_options();
+  opt.fix_handle_intermediate = true;
+  opt.fix_lookup_all_tables = true;
+  RespondTe app(opt);
+  auto state = app.make_initial_state();
+  run_stats(app, *state, 100);
+  const auto cmds = run_packet_in(app, *state, 2, flow_packet(1025));
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(std::get<ctrl::CmdInstallRule>(cmds[0]).sw, 2u);
+}
+
+TEST(RespondTe, CorrectTableSplitsOnlyUnderHighLoad) {
+  RespondTe app(base_options());
+  RespondTeState st;
+  sym::PacketFields even;
+  even.tp_src = 1024;
+  sym::PacketFields odd;
+  odd.tp_src = 1025;
+  EXPECT_EQ(app.correct_table(st, even), TeTable::kAlwaysOn);
+  EXPECT_EQ(app.correct_table(st, odd), TeTable::kAlwaysOn);
+  st.energy_high = true;
+  EXPECT_EQ(app.correct_table(st, even), TeTable::kAlwaysOn);
+  EXPECT_EQ(app.correct_table(st, odd), TeTable::kOnDemand);
+}
+
+TEST(RespondTe, UnknownDestinationIsIgnored) {
+  RespondTe app(base_options());
+  auto state = app.make_initial_state();
+  sym::PacketFields f;
+  f.eth_type = of::kEthTypeIpv4;
+  f.ip_proto = of::kIpProtoTcp;
+  f.ip_dst = 0x01020304;
+  EXPECT_TRUE(
+      run_packet_in(app, *state, 0, sym::SymPacket::concrete(f)).empty());
+}
+
+TEST(RespondTe, WantsStatsOnlyFromIngress) {
+  RespondTe app(base_options());
+  auto state = app.make_initial_state();
+  EXPECT_TRUE(app.wants_stats(*state, 0));
+  EXPECT_FALSE(app.wants_stats(*state, 1));
+  EXPECT_FALSE(app.wants_stats(*state, 2));
+}
+
+}  // namespace
+}  // namespace nicemc::apps

@@ -1,0 +1,137 @@
+#include "mc/checker.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.h"
+
+namespace nicemc::mc {
+namespace {
+
+TEST(Checker, OnePingChainExploresAndQuiesces) {
+  auto s = apps::pyswitch_ping_chain(1);
+  Checker checker(s.config, CheckerOptions{}, s.properties);
+  const CheckerResult r = checker.run();
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_FALSE(r.found_violation());
+  EXPECT_GT(r.transitions, 0u);
+  EXPECT_GT(r.unique_states, 1u);
+  EXPECT_GT(r.quiescent_states, 0u);
+}
+
+TEST(Checker, SearchIsDeterministic) {
+  auto run_once = []() {
+    auto s = apps::pyswitch_ping_chain(2);
+    Checker checker(s.config, CheckerOptions{}, s.properties);
+    return checker.run();
+  };
+  const CheckerResult a = run_once();
+  const CheckerResult b = run_once();
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.unique_states, b.unique_states);
+  EXPECT_EQ(a.revisits, b.revisits);
+}
+
+TEST(Checker, StateSpaceGrowsWithPings) {
+  auto count_states = [](int pings) {
+    auto s = apps::pyswitch_ping_chain(pings);
+    Checker checker(s.config, CheckerOptions{}, s.properties);
+    return checker.run().unique_states;
+  };
+  const auto one = count_states(1);
+  const auto two = count_states(2);
+  EXPECT_GT(two, 2 * one);  // super-linear growth (Table 1's shape)
+}
+
+TEST(Checker, CanonicalTablesShrinkStateSpace) {
+  auto count_states = [](bool canonical) {
+    auto s = apps::pyswitch_ping_chain(2, canonical);
+    Checker checker(s.config, CheckerOptions{}, s.properties);
+    return checker.run().unique_states;
+  };
+  const auto with = count_states(true);
+  const auto without = count_states(false);
+  // NO-SWITCH-REDUCTION explores at least as many unique states (Table 1).
+  EXPECT_GE(without, with);
+}
+
+TEST(Checker, RevisitsOccurBecauseOfStateMatching) {
+  auto s = apps::pyswitch_ping_chain(2);
+  Checker checker(s.config, CheckerOptions{}, s.properties);
+  const CheckerResult r = checker.run();
+  EXPECT_GT(r.revisits, 0u);
+}
+
+TEST(Checker, TransitionLimitTruncatesSearch) {
+  auto s = apps::pyswitch_ping_chain(3);
+  CheckerOptions opt;
+  opt.max_transitions = 50;
+  Checker checker(s.config, opt, s.properties);
+  const CheckerResult r = checker.run();
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_LE(r.transitions, 50u);
+}
+
+TEST(Checker, FullStateStoreCountsSameUniqueStates) {
+  auto hash_mode = []() {
+    auto s = apps::pyswitch_ping_chain(2);
+    Checker c(s.config, CheckerOptions{}, s.properties);
+    return c.run();
+  }();
+  auto full_mode = []() {
+    auto s = apps::pyswitch_ping_chain(2);
+    CheckerOptions opt;
+    opt.store_full_states = true;
+    Checker c(s.config, opt, s.properties);
+    return c.run();
+  }();
+  EXPECT_EQ(hash_mode.unique_states, full_mode.unique_states);
+  EXPECT_EQ(hash_mode.transitions, full_mode.transitions);
+  // Full states dwarf 16-byte hashes (the SPIN-memory effect, Section 7).
+  EXPECT_GT(full_mode.store_bytes, 10 * hash_mode.store_bytes);
+}
+
+TEST(Checker, RandomWalkTerminatesAndCounts) {
+  auto s = apps::pyswitch_ping_chain(2);
+  Checker checker(s.config, CheckerOptions{}, s.properties);
+  const CheckerResult r = checker.random_walk(/*seed=*/42, /*walks=*/5,
+                                              /*max_steps=*/200);
+  EXPECT_GT(r.transitions, 0u);
+  EXPECT_FALSE(r.found_violation());
+}
+
+TEST(Checker, NoDelayExploresFewerTransitions) {
+  auto full = []() {
+    auto s = apps::pyswitch_ping_chain(2);
+    CheckerOptions opt;
+    Checker c(s.config, opt, s.properties);
+    return c.run();
+  }();
+  auto nodelay = []() {
+    auto s = apps::pyswitch_ping_chain(2);
+    CheckerOptions opt;
+    apps::set_strategy(s, opt, Strategy::kNoDelay);
+    Checker c(s.config, opt, s.properties);
+    return c.run();
+  }();
+  EXPECT_LT(nodelay.transitions, full.transitions);  // Figure 6's shape
+  EXPECT_TRUE(nodelay.exhausted);
+}
+
+TEST(Checker, FineInterleavingExploresMoreTransitions) {
+  auto normal = []() {
+    auto s = apps::pyswitch_ping_chain(2);
+    Checker c(s.config, CheckerOptions{}, s.properties);
+    return c.run();
+  }();
+  auto fine = []() {
+    auto s = apps::pyswitch_ping_chain(2);
+    s.config.fine_interleaving = true;
+    Checker c(s.config, CheckerOptions{}, s.properties);
+    return c.run();
+  }();
+  // JPF-like granularity explodes the ordering space (Section 7).
+  EXPECT_GT(fine.transitions, normal.transitions);
+}
+
+}  // namespace
+}  // namespace nicemc::mc

@@ -1,0 +1,115 @@
+// Checker option coverage: limits, collect-all-violations mode, depth
+// bounds, and the interaction between strategies and baselines.
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+
+namespace nicemc::mc {
+namespace {
+
+TEST(CheckerOptions, CollectAllViolationsExhaustsTheSpace) {
+  // BUG-IV and BUG-VI are both live in this configuration: collect-all
+  // mode keeps searching past the first violation and still reports the
+  // space as exhausted.
+  apps::LbScenarioOptions o;
+  o.fix_install_before_delete = true;
+  o.client_sends_arp = true;
+  auto s = apps::lb_scenario(o);
+  CheckerOptions opt;
+  opt.stop_at_first_violation = false;
+  Checker checker(s.config, opt, s.properties);
+  const CheckerResult r = checker.run();
+  EXPECT_GT(r.violations.size(), 1u);
+  EXPECT_TRUE(r.exhausted);
+
+  // Stop-at-first mode on the same scenario reports a truncated search.
+  auto s2 = apps::lb_scenario(o);
+  Checker first(s2.config, CheckerOptions{}, s2.properties);
+  const CheckerResult rf = first.run();
+  EXPECT_EQ(rf.violations.size(), 1u);
+  EXPECT_FALSE(rf.exhausted);
+}
+
+TEST(CheckerOptions, DepthLimitBoundsTraceLength) {
+  auto s = apps::pyswitch_ping_chain(2);
+  CheckerOptions opt;
+  opt.max_depth = 5;
+  Checker checker(s.config, opt, s.properties);
+  const CheckerResult r = checker.run();
+  // With the frontier cut at depth 5, the searched region stays tiny.
+  EXPECT_LT(r.unique_states, 200u);
+}
+
+TEST(CheckerOptions, UniqueStateLimitStopsSearch) {
+  auto s = apps::pyswitch_ping_chain(3);
+  CheckerOptions opt;
+  opt.max_unique_states = 100;
+  Checker checker(s.config, opt, s.properties);
+  const CheckerResult r = checker.run();
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_LE(r.unique_states, 101u);
+}
+
+TEST(CheckerOptions, ViolationTraceLengthIsBugDepth) {
+  // BUG-VIII manifests after send → process → dispatch → quiescence.
+  auto s = apps::te_scenario({});
+  Checker checker(s.config, CheckerOptions{}, s.properties);
+  const CheckerResult r = checker.run();
+  ASSERT_TRUE(r.found_violation());
+  EXPECT_LE(r.violations.front().trace.size(), 6u);
+}
+
+TEST(CheckerOptions, DiscoveryStatsAccumulate) {
+  auto s = apps::pyswitch_bug2();
+  Checker checker(s.config, CheckerOptions{}, s.properties);
+  const CheckerResult r = checker.run();
+  EXPECT_GT(r.discovery.packet_discoveries, 0u);
+  EXPECT_GT(r.discovery.handler_runs, r.discovery.packet_discoveries);
+  EXPECT_GT(r.discovery.packets_found, 0u);
+}
+
+TEST(CheckerOptions, DiscoveryIsMemoizedPerControllerState) {
+  // Exhausting the same scenario twice with one checker instance reuses
+  // the cache; a second checker re-discovers. Either way the searches are
+  // identical — discovery is a pure function of the controller state.
+  auto s = apps::pyswitch_bug2();
+  Checker first(s.config, CheckerOptions{}, s.properties);
+  const auto r1 = first.run();
+  auto s2 = apps::pyswitch_bug2();
+  Checker second(s2.config, CheckerOptions{}, s2.properties);
+  const auto r2 = second.run();
+  EXPECT_EQ(r1.transitions, r2.transitions);
+  EXPECT_EQ(r1.discovery.packet_discoveries, r2.discovery.packet_discoveries);
+}
+
+TEST(CheckerOptions, RandomWalksDifferBySeedButReplayTheSame) {
+  auto s = apps::pyswitch_ping_chain(2);
+  Checker checker(s.config, CheckerOptions{}, s.properties);
+  const auto a = checker.random_walk(1, 3, 50);
+  auto s2 = apps::pyswitch_ping_chain(2);
+  Checker checker2(s2.config, CheckerOptions{}, s2.properties);
+  const auto b = checker2.random_walk(1, 3, 50);
+  EXPECT_EQ(a.transitions, b.transitions);  // same seed → same walks
+}
+
+TEST(CheckerOptions, FineInterleavingStillFindsBugs) {
+  // The JPF-like baseline is slower but sound: it still finds BUG-II.
+  auto s = apps::pyswitch_bug2();
+  s.config.fine_interleaving = true;
+  Checker checker(s.config, CheckerOptions{}, s.properties);
+  const CheckerResult r = checker.run();
+  EXPECT_TRUE(r.found_violation());
+}
+
+TEST(CheckerOptions, NoSwitchReductionStillFindsBugs) {
+  // Disabling canonicalization wastes states but is sound.
+  auto s = apps::pyswitch_bug2();
+  s.config.canonical_flowtables = false;
+  Checker checker(s.config, CheckerOptions{}, s.properties);
+  const CheckerResult r = checker.run();
+  EXPECT_TRUE(r.found_violation());
+}
+
+}  // namespace
+}  // namespace nicemc::mc

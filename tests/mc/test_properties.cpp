@@ -1,0 +1,248 @@
+// Unit tests of the correctness-property library (paper Section 5.2),
+// driven by synthetic event streams.
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.h"
+#include "mc/execute.h"
+#include "props/direct_paths.h"
+#include "props/flow_affinity.h"
+#include "props/no_black_holes.h"
+#include "props/no_forgotten_packets.h"
+#include "props/no_forwarding_loops.h"
+
+namespace nicemc::mc {
+namespace {
+
+class PropertiesTest : public ::testing::Test {
+ protected:
+  PropertiesTest()
+      : scenario_(apps::pyswitch_ping_chain(1)),
+        executor_(scenario_.config, scenario_.properties),
+        state_(executor_.make_initial()) {}
+
+  static of::Packet packet(std::uint32_t uid, std::uint64_t src,
+                           std::uint64_t dst) {
+    of::Packet p;
+    p.uid = uid;
+    p.hdr.eth_src = src;
+    p.hdr.eth_dst = dst;
+    return p;
+  }
+
+  apps::Scenario scenario_;
+  Executor executor_;
+  SystemState state_;
+  std::vector<Violation> out_;
+};
+
+TEST_F(PropertiesTest, NoForwardingLoopsFlagsRevisit) {
+  props::NoForwardingLoops prop;
+  auto ps = prop.make_state();
+  EvPacketProcessed ev;
+  ev.revisited = true;
+  ev.pkt = packet(1, 0xa, 0xb);
+  const std::vector<Event> events = {ev};
+  prop.on_events(*ps, events, state_, out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].property, "NoForwardingLoops");
+}
+
+TEST_F(PropertiesTest, NoForwardingLoopsSilentOnNormalForwarding) {
+  props::NoForwardingLoops prop;
+  auto ps = prop.make_state();
+  EvPacketProcessed ev;
+  ev.copies_out = 1;
+  const std::vector<Event> events = {ev};
+  prop.on_events(*ps, events, state_, out_);
+  EXPECT_TRUE(out_.empty());
+}
+
+TEST_F(PropertiesTest, NoBlackHolesFlagsRuleDrop) {
+  props::NoBlackHoles prop;
+  auto ps = prop.make_state();
+  EvPacketProcessed ev;
+  ev.dropped_by_rule = true;
+  ev.pkt = packet(1, 0xa, 0xb);
+  const std::vector<Event> events = {ev};
+  prop.on_events(*ps, events, state_, out_);
+  ASSERT_EQ(out_.size(), 1u);
+}
+
+TEST_F(PropertiesTest, NoBlackHolesFlagsDeadPort) {
+  props::NoBlackHoles prop;
+  auto ps = prop.make_state();
+  const std::vector<Event> events = {EvPacketDeadPort{0, 2, packet(1, 1, 2)}};
+  prop.on_events(*ps, events, state_, out_);
+  ASSERT_EQ(out_.size(), 1u);
+}
+
+TEST_F(PropertiesTest, NoBlackHolesBalancedFloodIsClean) {
+  props::NoBlackHoles prop;
+  auto ps = prop.make_state();
+  const of::Packet p = packet(1, 0xa, 0xb);
+  EvPacketProcessed flood;  // 1 in, 2 copies out
+  flood.pkt = p;
+  flood.copies_out = 2;
+  const std::vector<Event> events = {
+      EvPacketSent{0, p}, flood, EvPacketDelivered{1, p},
+      EvPacketDelivered{2, p}};
+  prop.on_events(*ps, events, state_, out_);
+  prop.at_quiescence(*ps, state_, out_);
+  EXPECT_TRUE(out_.empty());
+}
+
+TEST_F(PropertiesTest, NoBlackHolesImbalanceAtQuiescence) {
+  props::NoBlackHoles prop;
+  auto ps = prop.make_state();
+  const std::vector<Event> events = {EvPacketSent{0, packet(1, 0xa, 0xb)}};
+  prop.on_events(*ps, events, state_, out_);
+  prop.at_quiescence(*ps, state_, out_);
+  ASSERT_EQ(out_.size(), 1u);  // sent but never delivered/consumed
+}
+
+TEST_F(PropertiesTest, NoBlackHolesTreatsBufferingAsConsumption) {
+  props::NoBlackHoles prop;
+  auto ps = prop.make_state();
+  const of::Packet p = packet(1, 0xa, 0xb);
+  EvPacketProcessed buffered;
+  buffered.pkt = p;
+  buffered.to_controller = true;  // 0 copies out, buffered at the switch
+  const std::vector<Event> events = {EvPacketSent{0, p}, buffered};
+  prop.on_events(*ps, events, state_, out_);
+  prop.at_quiescence(*ps, state_, out_);
+  EXPECT_TRUE(out_.empty());  // forgotten packets are another property's job
+}
+
+TEST_F(PropertiesTest, DirectPathsWatchesOnlyPacketsSentAfterDelivery) {
+  props::DirectPaths prop;
+  auto ps = prop.make_state();
+  const of::Packet first = packet(1, 0xa, 0xb);
+  const of::Packet second = packet(2, 0xa, 0xb);
+
+  // First packet delivered; second sent afterwards, then hits controller.
+  {
+    const std::vector<Event> events = {EvPacketSent{0, first},
+                                       EvPacketDelivered{1, first, 0xb}};
+    prop.on_events(*ps, events, state_, out_);
+  }
+  EXPECT_TRUE(out_.empty());
+  {
+    const std::vector<Event> events = {
+        EvPacketSent{0, second},
+        EvPacketIn{0, 1, second, of::PacketIn::Reason::kNoMatch}};
+    prop.on_events(*ps, events, state_, out_);
+  }
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].property, "DirectPaths");
+}
+
+TEST_F(PropertiesTest, DirectPathsRobustToInFlightPackets) {
+  props::DirectPaths prop;
+  auto ps = prop.make_state();
+  const of::Packet first = packet(1, 0xa, 0xb);
+  const of::Packet second = packet(2, 0xa, 0xb);
+  // Second packet was sent BEFORE the first was delivered (both in
+  // flight): its packet_in must NOT be a violation ("safe time").
+  const std::vector<Event> events = {
+      EvPacketSent{0, first}, EvPacketSent{0, second},
+      EvPacketDelivered{1, first, 0xb},
+      EvPacketIn{0, 1, second, of::PacketIn::Reason::kNoMatch}};
+  prop.on_events(*ps, events, state_, out_);
+  EXPECT_TRUE(out_.empty());
+}
+
+TEST_F(PropertiesTest, StrictDirectPathsRequiresBothDirections) {
+  props::StrictDirectPaths prop;
+  auto ps = prop.make_state();
+  const of::Packet ab = packet(1, 0xa, 0xb);
+  const of::Packet ba = packet(2, 0xb, 0xa);
+  const of::Packet later = packet(3, 0xa, 0xb);
+
+  // Only A→B delivered: a later packet reaching the controller is fine.
+  {
+    const std::vector<Event> events = {
+        EvPacketSent{0, ab}, EvPacketDelivered{1, ab, 0xb}, EvPacketSent{0, later},
+        EvPacketIn{0, 1, later, of::PacketIn::Reason::kNoMatch}};
+    prop.on_events(*ps, events, state_, out_);
+  }
+  EXPECT_TRUE(out_.empty());
+
+  // After B→A also delivers, a subsequent packet must not reach the
+  // controller.
+  const of::Packet after = packet(4, 0xa, 0xb);
+  {
+    const std::vector<Event> events = {
+        EvPacketSent{1, ba}, EvPacketDelivered{0, ba, 0xa}, EvPacketSent{0, after},
+        EvPacketIn{0, 1, after, of::PacketIn::Reason::kNoMatch}};
+    prop.on_events(*ps, events, state_, out_);
+  }
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].property, "StrictDirectPaths");
+}
+
+TEST_F(PropertiesTest, NoForgottenPacketsChecksSwitchBuffers) {
+  props::NoForgottenPackets prop;
+  auto ps = prop.make_state();
+  prop.at_quiescence(*ps, state_, out_);
+  EXPECT_TRUE(out_.empty());
+  // Park a packet in SW0's buffer.
+  state_.switches[0].enqueue_packet(1, packet(1, 0xa, 0xb));
+  state_.switches[0].process_pkt();
+  prop.at_quiescence(*ps, state_, out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].property, "NoForgottenPackets");
+}
+
+TEST_F(PropertiesTest, FlowAffinityFlagsSplitConnections) {
+  props::FlowAffinity prop({1, 2});
+  auto ps = prop.make_state();
+  of::Packet seg1 = packet(1, 0xa, 0xb);
+  seg1.hdr.ip_proto = of::kIpProtoTcp;
+  seg1.hdr.ip_src = 1;
+  seg1.hdr.ip_dst = 2;
+  seg1.hdr.tp_src = 1024;
+  seg1.hdr.tp_dst = 80;
+  of::Packet seg2 = seg1;
+  seg2.uid = 2;
+
+  const std::vector<Event> ok = {EvPacketDelivered{1, seg1},
+                                 EvPacketDelivered{1, seg2}};
+  prop.on_events(*ps, ok, state_, out_);
+  EXPECT_TRUE(out_.empty());
+
+  of::Packet seg3 = seg1;
+  seg3.uid = 3;
+  const std::vector<Event> bad = {EvPacketDelivered{2, seg3}};
+  prop.on_events(*ps, bad, state_, out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].property, "FlowAffinity");
+}
+
+TEST_F(PropertiesTest, FlowAffinityIgnoresNonReplicaHosts) {
+  props::FlowAffinity prop({1, 2});
+  auto ps = prop.make_state();
+  of::Packet p = packet(1, 0xa, 0xb);
+  p.hdr.ip_proto = of::kIpProtoTcp;
+  const std::vector<Event> events = {EvPacketDelivered{0, p}};  // host 0
+  prop.on_events(*ps, events, state_, out_);
+  EXPECT_TRUE(out_.empty());
+}
+
+TEST_F(PropertiesTest, PropertyStateCloneIsIndependent) {
+  props::DirectPaths prop;
+  auto ps = prop.make_state();
+  const of::Packet p = packet(1, 0xa, 0xb);
+  auto clone = ps->clone();
+  const std::vector<Event> events = {EvPacketSent{0, p},
+                                     EvPacketDelivered{1, p, 0xb}};
+  prop.on_events(*ps, events, state_, out_);
+  // The clone must not have seen the delivery.
+  util::Ser s1;
+  util::Ser s2;
+  ps->serialize(s1);
+  clone->serialize(s2);
+  EXPECT_NE(s1.hash(), s2.hash());
+}
+
+}  // namespace
+}  // namespace nicemc::mc

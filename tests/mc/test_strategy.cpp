@@ -1,0 +1,95 @@
+#include "mc/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.h"
+#include "mc/discover.h"
+#include "mc/execute.h"
+
+namespace nicemc::mc {
+namespace {
+
+TEST(Strategy, PktSeqOnlyPassesThrough) {
+  auto s = apps::pyswitch_ping_chain(2);
+  Executor ex(s.config, s.properties);
+  DiscoveryCache cache;
+  SystemState st = ex.make_initial();
+  auto ts = ex.enabled(st, cache);
+  const auto filtered =
+      apply_strategy(Strategy::kPktSeqOnly, s.config, st, ts);
+  EXPECT_EQ(filtered.size(), ts.size());
+}
+
+TEST(Strategy, UnusualKeepsOnlyLastSentOfMessage) {
+  auto s = apps::pyswitch_ping_chain(1);
+  Executor ex(s.config, s.properties);
+  SystemState st = ex.make_initial();
+  // Simulate the controller having sent messages to SW0 then SW1.
+  st.switches[0].push_of(of::BarrierRequest{.xid = 1}, 1);
+  st.switches[1].push_of(of::BarrierRequest{.xid = 2}, 2);
+  std::vector<Transition> ts = {
+      Transition{.kind = TKind::kSwitchProcessOf, .a = 0},
+      Transition{.kind = TKind::kSwitchProcessOf, .a = 1},
+      Transition{.kind = TKind::kHostRecv, .a = 0},
+  };
+  const auto filtered = apply_strategy(Strategy::kUnusual, s.config, st, ts);
+  ASSERT_EQ(filtered.size(), 2u);
+  // Only the most recently sent (SW1) OF processing survives; unrelated
+  // transitions are untouched.
+  EXPECT_EQ(filtered[0].kind, TKind::kSwitchProcessOf);
+  EXPECT_EQ(filtered[0].a, 1u);
+  EXPECT_EQ(filtered[1].kind, TKind::kHostRecv);
+}
+
+TEST(Strategy, FlowIrKeepsSingleFlowGroup) {
+  auto s = apps::pyswitch_ping_chain(2);
+  // Give A two pings with *different* MAC destinations so they form two
+  // independent flow groups under pyswitch's default isSameFlow.
+  auto& script = s.config.host_behavior[0].script;
+  ASSERT_EQ(script.size(), 2u);
+  script[1].hdr.eth_dst = 0x00aa0000002aULL;
+
+  Executor ex(s.config, s.properties);
+  SystemState st = ex.make_initial();
+  // Both sends enabled simultaneously (burst = 2): fake two send
+  // transitions, one per script position, by lowering sends_done.
+  std::vector<Transition> ts = {
+      Transition{.kind = TKind::kHostSendScript, .a = 0},
+  };
+  // Single send: nothing filtered.
+  EXPECT_EQ(apply_strategy(Strategy::kFlowIr, s.config, st, ts).size(), 1u);
+}
+
+TEST(Strategy, FlowIrReducesSearchOnIndependentFlows) {
+  // Two pings to *different destinations* are independent flows: FLOW-IR
+  // must explore fewer (or equal) transitions than the full search.
+  auto make = []() {
+    auto s = apps::pyswitch_ping_chain(2);
+    s.config.host_behavior[0].script[1].hdr.eth_dst = 0x00aa0000002aULL;
+    return s;
+  };
+  auto full = [&]() {
+    auto s = make();
+    Checker c(s.config, CheckerOptions{}, s.properties);
+    return c.run();
+  }();
+  auto flowir = [&]() {
+    auto s = make();
+    CheckerOptions opt;
+    apps::set_strategy(s, opt, Strategy::kFlowIr);
+    Checker c(s.config, opt, s.properties);
+    return c.run();
+  }();
+  EXPECT_LE(flowir.transitions, full.transitions);
+  EXPECT_TRUE(flowir.exhausted);
+}
+
+TEST(Strategy, NamesAreStable) {
+  EXPECT_EQ(strategy_name(Strategy::kPktSeqOnly), "PKT-SEQ");
+  EXPECT_EQ(strategy_name(Strategy::kNoDelay), "NO-DELAY");
+  EXPECT_EQ(strategy_name(Strategy::kFlowIr), "FLOW-IR");
+  EXPECT_EQ(strategy_name(Strategy::kUnusual), "UNUSUAL");
+}
+
+}  // namespace
+}  // namespace nicemc::mc

@@ -1,0 +1,76 @@
+#include "mc/system.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.h"
+#include "mc/execute.h"
+
+namespace nicemc::mc {
+namespace {
+
+TEST(System, InitialStateIsDeterministic) {
+  auto s = apps::pyswitch_ping_chain(2);
+  Executor ex(s.config, s.properties);
+  const SystemState a = ex.make_initial();
+  const SystemState b = ex.make_initial();
+  EXPECT_EQ(a.hash(true), b.hash(true));
+}
+
+TEST(System, CloneIsDeepForControllerState) {
+  auto s = apps::pyswitch_ping_chain(1);
+  Executor ex(s.config, s.properties);
+  SystemState a = ex.make_initial();
+  SystemState b = a.clone();
+  EXPECT_EQ(a.hash(true), b.hash(true));
+  // Mutating the clone's app state must not affect the original.
+  auto& st = static_cast<apps::PySwitchState&>(*b.ctrl.app);
+  st.mactable[0].put(0x42, 7);
+  EXPECT_NE(a.hash(true), b.hash(true));
+}
+
+TEST(System, CloneIsDeepForSwitchesAndHosts) {
+  auto s = apps::pyswitch_ping_chain(1);
+  Executor ex(s.config, s.properties);
+  SystemState a = ex.make_initial();
+  SystemState b = a.clone();
+  b.switches[0].enqueue_packet(1, of::Packet{});
+  EXPECT_NE(a.hash(true), b.hash(true));
+  SystemState c = a.clone();
+  c.hosts[0].burst += 1;
+  EXPECT_NE(a.hash(true), c.hash(true));
+}
+
+TEST(System, CtrlHashIgnoresNetworkState) {
+  auto s = apps::pyswitch_ping_chain(1);
+  Executor ex(s.config, s.properties);
+  SystemState a = ex.make_initial();
+  const auto before = a.ctrl_hash();
+  a.switches[0].enqueue_packet(1, of::Packet{});
+  a.hosts[0].burst += 3;
+  EXPECT_EQ(a.ctrl_hash(), before);
+  auto& st = static_cast<apps::PySwitchState&>(*a.ctrl.app);
+  st.mactable[0].put(0x42, 7);
+  EXPECT_NE(a.ctrl_hash(), before);
+}
+
+TEST(System, UidCountersAffectHash) {
+  auto s = apps::pyswitch_ping_chain(1);
+  Executor ex(s.config, s.properties);
+  SystemState a = ex.make_initial();
+  SystemState b = a.clone();
+  b.next_uid += 1;
+  EXPECT_NE(a.hash(true), b.hash(true));
+}
+
+TEST(System, TotalForgottenSumsSwitchBuffers) {
+  auto s = apps::pyswitch_ping_chain(1);
+  Executor ex(s.config, s.properties);
+  SystemState a = ex.make_initial();
+  EXPECT_EQ(a.total_forgotten(), 0u);
+  a.switches[0].enqueue_packet(1, of::Packet{});
+  a.switches[0].process_pkt();  // no rule: buffers the packet
+  EXPECT_EQ(a.total_forgotten(), 1u);
+}
+
+}  // namespace
+}  // namespace nicemc::mc

@@ -1,0 +1,73 @@
+#include "mc/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+
+namespace nicemc::mc {
+namespace {
+
+TEST(Trace, ViolationTraceReplaysDeterministically) {
+  auto s = apps::pyswitch_bug2();
+  Checker checker(s.config, CheckerOptions{}, s.properties);
+  const CheckerResult r = checker.run();
+  ASSERT_TRUE(r.found_violation());
+  const auto& record = r.violations.front();
+  ASSERT_FALSE(record.trace.empty());
+
+  // Replaying the trace re-raises the same property violation.
+  auto s2 = apps::pyswitch_bug2();
+  Executor ex(s2.config, s2.properties);
+  std::vector<Violation> violations;
+  (void)replay(ex, record.trace, violations);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().property, record.violation.property);
+}
+
+TEST(Trace, ReplayTwiceYieldsIdenticalFinalState) {
+  auto s = apps::pyswitch_ping_chain(1);
+  Executor ex(s.config, s.properties);
+  DiscoveryCache cache;
+  // Drive a short fixed run and capture its transitions.
+  SystemState st = ex.make_initial();
+  std::vector<Transition> trace;
+  std::vector<Violation> v;
+  for (int i = 0; i < 6; ++i) {
+    const auto ts = ex.enabled(st, cache);
+    if (ts.empty()) break;
+    trace.push_back(ts.front());
+    ex.apply(st, ts.front(), v);
+  }
+  std::vector<Violation> v1;
+  std::vector<Violation> v2;
+  const SystemState a = replay(ex, trace, v1);
+  const SystemState b = replay(ex, trace, v2);
+  EXPECT_EQ(a.hash(true), b.hash(true));
+  EXPECT_EQ(a.hash(true), st.hash(true));
+}
+
+TEST(Trace, TraceLinesAreHumanReadable) {
+  std::vector<Transition> trace = {
+      Transition{.kind = TKind::kHostSendScript, .a = 0},
+      Transition{.kind = TKind::kSwitchProcessPkt, .a = 1},
+  };
+  const auto lines = trace_lines(trace);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "1. host0.send[script]");
+  EXPECT_EQ(lines[1], "2. sw1.process_pkt");
+}
+
+TEST(Trace, TraceOfBuildsRootToLeafOrder) {
+  auto n1 = std::make_shared<const PathNode>(
+      PathNode{nullptr, Transition{.kind = TKind::kHostSendScript, .a = 0}});
+  auto n2 = std::make_shared<const PathNode>(
+      PathNode{n1, Transition{.kind = TKind::kHostRecv, .a = 1}});
+  const auto trace = trace_of(n2);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].kind, TKind::kHostSendScript);
+  EXPECT_EQ(trace[1].kind, TKind::kHostRecv);
+}
+
+}  // namespace
+}  // namespace nicemc::mc

@@ -1,0 +1,75 @@
+#include "of/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nicemc::of {
+namespace {
+
+TEST(Fifo, PreservesOrder) {
+  Fifo<int> f;
+  f.push(1);
+  f.push(2);
+  f.push(3);
+  EXPECT_EQ(f.pop(), 1);
+  EXPECT_EQ(f.pop(), 2);
+  EXPECT_EQ(f.pop(), 3);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, FrontDoesNotConsume) {
+  Fifo<int> f;
+  f.push(7);
+  EXPECT_EQ(f.front(), 7);
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(Fifo, DuplicateHeadFaultModel) {
+  Fifo<int> f;
+  f.push(1);
+  f.push(2);
+  f.duplicate_head();
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.pop(), 1);
+  EXPECT_EQ(f.pop(), 1);
+  EXPECT_EQ(f.pop(), 2);
+}
+
+TEST(Fifo, DropHeadFaultModel) {
+  Fifo<int> f;
+  f.push(1);
+  f.push(2);
+  f.drop_head();
+  EXPECT_EQ(f.pop(), 2);
+}
+
+TEST(Fifo, EqualityComparesContents) {
+  Fifo<int> a;
+  Fifo<int> b;
+  a.push(1);
+  b.push(1);
+  EXPECT_EQ(a, b);
+  b.push(2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Fifo, SerializationIsOrderSensitive) {
+  auto ser = [](const Fifo<int>& f) {
+    util::Ser s;
+    f.serialize(s, [](util::Ser& ss, const int& v) {
+      ss.put_u32(static_cast<std::uint32_t>(v));
+    });
+    return s.hash();
+  };
+  Fifo<int> a;
+  a.push(1);
+  a.push(2);
+  Fifo<int> b;
+  b.push(2);
+  b.push(1);
+  EXPECT_NE(ser(a), ser(b));
+}
+
+}  // namespace
+}  // namespace nicemc::of

@@ -1,0 +1,127 @@
+#include "of/match.h"
+
+#include <gtest/gtest.h>
+
+namespace nicemc::of {
+namespace {
+
+sym::PacketFields tcp_packet() {
+  sym::PacketFields h;
+  h.eth_src = 0x0a;
+  h.eth_dst = 0x0b;
+  h.eth_type = kEthTypeIpv4;
+  h.ip_src = 0x0a000001;
+  h.ip_dst = 0x0a000064;
+  h.ip_proto = kIpProtoTcp;
+  h.tp_src = 1024;
+  h.tp_dst = 80;
+  return h;
+}
+
+TEST(Match, WildcardMatchesEverything) {
+  const Match m = Match::any();
+  EXPECT_TRUE(m.matches(1, tcp_packet()));
+  EXPECT_TRUE(m.matches(99, sym::PacketFields{}));
+}
+
+TEST(Match, L2ExactRequiresAllFields) {
+  const auto h = tcp_packet();
+  const Match m = Match::l2_exact(3, h);
+  EXPECT_TRUE(m.matches(3, h));
+  EXPECT_FALSE(m.matches(4, h));  // wrong in_port
+  auto h2 = h;
+  h2.eth_dst = 0x0c;
+  EXPECT_FALSE(m.matches(3, h2));
+  auto h3 = h;
+  h3.eth_type = kEthTypeArp;
+  EXPECT_FALSE(m.matches(3, h3));
+  // L2-exact ignores L3/L4.
+  auto h4 = h;
+  h4.ip_src = 0xdeadbeef;
+  h4.tp_src = 9999;
+  EXPECT_TRUE(m.matches(3, h4));
+}
+
+TEST(Match, FiveTupleIgnoresL2Addresses) {
+  const auto h = tcp_packet();
+  const Match m = Match::five_tuple(h);
+  auto h2 = h;
+  h2.eth_src = 0xffff;
+  h2.eth_dst = 0xeeee;
+  EXPECT_TRUE(m.matches(1, h2));
+  auto h3 = h;
+  h3.tp_src = 1025;
+  EXPECT_FALSE(m.matches(1, h3));
+}
+
+TEST(Match, IpPrefixHalvesAddressSpace) {
+  // The load balancer's /1 split on ip_src.
+  Match low;
+  low.fields = static_cast<std::uint16_t>(MatchField::kIpSrc);
+  low.ip_src = 0;
+  low.ip_src_plen = 1;
+  Match high = low;
+  high.ip_src = 0x80000000;
+
+  auto h = tcp_packet();
+  h.ip_src = 0x0a000001;  // top bit clear
+  EXPECT_TRUE(low.matches(1, h));
+  EXPECT_FALSE(high.matches(1, h));
+  h.ip_src = 0xc0000001;  // top bit set
+  EXPECT_FALSE(low.matches(1, h));
+  EXPECT_TRUE(high.matches(1, h));
+}
+
+TEST(Match, PrefixLengthZeroIsWildcard) {
+  Match m;
+  m.fields = static_cast<std::uint16_t>(MatchField::kIpDst);
+  m.ip_dst = 0x12345678;
+  m.ip_dst_plen = 0;
+  auto h = tcp_packet();
+  h.ip_dst = 0;
+  EXPECT_TRUE(m.matches(1, h));
+}
+
+class MatchPrefixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatchPrefixTest, PrefixSemanticsMatchBitArithmetic) {
+  const int plen = GetParam();
+  Match m;
+  m.fields = static_cast<std::uint16_t>(MatchField::kIpSrc);
+  m.ip_src = 0xabcd1234;
+  m.ip_src_plen = static_cast<std::uint8_t>(plen);
+  const std::uint32_t mask =
+      plen == 0 ? 0 : (plen >= 32 ? 0xffffffffu : ~((1u << (32 - plen)) - 1));
+  for (std::uint32_t probe :
+       {0xabcd1234u, 0xabcd1235u, 0xabc00000u, 0x00000000u, 0xffffffffu}) {
+    auto h = tcp_packet();
+    h.ip_src = probe;
+    EXPECT_EQ(m.matches(1, h), (probe & mask) == (0xabcd1234u & mask))
+        << "plen=" << plen << " probe=" << probe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrefixLengths, MatchPrefixTest,
+                         ::testing::Values(0, 1, 8, 16, 24, 31, 32));
+
+TEST(Match, SerializationIsCanonical) {
+  const auto h = tcp_packet();
+  const Match m1 = Match::five_tuple(h);
+  const Match m2 = Match::five_tuple(h);
+  util::Ser s1;
+  util::Ser s2;
+  m1.serialize(s1);
+  m2.serialize(s2);
+  EXPECT_EQ(s1.hash(), s2.hash());
+}
+
+TEST(Match, BriefMentionsPresentFields) {
+  const Match m = Match::five_tuple(tcp_packet());
+  const std::string b = m.brief();
+  EXPECT_NE(b.find("nw_dst"), std::string::npos);
+  EXPECT_NE(b.find("tp_src"), std::string::npos);
+  EXPECT_EQ(b.find("dst=00:"), std::string::npos);  // no L2 fields present
+}
+
+}  // namespace
+}  // namespace nicemc::of

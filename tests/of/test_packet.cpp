@@ -1,0 +1,64 @@
+#include "of/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace nicemc::of {
+namespace {
+
+TEST(Packet, VisitedBeforeChecksHopList) {
+  Packet p;
+  p.visited = {Hop{0, 1}, Hop{1, 3}};
+  EXPECT_TRUE(p.visited_before(0, 1));
+  EXPECT_TRUE(p.visited_before(1, 3));
+  EXPECT_FALSE(p.visited_before(0, 3));
+  EXPECT_FALSE(p.visited_before(2, 1));
+}
+
+TEST(Packet, SerializationCoversMetadata) {
+  Packet a;
+  a.hdr.eth_src = 0x0a;
+  a.uid = 1;
+  Packet b = a;
+  util::Ser sa;
+  util::Ser sb;
+  a.serialize(sa);
+  b.serialize(sb);
+  EXPECT_EQ(sa.hash(), sb.hash());
+  b.visited.push_back(Hop{0, 1});
+  util::Ser sb2;
+  b.serialize(sb2);
+  EXPECT_NE(sa.hash(), sb2.hash());  // visited history is state
+}
+
+TEST(Packet, FiveTupleAndMacPairExtraction) {
+  sym::PacketFields h;
+  h.ip_src = 1;
+  h.ip_dst = 2;
+  h.ip_proto = kIpProtoTcp;
+  h.tp_src = 1024;
+  h.tp_dst = 80;
+  h.eth_src = 0x0a;
+  h.eth_dst = 0x0b;
+  const FiveTuple t = FiveTuple::of_packet(h);
+  EXPECT_EQ(t.ip_src, 1u);
+  EXPECT_EQ(t.tp_dst, 80u);
+  const MacPair m = MacPair::of_packet(h);
+  EXPECT_EQ(m.reversed().src, 0x0bu);
+  EXPECT_EQ(m.reversed().dst, 0x0au);
+}
+
+TEST(Packet, BriefRendersAddresses) {
+  Packet p;
+  p.hdr.eth_src = 0x00aa0000000aULL;
+  p.hdr.eth_dst = 0x00aa0000000bULL;
+  p.hdr.eth_type = kEthTypeIpv4;
+  p.hdr.ip_src = 0x0a000001;
+  p.hdr.ip_dst = 0x0a000002;
+  p.hdr.ip_proto = kIpProtoTcp;
+  const std::string b = p.brief();
+  EXPECT_NE(b.find("00:aa:00:00:00:0a"), std::string::npos);
+  EXPECT_NE(b.find("10.0.0.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nicemc::of

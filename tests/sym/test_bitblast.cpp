@@ -1,0 +1,152 @@
+// Cross-validation of the bit-blaster: for randomly generated small
+// expressions, any model the SAT solver finds must satisfy the expression
+// under direct evaluation, and brute-force satisfiability must agree.
+#include "sym/bitblast.h"
+
+#include <gtest/gtest.h>
+
+#include "sym/sat.h"
+#include "util/hash.h"
+
+namespace nicemc::sym {
+namespace {
+
+/// Solve a single width-1 expression; returns the model values of vars
+/// 0..num_vars-1 if SAT.
+std::optional<std::vector<std::uint64_t>> solve_expr(const ExprArena& a,
+                                                     ExprRef e,
+                                                     std::size_t num_vars) {
+  SatSolver sat;
+  BitBlaster bb(a, sat);
+  sat.add_unit(bb.bit1(e));
+  if (sat.solve() == SatResult::kUnsat) return std::nullopt;
+  std::vector<std::uint64_t> model(num_vars, 0);
+  for (const auto& [var, lits] : bb.input_bits()) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < lits.size(); ++i) {
+      if (sat.model_value(lit_var(lits[i])) != lit_sign(lits[i])) {
+        v |= 1ULL << i;
+      }
+    }
+    if (var < num_vars) model[var] = v;
+  }
+  return model;
+}
+
+TEST(BitBlast, EqualityFindsTheOnlyModel) {
+  ExprArena a;
+  const ExprRef v = a.var(0, 16);
+  const ExprRef e = a.cmp(Op::kEq, v, a.constant(0xbeef, 16));
+  const auto model = solve_expr(a, e, 1);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ((*model)[0], 0xbeefu);
+}
+
+TEST(BitBlast, AdditionCarriesAcrossBytes) {
+  ExprArena a;
+  const ExprRef v = a.var(0, 16);
+  const ExprRef sum = a.bin(Op::kAdd, v, a.constant(1, 16));
+  const ExprRef e = a.cmp(Op::kEq, sum, a.constant(0x0100, 16));
+  const auto model = solve_expr(a, e, 1);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ((*model)[0], 0xffu);
+}
+
+TEST(BitBlast, SubtractionIsAddOfComplement) {
+  ExprArena a;
+  const ExprRef v = a.var(0, 8);
+  const ExprRef diff = a.bin(Op::kSub, a.constant(5, 8), v);
+  const ExprRef e = a.cmp(Op::kEq, diff, a.constant(250, 8));  // wraps
+  const auto model = solve_expr(a, e, 1);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ((*model)[0], 11u);
+}
+
+TEST(BitBlast, UnsignedComparisonBoundaries) {
+  ExprArena a;
+  const ExprRef v = a.var(0, 8);
+  // v < 1 has exactly one solution: 0.
+  const auto m1 = solve_expr(a, a.cmp(Op::kUlt, v, a.constant(1, 8)), 1);
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_EQ((*m1)[0], 0u);
+  // v < 0 is unsatisfiable.
+  EXPECT_FALSE(
+      solve_expr(a, a.cmp(Op::kUlt, v, a.constant(0, 8)), 1).has_value());
+  // 255 <= v has exactly one solution: 255.
+  const auto m2 =
+      solve_expr(a, a.cmp(Op::kUle, a.constant(255, 8), v), 1);
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ((*m2)[0], 255u);
+}
+
+TEST(BitBlast, IteSelectsBranch) {
+  ExprArena a;
+  const ExprRef v = a.var(0, 8);
+  const ExprRef w = a.var(1, 8);
+  const ExprRef cond = a.cmp(Op::kEq, v, a.constant(1, 8));
+  const ExprRef ite = a.ite(cond, a.constant(10, 8), a.constant(20, 8));
+  // ite == 10 forces v == 1.
+  const ExprRef e =
+      a.bin(Op::kAnd, a.cmp(Op::kEq, ite, a.constant(10, 8)),
+            a.cmp(Op::kEq, w, a.constant(3, 8)));
+  const auto model = solve_expr(a, e, 2);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ((*model)[0], 1u);
+  EXPECT_EQ((*model)[1], 3u);
+}
+
+/// Property sweep: random expression trees over two 6-bit variables —
+/// solver verdict must match brute force, and models must evaluate true.
+class BitBlastRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+ExprRef random_bv_expr(ExprArena& a, util::SplitMix64& rng, int depth) {
+  constexpr unsigned kW = 6;
+  if (depth == 0) {
+    if (rng.next_below(2) == 0) {
+      return a.var(static_cast<VarId>(rng.next_below(2)), kW);
+    }
+    return a.constant(rng.next_below(1ULL << kW), kW);
+  }
+  const ExprRef x = random_bv_expr(a, rng, depth - 1);
+  const ExprRef y = random_bv_expr(a, rng, depth - 1);
+  switch (rng.next_below(7)) {
+    case 0: return a.bin(Op::kAnd, x, y);
+    case 1: return a.bin(Op::kOr, x, y);
+    case 2: return a.bin(Op::kXor, x, y);
+    case 3: return a.bin(Op::kAdd, x, y);
+    case 4: return a.bin(Op::kSub, x, y);
+    case 5: return a.not_of(x);
+    default: return a.lshr(x, static_cast<unsigned>(rng.next_below(kW)));
+  }
+}
+
+TEST_P(BitBlastRandomTest, SolverAgreesWithBruteForce) {
+  util::SplitMix64 rng(GetParam());
+  ExprArena a;
+  const ExprRef lhs = random_bv_expr(a, rng, 3);
+  const ExprRef rhs = random_bv_expr(a, rng, 3);
+  const Op cmp = rng.next_below(2) == 0 ? Op::kEq : Op::kUlt;
+  const ExprRef e = a.cmp(cmp, lhs, rhs);
+
+  bool brute_sat = false;
+  for (std::uint64_t v0 = 0; v0 < 64 && !brute_sat; ++v0) {
+    for (std::uint64_t v1 = 0; v1 < 64; ++v1) {
+      if (a.eval(e, {v0, v1}) == 1) {
+        brute_sat = true;
+        break;
+      }
+    }
+  }
+  const auto model = solve_expr(a, e, 2);
+  EXPECT_EQ(model.has_value(), brute_sat);
+  if (model) {
+    EXPECT_EQ(a.eval(e, *model), 1u)
+        << "solver model does not satisfy the formula";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitBlastRandomTest,
+                         ::testing::Range<std::uint64_t>(100, 160));
+
+}  // namespace
+}  // namespace nicemc::sym

@@ -1,0 +1,144 @@
+#include "sym/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace nicemc::sym {
+namespace {
+
+TEST(Expr, ConstantFoldingBinaryOps) {
+  ExprArena a;
+  const ExprRef x = a.constant(0x0f, 8);
+  const ExprRef y = a.constant(0x3c, 8);
+  EXPECT_EQ(a.node(a.bin(Op::kAnd, x, y)).aux, 0x0cu);
+  EXPECT_EQ(a.node(a.bin(Op::kOr, x, y)).aux, 0x3fu);
+  EXPECT_EQ(a.node(a.bin(Op::kXor, x, y)).aux, 0x33u);
+  EXPECT_EQ(a.node(a.bin(Op::kAdd, x, y)).aux, 0x4bu);
+  EXPECT_EQ(a.node(a.bin(Op::kSub, y, x)).aux, 0x2du);
+}
+
+TEST(Expr, AdditionWrapsAtWidth) {
+  ExprArena a;
+  const ExprRef x = a.constant(0xff, 8);
+  const ExprRef one = a.constant(1, 8);
+  EXPECT_EQ(a.node(a.bin(Op::kAdd, x, one)).aux, 0u);
+}
+
+TEST(Expr, HashConsingSharesStructurallyEqualNodes) {
+  ExprArena a;
+  const ExprRef v = a.var(0, 16);
+  const ExprRef c = a.constant(7, 16);
+  const ExprRef e1 = a.bin(Op::kAnd, v, c);
+  const ExprRef e2 = a.bin(Op::kAnd, v, c);
+  EXPECT_EQ(e1, e2);
+}
+
+TEST(Expr, CommutativeOpsNormalizeOperandOrder) {
+  ExprArena a;
+  const ExprRef v = a.var(0, 16);
+  const ExprRef w = a.var(1, 16);
+  EXPECT_EQ(a.bin(Op::kAdd, v, w), a.bin(Op::kAdd, w, v));
+  EXPECT_EQ(a.cmp(Op::kEq, v, w), a.cmp(Op::kEq, w, v));
+}
+
+TEST(Expr, IdentitySimplifications) {
+  ExprArena a;
+  const ExprRef v = a.var(0, 8);
+  const ExprRef zero = a.constant(0, 8);
+  const ExprRef ones = a.constant(0xff, 8);
+  EXPECT_EQ(a.bin(Op::kOr, v, zero), v);
+  EXPECT_EQ(a.bin(Op::kAdd, v, zero), v);
+  EXPECT_EQ(a.bin(Op::kAnd, v, ones), v);
+  EXPECT_EQ(a.bin(Op::kAnd, v, zero), zero);
+}
+
+TEST(Expr, NotPushesThroughComparisons) {
+  ExprArena a;
+  const ExprRef v = a.var(0, 8);
+  const ExprRef c = a.constant(5, 8);
+  EXPECT_EQ(a.not_of(a.cmp(Op::kEq, v, c)), a.cmp(Op::kNe, v, c));
+  EXPECT_EQ(a.not_of(a.cmp(Op::kUlt, v, c)), a.cmp(Op::kUle, c, v));
+  // Double negation cancels.
+  const ExprRef e = a.cmp(Op::kEq, v, c);
+  EXPECT_EQ(a.not_of(a.not_of(e)), e);
+}
+
+TEST(Expr, ComparisonOfIdenticalOperandsFolds) {
+  ExprArena a;
+  const ExprRef v = a.var(0, 8);
+  EXPECT_EQ(a.node(a.cmp(Op::kEq, v, v)).aux, 1u);
+  EXPECT_EQ(a.node(a.cmp(Op::kUlt, v, v)).aux, 0u);
+  EXPECT_EQ(a.node(a.cmp(Op::kUle, v, v)).aux, 1u);
+}
+
+TEST(Expr, EvalRespectsAssignment) {
+  ExprArena a;
+  const ExprRef v = a.var(0, 16);
+  const ExprRef w = a.var(1, 16);
+  const ExprRef sum = a.bin(Op::kAdd, v, w);
+  const ExprRef pred = a.cmp(Op::kUlt, sum, a.constant(100, 16));
+  EXPECT_EQ(a.eval(sum, {30, 40}), 70u);
+  EXPECT_EQ(a.eval(pred, {30, 40}), 1u);
+  EXPECT_EQ(a.eval(pred, {90, 40}), 0u);
+}
+
+TEST(Expr, EvalShiftExtractZext) {
+  ExprArena a;
+  const ExprRef v = a.var(0, 48);
+  // Multicast bit of a MAC: (v >> 40) & 1.
+  const ExprRef bit = a.extract(a.lshr(v, 40), 0, 1);
+  EXPECT_EQ(a.eval(bit, {0x010000000000ULL}), 1u);
+  EXPECT_EQ(a.eval(bit, {0x020000000000ULL}), 0u);
+  const ExprRef wide = a.zext(bit, 32);
+  EXPECT_EQ(a.node(wide).width, 32);
+  EXPECT_EQ(a.eval(wide, {0x0100000000c3ULL}), 1u);
+  const ExprRef shl = a.shl(a.constant(1, 8), 3);
+  EXPECT_EQ(a.node(shl).aux, 8u);
+}
+
+TEST(Expr, AnyOfBuildsDisjunction) {
+  ExprArena a;
+  const ExprRef v = a.var(0, 8);
+  const std::uint64_t candidates[] = {3, 9, 12};
+  const ExprRef dom = a.any_of(v, candidates);
+  EXPECT_EQ(a.eval(dom, {9}), 1u);
+  EXPECT_EQ(a.eval(dom, {4}), 0u);
+}
+
+TEST(Expr, AllOfEmptyIsTrue) {
+  ExprArena a;
+  EXPECT_EQ(a.node(a.all_of({})).aux, 1u);
+}
+
+TEST(Expr, CollectVarsFindsAllVariables) {
+  ExprArena a;
+  const ExprRef v = a.var(3, 8);
+  const ExprRef w = a.var(7, 8);
+  const ExprRef e = a.cmp(Op::kEq, a.bin(Op::kXor, v, w), a.constant(1, 8));
+  std::set<VarId> vars;
+  a.collect_vars(e, vars);
+  EXPECT_EQ(vars, (std::set<VarId>{3, 7}));
+}
+
+TEST(Expr, IteSelectsAndSimplifies) {
+  ExprArena a;
+  const ExprRef t = a.constant(1, 1);
+  const ExprRef x = a.var(0, 8);
+  const ExprRef y = a.var(1, 8);
+  EXPECT_EQ(a.ite(t, x, y), x);
+  EXPECT_EQ(a.ite(a.constant(0, 1), x, y), y);
+  EXPECT_EQ(a.ite(a.cmp(Op::kEq, x, y), x, x), x);
+  const ExprRef cond = a.cmp(Op::kUlt, x, y);
+  const ExprRef ite = a.ite(cond, x, y);
+  EXPECT_EQ(a.eval(ite, {3, 9}), 3u);
+  EXPECT_EQ(a.eval(ite, {9, 3}), 3u);
+}
+
+TEST(Expr, ToStringRendersStructure) {
+  ExprArena a;
+  const ExprRef v = a.var(0, 8);
+  const ExprRef e = a.cmp(Op::kEq, v, a.constant(0x2a, 8));
+  EXPECT_EQ(a.to_string(e), "(eq v0:8 0x2a)");
+}
+
+}  // namespace
+}  // namespace nicemc::sym

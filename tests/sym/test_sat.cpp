@@ -1,0 +1,167 @@
+#include "sym/sat.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/hash.h"
+
+namespace nicemc::sym {
+namespace {
+
+TEST(Sat, EmptyInstanceIsSat) {
+  SatSolver s;
+  EXPECT_EQ(s.solve(), SatResult::kSat);
+}
+
+TEST(Sat, SingleUnitClause) {
+  SatSolver s;
+  const SatVar v = s.new_var();
+  s.add_unit(make_lit(v, false));
+  ASSERT_EQ(s.solve(), SatResult::kSat);
+  EXPECT_TRUE(s.model_value(v));
+}
+
+TEST(Sat, ContradictingUnitsAreUnsat) {
+  SatSolver s;
+  const SatVar v = s.new_var();
+  s.add_unit(make_lit(v, false));
+  s.add_unit(make_lit(v, true));
+  EXPECT_EQ(s.solve(), SatResult::kUnsat);
+}
+
+TEST(Sat, EmptyClauseIsUnsat) {
+  SatSolver s;
+  s.new_var();
+  s.add_clause({});
+  EXPECT_EQ(s.solve(), SatResult::kUnsat);
+}
+
+TEST(Sat, TautologicalClauseIsDropped) {
+  SatSolver s;
+  const SatVar v = s.new_var();
+  s.add_clause({make_lit(v, false), make_lit(v, true)});
+  EXPECT_EQ(s.num_clauses(), 0u);
+  EXPECT_EQ(s.solve(), SatResult::kSat);
+}
+
+TEST(Sat, UnitPropagationChain) {
+  // (a) ∧ (¬a ∨ b) ∧ (¬b ∨ c) forces a=b=c=true.
+  SatSolver s;
+  const SatVar a = s.new_var();
+  const SatVar b = s.new_var();
+  const SatVar c = s.new_var();
+  s.add_unit(make_lit(a, false));
+  s.add_binary(make_lit(a, true), make_lit(b, false));
+  s.add_binary(make_lit(b, true), make_lit(c, false));
+  ASSERT_EQ(s.solve(), SatResult::kSat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_TRUE(s.model_value(c));
+}
+
+TEST(Sat, RequiresBacktracking) {
+  // XOR-like constraints that defeat pure propagation.
+  SatSolver s;
+  const SatVar a = s.new_var();
+  const SatVar b = s.new_var();
+  // a ≠ b: (a ∨ b) ∧ (¬a ∨ ¬b)
+  s.add_binary(make_lit(a, false), make_lit(b, false));
+  s.add_binary(make_lit(a, true), make_lit(b, true));
+  ASSERT_EQ(s.solve(), SatResult::kSat);
+  EXPECT_NE(s.model_value(a), s.model_value(b));
+}
+
+TEST(Sat, PigeonholeTwoIntoOneIsUnsat) {
+  // Two pigeons, one hole: p1h1, p2h1; both must be placed; not both.
+  SatSolver s;
+  const SatVar p1 = s.new_var();
+  const SatVar p2 = s.new_var();
+  s.add_unit(make_lit(p1, false));
+  s.add_unit(make_lit(p2, false));
+  s.add_binary(make_lit(p1, true), make_lit(p2, true));
+  EXPECT_EQ(s.solve(), SatResult::kUnsat);
+}
+
+TEST(Sat, PigeonholeThreeIntoTwoIsUnsat) {
+  // var p_ij: pigeon i in hole j; 3 pigeons, 2 holes.
+  SatSolver s;
+  SatVar p[3][2];
+  for (auto& row : p) {
+    for (SatVar& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < 3; ++i) {
+    s.add_binary(make_lit(p[i][0], false), make_lit(p[i][1], false));
+  }
+  for (int j = 0; j < 2; ++j) {
+    for (int i1 = 0; i1 < 3; ++i1) {
+      for (int i2 = i1 + 1; i2 < 3; ++i2) {
+        s.add_binary(make_lit(p[i1][j], true), make_lit(p[i2][j], true));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), SatResult::kUnsat);
+}
+
+/// Brute-force checker for randomized cross-validation.
+bool brute_force_sat(std::size_t num_vars,
+                     const std::vector<std::vector<Lit>>& clauses) {
+  for (std::uint64_t m = 0; m < (1ULL << num_vars); ++m) {
+    bool all = true;
+    for (const auto& c : clauses) {
+      bool any = false;
+      for (Lit l : c) {
+        const bool val = ((m >> lit_var(l)) & 1) != 0;
+        if (val != lit_sign(l)) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+class SatRandom3SatTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SatRandom3SatTest, AgreesWithBruteForce) {
+  util::SplitMix64 rng(GetParam());
+  constexpr std::size_t kVars = 8;
+  const std::size_t num_clauses = 10 + rng.next_below(30);
+  std::vector<std::vector<Lit>> clauses;
+  SatSolver s;
+  for (std::size_t i = 0; i < kVars; ++i) s.new_var();
+  for (std::size_t i = 0; i < num_clauses; ++i) {
+    std::vector<Lit> c;
+    for (int k = 0; k < 3; ++k) {
+      const SatVar v = static_cast<SatVar>(rng.next_below(kVars));
+      c.push_back(make_lit(v, rng.next_below(2) == 0));
+    }
+    clauses.push_back(c);
+    s.add_clause(c);
+  }
+  const bool expected = brute_force_sat(kVars, clauses);
+  const bool actual = s.solve() == SatResult::kSat;
+  EXPECT_EQ(actual, expected);
+  if (actual) {
+    // Verify the model actually satisfies every clause.
+    for (const auto& c : clauses) {
+      bool any = false;
+      for (Lit l : c) {
+        if (s.model_value(lit_var(l)) != lit_sign(l)) any = true;
+      }
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandom3SatTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace nicemc::sym

@@ -1,0 +1,90 @@
+#include "sym/solver.h"
+
+#include <gtest/gtest.h>
+
+namespace nicemc::sym {
+namespace {
+
+TEST(Solver, ConjunctionOfConstraints) {
+  ExprArena a;
+  const ExprRef x = a.var(0, 8);
+  const ExprRef y = a.var(1, 8);
+  const ExprRef sum_is_9 =
+      a.cmp(Op::kEq, a.bin(Op::kAdd, x, y), a.constant(9, 8));
+  const ExprRef x_lt_y = a.cmp(Op::kUlt, x, y);
+  Solver s(a);
+  const std::vector<ExprRef> q = {sum_is_9, x_lt_y};
+  const auto model = s.solve(q);
+  ASSERT_TRUE(model.has_value());
+  const std::uint64_t xv = model->at(0);
+  const std::uint64_t yv = model->at(1);
+  EXPECT_EQ((xv + yv) & 0xff, 9u);
+  EXPECT_LT(xv, yv);
+}
+
+TEST(Solver, UnsatisfiableConjunction) {
+  ExprArena a;
+  const ExprRef x = a.var(0, 8);
+  Solver s(a);
+  const std::vector<ExprRef> q = {
+      a.cmp(Op::kEq, x, a.constant(3, 8)),
+      a.cmp(Op::kEq, x, a.constant(4, 8)),
+  };
+  EXPECT_FALSE(s.solve(q).has_value());
+  EXPECT_EQ(s.stats().unsat, 1u);
+}
+
+TEST(Solver, DomainConstraintSelectsCandidate) {
+  // The load-balancer style query: mac ∈ {topology macs}, mac != macA.
+  ExprArena a;
+  const ExprRef mac = a.var(0, 48);
+  const std::uint64_t macs[] = {0x00aa0000000aULL, 0x00aa0000000bULL,
+                                0xffffffffffffULL};
+  Solver s(a);
+  const std::vector<ExprRef> q = {
+      a.any_of(mac, macs),
+      a.cmp(Op::kNe, mac, a.constant(0x00aa0000000aULL, 48)),
+      // Unicast: multicast bit clear.
+      a.cmp(Op::kEq, a.extract(a.lshr(mac, 40), 0, 1), a.constant(0, 1)),
+  };
+  const auto model = s.solve(q);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(model->at(0), 0x00aa0000000bULL);
+}
+
+TEST(Solver, EmptyQueryIsSatWithEmptyModel) {
+  ExprArena a;
+  Solver s(a);
+  const auto model = s.solve({});
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(model->empty());
+}
+
+TEST(Solver, WideVariables48Bit) {
+  ExprArena a;
+  const ExprRef mac = a.var(0, 48);
+  Solver s(a);
+  const std::vector<ExprRef> q = {
+      a.cmp(Op::kEq, a.bin(Op::kXor, mac, a.constant(0x0000ffff0000ULL, 48)),
+            a.constant(0x123456789abcULL, 48)),
+  };
+  const auto model = s.solve(q);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(model->at(0), 0x123456789abcULL ^ 0x0000ffff0000ULL);
+}
+
+TEST(Solver, StatsCountQueries) {
+  ExprArena a;
+  const ExprRef x = a.var(0, 4);
+  Solver s(a);
+  const std::vector<ExprRef> q1 = {a.cmp(Op::kEq, x, a.constant(1, 4))};
+  const std::vector<ExprRef> q2 = {a.cmp(Op::kNe, x, x)};
+  (void)s.solve(q1);
+  (void)s.solve(q2);
+  EXPECT_EQ(s.stats().queries, 2u);
+  EXPECT_EQ(s.stats().sat, 1u);
+  EXPECT_EQ(s.stats().unsat, 1u);
+}
+
+}  // namespace
+}  // namespace nicemc::sym

@@ -1,0 +1,153 @@
+// Property-style sweeps over the symbolic-execution stack: randomized
+// solver queries validated against brute force, concolic exploration of
+// randomized branching programs validated against exhaustive enumeration
+// of feasible paths.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "sym/concolic.h"
+#include "sym/solver.h"
+#include "util/hash.h"
+
+namespace nicemc::sym {
+namespace {
+
+// ---- solver sweeps: random domain + comparison conjunctions ----
+
+class SolverSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverSweepTest, ModelsSatisfyAndUnsatAgreesWithBruteForce) {
+  util::SplitMix64 rng(GetParam());
+  constexpr unsigned kW = 8;
+  ExprArena a;
+  const ExprRef x = a.var(0, kW);
+  const ExprRef y = a.var(1, kW);
+
+  // Random candidate domain for x, random comparisons between x, y, const.
+  std::vector<std::uint64_t> dom;
+  const std::size_t dom_size = 1 + rng.next_below(4);
+  for (std::size_t i = 0; i < dom_size; ++i) dom.push_back(rng.next_below(256));
+  std::vector<ExprRef> conj = {a.any_of(x, dom)};
+  const std::size_t n_cmps = 1 + rng.next_below(3);
+  for (std::size_t i = 0; i < n_cmps; ++i) {
+    const ExprRef lhs = rng.next_below(2) == 0 ? x : y;
+    const ExprRef rhs = rng.next_below(2) == 0
+                            ? (lhs == x ? y : x)
+                            : a.constant(rng.next_below(256), kW);
+    const Op op = std::array{Op::kEq, Op::kNe, Op::kUlt,
+                             Op::kUle}[rng.next_below(4)];
+    conj.push_back(a.cmp(op, lhs, rhs));
+  }
+
+  const ExprRef all = a.all_of(conj);
+  bool brute = false;
+  for (std::uint64_t xv = 0; xv < 256 && !brute; ++xv) {
+    for (std::uint64_t yv = 0; yv < 256; ++yv) {
+      if (a.eval(all, {xv, yv}) == 1) {
+        brute = true;
+        break;
+      }
+    }
+  }
+  Solver solver(a);
+  const auto model = solver.solve(conj);
+  ASSERT_EQ(model.has_value(), brute);
+  if (model) {
+    std::vector<std::uint64_t> asg(2, 0);
+    for (const auto& [var, val] : *model) asg[var] = val;
+    EXPECT_EQ(a.eval(all, asg), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverSweepTest,
+                         ::testing::Range<std::uint64_t>(500, 560));
+
+// ---- concolic sweeps: random branching programs over 2 small inputs ----
+
+struct BranchProgram {
+  // Each node: compare var[v] against constant c; the program descends a
+  // random binary tree of depth <= 3.
+  struct Node {
+    int var;
+    std::uint64_t c;
+    Op op;
+  };
+  std::vector<Node> nodes;  // heap layout: children of i at 2i+1 / 2i+2
+
+  void run(const Value& v0, const Value& v1) const {
+    std::size_t i = 0;
+    while (i < nodes.size()) {
+      const Node& n = nodes[i];
+      const Value& v = n.var == 0 ? v0 : v1;
+      bool taken = false;
+      switch (n.op) {
+        case Op::kEq: taken = (v == n.c); break;
+        case Op::kUlt: taken = (v < n.c); break;
+        default: taken = (v != n.c); break;
+      }
+      i = taken ? 2 * i + 1 : 2 * i + 2;
+    }
+  }
+
+  /// Path signature under concrete inputs (for brute-force enumeration).
+  std::uint64_t path_of(std::uint64_t x0, std::uint64_t x1) const {
+    std::size_t i = 0;
+    std::uint64_t sig = 1;
+    while (i < nodes.size()) {
+      const Node& n = nodes[i];
+      const std::uint64_t v = n.var == 0 ? x0 : x1;
+      bool taken = false;
+      switch (n.op) {
+        case Op::kEq: taken = v == n.c; break;
+        case Op::kUlt: taken = v < n.c; break;
+        default: taken = v != n.c; break;
+      }
+      sig = sig * 2 + (taken ? 1 : 0);
+      i = taken ? 2 * i + 1 : 2 * i + 2;
+    }
+    return sig;
+  }
+};
+
+class ConcolicSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConcolicSweepTest, DiscoversExactlyTheFeasiblePaths) {
+  util::SplitMix64 rng(GetParam());
+  constexpr unsigned kW = 5;  // 32 values per variable: brute-forceable
+  BranchProgram prog;
+  const std::size_t n_nodes = 3 + rng.next_below(4);  // depth <= 3
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    prog.nodes.push_back(BranchProgram::Node{
+        static_cast<int>(rng.next_below(2)), rng.next_below(32),
+        std::array{Op::kEq, Op::kUlt, Op::kNe}[rng.next_below(3)]});
+  }
+
+  // Brute force: the set of feasible path signatures.
+  std::set<std::uint64_t> feasible;
+  for (std::uint64_t x0 = 0; x0 < 32; ++x0) {
+    for (std::uint64_t x1 = 0; x1 < 32; ++x1) {
+      feasible.insert(prog.path_of(x0, x1));
+    }
+  }
+
+  // Concolic exploration must find one representative per feasible path.
+  Concolic engine;
+  const VarHandle v0 = engine.add_var("x0", kW, 0);
+  const VarHandle v1 = engine.add_var("x1", kW, 0);
+  const auto results = engine.explore(
+      [&](const Inputs& in) { prog.run(in[v0], in[v1]); });
+
+  std::set<std::uint64_t> discovered;
+  for (const Assignment& asg : results) {
+    discovered.insert(prog.path_of(asg[0], asg[1]));
+  }
+  EXPECT_EQ(discovered, feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcolicSweepTest,
+                         ::testing::Range<std::uint64_t>(900, 960));
+
+}  // namespace
+}  // namespace nicemc::sym

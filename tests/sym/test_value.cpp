@@ -1,0 +1,132 @@
+#include "sym/value.h"
+
+#include <gtest/gtest.h>
+
+namespace nicemc::sym {
+namespace {
+
+TEST(Value, ConcreteArithmeticOutsideTracer) {
+  const Value a(200, 8);
+  const Value b(100, 8);
+  EXPECT_EQ((a + b).concrete(), 44u);  // wraps at width 8
+  EXPECT_EQ((a - b).concrete(), 100u);
+  EXPECT_EQ((a & b).concrete(), 200u & 100u);
+  EXPECT_EQ((a | b).concrete(), 200u | 100u);
+  EXPECT_EQ((a ^ b).concrete(), 200u ^ 100u);
+  EXPECT_FALSE((a + b).symbolic());
+}
+
+TEST(Value, ComparisonsYieldConcreteBools) {
+  const Value a(5, 16);
+  const Value b(9, 16);
+  EXPECT_TRUE(static_cast<bool>(a < b));
+  EXPECT_TRUE(static_cast<bool>(a != b));
+  EXPECT_FALSE(static_cast<bool>(a == b));
+  EXPECT_TRUE(static_cast<bool>(b >= a));
+}
+
+TEST(Value, WidthMaskingOnConstruction) {
+  const Value v(0x1ff, 8);
+  EXPECT_EQ(v.concrete(), 0xffu);
+  EXPECT_EQ(v.width(), 8u);
+}
+
+TEST(Value, ExtractAndShifts) {
+  const Value mac(0x010203040506ULL, 48);
+  EXPECT_EQ(mac.lshr(40).concrete(), 0x01u);
+  EXPECT_EQ(mac.extract(0, 8).concrete(), 0x06u);
+  EXPECT_EQ(mac.extract(40, 8).concrete(), 0x01u);
+  EXPECT_EQ(Value(1, 8).shl(3).concrete(), 8u);
+  EXPECT_EQ(Value(0xff, 8).zext(16).width(), 16u);
+}
+
+TEST(Value, TracerRecordsBranchesWithDirection) {
+  ExprArena arena;
+  Tracer tracer(arena);
+  Tracer::Activation act(tracer);
+
+  const Value v = Value::input(0, 8, 42);
+  EXPECT_TRUE(v.symbolic());
+  if (v == 42) {
+    // taken
+  }
+  if (v < 10) {
+    ADD_FAILURE() << "42 < 10 should be false";
+  }
+  ASSERT_EQ(tracer.path().size(), 2u);
+  EXPECT_TRUE(tracer.path()[0].taken);
+  EXPECT_FALSE(tracer.path()[1].taken);
+  // The recorded conditions evaluate consistently with the directions.
+  EXPECT_EQ(arena.eval(tracer.path()[0].cond, {42}), 1u);
+  EXPECT_EQ(arena.eval(tracer.path()[1].cond, {42}), 0u);
+}
+
+TEST(Value, NoBranchRecordedForConcreteComparisons) {
+  ExprArena arena;
+  Tracer tracer(arena);
+  Tracer::Activation act(tracer);
+  const Value a(1, 8);
+  const Value b(2, 8);
+  if (a < b) {
+    // concrete compare: no symbolic operand, nothing recorded
+  }
+  EXPECT_TRUE(tracer.path().empty());
+}
+
+TEST(Value, MixedSymbolicConcreteBuildsExpressions) {
+  ExprArena arena;
+  Tracer tracer(arena);
+  Tracer::Activation act(tracer);
+  const Value v = Value::input(0, 16, 7);
+  const Value sum = v + Value(3, 16);
+  EXPECT_TRUE(sum.symbolic());
+  EXPECT_EQ(sum.concrete(), 10u);
+  EXPECT_EQ(arena.eval(sum.expr(), {7}), 10u);
+  EXPECT_EQ(arena.eval(sum.expr(), {90}), 93u);
+}
+
+TEST(Value, BoolNegationPreservesExpression) {
+  ExprArena arena;
+  Tracer tracer(arena);
+  Tracer::Activation act(tracer);
+  const Value v = Value::input(0, 8, 5);
+  const Bool eq = (v == 5);
+  const Bool neq = !eq;
+  EXPECT_FALSE(neq.concrete());
+  EXPECT_TRUE(neq.symbolic());
+  EXPECT_EQ(arena.eval(neq.expr(), {6}), 1u);
+}
+
+TEST(Value, ShortCircuitOperatorsRecordNestedBranches) {
+  ExprArena arena;
+  Tracer tracer(arena);
+  Tracer::Activation act(tracer);
+  const Value v = Value::input(0, 8, 5);
+  const Value w = Value::input(1, 8, 9);
+  // C++ && on Bool converts each side to bool in turn — exactly the
+  // nested-if decomposition of composite predicates the paper performs.
+  if ((v == 5) && (w == 9)) {
+    // both branches recorded
+  }
+  EXPECT_EQ(tracer.path().size(), 2u);
+}
+
+TEST(Value, ActivationRestoresPreviousTracer) {
+  ExprArena arena;
+  Tracer outer(arena);
+  Tracer inner(arena);
+  EXPECT_EQ(Tracer::current(), nullptr);
+  {
+    Tracer::Activation a1(outer);
+    EXPECT_EQ(Tracer::current(), &outer);
+    {
+      Tracer::Activation a2(inner);
+      EXPECT_EQ(Tracer::current(), &inner);
+    }
+    EXPECT_EQ(Tracer::current(), &outer);
+  }
+  EXPECT_EQ(Tracer::current(), nullptr);
+}
+
+}  // namespace
+}  // namespace nicemc::sym

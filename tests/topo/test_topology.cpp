@@ -1,0 +1,96 @@
+#include "topo/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace nicemc::topo {
+namespace {
+
+TEST(Topology, IdsAreAssignedSequentially) {
+  Topology t;
+  EXPECT_EQ(t.add_switch({1, 2}), 0u);
+  EXPECT_EQ(t.add_switch({1}), 1u);
+  EXPECT_EQ(t.add_host("a", 0xa, 1, 0, 1), 0u);
+  EXPECT_EQ(t.add_host("b", 0xb, 2, 1, 1), 1u);
+}
+
+TEST(Topology, LinksAreBidirectional) {
+  Topology t;
+  t.add_switch({1, 2});
+  t.add_switch({1, 2});
+  t.add_link(0, 2, 1, 2);
+  const PortPeer ab = t.switch_peer(0, 2);
+  EXPECT_EQ(ab.kind, PortPeer::Kind::kSwitchLink);
+  EXPECT_EQ(ab.sw, 1u);
+  EXPECT_EQ(ab.port, 2u);
+  const PortPeer ba = t.switch_peer(1, 2);
+  EXPECT_EQ(ba.sw, 0u);
+  EXPECT_EQ(ba.port, 2u);
+}
+
+TEST(Topology, UnlinkedPortsHaveNoPeer) {
+  Topology t;
+  t.add_switch({1, 2});
+  EXPECT_EQ(t.switch_peer(0, 1).kind, PortPeer::Kind::kNone);
+}
+
+TEST(Topology, HostByMac) {
+  Topology t;
+  t.add_switch({1, 2});
+  t.add_host("a", 0x0a, 1, 0, 1);
+  t.add_host("b", 0x0b, 2, 0, 2);
+  EXPECT_EQ(t.host_by_mac(0x0b), std::optional<of::HostId>{1});
+  EXPECT_FALSE(t.host_by_mac(0xff).has_value());
+}
+
+TEST(Topology, AltLocationsForMobility) {
+  Topology t;
+  t.add_switch({1, 2, 3});
+  const auto h = t.add_host("b", 0x0b, 2, 0, 2);
+  t.add_alt_location(h, 0, 3);
+  ASSERT_EQ(t.host(h).alt_locations.size(), 1u);
+  EXPECT_EQ(t.host(h).alt_locations[0], (std::pair<of::SwitchId,
+                                                   of::PortId>{0, 3}));
+}
+
+TEST(Topology, PacketDomainCoversHostsBroadcastAndFresh) {
+  Topology t;
+  t.add_switch({1, 2});
+  t.add_host("a", 0x0a, 0x01020304, 0, 1);
+  t.add_host("b", 0x0b, 0x01020305, 0, 2);
+  const sym::PacketDomain d = t.packet_domain();
+  auto contains = [](const std::vector<std::uint64_t>& v, std::uint64_t x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  };
+  EXPECT_TRUE(contains(d.eth_addrs, 0x0a));
+  EXPECT_TRUE(contains(d.eth_addrs, 0x0b));
+  EXPECT_TRUE(contains(d.eth_addrs, of::kBroadcastMac));
+  // One MAC outside the topology so discovery can produce the
+  // "unknown destination" class.
+  bool has_fresh = false;
+  for (std::uint64_t m : d.eth_addrs) {
+    if (m != 0x0a && m != 0x0b && m != of::kBroadcastMac) has_fresh = true;
+  }
+  EXPECT_TRUE(has_fresh);
+  EXPECT_TRUE(contains(d.ip_addrs, 0x01020304));
+  EXPECT_TRUE(contains(d.eth_types, of::kEthTypeIpv4));
+  EXPECT_TRUE(contains(d.eth_types, of::kEthTypeArp));
+}
+
+TEST(Topology, PacketDomainExtrasAndDeduplication) {
+  Topology t;
+  t.add_switch({1});
+  t.add_host("a", 0x0a, 5, 0, 1);
+  t.add_host("dup", 0x0a, 5, 0, 1);  // duplicate identity
+  const sym::PacketDomain d = t.packet_domain({99, 5}, {8080});
+  EXPECT_EQ(std::count(d.ip_addrs.begin(), d.ip_addrs.end(), 5), 1);
+  EXPECT_EQ(std::count(d.eth_addrs.begin(), d.eth_addrs.end(), 0x0a), 1);
+  EXPECT_NE(std::find(d.ip_addrs.begin(), d.ip_addrs.end(), 99),
+            d.ip_addrs.end());
+  EXPECT_NE(std::find(d.tp_ports.begin(), d.tp_ports.end(), 8080),
+            d.tp_ports.end());
+}
+
+}  // namespace
+}  // namespace nicemc::topo

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+#include "util/ser.h"
+#include "util/strings.h"
+
+namespace nicemc::util {
+namespace {
+
+TEST(Hash, Fnv1aKnownValues) {
+  const std::byte empty[1] = {};
+  EXPECT_EQ(fnv1a64({empty, 0}), 0xcbf29ce484222325ULL);  // offset basis
+  const std::byte a[] = {std::byte{'a'}};
+  EXPECT_EQ(fnv1a64({a, 1}), 0xaf63dc4c8601ec8cULL);  // FNV-1a("a")
+}
+
+TEST(Hash, Hash128HalvesAreIndependent) {
+  const std::byte data[] = {std::byte{1}, std::byte{2}, std::byte{3}};
+  const Hash128 h = hash128(data);
+  EXPECT_NE(h.lo, h.hi);
+}
+
+TEST(Hash, DifferentInputsDiffer) {
+  const std::byte a[] = {std::byte{1}};
+  const std::byte b[] = {std::byte{2}};
+  EXPECT_NE(hash128(a), hash128(b));
+}
+
+TEST(Hash, CombineIsOrderSensitive) {
+  const std::uint64_t ab = hash_combine(hash_combine(0, 1), 2);
+  const std::uint64_t ba = hash_combine(hash_combine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+class SplitMixTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SplitMixTest, DeterministicPerSeed) {
+  SplitMix64 a(GetParam());
+  SplitMix64 b(GetParam());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST_P(SplitMixTest, BoundedDrawsAreInRange) {
+  SplitMix64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitMixTest,
+                         ::testing::Values(0, 1, 42, 0xdeadbeef));
+
+TEST(Ser, IntegersAreBigEndianCanonical) {
+  Ser s;
+  s.put_u16(0x0102);
+  s.put_u32(0x03040506);
+  const auto b = s.bytes();
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[0], std::byte{1});
+  EXPECT_EQ(b[1], std::byte{2});
+  EXPECT_EQ(b[2], std::byte{3});
+  EXPECT_EQ(b[5], std::byte{6});
+}
+
+TEST(Ser, StringsAreLengthPrefixed) {
+  // "ab" + "c" must not collide with "a" + "bc".
+  Ser s1;
+  s1.put_str("ab");
+  s1.put_str("c");
+  Ser s2;
+  s2.put_str("a");
+  s2.put_str("bc");
+  EXPECT_NE(s1.hash(), s2.hash());
+}
+
+TEST(Ser, MapSerializationIsCanonical) {
+  std::map<std::uint64_t, std::uint64_t> m1{{2, 20}, {1, 10}};
+  std::map<std::uint64_t, std::uint64_t> m2{{1, 10}, {2, 20}};
+  Ser s1;
+  s1.put_map_u64(m1);
+  Ser s2;
+  s2.put_map_u64(m2);
+  EXPECT_EQ(s1.hash(), s2.hash());
+}
+
+TEST(Ser, ClearResets) {
+  Ser s;
+  s.put_u64(42);
+  s.clear();
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(Strings, MacFormatting) {
+  EXPECT_EQ(mac_to_string(0x0102030a0b0cULL), "01:02:03:0a:0b:0c");
+  EXPECT_EQ(mac_to_string(0xffffffffffffULL), "ff:ff:ff:ff:ff:ff");
+  EXPECT_EQ(mac_to_string(0), "00:00:00:00:00:00");
+}
+
+TEST(Strings, IpFormatting) {
+  EXPECT_EQ(ip_to_string(0x0a000001), "10.0.0.1");
+  EXPECT_EQ(ip_to_string(0xffffffff), "255.255.255.255");
+  EXPECT_EQ(ip_to_string(0), "0.0.0.0");
+}
+
+TEST(Strings, HexFixedWidth) {
+  EXPECT_EQ(hex_u64(0x2a, 4), "002a");
+  EXPECT_EQ(hex_u64(0xdeadbeef, 8), "deadbeef");
+  EXPECT_EQ(hex_u64(0, 2), "00");
+}
+
+}  // namespace
+}  // namespace nicemc::util
