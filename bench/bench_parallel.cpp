@@ -1,0 +1,126 @@
+// Parallel search throughput: states/sec vs worker-thread count on the
+// pyswitch full-search and load-balancer scenarios.
+//
+// The 1-thread row uses the deterministic sequential driver (the exact
+// seed DFS); rows with threads > 1 use the shared-deque parallel driver.
+// All rows of one scenario must agree on transitions/unique states — the
+// run aborts loudly if they do not (count-equivalence is the correctness
+// contract of the parallel engine).
+//
+// Usage: bench_parallel [pings] [max_threads]
+//   default pings = 3, max_threads = 8 (threads sweep 1,2,4,...).
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+
+using namespace nicemc;
+
+namespace {
+
+struct Row {
+  unsigned threads;
+  mc::CheckerResult r;
+};
+
+mc::CheckerResult run_scenario(apps::Scenario s, unsigned threads) {
+  mc::CheckerOptions opt;
+  opt.threads = threads;
+  opt.stop_at_first_violation = false;
+  mc::Checker checker(s.config, opt, s.properties);
+  return checker.run();
+}
+
+void report(const char* name, const std::vector<Row>& rows) {
+  std::printf("\n== %s ==\n", name);
+  std::printf("%8s %12s %12s %10s %12s %9s\n", "threads", "transitions",
+              "unique", "seconds", "states/sec", "speedup");
+  const double base = rows.front().r.seconds > 0
+                          ? static_cast<double>(rows.front().r.unique_states) /
+                                rows.front().r.seconds
+                          : 0.0;
+  for (const Row& row : rows) {
+    const double sps =
+        row.r.seconds > 0
+            ? static_cast<double>(row.r.unique_states) / row.r.seconds
+            : 0.0;
+    std::printf("%8u %12llu %12llu %10.3f %12.0f %8.2fx\n", row.threads,
+                static_cast<unsigned long long>(row.r.transitions),
+                static_cast<unsigned long long>(row.r.unique_states),
+                row.r.seconds, sps, base > 0 ? sps / base : 0.0);
+  }
+  for (const Row& row : rows) {
+    if (row.r.transitions != rows.front().r.transitions ||
+        row.r.unique_states != rows.front().r.unique_states) {
+      std::fprintf(stderr,
+                   "FATAL: %u-thread run not count-equivalent to 1-thread "
+                   "(transitions %llu vs %llu, unique %llu vs %llu)\n",
+                   row.threads,
+                   static_cast<unsigned long long>(row.r.transitions),
+                   static_cast<unsigned long long>(
+                       rows.front().r.transitions),
+                   static_cast<unsigned long long>(row.r.unique_states),
+                   static_cast<unsigned long long>(
+                       rows.front().r.unique_states));
+      std::exit(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int pings = argc > 1 ? std::atoi(argv[1]) : 3;
+  if (pings < 1) pings = 1;
+  int max_threads_arg = argc > 2 ? std::atoi(argv[2]) : 8;
+  if (max_threads_arg < 1) max_threads_arg = 1;
+  const unsigned max_threads = static_cast<unsigned>(max_threads_arg);
+
+  std::printf("parallel search scaling (pings=%d, threads up to %u)\n",
+              pings, max_threads);
+
+  {
+    std::vector<Row> rows;
+    for (unsigned t = 1; t <= max_threads; t *= 2) {
+      rows.push_back(Row{t, run_scenario(apps::pyswitch_ping_chain(pings),
+                                         t)});
+    }
+    report("pyswitch full search", rows);
+  }
+
+  {
+    apps::LbScenarioOptions o;
+    o.fix_release_packet = true;
+    o.fix_install_before_delete = true;
+    o.fix_discard_arp = true;
+    o.fix_check_assignments = true;
+    o.client_sends_arp = true;
+    o.data_segments = 2;
+    std::vector<Row> rows;
+    for (unsigned t = 1; t <= max_threads; t *= 2) {
+      rows.push_back(Row{t, run_scenario(apps::lb_scenario(o), t)});
+    }
+    report("load balancer full search", rows);
+  }
+
+  {
+    std::printf("\n== pyswitch random-walk portfolio ==\n");
+    std::printf("%8s %12s %12s %10s %12s\n", "threads", "transitions",
+                "unique", "seconds", "walks/sec");
+    for (unsigned t = 1; t <= max_threads; t *= 2) {
+      auto s = apps::pyswitch_ping_chain(pings);
+      mc::CheckerOptions opt;
+      opt.threads = t;
+      mc::Checker checker(s.config, opt, s.properties);
+      const auto r = checker.random_walk(/*seed=*/7, /*walks=*/256,
+                                         /*max_steps=*/400);
+      std::printf("%8u %12llu %12llu %10.3f %12.0f\n", t,
+                  static_cast<unsigned long long>(r.transitions),
+                  static_cast<unsigned long long>(r.unique_states),
+                  r.seconds, r.seconds > 0 ? 256.0 / r.seconds : 0.0);
+    }
+  }
+  return 0;
+}

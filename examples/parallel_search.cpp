@@ -1,0 +1,72 @@
+// Parallel search: the same state space explored four ways.
+//
+// Runs the pyswitch BUG-II scenario (Section 8.1) with the DFS, BFS and
+// random-priority frontiers, then with 4 worker threads, and shows that
+// every mode finds the violation — BFS with the shortest counterexample —
+// while exhaustive runs agree on the state-space size.
+#include <cstdio>
+#include <string>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+
+using namespace nicemc;
+
+namespace {
+
+void report(const char* title, const mc::CheckerResult& r) {
+  std::printf("%-22s transitions=%-7llu unique=%-7llu %.3fs", title,
+              static_cast<unsigned long long>(r.transitions),
+              static_cast<unsigned long long>(r.unique_states), r.seconds);
+  if (r.found_violation()) {
+    std::printf("  VIOLATION %s (trace %zu steps)",
+                r.violations.front().violation.property.c_str(),
+                r.violations.front().trace.size());
+  }
+  std::printf("\n");
+}
+
+mc::CheckerResult run_bug2(mc::CheckerOptions opt) {
+  auto s = apps::pyswitch_bug2();
+  mc::Checker checker(s.config, opt, s.properties);
+  return checker.run();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Exploring pyswitch BUG-II with pluggable frontiers and the parallel "
+      "driver.\n\n");
+
+  for (const mc::FrontierKind kind :
+       {mc::FrontierKind::kDfs, mc::FrontierKind::kBfs,
+        mc::FrontierKind::kRandom}) {
+    mc::CheckerOptions opt;  // defaults otherwise: 1 thread — DFS is the
+    opt.frontier = kind;     // seed search
+    opt.frontier_seed = 7;
+    const std::string title = mc::frontier_name(kind) + " (1 thread)";
+    report(title.c_str(), run_bug2(opt));
+  }
+  {
+    mc::CheckerOptions opt;
+    opt.threads = 4;
+    report("parallel (4 threads)", run_bug2(opt));
+  }
+
+  std::printf(
+      "\nExhaustive count-equivalence on the bug-free 2-ping chain:\n");
+  for (unsigned threads : {1u, 4u}) {
+    auto s = apps::pyswitch_ping_chain(2);
+    mc::CheckerOptions opt;
+    opt.threads = threads;
+    opt.stop_at_first_violation = false;
+    mc::Checker checker(s.config, opt, s.properties);
+    const auto r = checker.run();
+    std::printf("  threads=%u: transitions=%llu unique=%llu exhausted=%s\n",
+                threads, static_cast<unsigned long long>(r.transitions),
+                static_cast<unsigned long long>(r.unique_states),
+                r.exhausted ? "yes" : "no");
+  }
+  return 0;
+}

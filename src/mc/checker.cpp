@@ -1,140 +1,30 @@
 #include "mc/checker.h"
 
-#include <chrono>
+#include <memory>
 
 #include "util/hash.h"
 
 namespace nicemc::mc {
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
-
-bool Checker::remember_state(const SystemState& state,
-                             CheckerResult& result) {
-  if (options_.store_full_states) {
-    util::Ser s;
-    state.serialize(s, cfg_.canonical_flowtables);
-    const auto bytes = s.bytes();
-    std::string blob(reinterpret_cast<const char*>(bytes.data()),
-                     bytes.size());
-    const auto [it, inserted] = explored_full_.insert(std::move(blob));
-    if (inserted) result.store_bytes += it->size();
-    return inserted;
-  }
-  const bool inserted =
-      explored_hashes_.insert(state.hash(cfg_.canonical_flowtables)).second;
-  if (inserted) result.store_bytes += sizeof(util::Hash128);
-  return inserted;
-}
+using detail::SearchClock;
+using detail::seconds_since;
 
 CheckerResult Checker::run() {
-  const auto start = Clock::now();
-  CheckerResult result;
-
-  SystemState initial = executor_.make_initial();
-  remember_state(initial, result);
-  result.unique_states = 1;
-
-  std::vector<StackEntry> stack;
-  {
-    auto initial_sp =
-        std::make_shared<const SystemState>(initial.clone());
-    auto ts = apply_strategy(options_.strategy, cfg_, *initial_sp,
-                             executor_.enabled(*initial_sp, cache_));
-    if (ts.empty()) {
-      ++result.quiescent_states;
-      std::vector<Violation> vs;
-      SystemState tmp = initial_sp->clone();
-      executor_.at_quiescence(tmp, vs);
-      for (Violation& v : vs) {
-        result.violations.push_back(ViolationRecord{std::move(v), {}});
-      }
-    }
-    for (Transition& t : ts) {
-      stack.push_back(StackEntry{initial_sp, std::move(t), nullptr, 1});
-    }
+  if (options_.threads > 1) {
+    return run_parallel(core_, options_.threads);
   }
-
-  while (!stack.empty()) {
-    if (result.transitions >= options_.max_transitions ||
-        result.unique_states >= options_.max_unique_states) {
-      result.seconds = seconds_since(start);
-      result.discovery = cache_.stats();
-      return result;  // hit a limit: not exhausted
-    }
-    if (options_.stop_at_first_violation && result.found_violation()) break;
-
-    StackEntry entry = std::move(stack.back());
-    stack.pop_back();
-
-    SystemState next = entry.state->clone();
-    std::vector<Violation> violations;
-    executor_.apply(next, entry.transition, violations);
-    ++result.transitions;
-
-    auto node = std::make_shared<const PathNode>(
-        PathNode{entry.path, entry.transition});
-
-    if (!violations.empty()) {
-      const auto trace = trace_of(node);
-      for (Violation& v : violations) {
-        result.violations.push_back(ViolationRecord{std::move(v), trace});
-      }
-      if (options_.stop_at_first_violation) break;
-      continue;  // do not expand beyond an erroneous state
-    }
-
-    if (!remember_state(next, result)) {
-      ++result.revisits;
-      continue;
-    }
-    ++result.unique_states;
-
-    if (entry.depth >= options_.max_depth) continue;
-
-    auto ts = apply_strategy(options_.strategy, cfg_, next,
-                             executor_.enabled(next, cache_));
-    if (ts.empty()) {
-      ++result.quiescent_states;
-      std::vector<Violation> vs;
-      executor_.at_quiescence(next, vs);
-      if (!vs.empty()) {
-        const auto trace = trace_of(node);
-        for (Violation& v : vs) {
-          result.violations.push_back(ViolationRecord{std::move(v), trace});
-        }
-        if (options_.stop_at_first_violation) break;
-      }
-      continue;
-    }
-    auto next_sp = std::make_shared<const SystemState>(std::move(next));
-    for (Transition& t : ts) {
-      stack.push_back(
-          StackEntry{next_sp, std::move(t), node, entry.depth + 1});
-    }
-  }
-
-  // "Exhausted" = the bounded state space was fully explored. In
-  // collect-all mode a violation does not negate exhaustion; in
-  // stop-at-first mode it does (the search was cut short).
-  result.exhausted =
-      stack.empty() &&
-      !(options_.stop_at_first_violation && result.found_violation());
-  result.seconds = seconds_since(start);
-  result.discovery = cache_.stats();
-  return result;
+  auto frontier = make_frontier(options_.frontier, options_.frontier_seed);
+  return core_.run_sequential(*frontier, cache_);
 }
 
 CheckerResult Checker::random_walk(std::uint64_t seed, int walks,
                                    int max_steps) {
-  const auto start = Clock::now();
+  if (options_.threads > 1) {
+    return run_random_walk_portfolio(core_, options_.threads, seed, walks,
+                                     max_steps);
+  }
+
+  const auto start = SearchClock::now();
   CheckerResult result;
   util::SplitMix64 rng(seed);
 
@@ -160,7 +50,11 @@ CheckerResult Checker::random_walk(std::uint64_t seed, int walks,
       executor_.apply(state, t, violations);
       ++result.transitions;
       path = std::make_shared<const PathNode>(PathNode{path, t});
-      if (remember_state(state, result)) ++result.unique_states;
+      if (core_.remember(state)) {
+        ++result.unique_states;
+      } else {
+        ++result.revisits;
+      }
       if (!violations.empty()) {
         for (Violation& v : violations) {
           result.violations.push_back(
@@ -174,6 +68,7 @@ CheckerResult Checker::random_walk(std::uint64_t seed, int walks,
 
   result.seconds = seconds_since(start);
   result.discovery = cache_.stats();
+  result.store_bytes = seen_.store_bytes();
   return result;
 }
 

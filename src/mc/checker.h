@@ -1,99 +1,87 @@
 // The model checker: the state-space search of Figure 5.
 //
-// Depth-first search over system states with hash-based state matching,
-// strategy-filtered transition enumeration, on-demand symbolic discovery,
-// property checking after every transition, and counterexample traces.
-// Also provides the random-walk "simulator" mode mentioned in Section 1.3.
+// Checker is the user-facing façade over the search-engine subsystem:
+//   * mc/search_core.h — options/result types and the per-transition
+//     expand step (clone → apply → check → remember → enumerate);
+//   * mc/frontier.h    — pluggable exploration orders (DFS / BFS / random)
+//     for the single-threaded search;
+//   * mc/parallel.h    — the multi-threaded shared-deque driver and the
+//     random-walk portfolio (CheckerOptions::threads > 1);
+//   * util/seen_set.h  — the lock-striped explored-state store.
+//
+// With default options (1 thread, DFS frontier) the search is bit-for-bit
+// the original depth-first checker. Also provides the random-walk
+// "simulator" mode mentioned in Section 1.3.
 #ifndef NICE_MC_CHECKER_H
 #define NICE_MC_CHECKER_H
 
 #include <cstdint>
-#include <memory>
-#include <string>
-#include <unordered_set>
-#include <vector>
 
 #include "mc/discover.h"
 #include "mc/execute.h"
+#include "mc/frontier.h"
+#include "mc/parallel.h"
 #include "mc/property.h"
+#include "mc/search_core.h"
 #include "mc/strategy.h"
 #include "mc/system.h"
 #include "mc/trace.h"
-#include "util/hash.h"
+#include "util/seen_set.h"
 
 namespace nicemc::mc {
-
-struct CheckerOptions {
-  Strategy strategy{Strategy::kPktSeqOnly};
-  std::uint64_t max_transitions{~0ULL};
-  std::uint64_t max_unique_states{~0ULL};
-  std::size_t max_depth{100000};
-  bool stop_at_first_violation{true};
-  /// SPIN-like baseline: store full serialized states in the explored set
-  /// instead of 128-bit hashes (measures the memory trade-off of
-  /// Section 6's "trading computation for memory").
-  bool store_full_states{false};
-};
-
-struct ViolationRecord {
-  Violation violation;
-  std::vector<Transition> trace;
-};
-
-struct CheckerResult {
-  std::uint64_t transitions{0};
-  std::uint64_t unique_states{0};
-  std::uint64_t revisits{0};
-  std::uint64_t quiescent_states{0};
-  double seconds{0.0};
-  /// True when the search exhausted the (bounded) state space rather than
-  /// stopping at a violation or a limit.
-  bool exhausted{false};
-  /// Bytes held by the explored-state store (full-state mode measures the
-  /// serialized states; hash mode counts 16 bytes per state).
-  std::uint64_t store_bytes{0};
-  std::vector<ViolationRecord> violations;
-  DiscoveryStats discovery;
-
-  [[nodiscard]] bool found_violation() const { return !violations.empty(); }
-};
 
 class Checker {
  public:
   Checker(const SystemConfig& cfg, CheckerOptions options,
           const PropertyList& props)
-      : cfg_(cfg), options_(options), props_(props), executor_(cfg, props) {}
+      : cfg_(cfg),
+        options_(options),
+        props_(props),
+        executor_(cfg, props),
+        seen_(options.store_full_states
+                  ? util::ShardedSeenSet::Mode::kFullState
+                  : util::ShardedSeenSet::Mode::kHash,
+              shard_count(options)),
+        core_(cfg_, options_, executor_, seen_) {}
 
-  /// Exhaustive DFS (bounded by the options).
+  // core_ holds references into this object's own members, so moving or
+  // copying a Checker would leave it pointing at the source.
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+  Checker(Checker&&) = delete;
+  Checker& operator=(Checker&&) = delete;
+
+  /// Exhaustive search (bounded by the options): single-threaded over the
+  /// configured frontier, or the parallel driver when threads > 1.
   CheckerResult run();
 
   /// Random walks from the initial state (simulator mode): each walk picks
   /// uniformly among strategy-filtered enabled transitions until
-  /// quiescence or `max_steps`.
+  /// quiescence or `max_steps`. With threads > 1, walks are split across
+  /// a portfolio of workers with per-worker RNG streams.
   CheckerResult random_walk(std::uint64_t seed, int walks, int max_steps);
 
   [[nodiscard]] const Executor& executor() const noexcept {
     return executor_;
   }
+  [[nodiscard]] const util::ShardedSeenSet& seen() const noexcept {
+    return seen_;
+  }
 
  private:
-  struct StackEntry {
-    std::shared_ptr<const SystemState> state;
-    Transition transition;
-    std::shared_ptr<const PathNode> path;
-    std::size_t depth{0};
-  };
-
-  /// Returns true when the state was not seen before.
-  bool remember_state(const SystemState& state, CheckerResult& result);
+  static std::size_t shard_count(const CheckerOptions& options) {
+    if (options.seen_shards != 0) return options.seen_shards;
+    return options.threads <= 1 ? 1 : 4 * static_cast<std::size_t>(
+                                           options.threads);
+  }
 
   const SystemConfig& cfg_;
   CheckerOptions options_;
   const PropertyList& props_;
   Executor executor_;
+  util::ShardedSeenSet seen_;
+  SearchCore core_;
   DiscoveryCache cache_;
-  std::unordered_set<util::Hash128> explored_hashes_;
-  std::unordered_set<std::string> explored_full_;
 };
 
 }  // namespace nicemc::mc

@@ -1,0 +1,286 @@
+#include "mc/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace nicemc::mc {
+
+using detail::SearchClock;
+using detail::seconds_since;
+
+namespace {
+
+void add_discovery(DiscoveryStats& into, const DiscoveryStats& from) {
+  into.packet_discoveries += from.packet_discoveries;
+  into.stats_discoveries += from.stats_discoveries;
+  into.handler_runs += from.handler_runs;
+  into.solver_queries += from.solver_queries;
+  into.packets_found += from.packets_found;
+}
+
+/// Shared state of one parallel exhaustive run. Work is popped LIFO from
+/// the deque; `active` counts workers currently expanding a node, so the
+/// search is finished exactly when the deque is empty and active == 0.
+struct SharedSearch {
+  explicit SharedSearch(const CheckerOptions& options) : options(options) {}
+
+  const CheckerOptions& options;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<SearchNode> work;
+  std::size_t active{0};
+  bool stop{false};
+
+  std::atomic<std::uint64_t> transitions{0};
+  std::atomic<std::uint64_t> unique_states{0};
+  std::atomic<std::uint64_t> revisits{0};
+  std::atomic<std::uint64_t> quiescent_states{0};
+  std::atomic<bool> truncated{false};
+
+  std::mutex violations_mu;
+  std::vector<ViolationRecord> violations;
+
+  bool found_violation() {
+    std::lock_guard<std::mutex> lock(violations_mu);
+    return !violations.empty();
+  }
+
+  /// Append violations; returns true when the search should stop.
+  bool record(std::vector<ViolationRecord>& vs) {
+    std::lock_guard<std::mutex> lock(violations_mu);
+    for (ViolationRecord& v : vs) violations.push_back(std::move(v));
+    return options.stop_at_first_violation;
+  }
+
+  bool over_limits() const {
+    return transitions.load(std::memory_order_relaxed) >=
+               options.max_transitions ||
+           unique_states.load(std::memory_order_relaxed) >=
+               options.max_unique_states;
+  }
+};
+
+void search_worker(const SearchCore& core, SharedSearch& shared,
+                   DiscoveryCache& cache) {
+  for (;;) {
+    SearchNode node;
+    {
+      std::unique_lock<std::mutex> lock(shared.mu);
+      shared.cv.wait(lock, [&] {
+        return shared.stop || !shared.work.empty() || shared.active == 0;
+      });
+      if (shared.stop) return;
+      if (shared.work.empty()) return;  // active == 0: space exhausted
+      if (shared.over_limits()) {
+        shared.stop = true;
+        shared.truncated.store(true);
+        shared.cv.notify_all();
+        return;
+      }
+      node = std::move(shared.work.back());
+      shared.work.pop_back();
+      ++shared.active;
+    }
+
+    SearchCore::Expansion e = core.expand(node, cache);
+    shared.transitions.fetch_add(1, std::memory_order_relaxed);
+
+    bool want_stop = false;
+    if (e.transition_violated) {
+      want_stop = shared.record(e.violations);
+    } else if (!e.new_state) {
+      shared.revisits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      shared.unique_states.fetch_add(1, std::memory_order_relaxed);
+      if (e.quiescent) {
+        shared.quiescent_states.fetch_add(1, std::memory_order_relaxed);
+        if (!e.violations.empty()) want_stop = shared.record(e.violations);
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      if (want_stop) shared.stop = true;
+      for (SearchNode& child : e.children) {
+        shared.work.push_back(std::move(child));
+      }
+      --shared.active;
+      // Wake peers: new work arrived, or the terminal condition
+      // (stop / empty-and-idle) may now hold.
+      shared.cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+CheckerResult run_parallel(const SearchCore& core, unsigned threads) {
+  const auto start = SearchClock::now();
+  if (threads < 1) threads = 1;
+  const CheckerOptions& options = core.options();
+
+  CheckerResult result;
+  DiscoveryCache init_cache;
+  std::vector<SearchNode> roots = core.init(result, init_cache);
+
+  SharedSearch shared(options);
+  shared.unique_states.store(result.unique_states);
+  shared.quiescent_states.store(result.quiescent_states);
+  shared.violations = std::move(result.violations);
+  result.violations.clear();
+  for (SearchNode& root : roots) shared.work.push_back(std::move(root));
+
+  const bool stop_immediately =
+      options.stop_at_first_violation && shared.found_violation();
+  if (!stop_immediately && !shared.work.empty()) {
+    std::vector<DiscoveryCache> caches(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+      workers.emplace_back(search_worker, std::cref(core), std::ref(shared),
+                           std::ref(caches[w]));
+    }
+    for (std::thread& t : workers) t.join();
+    for (const DiscoveryCache& c : caches) {
+      add_discovery(result.discovery, c.stats());
+    }
+  }
+
+  result.transitions = shared.transitions.load();
+  result.unique_states = shared.unique_states.load();
+  result.revisits = shared.revisits.load();
+  result.quiescent_states = shared.quiescent_states.load();
+  result.violations = std::move(shared.violations);
+  result.exhausted = shared.work.empty() && !shared.truncated.load() &&
+                     !(options.stop_at_first_violation &&
+                       result.found_violation());
+  add_discovery(result.discovery, init_cache.stats());
+  result.store_bytes = core.seen().store_bytes();
+  result.seconds = seconds_since(start);
+  return result;
+}
+
+namespace {
+
+/// Shared state of a random-walk portfolio run.
+struct SharedWalks {
+  std::atomic<std::uint64_t> transitions{0};
+  std::atomic<std::uint64_t> unique_states{0};
+  std::atomic<std::uint64_t> revisits{0};
+  std::atomic<std::uint64_t> quiescent_states{0};
+  std::atomic<bool> stop{false};
+
+  std::mutex violations_mu;
+  std::vector<ViolationRecord> violations;
+};
+
+void walk_worker(const SearchCore& core, SharedWalks& shared,
+                 DiscoveryCache& cache, std::uint64_t rng_seed,
+                 unsigned worker, unsigned stride, int walks,
+                 int max_steps) {
+  const CheckerOptions& options = core.options();
+  const Executor& executor = core.executor();
+  util::SplitMix64 rng(rng_seed);
+
+  auto record = [&](std::vector<ViolationRecord> vs) {
+    std::lock_guard<std::mutex> lock(shared.violations_mu);
+    for (ViolationRecord& v : vs) shared.violations.push_back(std::move(v));
+  };
+
+  for (int w = static_cast<int>(worker); w < walks;
+       w += static_cast<int>(stride)) {
+    if (shared.stop.load(std::memory_order_relaxed)) return;
+    SystemState state = executor.make_initial();
+    std::shared_ptr<const PathNode> path;
+    for (int step = 0; step < max_steps; ++step) {
+      auto ts = apply_strategy(options.strategy, core.config(), state,
+                               executor.enabled(state, cache));
+      if (ts.empty()) {
+        shared.quiescent_states.fetch_add(1, std::memory_order_relaxed);
+        std::vector<Violation> vs;
+        executor.at_quiescence(state, vs);
+        if (!vs.empty()) {
+          std::vector<ViolationRecord> recs;
+          const auto trace = trace_of(path);
+          for (Violation& v : vs) {
+            recs.push_back(ViolationRecord{std::move(v), trace});
+          }
+          record(std::move(recs));
+          if (options.stop_at_first_violation) shared.stop.store(true);
+        }
+        break;
+      }
+      const Transition t =
+          ts[static_cast<std::size_t>(rng.next_below(ts.size()))];
+      std::vector<Violation> violations;
+      executor.apply(state, t, violations);
+      shared.transitions.fetch_add(1, std::memory_order_relaxed);
+      path = std::make_shared<const PathNode>(PathNode{path, t});
+      if (core.remember(state)) {
+        shared.unique_states.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        shared.revisits.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!violations.empty()) {
+        std::vector<ViolationRecord> recs;
+        const auto trace = trace_of(path);
+        for (Violation& v : violations) {
+          recs.push_back(ViolationRecord{std::move(v), trace});
+        }
+        record(std::move(recs));
+        if (options.stop_at_first_violation) shared.stop.store(true);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CheckerResult run_random_walk_portfolio(const SearchCore& core,
+                                        unsigned threads,
+                                        std::uint64_t seed, int walks,
+                                        int max_steps) {
+  const auto start = SearchClock::now();
+  if (threads < 1) threads = 1;
+
+  SharedWalks shared;
+  std::vector<DiscoveryCache> caches(threads);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(threads);
+  util::SplitMix64 seeder(seed);
+  for (unsigned w = 0; w < threads; ++w) seeds.push_back(seeder.next());
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    workers.emplace_back(walk_worker, std::cref(core), std::ref(shared),
+                         std::ref(caches[w]), seeds[w], w, threads, walks,
+                         max_steps);
+  }
+  for (std::thread& t : workers) t.join();
+
+  CheckerResult result;
+  result.transitions = shared.transitions.load();
+  result.unique_states = shared.unique_states.load();
+  result.revisits = shared.revisits.load();
+  result.quiescent_states = shared.quiescent_states.load();
+  result.violations = std::move(shared.violations);
+  for (const DiscoveryCache& c : caches) {
+    add_discovery(result.discovery, c.stats());
+  }
+  result.store_bytes = core.seen().store_bytes();
+  result.seconds = seconds_since(start);
+  return result;
+}
+
+}  // namespace nicemc::mc

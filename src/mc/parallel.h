@@ -1,0 +1,41 @@
+// Multi-threaded exploration drivers built on SearchCore.
+//
+// run_parallel: N workers pull SearchNodes from one shared work deque
+// (LIFO, for DFS-like locality), expand them through the shared SearchCore
+// (lock-striped seen-set, per-worker discovery caches), and publish
+// progress through atomic counters. On exhaustive runs the result is
+// count-equivalent to the single-threaded search: same unique states, same
+// transitions/revisits/quiescent counts, same violation set modulo
+// path-dependent packet copy-ids in the messages (when several
+// interleavings reach the same canonical state, the thread that wins the
+// seen-set insert reports its own path's packet uids) — and the order of
+// violations differs.
+//
+// run_random_walk_portfolio: the simulator mode as a portfolio — each
+// worker runs an independent share of the walks with its own seeded RNG,
+// all publishing into the shared seen-set.
+#ifndef NICE_MC_PARALLEL_H
+#define NICE_MC_PARALLEL_H
+
+#include <cstdint>
+
+#include "mc/search_core.h"
+
+namespace nicemc::mc {
+
+/// Exhaustive (bounded) search with `threads` workers. `threads` is
+/// clamped to at least 1; with 1 it still runs the shared-deque driver on
+/// the calling thread (prefer SearchCore::run_sequential for determinism).
+CheckerResult run_parallel(const SearchCore& core, unsigned threads);
+
+/// `walks` random walks split across `threads` workers; worker w takes
+/// walks w, w+threads, ... and draws from its own SplitMix64 stream
+/// derived from `seed`, so a given (seed, threads) pair is reproducible.
+CheckerResult run_random_walk_portfolio(const SearchCore& core,
+                                        unsigned threads,
+                                        std::uint64_t seed, int walks,
+                                        int max_steps);
+
+}  // namespace nicemc::mc
+
+#endif  // NICE_MC_PARALLEL_H

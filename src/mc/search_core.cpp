@@ -1,0 +1,170 @@
+#include "mc/search_core.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/ser.h"
+
+namespace nicemc::mc {
+
+using detail::SearchClock;
+using detail::seconds_since;
+
+bool SearchCore::remember(const SystemState& state) const {
+  if (options_.store_full_states) {
+    util::Ser s;
+    state.serialize(s, cfg_.canonical_flowtables);
+    const auto bytes = s.bytes();
+    std::string blob(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+    return seen_.insert_full(util::hash128(bytes), std::move(blob));
+  }
+  return seen_.insert(state.hash(cfg_.canonical_flowtables));
+}
+
+std::vector<SearchNode> SearchCore::init(CheckerResult& result,
+                                         DiscoveryCache& cache) const {
+  SystemState initial = executor_.make_initial();
+  remember(initial);
+  result.unique_states = 1;
+
+  std::vector<SearchNode> roots;
+  auto initial_sp = std::make_shared<const SystemState>(initial.clone());
+  auto ts = apply_strategy(options_.strategy, cfg_, *initial_sp,
+                           executor_.enabled(*initial_sp, cache));
+  if (ts.empty()) {
+    ++result.quiescent_states;
+    std::vector<Violation> vs;
+    SystemState tmp = initial_sp->clone();
+    executor_.at_quiescence(tmp, vs);
+    for (Violation& v : vs) {
+      result.violations.push_back(ViolationRecord{std::move(v), {}});
+    }
+  }
+  roots.reserve(ts.size());
+  for (Transition& t : ts) {
+    roots.push_back(SearchNode{initial_sp, std::move(t), nullptr, 1});
+  }
+  return roots;
+}
+
+SearchCore::Expansion SearchCore::expand(const SearchNode& node,
+                                         DiscoveryCache& cache) const {
+  Expansion out;
+
+  SystemState next = node.state->clone();
+  std::vector<Violation> violations;
+  executor_.apply(next, node.transition, violations);
+
+  auto path = std::make_shared<const PathNode>(
+      PathNode{node.path, node.transition});
+
+  if (!violations.empty()) {
+    out.transition_violated = true;
+    const auto trace = trace_of(path);
+    out.violations.reserve(violations.size());
+    for (Violation& v : violations) {
+      out.violations.push_back(ViolationRecord{std::move(v), trace});
+    }
+    return out;  // do not remember or expand beyond an erroneous state
+  }
+
+  if (!remember(next)) return out;  // revisit
+  out.new_state = true;
+
+  if (node.depth >= options_.max_depth) return out;
+
+  auto ts = apply_strategy(options_.strategy, cfg_, next,
+                           executor_.enabled(next, cache));
+  if (ts.empty()) {
+    out.quiescent = true;
+    std::vector<Violation> vs;
+    executor_.at_quiescence(next, vs);
+    if (!vs.empty()) {
+      const auto trace = trace_of(path);
+      for (Violation& v : vs) {
+        out.violations.push_back(ViolationRecord{std::move(v), trace});
+      }
+    }
+    return out;
+  }
+
+  auto next_sp = std::make_shared<const SystemState>(std::move(next));
+  out.children.reserve(ts.size());
+  for (Transition& t : ts) {
+    out.children.push_back(
+        SearchNode{next_sp, std::move(t), path, node.depth + 1});
+  }
+  return out;
+}
+
+CheckerResult SearchCore::run_sequential(Frontier& frontier,
+                                         DiscoveryCache& cache) const {
+  const auto start = SearchClock::now();
+  CheckerResult result;
+
+  for (SearchNode& root : init(result, cache)) {
+    frontier.push(std::move(root));
+  }
+
+  while (!frontier.empty()) {
+    if (result.transitions >= options_.max_transitions ||
+        result.unique_states >= options_.max_unique_states) {
+      result.seconds = seconds_since(start);
+      result.discovery = cache.stats();
+      result.store_bytes = seen_.store_bytes();
+      return result;  // hit a limit: not exhausted
+    }
+    if (options_.stop_at_first_violation && result.found_violation()) break;
+
+    SearchNode node;
+    frontier.pop(node);
+
+    Expansion e = expand(node, cache);
+    ++result.transitions;
+
+    if (e.transition_violated) {
+      for (ViolationRecord& v : e.violations) {
+        result.violations.push_back(std::move(v));
+      }
+      if (options_.stop_at_first_violation) break;
+      continue;
+    }
+
+    if (!e.new_state) {
+      ++result.revisits;
+      continue;
+    }
+    ++result.unique_states;
+
+    if (e.quiescent) {
+      ++result.quiescent_states;
+      if (!e.violations.empty()) {
+        for (ViolationRecord& v : e.violations) {
+          result.violations.push_back(std::move(v));
+        }
+        if (options_.stop_at_first_violation) break;
+      }
+      continue;
+    }
+
+    for (SearchNode& child : e.children) {
+      frontier.push(std::move(child));
+    }
+  }
+
+  // "Exhausted" = the bounded state space was fully explored. In
+  // collect-all mode a violation does not negate exhaustion; in
+  // stop-at-first mode it does (the search was cut short).
+  result.exhausted =
+      frontier.empty() &&
+      !(options_.stop_at_first_violation && result.found_violation());
+  result.seconds = seconds_since(start);
+  result.discovery = cache.stats();
+  result.store_bytes = seen_.store_bytes();
+  return result;
+}
+
+}  // namespace nicemc::mc

@@ -1,0 +1,152 @@
+// The search engine core shared by every exploration mode.
+//
+// SearchCore factors the per-transition expand step of the model checker —
+// clone → apply → check properties → remember in the seen-set → enumerate
+// successors — out of the search loop, so the same semantics drive:
+//   * the single-threaded search over any pluggable Frontier (DFS order is
+//     bit-for-bit the original recursive checker);
+//   * the multi-threaded shared-deque driver in mc/parallel.h;
+//   * the random-walk simulator (sequential and portfolio).
+//
+// The explored-state store is a util::ShardedSeenSet, lock-striped so
+// parallel workers can insert concurrently; in single-threaded mode the
+// locks are uncontended and the counts are identical to a plain set.
+#ifndef NICE_MC_SEARCH_CORE_H
+#define NICE_MC_SEARCH_CORE_H
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "mc/discover.h"
+#include "mc/execute.h"
+#include "mc/frontier.h"
+#include "mc/property.h"
+#include "mc/strategy.h"
+#include "mc/system.h"
+#include "mc/trace.h"
+#include "util/seen_set.h"
+
+namespace nicemc::mc {
+
+namespace detail {
+
+using SearchClock = std::chrono::steady_clock;
+
+inline double seconds_since(SearchClock::time_point start) {
+  return std::chrono::duration<double>(SearchClock::now() - start).count();
+}
+
+}  // namespace detail
+
+struct CheckerOptions {
+  Strategy strategy{Strategy::kPktSeqOnly};
+  std::uint64_t max_transitions{~0ULL};
+  std::uint64_t max_unique_states{~0ULL};
+  std::size_t max_depth{100000};
+  bool stop_at_first_violation{true};
+  /// SPIN-like baseline: store full serialized states in the explored set
+  /// instead of 128-bit hashes (measures the memory trade-off of
+  /// Section 6's "trading computation for memory").
+  bool store_full_states{false};
+  /// Exploration order for the single-threaded search. kDfs reproduces the
+  /// original checker exactly; kBfs finds shortest counterexamples first;
+  /// kRandom is a seeded random-priority order. Ignored when threads > 1:
+  /// the parallel driver always pulls LIFO from its shared work deque.
+  FrontierKind frontier{FrontierKind::kDfs};
+  std::uint64_t frontier_seed{0x9e3779b97f4a7c15ULL};
+  /// Worker threads. 1 = deterministic single-threaded search; N > 1 pulls
+  /// from a shared work deque and is count-equivalent on exhaustive runs
+  /// (same unique states / transitions / violation set, any order).
+  unsigned threads{1};
+  /// Shards of the seen-set (rounded up to a power of two). 0 = automatic:
+  /// 1 shard single-threaded, 4× threads when parallel.
+  std::size_t seen_shards{0};
+};
+
+struct ViolationRecord {
+  Violation violation;
+  std::vector<Transition> trace;
+};
+
+struct CheckerResult {
+  std::uint64_t transitions{0};
+  std::uint64_t unique_states{0};
+  std::uint64_t revisits{0};
+  std::uint64_t quiescent_states{0};
+  double seconds{0.0};
+  /// True when the search exhausted the (bounded) state space rather than
+  /// stopping at a violation or a limit.
+  bool exhausted{false};
+  /// Bytes held by the explored-state store (full-state mode measures the
+  /// serialized states; hash mode counts 16 bytes per state).
+  std::uint64_t store_bytes{0};
+  std::vector<ViolationRecord> violations;
+  DiscoveryStats discovery;
+
+  [[nodiscard]] bool found_violation() const { return !violations.empty(); }
+};
+
+class SearchCore {
+ public:
+  SearchCore(const SystemConfig& cfg, const CheckerOptions& options,
+             const Executor& executor, util::ShardedSeenSet& seen)
+      : cfg_(cfg), options_(options), executor_(executor), seen_(seen) {}
+
+  /// Result of expanding one SearchNode (applying its transition).
+  struct Expansion {
+    /// Successor work items (empty on violation, revisit, quiescence or
+    /// depth cap).
+    std::vector<SearchNode> children;
+    /// Violations raised by the transition itself, or by the quiescence
+    /// check when the resulting state is terminal. Traces included.
+    std::vector<ViolationRecord> violations;
+    /// The transition itself violated a property (the resulting state is
+    /// not remembered and never expanded).
+    bool transition_violated{false};
+    /// The resulting state was new (remembered); false = revisit.
+    bool new_state{false};
+    /// The resulting state is new and has no enabled transitions.
+    bool quiescent{false};
+  };
+
+  /// The expand step: clone the node's source state, apply its transition,
+  /// check properties, remember the result, enumerate successors. Thread-
+  /// safe given a per-caller DiscoveryCache (the seen-set is internally
+  /// lock-striped).
+  [[nodiscard]] Expansion expand(const SearchNode& node,
+                                 DiscoveryCache& cache) const;
+
+  /// Remember the initial state (accounting it in `result`), handle
+  /// initial quiescence, and return the root work items in deterministic
+  /// enumeration order.
+  [[nodiscard]] std::vector<SearchNode> init(CheckerResult& result,
+                                             DiscoveryCache& cache) const;
+
+  /// Single-threaded search loop over `frontier` — with a DFS frontier,
+  /// transition/state counts reproduce the original checker exactly.
+  [[nodiscard]] CheckerResult run_sequential(Frontier& frontier,
+                                             DiscoveryCache& cache) const;
+
+  /// Returns true when the state was not seen before.
+  bool remember(const SystemState& state) const;
+
+  [[nodiscard]] const CheckerOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const Executor& executor() const noexcept {
+    return executor_;
+  }
+  [[nodiscard]] util::ShardedSeenSet& seen() const noexcept { return seen_; }
+
+ private:
+  const SystemConfig& cfg_;
+  const CheckerOptions& options_;
+  const Executor& executor_;
+  util::ShardedSeenSet& seen_;
+};
+
+}  // namespace nicemc::mc
+
+#endif  // NICE_MC_SEARCH_CORE_H

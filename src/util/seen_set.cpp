@@ -1,0 +1,77 @@
+#include "util/seen_set.h"
+
+namespace nicemc::util {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  if (n < 2) return 1;
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+unsigned log2_pow2(std::size_t p) {
+  unsigned lg = 0;
+  while ((std::size_t{1} << lg) < p) ++lg;
+  return lg;
+}
+
+}  // namespace
+
+ShardedSeenSet::ShardedSeenSet(Mode mode, std::size_t shards) : mode_(mode) {
+  std::size_t n = round_up_pow2(shards);
+  if (n > 1024) n = 1024;
+  const unsigned lg = log2_pow2(n);
+  shift_ = 64 - (lg == 0 ? 1 : lg);
+  mask_ = n - 1;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool ShardedSeenSet::insert(const Hash128& h) {
+  Shard& s = shard_of(h);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const bool inserted = s.hashes.insert(h).second;
+  if (inserted) s.bytes += sizeof(Hash128);
+  return inserted;
+}
+
+bool ShardedSeenSet::insert_full(const Hash128& h, std::string blob) {
+  Shard& s = shard_of(h);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto [it, inserted] = s.blobs.insert(std::move(blob));
+  if (inserted) s.bytes += it->size();
+  return inserted;
+}
+
+std::uint64_t ShardedSeenSet::size() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->hashes.size() + s->blobs.size();
+  }
+  return total;
+}
+
+std::uint64_t ShardedSeenSet::store_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->bytes;
+  }
+  return total;
+}
+
+void ShardedSeenSet::clear() {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->hashes.clear();
+    s->blobs.clear();
+    s->bytes = 0;
+  }
+}
+
+}  // namespace nicemc::util

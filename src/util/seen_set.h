@@ -1,0 +1,78 @@
+// Sharded explored-state store for the model checker.
+//
+// The search remembers which system states it has visited. A single global
+// unordered_set serializes every worker on one lock, so the store is split
+// into N lock-striped shards selected by the top bits of the state's
+// Hash128 — concurrent inserts of different states almost never contend.
+// Two modes mirror the paper's Section 6 trade-off:
+//   * kHash      — store 16-byte hashes (NICE's "trading computation for
+//                  memory");
+//   * kFullState — store the canonical serialized state bytes (the
+//                  SPIN-like baseline), keyed by the full blob so hash
+//                  collisions can never merge distinct states.
+#ifndef NICE_UTIL_SEEN_SET_H
+#define NICE_UTIL_SEEN_SET_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace nicemc::util {
+
+class ShardedSeenSet {
+ public:
+  enum class Mode : std::uint8_t { kHash, kFullState };
+
+  /// `shards` is rounded up to a power of two (so shard selection is a
+  /// shift of the hash's top bits) and clamped to [1, 1024].
+  explicit ShardedSeenSet(Mode mode = Mode::kHash, std::size_t shards = 1);
+
+  /// Hash mode: remember `h`. Returns true when it was not seen before.
+  bool insert(const Hash128& h);
+
+  /// Full-state mode: remember the serialized state `blob`; `h` (the hash
+  /// of the blob) only selects the shard. Returns true when new.
+  bool insert_full(const Hash128& h, std::string blob);
+
+  /// Unique entries across all shards.
+  [[nodiscard]] std::uint64_t size() const;
+
+  /// Bytes held by the store: sizeof(Hash128) per entry in hash mode, the
+  /// serialized state bytes in full-state mode.
+  [[nodiscard]] std::uint64_t store_bytes() const;
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_set<Hash128> hashes;
+    std::unordered_set<std::string> blobs;
+    std::uint64_t bytes{0};
+  };
+
+  [[nodiscard]] Shard& shard_of(const Hash128& h) const {
+    return *shards_[(h.hi >> shift_) & mask_];
+  }
+
+  Mode mode_;
+  // Shard index = top log2(N) bits of Hash128::hi. shift_ stays < 64 even
+  // for a single shard (mask_ == 0 then selects shard 0).
+  unsigned shift_;
+  std::uint64_t mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace nicemc::util
+
+#endif  // NICE_UTIL_SEEN_SET_H

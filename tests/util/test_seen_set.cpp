@@ -1,0 +1,118 @@
+// ShardedSeenSet: hash vs full-state modes, store_bytes accounting, shard
+// rounding, and concurrent insert correctness.
+#include "util/seen_set.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace nicemc::util {
+namespace {
+
+Hash128 h(std::uint64_t lo, std::uint64_t hi) { return Hash128{lo, hi}; }
+
+TEST(ShardedSeenSet, HashModeDeduplicates) {
+  ShardedSeenSet set(ShardedSeenSet::Mode::kHash, 4);
+  EXPECT_TRUE(set.insert(h(1, 2)));
+  EXPECT_FALSE(set.insert(h(1, 2)));
+  EXPECT_TRUE(set.insert(h(1, 3)));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.store_bytes(), 2 * sizeof(Hash128));
+}
+
+TEST(ShardedSeenSet, FullStateModeKeysOnBlobNotHash) {
+  ShardedSeenSet set(ShardedSeenSet::Mode::kFullState, 4);
+  // Same shard-selection hash, different blobs: both are distinct states
+  // (full-state mode must survive hash collisions).
+  EXPECT_TRUE(set.insert_full(h(0, 0), "state-a"));
+  EXPECT_TRUE(set.insert_full(h(0, 0), "state-bb"));
+  EXPECT_FALSE(set.insert_full(h(0, 0), "state-a"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.store_bytes(), std::string("state-a").size() +
+                                   std::string("state-bb").size());
+}
+
+TEST(ShardedSeenSet, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ShardedSeenSet(ShardedSeenSet::Mode::kHash, 0).shard_count(), 1u);
+  EXPECT_EQ(ShardedSeenSet(ShardedSeenSet::Mode::kHash, 1).shard_count(), 1u);
+  EXPECT_EQ(ShardedSeenSet(ShardedSeenSet::Mode::kHash, 3).shard_count(), 4u);
+  EXPECT_EQ(ShardedSeenSet(ShardedSeenSet::Mode::kHash, 16).shard_count(),
+            16u);
+  EXPECT_EQ(ShardedSeenSet(ShardedSeenSet::Mode::kHash, 17).shard_count(),
+            32u);
+}
+
+TEST(ShardedSeenSet, SpreadsAcrossShardsByTopBits) {
+  // Keys differing only in the top bits of `hi` land in different shards;
+  // all are retained regardless.
+  ShardedSeenSet set(ShardedSeenSet::Mode::kHash, 8);
+  for (std::uint64_t top = 0; top < 8; ++top) {
+    EXPECT_TRUE(set.insert(h(42, top << 61)));
+  }
+  EXPECT_EQ(set.size(), 8u);
+}
+
+TEST(ShardedSeenSet, ClearResetsCounts) {
+  ShardedSeenSet set(ShardedSeenSet::Mode::kHash, 2);
+  set.insert(h(1, 1));
+  set.insert(h(2, 2));
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.store_bytes(), 0u);
+  EXPECT_TRUE(set.insert(h(1, 1)));
+}
+
+TEST(ShardedSeenSet, ConcurrentInsertsCountExactly) {
+  // 4 workers insert overlapping ranges; exactly one worker wins each key
+  // and the aggregate size matches the number of distinct keys.
+  ShardedSeenSet set(ShardedSeenSet::Mode::kHash, 16);
+  constexpr std::uint64_t kKeys = 20000;
+  constexpr unsigned kWorkers = 4;
+  std::atomic<std::uint64_t> wins{0};
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&set, &wins] {
+      SplitMix64 mix(12345);  // same stream: all workers race on all keys
+      for (std::uint64_t i = 0; i < kKeys; ++i) {
+        const std::uint64_t lo = mix.next();
+        if (set.insert(Hash128{lo, lo * 0x9e3779b97f4a7c15ULL})) {
+          wins.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(set.size(), kKeys);
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(set.store_bytes(), kKeys * sizeof(Hash128));
+}
+
+TEST(ShardedSeenSet, ConcurrentFullStateInserts) {
+  ShardedSeenSet set(ShardedSeenSet::Mode::kFullState, 8);
+  constexpr int kBlobs = 2000;
+  std::atomic<int> wins{0};
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < 4; ++w) {
+    workers.emplace_back([&set, &wins] {
+      for (int i = 0; i < kBlobs; ++i) {
+        std::string blob = "blob-" + std::to_string(i);
+        const Hash128 key = hash128(
+            std::as_bytes(std::span(blob.data(), blob.size())));
+        if (set.insert_full(key, std::move(blob))) {
+          wins.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(set.size(), static_cast<std::uint64_t>(kBlobs));
+  EXPECT_EQ(wins.load(), kBlobs);
+}
+
+}  // namespace
+}  // namespace nicemc::util
