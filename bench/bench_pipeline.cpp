@@ -1,0 +1,234 @@
+// State-pipeline microbenchmarks: the clone → serialize → hash hot path
+// that dominates SearchCore::expand, plus end-to-end search throughput on
+// the paper scenarios.
+//
+// Micro rows (ns/op on a representative mid-search state):
+//   clone           — SystemState::clone()
+//   serialize       — canonical serialization into a fresh Ser
+//   hash            — SystemState::hash(canonical)
+//   clone_remember  — clone + hash of the clone (the remember() path for
+//                     an unchanged child; COW + memoized component hashes
+//                     make this nearly free)
+//   expand_step     — clone + apply(one transition) + hash (the full
+//                     per-transition state cost, semantics included)
+//
+// End-to-end rows: full search transitions/sec on pyswitch ping-chain and
+// the fixed load balancer (the Section 7 workloads).
+//
+// Deliberately restricted to APIs that exist both before and after the
+// copy-on-write state pipeline, so the same source builds against either
+// library revision for before/after comparisons.
+//
+// Usage: bench_pipeline [--json FILE] [pings] [micro_iters]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+#include "mc/execute.h"
+#include "util/ser.h"
+
+using namespace nicemc;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ns_per_op(const Clock::time_point& t0, const Clock::time_point& t1,
+                 int iters) {
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+}
+
+// A mid-search state is more representative than the initial one: packets
+// in flight, controller state populated. Walk a few transitions in
+// (deterministically: always the first enabled transition).
+mc::SystemState representative_state(const mc::Executor& ex,
+                                     mc::DiscoveryCache& cache, int depth) {
+  mc::SystemState st = ex.make_initial();
+  for (int i = 0; i < depth; ++i) {
+    const auto ts = ex.enabled(st, cache);
+    if (ts.empty()) break;
+    std::vector<mc::Violation> vs;
+    ex.apply(st, ts.front(), vs);
+  }
+  return st;
+}
+
+struct MicroResult {
+  double clone_ns{0};
+  double serialize_ns{0};
+  double hash_ns{0};
+  double clone_remember_ns{0};
+  double expand_step_ns{0};
+};
+
+MicroResult run_micro(const apps::Scenario& s, int iters) {
+  mc::Executor ex(s.config, s.properties);
+  mc::DiscoveryCache cache;
+  mc::SystemState st = representative_state(ex, cache, 6);
+  const bool canon = s.config.canonical_flowtables;
+  MicroResult r;
+
+  {
+    auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      mc::SystemState c = st.clone();
+      asm volatile("" : : "r"(&c) : "memory");
+    }
+    r.clone_ns = ns_per_op(t0, Clock::now(), iters);
+  }
+  {
+    auto t0 = Clock::now();
+    std::size_t total = 0;
+    for (int i = 0; i < iters; ++i) {
+      util::Ser ser;
+      st.serialize(ser, canon);
+      total += ser.size();
+    }
+    asm volatile("" : : "r"(&total) : "memory");
+    r.serialize_ns = ns_per_op(t0, Clock::now(), iters);
+  }
+  {
+    // Hash fresh clones so memoization across iterations reflects exactly
+    // what a search sees: each child shares the parent's component forms.
+    auto t0 = Clock::now();
+    std::uint64_t acc = 0;
+    for (int i = 0; i < iters; ++i) {
+      acc ^= st.clone().hash(canon).lo;
+    }
+    asm volatile("" : : "r"(&acc) : "memory");
+    r.hash_ns = ns_per_op(t0, Clock::now(), iters);
+  }
+  {
+    // clone + hash(clone): the remember() pipeline cost for a child state,
+    // excluding transition semantics.
+    auto t0 = Clock::now();
+    std::uint64_t acc = 0;
+    for (int i = 0; i < iters; ++i) {
+      mc::SystemState c = st.clone();
+      acc ^= c.hash(canon).lo;
+    }
+    asm volatile("" : : "r"(&acc) : "memory");
+    r.clone_remember_ns = ns_per_op(t0, Clock::now(), iters);
+  }
+  {
+    const auto ts = ex.enabled(st, cache);
+    if (!ts.empty()) {
+      auto t0 = Clock::now();
+      std::uint64_t acc = 0;
+      for (int i = 0; i < iters; ++i) {
+        mc::SystemState c = st.clone();
+        std::vector<mc::Violation> vs;
+        ex.apply(c, ts.front(), vs);
+        acc ^= c.hash(canon).lo;
+      }
+      asm volatile("" : : "r"(&acc) : "memory");
+      r.expand_step_ns = ns_per_op(t0, Clock::now(), iters);
+    }
+  }
+  return r;
+}
+
+struct E2eResult {
+  std::string name;
+  std::uint64_t transitions{0};
+  std::uint64_t unique_states{0};
+  double seconds{0};
+  [[nodiscard]] double tps() const {
+    return seconds > 0 ? static_cast<double>(transitions) / seconds : 0;
+  }
+};
+
+E2eResult run_e2e(const char* name, apps::Scenario s) {
+  mc::CheckerOptions opt;
+  opt.stop_at_first_violation = false;
+  mc::Checker checker(s.config, opt, s.properties);
+  const mc::CheckerResult r = checker.run();
+  return E2eResult{name, r.transitions, r.unique_states, r.seconds};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  int pings = pos.size() > 0 ? std::atoi(pos[0]) : 3;
+  if (pings < 1) pings = 1;
+  int iters = pos.size() > 1 ? std::atoi(pos[1]) : 20000;
+  if (iters < 1) iters = 1;
+
+  std::printf("state pipeline micro (pyswitch pings=%d, %d iters)\n", pings,
+              iters);
+  const MicroResult m = run_micro(apps::pyswitch_ping_chain(pings), iters);
+  std::printf("%18s %12.1f ns/op\n", "clone", m.clone_ns);
+  std::printf("%18s %12.1f ns/op\n", "serialize", m.serialize_ns);
+  std::printf("%18s %12.1f ns/op\n", "hash", m.hash_ns);
+  std::printf("%18s %12.1f ns/op\n", "clone_remember", m.clone_remember_ns);
+  std::printf("%18s %12.1f ns/op\n", "expand_step", m.expand_step_ns);
+
+  std::vector<E2eResult> e2e;
+  e2e.push_back(run_e2e("pyswitch_full_search",
+                        apps::pyswitch_ping_chain(pings)));
+  {
+    apps::LbScenarioOptions o;
+    o.fix_release_packet = true;
+    o.fix_install_before_delete = true;
+    o.fix_discard_arp = true;
+    o.fix_check_assignments = true;
+    o.client_sends_arp = true;
+    o.data_segments = 2;
+    e2e.push_back(run_e2e("loadbalancer_full_search", apps::lb_scenario(o)));
+  }
+
+  std::printf("\n%-26s %12s %12s %10s %14s\n", "scenario", "transitions",
+              "unique", "seconds", "trans/sec");
+  for (const E2eResult& r : e2e) {
+    std::printf("%-26s %12llu %12llu %10.3f %14.0f\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.transitions),
+                static_cast<unsigned long long>(r.unique_states), r.seconds,
+                r.tps());
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"pipeline\",\n");
+    std::fprintf(f, "  \"pings\": %d,\n  \"micro_iters\": %d,\n", pings,
+                 iters);
+    std::fprintf(f,
+                 "  \"micro_ns\": {\"clone\": %.1f, \"serialize\": %.1f, "
+                 "\"hash\": %.1f, \"clone_remember\": %.1f, "
+                 "\"expand_step\": %.1f},\n",
+                 m.clone_ns, m.serialize_ns, m.hash_ns, m.clone_remember_ns,
+                 m.expand_step_ns);
+    std::fprintf(f, "  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < e2e.size(); ++i) {
+      const E2eResult& r = e2e[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"transitions\": %llu, "
+                   "\"unique_states\": %llu, \"seconds\": %.3f, "
+                   "\"transitions_per_sec\": %.0f}%s\n",
+                   r.name.c_str(),
+                   static_cast<unsigned long long>(r.transitions),
+                   static_cast<unsigned long long>(r.unique_states),
+                   r.seconds, r.tps(), i + 1 < e2e.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Build (Release) and run the state-pipeline microbenchmarks, updating the
+# machine-readable BENCH_pipeline.json at the repo root (or $1).
+#
+# The output keeps the trajectory schema {before, after, speedup}: an
+# existing "before" record is preserved and the fresh run becomes "after"
+# (on first creation the run seeds both), so re-running never clobbers the
+# committed baseline.
+#
+# Usage: scripts/bench_pipeline.sh [out.json] [pings] [micro_iters]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_pipeline.json}"
+PINGS="${2:-3}"
+ITERS="${3:-20000}"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j --target bench_pipeline >/dev/null
+
+RECORD="$(mktemp)"
+trap 'rm -f "$RECORD"' EXIT
+./build/bench_pipeline --json "$RECORD" "$PINGS" "$ITERS"
+
+OUT="$OUT" RECORD="$RECORD" python3 - <<'EOF'
+import json, os
+
+record = json.load(open(os.environ["RECORD"]))
+out_path = os.environ["OUT"]
+before = record
+if os.path.exists(out_path):
+    try:
+        before = json.load(open(out_path)).get("before", record)
+    except (json.JSONDecodeError, OSError):
+        pass
+
+wrapped = {
+    "bench": "pipeline",
+    "schema": ("scripts/bench_pipeline.sh emits this trajectory record: "
+               "'before' is preserved across runs, 'after' is the latest "
+               "run, 'speedup' = before/after"),
+    "before": before,
+    "after": record,
+    "speedup": {
+        "micro": {k: round(before["micro_ns"][k] / record["micro_ns"][k], 2)
+                  for k in record["micro_ns"]
+                  if before["micro_ns"].get(k) and record["micro_ns"][k]},
+        "scenarios": {b["name"]: round(a["transitions_per_sec"] /
+                                       b["transitions_per_sec"], 2)
+                      for b, a in zip(before["scenarios"],
+                                      record["scenarios"])
+                      if b["transitions_per_sec"]},
+    },
+}
+json.dump(wrapped, open(out_path, "w"), indent=2)
+print(f"benchmark record written to {out_path}")
+EOF

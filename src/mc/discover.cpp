@@ -32,7 +32,7 @@ std::vector<sym::PacketFields> discover_packets(const SystemConfig& cfg,
                                                 of::HostId host,
                                                 DiscoveryStats& stats) {
   const topo::HostSpec& spec = cfg.topology->host(host);
-  const hosts::HostState& hs = state.hosts[host];
+  const hosts::HostState& hs = state.host(host);
 
   sym::Concolic engine(cfg.concolic);
 
@@ -70,7 +70,7 @@ std::vector<sym::PacketFields> discover_packets(const SystemConfig& cfg,
   // Context: the client's current <switch, input port> location (Figure 4).
   const of::SwitchId sw = hs.sw;
   const of::PortId port = hs.port;
-  const ctrl::AppState& base = *state.ctrl.app;
+  const ctrl::AppState& base = *state.ctrl().app;
 
   const auto results = engine.explore([&](const sym::Inputs& in) {
     // Fresh clone of the concrete controller state per run (handlers may
@@ -104,7 +104,7 @@ std::vector<StatsValues> discover_stats(const SystemConfig& cfg,
                                         const SystemState& state,
                                         of::SwitchId sw,
                                         DiscoveryStats& stats) {
-  const of::Switch& swm = state.switches[sw];
+  const of::Switch& swm = state.sw(sw);
   sym::Concolic engine(cfg.concolic);
 
   std::vector<std::pair<of::PortId, sym::VarHandle>> port_vars;
@@ -117,7 +117,7 @@ std::vector<StatsValues> discover_stats(const SystemConfig& cfg,
         p, engine.add_var("tx_bytes_p" + std::to_string(p), 32, initial));
   }
 
-  const ctrl::AppState& base = *state.ctrl.app;
+  const ctrl::AppState& base = *state.ctrl().app;
   const auto results = engine.explore([&](const sym::Inputs& in) {
     std::unique_ptr<ctrl::AppState> st = base.clone();
     std::uint32_t xid = 1;

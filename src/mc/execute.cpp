@@ -24,11 +24,11 @@ SystemState Executor::make_initial() const {
   assert(cfg_.host_behavior.size() == cfg_.topology->hosts().size());
 
   SystemState st;
-  st.ctrl.app = cfg_.app->make_initial_state();
+  st.ctrl_mut().app = cfg_.app->make_initial_state();
 
   for (const topo::SwitchSpec& spec : cfg_.topology->switches()) {
-    st.switches.emplace_back(spec.id, spec.ports,
-                             cfg_.switch_buffer_capacity);
+    st.add_switch(of::Switch(spec.id, spec.ports,
+                             cfg_.switch_buffer_capacity));
   }
   for (const topo::HostSpec& spec : cfg_.topology->hosts()) {
     hosts::HostState hs;
@@ -36,21 +36,24 @@ SystemState Executor::make_initial() const {
     hs.sw = spec.attach_switch;
     hs.port = spec.attach_port;
     hs.burst = cfg_.host_behavior[spec.id].initial_burst;
-    st.hosts.push_back(std::move(hs));
+    st.add_host(std::move(hs));
   }
-  for (const auto& prop : props_) st.props.push_back(prop->make_state());
+  for (const auto& prop : props_) st.add_prop(prop->make_state());
 
   // Dispatch switch_join for every switch and apply resulting commands
   // synchronously (deterministic setup; not part of the explored space).
   for (const topo::SwitchSpec& spec : cfg_.topology->switches()) {
-    ctrl::Ctx ctx(&st.ctrl.next_xid);
-    cfg_.app->switch_join(*st.ctrl.app, ctx, spec.id);
+    ctrl::ControllerState& ctrl = st.ctrl_mut();
+    ctrl::Ctx ctx(&ctrl.next_xid);
+    cfg_.app->switch_join(*ctrl.app, ctx, spec.id);
     EventList ignored;
     push_commands(st, ctx.take_commands(), ignored);
   }
-  for (of::Switch& sw : st.switches) {
+  for (std::size_t i = 0; i < st.switch_count(); ++i) {
     EventList ignored;
-    while (sw.can_process_of()) run_switch_of(st, sw.id, ignored);
+    while (st.sw(i).can_process_of()) {
+      run_switch_of(st, static_cast<of::SwitchId>(i), ignored);
+    }
   }
   return st;
 }
@@ -61,10 +64,10 @@ std::vector<Transition> Executor::enabled(const SystemState& state,
   const util::Hash128 chash = state.ctrl_hash();
 
   // --- controller ---
-  if (cfg_.fine_interleaving && !state.ctrl.pending_commands.empty()) {
+  if (cfg_.fine_interleaving && !state.ctrl().pending_commands.empty()) {
     out.push_back(Transition{.kind = TKind::kCtrlApplyCommand});
   }
-  for (const of::Switch& sw : state.switches) {
+  for (const of::Switch& sw : state.switches()) {
     if (sw.of_out.empty()) continue;
     const bool head_is_stats =
         std::holds_alternative<of::StatsReply>(sw.of_out.front());
@@ -84,21 +87,21 @@ std::vector<Transition> Executor::enabled(const SystemState& state,
     }
     out.push_back(Transition{.kind = TKind::kCtrlDispatch, .a = sw.id});
   }
-  const auto externals = cfg_.app->external_events(*state.ctrl.app);
+  const auto externals = cfg_.app->external_events(*state.ctrl().app);
   for (std::size_t i = 0; i < externals.size(); ++i) {
     out.push_back(Transition{.kind = TKind::kCtrlExternal,
                              .aux = static_cast<std::uint32_t>(i)});
   }
-  for (const of::Switch& sw : state.switches) {
-    if (cfg_.app->wants_stats(*state.ctrl.app, sw.id) &&
-        !state.ctrl.pending_stats.contains(sw.id) &&
-        state.ctrl.stats_rounds < cfg_.max_stats_rounds) {
+  for (const of::Switch& sw : state.switches()) {
+    if (cfg_.app->wants_stats(*state.ctrl().app, sw.id) &&
+        !state.ctrl().pending_stats.contains(sw.id) &&
+        state.ctrl().stats_rounds < cfg_.max_stats_rounds) {
       out.push_back(Transition{.kind = TKind::kCtrlRequestStats, .a = sw.id});
     }
   }
 
   // --- switches ---
-  for (const of::Switch& sw : state.switches) {
+  for (const of::Switch& sw : state.switches()) {
     if (sw.can_process_pkt()) {
       out.push_back(Transition{.kind = TKind::kSwitchProcessPkt, .a = sw.id});
     }
@@ -130,7 +133,7 @@ std::vector<Transition> Executor::enabled(const SystemState& state,
   }
 
   // --- hosts ---
-  for (const hosts::HostState& hs : state.hosts) {
+  for (const hosts::HostState& hs : state.hosts()) {
     const hosts::HostBehavior& hb = cfg_.host_behavior[hs.id];
     if (!hs.input.empty()) {
       out.push_back(Transition{.kind = TKind::kHostRecv, .a = hs.id});
@@ -177,7 +180,7 @@ void Executor::inject_host_packet(SystemState& state, of::HostId host,
                                   const sym::PacketFields& hdr,
                                   std::uint32_t flow,
                                   EventList& events) const {
-  hosts::HostState& hs = state.hosts[host];
+  hosts::HostState& hs = state.host_mut(host);
   of::Packet pkt;
   pkt.hdr = hdr;
   pkt.flow_id = flow;
@@ -185,7 +188,7 @@ void Executor::inject_host_packet(SystemState& state, of::HostId host,
   pkt.copy_id = state.next_copy++;
   pkt.sender = host;
   events.push_back(EvPacketSent{host, pkt});
-  state.switches[hs.sw].enqueue_packet(hs.port, std::move(pkt));
+  state.sw_mut(hs.sw).enqueue_packet(hs.port, std::move(pkt));
 }
 
 void Executor::deliver(SystemState& state, of::SwitchId from_sw,
@@ -193,12 +196,13 @@ void Executor::deliver(SystemState& state, of::SwitchId from_sw,
                        EventList& events) const {
   const topo::PortPeer peer = cfg_.topology->switch_peer(from_sw, out_port);
   if (peer.kind == topo::PortPeer::Kind::kSwitchLink) {
-    state.switches[peer.sw].enqueue_packet(peer.port, std::move(pkt));
+    state.sw_mut(peer.sw).enqueue_packet(peer.port, std::move(pkt));
     return;
   }
-  for (hosts::HostState& hs : state.hosts) {
+  for (std::size_t i = 0; i < state.host_count(); ++i) {
+    const hosts::HostState& hs = state.host(i);
     if (hs.sw == from_sw && hs.port == out_port) {
-      hs.input.push(std::move(pkt));
+      state.host_mut(i).input.push(std::move(pkt));
       return;
     }
   }
@@ -230,15 +234,14 @@ void Executor::handle_outcome(SystemState& state, of::SwitchId sw,
 
 void Executor::run_switch_pkt(SystemState& state, of::SwitchId sw,
                               EventList& events) const {
-  for (const of::PacketOutcome& oc : state.switches[sw].process_pkt()) {
+  for (const of::PacketOutcome& oc : state.sw_mut(sw).process_pkt()) {
     handle_outcome(state, sw, oc, events);
   }
 }
 
 void Executor::run_switch_of(SystemState& state, of::SwitchId sw,
                              EventList& events) const {
-  of::Switch& swm = state.switches[sw];
-  const of::OfOutcome oc = swm.process_of();
+  const of::OfOutcome oc = state.sw_mut(sw).process_of();
   if (oc.installed) events.push_back(EvRuleInstalled{sw, *oc.installed});
   if (oc.removed_match) {
     events.push_back(EvRuleRemoved{sw, *oc.removed_match, oc.removed_count});
@@ -253,10 +256,9 @@ void Executor::run_switch_of(SystemState& state, of::SwitchId sw,
 
 void Executor::ctrl_dispatch(SystemState& state, of::SwitchId sw,
                              EventList& events) const {
-  of::Switch& swm = state.switches[sw];
-  const of::ToController msg = swm.of_out.pop();
+  const of::ToController msg = state.sw_mut(sw).of_out.pop();
   ctrl::DispatchResult res =
-      ctrl::dispatch_message(*cfg_.app, state.ctrl, sw, msg);
+      ctrl::dispatch_message(*cfg_.app, state.ctrl_mut(), sw, msg);
   if (res.was_packet_in) {
     events.push_back(EvPacketIn{sw, res.packet_in.in_port,
                                 res.packet_in.packet,
@@ -284,6 +286,8 @@ void Executor::push_commands(SystemState& state,
                              std::vector<ctrl::Command> cmds,
                              EventList& events) const {
   (void)events;
+  if (cmds.empty()) return;
+  ctrl::ControllerState& ctrl = state.ctrl_mut();
   for (ctrl::Command& c : cmds) {
     const of::SwitchId target = ctrl::command_target(c);
     of::ToSwitch msg = ctrl::command_to_message(c);
@@ -296,10 +300,9 @@ void Executor::push_commands(SystemState& state,
       }
     }
     if (cfg_.fine_interleaving) {
-      state.ctrl.pending_commands.emplace_back(target, std::move(msg));
+      ctrl.pending_commands.emplace_back(target, std::move(msg));
     } else {
-      state.switches[target].push_of(std::move(msg),
-                                     state.ctrl.next_of_seq++);
+      state.sw_mut(target).push_of(std::move(msg), ctrl.next_of_seq++);
     }
   }
 }
@@ -308,19 +311,19 @@ void Executor::drain_lockstep(SystemState& state, EventList& events) const {
   bool progress = true;
   while (progress) {
     progress = false;
-    for (of::Switch& sw : state.switches) {
-      while (sw.can_process_of()) {
-        run_switch_of(state, sw.id, events);
+    for (std::size_t i = 0; i < state.switch_count(); ++i) {
+      while (state.sw(i).can_process_of()) {
+        run_switch_of(state, static_cast<of::SwitchId>(i), events);
         progress = true;
       }
     }
-    for (of::Switch& sw : state.switches) {
-      if (sw.of_out.empty()) continue;
+    for (std::size_t i = 0; i < state.switch_count(); ++i) {
+      if (state.sw(i).of_out.empty()) continue;
       // Stats replies are consumed here too, with their *concrete* values:
       // in lock-step there is no delayed-statistics nondeterminism to
       // discover. This is why NO-DELAY misses the load-dependent TE bugs
       // (BUG-X, BUG-XI), matching Table 2 of the paper.
-      ctrl_dispatch(state, sw.id, events);
+      ctrl_dispatch(state, static_cast<of::SwitchId>(i), events);
       progress = true;
     }
   }
@@ -331,7 +334,7 @@ void Executor::apply(SystemState& state, const Transition& t,
   EventList events;
   switch (t.kind) {
     case TKind::kHostSendScript: {
-      hosts::HostState& hs = state.hosts[t.a];
+      hosts::HostState& hs = state.host_mut(t.a);
       const hosts::HostBehavior& hb = cfg_.host_behavior[t.a];
       assert(hs.sends_done < static_cast<int>(hb.script.size()));
       const hosts::ScriptEntry& e =
@@ -342,7 +345,7 @@ void Executor::apply(SystemState& state, const Transition& t,
       break;
     }
     case TKind::kHostSendDiscovered: {
-      hosts::HostState& hs = state.hosts[t.a];
+      hosts::HostState& hs = state.host_mut(t.a);
       // Discovered packets carry a synthetic flow tag (their uid); flow
       // grouping for FLOW-IR uses App::is_same_flow on the headers instead.
       inject_host_packet(state, t.a, t.fields, state.next_uid, events);
@@ -351,7 +354,7 @@ void Executor::apply(SystemState& state, const Transition& t,
       break;
     }
     case TKind::kHostSendDup: {
-      hosts::HostState& hs = state.hosts[t.a];
+      hosts::HostState& hs = state.host_mut(t.a);
       const hosts::HostBehavior& hb = cfg_.host_behavior[t.a];
       const hosts::ScriptEntry& e = hb.script.front();
       inject_host_packet(state, t.a, e.hdr, e.flow_id, events);
@@ -360,7 +363,7 @@ void Executor::apply(SystemState& state, const Transition& t,
       break;
     }
     case TKind::kHostSendReply: {
-      hosts::HostState& hs = state.hosts[t.a];
+      hosts::HostState& hs = state.host_mut(t.a);
       assert(!hs.pending_replies.empty());
       const hosts::PendingReply r = hs.pending_replies.front();
       hs.pending_replies.pop_front();
@@ -368,7 +371,7 @@ void Executor::apply(SystemState& state, const Transition& t,
       break;
     }
     case TKind::kHostRecv: {
-      hosts::HostState& hs = state.hosts[t.a];
+      hosts::HostState& hs = state.host_mut(t.a);
       of::Packet pkt = hs.input.pop();
       ++hs.received;
       ++hs.burst;  // PKT-SEQ replenishment: +1 per received packet
@@ -381,7 +384,7 @@ void Executor::apply(SystemState& state, const Transition& t,
       break;
     }
     case TKind::kHostMove: {
-      hosts::HostState& hs = state.hosts[t.a];
+      hosts::HostState& hs = state.host_mut(t.a);
       const auto& alts = cfg_.topology->host(t.a).alt_locations;
       const auto [to_sw, to_port] = alts[t.aux];
       hs.sw = to_sw;
@@ -400,53 +403,56 @@ void Executor::apply(SystemState& state, const Transition& t,
       ctrl_dispatch(state, t.a, events);
       break;
     case TKind::kCtrlApplyCommand: {
-      assert(!state.ctrl.pending_commands.empty());
-      auto [target, msg] = std::move(state.ctrl.pending_commands.front());
-      state.ctrl.pending_commands.pop_front();
-      state.switches[target].push_of(std::move(msg),
-                                     state.ctrl.next_of_seq++);
+      assert(!state.ctrl().pending_commands.empty());
+      ctrl::ControllerState& ctrl = state.ctrl_mut();
+      auto [target, msg] = std::move(ctrl.pending_commands.front());
+      ctrl.pending_commands.pop_front();
+      state.sw_mut(target).push_of(std::move(msg), ctrl.next_of_seq++);
       break;
     }
     case TKind::kCtrlExternal: {
-      ctrl::Ctx ctx(&state.ctrl.next_xid);
-      cfg_.app->on_external(*state.ctrl.app, ctx, t.aux);
+      ctrl::ControllerState& ctrl = state.ctrl_mut();
+      ctrl::Ctx ctx(&ctrl.next_xid);
+      cfg_.app->on_external(*ctrl.app, ctx, t.aux);
       push_commands(state, ctx.take_commands(), events);
       break;
     }
     case TKind::kCtrlRequestStats: {
-      ctrl::Ctx ctx(&state.ctrl.next_xid);
+      ctrl::ControllerState& ctrl = state.ctrl_mut();
+      ctrl::Ctx ctx(&ctrl.next_xid);
       ctx.request_stats(t.a);
-      state.ctrl.pending_stats.insert(t.a);
-      ++state.ctrl.stats_rounds;
+      ctrl.pending_stats.insert(t.a);
+      ++ctrl.stats_rounds;
       push_commands(state, ctx.take_commands(), events);
       break;
     }
     case TKind::kCtrlProcessStats: {
-      of::Switch& swm = state.switches[t.a];
+      of::Switch& swm = state.sw_mut(t.a);
       assert(!swm.of_out.empty() &&
              std::holds_alternative<of::StatsReply>(swm.of_out.front()));
       swm.of_out.pop();
-      auto cmds = ctrl::dispatch_stats_with_values(*cfg_.app, state.ctrl,
-                                                   t.a, t.stats);
+      auto cmds = ctrl::dispatch_stats_with_values(*cfg_.app,
+                                                   state.ctrl_mut(), t.a,
+                                                   t.stats);
       events.push_back(EvStatsHandled{t.a});
       push_commands(state, std::move(cmds), events);
       break;
     }
     case TKind::kRuleExpire: {
-      of::Switch& swm = state.switches[t.a];
+      of::Switch& swm = state.sw_mut(t.a);
       events.push_back(EvRuleExpired{t.a, swm.table.rules()[t.aux]});
       swm.expire_rule(t.aux);
       break;
     }
     case TKind::kChannelDropHead: {
-      of::Switch& swm = state.switches[t.a];
+      of::Switch& swm = state.sw_mut(t.a);
       auto& chan = swm.in_ports.at(t.aux);
       events.push_back(EvChannelDrop{t.a, t.aux, chan.front()});
       chan.drop_head();
       break;
     }
     case TKind::kChannelDupHead: {
-      state.switches[t.a].in_ports.at(t.aux).duplicate_head();
+      state.sw_mut(t.a).in_ports.at(t.aux).duplicate_head();
       break;
     }
     case TKind::kDiscoverPackets:
@@ -463,14 +469,17 @@ void Executor::apply(SystemState& state, const Transition& t,
 void Executor::at_quiescence(SystemState& state,
                              std::vector<Violation>& violations) const {
   for (std::size_t i = 0; i < props_.size(); ++i) {
-    props_[i]->at_quiescence(*state.props[i], state, violations);
+    props_[i]->at_quiescence(state.prop_mut(i), state, violations);
   }
 }
 
 void Executor::feed_properties(SystemState& state, const EventList& events,
                                std::vector<Violation>& violations) const {
+  // Monitors only react to events; with none, prop_mut() would unshare
+  // and re-hash every monitor snapshot for nothing.
+  if (events.empty()) return;
   for (std::size_t i = 0; i < props_.size(); ++i) {
-    props_[i]->on_events(*state.props[i], events, state, violations);
+    props_[i]->on_events(state.prop_mut(i), events, state, violations);
   }
 }
 

@@ -37,6 +37,25 @@ class EmptyPropState final : public PropState {
   void serialize(util::Ser& s) const override { s.put_tag('0'); }
 };
 
+/// Value-semantic holder for one polymorphic PropState: copying deep-clones
+/// via PropState::clone(), so property states can live in copy-on-write
+/// component snapshots like every plain-struct component.
+struct PropSlot {
+  std::unique_ptr<PropState> state;
+
+  PropSlot() = default;
+  explicit PropSlot(std::unique_ptr<PropState> s) : state(std::move(s)) {}
+  PropSlot(const PropSlot& o) : state(o.state ? o.state->clone() : nullptr) {}
+  PropSlot& operator=(const PropSlot& o) {
+    if (this != &o) state = o.state ? o.state->clone() : nullptr;
+    return *this;
+  }
+  PropSlot(PropSlot&&) noexcept = default;
+  PropSlot& operator=(PropSlot&&) noexcept = default;
+
+  void serialize(util::Ser& s) const { state->serialize(s); }
+};
+
 struct Violation {
   std::string property;
   std::string message;

@@ -13,30 +13,47 @@ using detail::SearchClock;
 using detail::seconds_since;
 
 bool SearchCore::remember(const SystemState& state) const {
-  if (options_.store_full_states) {
-    util::Ser s;
-    state.serialize(s, cfg_.canonical_flowtables);
-    const auto bytes = s.bytes();
-    std::string blob(reinterpret_cast<const char*>(bytes.data()),
-                     bytes.size());
-    return seen_.insert_full(util::hash128(bytes), std::move(blob));
+  if (!options_.store_full_states) {
+    // Combined from the per-component hashes memoized on the shared
+    // snapshots: only components the transition touched are re-serialized
+    // (and no component bytes are retained — hash mode is Section 6's
+    // computation-for-memory trade).
+    return seen_.insert(state.hash(cfg_.canonical_flowtables));
   }
-  return seen_.insert(state.hash(cfg_.canonical_flowtables));
+
+  // Full-state mode: serialize first so each changed component's bytes +
+  // hash are memoized in one pass (hash() below then reads the memoized
+  // hashes), assemble the blob pre-sized to the previous state's length,
+  // and move (not copy) it into the store. The hash only selects the
+  // shard; the blob itself is the store key, so collisions can never
+  // merge states.
+  thread_local std::size_t last_size = 0;
+  util::Ser s;
+  s.reserve(last_size);
+  state.serialize(s, cfg_.canonical_flowtables);
+  last_size = s.size();
+  const util::Hash128 h = state.hash(cfg_.canonical_flowtables);
+  return seen_.insert_full(h, s.take());
 }
 
 std::vector<SearchNode> SearchCore::init(CheckerResult& result,
                                          DiscoveryCache& cache) const {
-  SystemState initial = executor_.make_initial();
-  remember(initial);
+  // Build the shared initial state exactly once (the seed cloned it twice:
+  // make_initial → local → clone into the shared_ptr).
+  auto initial_sp =
+      std::make_shared<const SystemState>(executor_.make_initial());
+  remember(*initial_sp);
   result.unique_states = 1;
 
   std::vector<SearchNode> roots;
-  auto initial_sp = std::make_shared<const SystemState>(initial.clone());
   auto ts = apply_strategy(options_.strategy, cfg_, *initial_sp,
                            executor_.enabled(*initial_sp, cache));
   if (ts.empty()) {
     ++result.quiescent_states;
     std::vector<Violation> vs;
+    // COW clone: O(#components) pointer copies. Monitors may mutate their
+    // local state in at_quiescence, which must not leak into the published
+    // initial state.
     SystemState tmp = initial_sp->clone();
     executor_.at_quiescence(tmp, vs);
     for (Violation& v : vs) {

@@ -22,7 +22,7 @@ bool is_groupable_send(const Transition& t) {
 sym::PacketFields send_fields(const SystemConfig& cfg,
                               const SystemState& state,
                               const Transition& t) {
-  const hosts::HostState& hs = state.hosts[t.a];
+  const hosts::HostState& hs = state.host(t.a);
   const hosts::HostBehavior& hb = cfg.host_behavior[t.a];
   switch (t.kind) {
     case TKind::kHostSendScript:
@@ -102,7 +102,7 @@ std::vector<Transition> unusual_filter(const SystemState& state,
   bool have = false;
   for (const Transition& t : enabled) {
     if (t.kind != TKind::kSwitchProcessOf) continue;
-    const std::uint64_t seq = state.switches[t.a].head_of_seq();
+    const std::uint64_t seq = state.sw(t.a).head_of_seq();
     if (!have || seq > best_seq) {
       best_seq = seq;
       have = true;
@@ -111,7 +111,7 @@ std::vector<Transition> unusual_filter(const SystemState& state,
   if (!have) return enabled;
   std::erase_if(enabled, [&](const Transition& t) {
     return t.kind == TKind::kSwitchProcessOf &&
-           state.switches[t.a].head_of_seq() != best_seq;
+           state.sw(t.a).head_of_seq() != best_seq;
   });
   return enabled;
 }

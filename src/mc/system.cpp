@@ -4,39 +4,65 @@ namespace nicemc::mc {
 
 SystemState SystemState::clone() const {
   SystemState c;
-  c.ctrl = ctrl;  // ControllerState copy ctor deep-clones the app state
-  c.switches = switches;
-  c.hosts = hosts;
-  c.props.reserve(props.size());
-  for (const auto& p : props) c.props.push_back(p->clone());
+  // Snap copies share the underlying snapshots: O(#components) refcount
+  // bumps, no component is deep-copied until someone calls a *_mut().
+  c.ctrl_ = ctrl_;
+  c.switches_ = switches_;
+  c.hosts_ = hosts_;
+  c.props_ = props_;
   c.next_uid = next_uid;
   c.next_copy = next_copy;
   return c;
 }
 
 void SystemState::serialize(util::Ser& s, bool canonical) const {
-  ctrl.serialize(s);
-  s.put_u32(static_cast<std::uint32_t>(switches.size()));
-  for (const of::Switch& sw : switches) sw.serialize(s, canonical);
-  s.put_u32(static_cast<std::uint32_t>(hosts.size()));
-  for (const hosts::HostState& h : hosts) h.serialize(s, canonical);
-  s.put_u32(static_cast<std::uint32_t>(props.size()));
-  for (const auto& p : props) p->serialize(s);
+  // Byte-identical to serializing every component directly into `s` (the
+  // load-bearing canonical-bytes invariant): same order, same count
+  // prefixes, same per-component bytes — just bulk-appended from the
+  // memoized forms.
+  s.append(ctrl_.form(canonical).bytes);
+  s.put_u32(static_cast<std::uint32_t>(switches_.size()));
+  for (const auto& sw : switches_) s.append(sw.form(canonical).bytes);
+  s.put_u32(static_cast<std::uint32_t>(hosts_.size()));
+  for (const auto& h : hosts_) s.append(h.form(canonical).bytes);
+  s.put_u32(static_cast<std::uint32_t>(props_.size()));
+  for (const auto& p : props_) s.append(p.form(canonical).bytes);
   s.put_u32(next_uid);
   // The copy-id counter is naming bookkeeping (see of::Packet::serialize);
   // only the raw (NO-SWITCH-REDUCTION) form distinguishes states by it.
   if (!canonical) s.put_u32(next_copy);
 }
 
-util::Hash128 SystemState::hash(bool canonical_tables) const {
-  util::Ser s;
-  serialize(s, canonical_tables);
-  return s.hash();
+util::Hash128 SystemState::hash(bool canonical) const {
+  // Combine the memoized component hashes in serialization order. Two
+  // states have equal combined hashes iff their canonical serializations
+  // are byte-identical (up to negligible hash collisions): component
+  // hashes are hashes of exactly the bytes serialize() would append, and
+  // the counts + trailing counters are mixed in the same positions.
+  util::Hash128 h{0x6e6963652d6d6321ULL, 0x73746174652d6832ULL};
+  h = util::hash128_combine(h, ctrl_.form_hash(canonical));
+  h = util::hash128_combine(h, static_cast<std::uint64_t>(switches_.size()));
+  for (const auto& sw : switches_) {
+    h = util::hash128_combine(h, sw.form_hash(canonical));
+  }
+  h = util::hash128_combine(h, static_cast<std::uint64_t>(hosts_.size()));
+  for (const auto& hs : hosts_) {
+    h = util::hash128_combine(h, hs.form_hash(canonical));
+  }
+  h = util::hash128_combine(h, static_cast<std::uint64_t>(props_.size()));
+  for (const auto& p : props_) {
+    h = util::hash128_combine(h, p.form_hash(canonical));
+  }
+  h = util::hash128_combine(h, static_cast<std::uint64_t>(next_uid));
+  if (!canonical) {
+    h = util::hash128_combine(h, static_cast<std::uint64_t>(next_copy));
+  }
+  return h;
 }
 
 std::size_t SystemState::total_forgotten() const {
   std::size_t n = 0;
-  for (const of::Switch& sw : switches) n += sw.forgotten_packets();
+  for (const of::Switch& sw : switches()) n += sw.forgotten_packets();
   return n;
 }
 

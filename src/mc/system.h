@@ -1,6 +1,14 @@
 // System model: configuration + the complete, hashable system state
 // (controller, switches, hosts, channels, property monitors) of paper
 // Section 2.2.
+//
+// SystemState is copy-on-write: each component lives in a shared immutable
+// snapshot (util::Snap), so clone() is O(#components) pointer copies and a
+// transition deep-copies only the components it actually touches — through
+// the explicit *_mut() accessors. Each snapshot memoizes its canonical
+// serialization and hash, so hashing a child state re-serializes only the
+// components that changed since the parent. See ARCHITECTURE.md ("state
+// pipeline").
 #ifndef NICE_MC_SYSTEM_H
 #define NICE_MC_SYSTEM_H
 
@@ -17,6 +25,7 @@
 #include "topo/topology.h"
 #include "util/hash.h"
 #include "util/ser.h"
+#include "util/snap.h"
 
 namespace nicemc::mc {
 
@@ -57,13 +66,11 @@ struct SystemConfig {
   std::vector<std::uint64_t> extra_domain_ports;
 };
 
-/// The complete system state. Value-semantic apart from the polymorphic
-/// controller app state and property states, which clone() deep-copies.
+/// The complete system state. Components are held in shared copy-on-write
+/// snapshots; reads go through the const accessors, mutations through the
+/// explicit *_mut() accessors (which unshare and invalidate the memoized
+/// serialization of exactly that component).
 struct SystemState {
-  ctrl::ControllerState ctrl;
-  std::vector<of::Switch> switches;
-  std::vector<hosts::HostState> hosts;
-  std::vector<std::unique_ptr<PropState>> props;
   std::uint32_t next_uid{1};
   std::uint32_t next_copy{1};
 
@@ -73,17 +80,106 @@ struct SystemState {
   SystemState(const SystemState&) = delete;
   SystemState& operator=(const SystemState&) = delete;
 
+  /// O(#components): shares every component snapshot with the clone.
   [[nodiscard]] SystemState clone() const;
 
+  // --- construction (used by Executor::make_initial and tests) ---
+  void add_switch(of::Switch sw) {
+    switches_.emplace_back(util::Snap<of::Switch>(std::move(sw)));
+  }
+  void add_host(hosts::HostState hs) {
+    hosts_.emplace_back(util::Snap<hosts::HostState>(std::move(hs)));
+  }
+  void add_prop(std::unique_ptr<PropState> ps) {
+    props_.emplace_back(util::Snap<PropSlot>(PropSlot(std::move(ps))));
+  }
+
+  // --- reads (never copy) ---
+  [[nodiscard]] const ctrl::ControllerState& ctrl() const noexcept {
+    return ctrl_.get();
+  }
+  [[nodiscard]] const of::Switch& sw(std::size_t i) const noexcept {
+    return switches_[i].get();
+  }
+  [[nodiscard]] const hosts::HostState& host(std::size_t i) const noexcept {
+    return hosts_[i].get();
+  }
+  [[nodiscard]] const PropState& prop(std::size_t i) const noexcept {
+    return *props_[i].get().state;
+  }
+  [[nodiscard]] std::size_t switch_count() const noexcept {
+    return switches_.size();
+  }
+  [[nodiscard]] std::size_t host_count() const noexcept {
+    return hosts_.size();
+  }
+  [[nodiscard]] std::size_t prop_count() const noexcept {
+    return props_.size();
+  }
+  [[nodiscard]] util::SnapListView<of::Switch> switches() const noexcept {
+    return util::SnapListView<of::Switch>(switches_);
+  }
+  [[nodiscard]] util::SnapListView<hosts::HostState> hosts() const noexcept {
+    return util::SnapListView<hosts::HostState>(hosts_);
+  }
+
+  // --- mutate-on-write accessors ---
+  [[nodiscard]] ctrl::ControllerState& ctrl_mut() { return ctrl_.mut(); }
+  [[nodiscard]] of::Switch& sw_mut(std::size_t i) {
+    return switches_[i].mut();
+  }
+  [[nodiscard]] hosts::HostState& host_mut(std::size_t i) {
+    return hosts_[i].mut();
+  }
+  [[nodiscard]] PropState& prop_mut(std::size_t i) {
+    return *props_[i].mut().state;
+  }
+
+  // --- sharing introspection (test hooks) ---
+  [[nodiscard]] bool shares_ctrl(const SystemState& o) const noexcept {
+    return ctrl_.same_snapshot(o.ctrl_);
+  }
+  [[nodiscard]] bool shares_switch(const SystemState& o,
+                                   std::size_t i) const noexcept {
+    return switches_[i].same_snapshot(o.switches_[i]);
+  }
+  [[nodiscard]] bool shares_host(const SystemState& o,
+                                 std::size_t i) const noexcept {
+    return hosts_[i].same_snapshot(o.hosts_[i]);
+  }
+  [[nodiscard]] bool shares_prop(const SystemState& o,
+                                 std::size_t i) const noexcept {
+    return props_[i].same_snapshot(o.props_[i]);
+  }
+
+  /// Canonical byte serialization — identical bytes to serializing every
+  /// component in place, but assembled from the memoized per-component
+  /// forms with bulk appends.
   void serialize(util::Ser& s, bool canonical_tables) const;
+
+  /// 128-bit state hash combined from the memoized per-component hashes —
+  /// only components mutated since the parent state are re-serialized.
+  /// NOTE: this is a hash of the canonical bytes' component structure, not
+  /// FNV over the concatenated bytes; equal serializations still imply
+  /// equal hashes and vice versa (up to negligible collisions).
   [[nodiscard]] util::Hash128 hash(bool canonical_tables) const;
 
   /// Hash of the controller application state only — key of the
   /// discovered-packets cache (`client.packets[state(ctrl)]`, Figure 5).
-  [[nodiscard]] util::Hash128 ctrl_hash() const { return ctrl.app_hash(); }
+  /// Memoized on the controller snapshot.
+  [[nodiscard]] util::Hash128 ctrl_hash() const {
+    return ctrl_.projection_hash(
+        [](const ctrl::ControllerState& c) { return c.app_hash(); });
+  }
 
   /// Total packets parked in switch buffers (NoForgottenPackets).
   [[nodiscard]] std::size_t total_forgotten() const;
+
+ private:
+  util::Snap<ctrl::ControllerState> ctrl_;
+  std::vector<util::Snap<of::Switch>> switches_;
+  std::vector<util::Snap<hosts::HostState>> hosts_;
+  std::vector<util::Snap<PropSlot>> props_;
 };
 
 }  // namespace nicemc::mc

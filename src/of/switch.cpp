@@ -223,11 +223,7 @@ std::map<std::uint32_t, std::uint32_t> Switch::canonical_buffer_ids() const {
     util::Ser content;
     bp.packet.serialize(content, /*include_copy_id=*/false);
     content.put_u32(bp.in_port);
-    const auto bytes = content.bytes();
-    entries.emplace_back(
-        std::string(reinterpret_cast<const char*>(bytes.data()),
-                    bytes.size()),
-        bid);
+    entries.emplace_back(content.take(), bid);
   }
   std::sort(entries.begin(), entries.end());
   std::map<std::uint32_t, std::uint32_t> rename;
@@ -235,6 +231,13 @@ std::map<std::uint32_t, std::uint32_t> Switch::canonical_buffer_ids() const {
     rename.emplace(entries[rank].second, rank + 1);
   }
   return rename;
+}
+
+std::size_t Switch::serialized_size_hint() const {
+  std::size_t ingress = 0;
+  for (const auto& [port, chan] : in_ports) ingress += 8 + chan.size() * 160;
+  return 64 + table.rules().size() * 96 + ingress + of_in.size() * 160 +
+         of_out.size() * 192 + buffer.size() * 176 + port_stats.size() * 40;
 }
 
 void Switch::serialize(util::Ser& s, bool canonical) const {

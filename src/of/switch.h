@@ -134,6 +134,10 @@ struct Switch {
   /// NO-SWITCH-REDUCTION baseline hashes.
   void serialize(util::Ser& s, bool canonical = true) const;
 
+  /// Rough upper estimate of serialize()'s output size — lets the state
+  /// pipeline pre-size per-component buffers (see util::Snap::form).
+  [[nodiscard]] std::size_t serialized_size_hint() const;
+
  private:
   /// Content-ordered dense renaming of the live buffer ids.
   [[nodiscard]] std::map<std::uint32_t, std::uint32_t> canonical_buffer_ids()

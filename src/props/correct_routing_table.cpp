@@ -12,7 +12,7 @@ void UseCorrectRoutingTable::on_events(mc::PropState& ps,
     if (h == nullptr || h->sw != ingress_) continue;
     if (h->installs.empty()) continue;  // handler ignored the packet
     const std::set<of::SwitchId> expected =
-        expected_(*state.ctrl.app, h->pkt.hdr);
+        expected_(*state.ctrl().app, h->pkt.hdr);
     if (expected.empty()) continue;
     std::set<of::SwitchId> actual;
     for (const auto& [sw, rule] : h->installs) actual.insert(sw);

@@ -8,7 +8,7 @@ void NoForgottenPackets::at_quiescence(mc::PropState& ps,
                                        const mc::SystemState& state,
                                        std::vector<mc::Violation>& out) const {
   (void)ps;
-  for (const of::Switch& sw : state.switches) {
+  for (const of::Switch& sw : state.switches()) {
     if (sw.buffer.empty()) continue;
     std::string msg = "switch " + std::to_string(sw.id) + " still buffers " +
                       std::to_string(sw.buffer.size()) +

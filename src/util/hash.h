@@ -45,6 +45,23 @@ constexpr std::uint64_t hash_combine(std::uint64_t seed,
   return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
 }
 
+/// Fold a component's 128-bit hash into a running 128-bit combined hash.
+/// The two 64-bit streams stay independent (lo combines with lo, hi with
+/// hi), mirroring how hash128() derives them from distinct FNV bases. Order
+/// sensitive: combining [a, b] and [b, a] gives different results.
+constexpr Hash128 hash128_combine(const Hash128& seed,
+                                  const Hash128& v) noexcept {
+  return Hash128{hash_combine(seed.lo, v.lo), hash_combine(seed.hi, v.hi)};
+}
+
+/// Fold a plain integer (a count, a counter) into a combined 128-bit hash.
+constexpr Hash128 hash128_combine(const Hash128& seed,
+                                  std::uint64_t v) noexcept {
+  // Offset the hi stream so the two halves see decorrelated inputs.
+  return Hash128{hash_combine(seed.lo, v),
+                 hash_combine(seed.hi, v + 0x9e3779b97f4a7c15ULL)};
+}
+
 /// Deterministic, seedable PRNG (splitmix64). Used for random-walk search;
 /// never std::rand, so runs are reproducible from the seed.
 class SplitMix64 {

@@ -35,8 +35,10 @@ class ShardedSeenSet {
   /// Hash mode: remember `h`. Returns true when it was not seen before.
   bool insert(const Hash128& h);
 
-  /// Full-state mode: remember the serialized state `blob`; `h` (the hash
-  /// of the blob) only selects the shard. Returns true when new.
+  /// Full-state mode: remember the serialized state `blob`; `h` (any
+  /// deterministic hash of the state — callers pass the combined
+  /// per-component hash, NOT necessarily hash128(blob)) only selects the
+  /// shard; the blob itself is the key. Returns true when new.
   bool insert_full(const Hash128& h, std::string blob);
 
   /// Unique entries across all shards.

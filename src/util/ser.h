@@ -6,6 +6,10 @@
 // Section 6). Two states are "the same" exactly when their canonical
 // serializations are byte-identical, so serializers must write data in a
 // canonical order (e.g. std::map iteration, canonically sorted flow tables).
+//
+// The buffer is std::string-backed so a finished serialization can be moved
+// out with take() — straight into the full-state seen-set — without a copy,
+// and so append() of a cached component form is a single memcpy.
 #ifndef NICE_UTIL_SER_H
 #define NICE_UTIL_SER_H
 
@@ -16,6 +20,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/hash.h"
@@ -25,7 +30,7 @@ namespace nicemc::util {
 /// Append-only canonical byte buffer.
 class Ser {
  public:
-  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
 
   void put_u16(std::uint16_t v) {
     put_u8(static_cast<std::uint8_t>(v >> 8));
@@ -49,7 +54,7 @@ class Ser {
   /// Length-prefixed string (prevents ambiguity between adjacent fields).
   void put_str(std::string_view s) {
     put_u32(static_cast<std::uint32_t>(s.size()));
-    for (char c : s) put_u8(static_cast<std::uint8_t>(c));
+    buf_.append(s);
   }
 
   /// Tag byte for discriminating variants / sections; improves hash quality
@@ -77,16 +82,34 @@ class Ser {
     }
   }
 
+  /// Bulk-append raw bytes (e.g. a memoized component serialization).
+  void append(std::string_view bytes) { buf_.append(bytes); }
+  void append(std::span<const std::byte> bytes) {
+    buf_.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  }
+
+  /// Pre-size the buffer so repeated puts do not regrow it.
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
-    return buf_;
+    return {reinterpret_cast<const std::byte*>(buf_.data()), buf_.size()};
   }
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
-  [[nodiscard]] Hash128 hash() const noexcept { return hash128(buf_); }
+  [[nodiscard]] Hash128 hash() const noexcept { return hash128(bytes()); }
+
+  /// Move the accumulated bytes out, leaving the buffer empty (and its
+  /// capacity surrendered with it). The caller owns the returned string —
+  /// no copy is made.
+  [[nodiscard]] std::string take() noexcept {
+    std::string out = std::move(buf_);
+    buf_.clear();  // moved-from state is unspecified; make it empty again
+    return out;
+  }
 
   void clear() noexcept { buf_.clear(); }
 
  private:
-  std::vector<std::byte> buf_;
+  std::string buf_;
 };
 
 /// Hash any serializable object in one call.

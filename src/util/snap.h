@@ -1,0 +1,221 @@
+// Copy-on-write component snapshots with memoized canonical forms.
+//
+// Snap<T> holds one model component (a switch, a host state, the controller
+// state, a property-monitor state) behind a shared pointer. Copying a Snap
+// shares the underlying snapshot — this is what makes SystemState::clone()
+// O(#components) pointer copies — and mut() is the explicit mutate-on-write
+// accessor: it deep-copies the component only when the snapshot is shared
+// with another state, and always drops the snapshot's memoized forms.
+//
+// Each snapshot lazily memoizes its canonical serialization (bytes + their
+// 128-bit hash, one slot per canonical/raw flag). Because the memo lives on
+// the *shared* node, a child state that did not touch a component reuses the
+// bytes and hash its parent already computed — remember() re-hashes only
+// what the transition changed.
+//
+// Thread-safety contract (matches the search engine's publication order):
+// a snapshot shared between threads is immutable — mut() may only be called
+// while the owning SystemState is not yet published to other workers. Lazy
+// form computation on a shared node is internally synchronized, so two
+// workers serializing states that share a parent's component race safely.
+#ifndef NICE_UTIL_SNAP_H
+#define NICE_UTIL_SNAP_H
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/ser.h"
+
+namespace nicemc::util {
+
+/// One memoized serialization of a component: the canonical bytes and the
+/// 128-bit hash of exactly those bytes.
+struct CanonForm {
+  std::string bytes;
+  Hash128 hash;
+};
+
+template <typename T>
+class Snap {
+ public:
+  Snap() : node_(std::make_shared<Node>()) {}
+  explicit Snap(T value) : node_(std::make_shared<Node>(std::move(value))) {}
+
+  // Copying shares the snapshot (copy-on-write); moving transfers it.
+  Snap(const Snap&) = default;
+  Snap& operator=(const Snap&) = default;
+  Snap(Snap&&) noexcept = default;
+  Snap& operator=(Snap&&) noexcept = default;
+
+  /// Read access — never copies.
+  [[nodiscard]] const T& get() const noexcept { return node_->value; }
+  [[nodiscard]] const T& operator*() const noexcept { return node_->value; }
+  [[nodiscard]] const T* operator->() const noexcept {
+    return &node_->value;
+  }
+
+  /// Explicit mutate-on-write accessor. Deep-copies the component iff the
+  /// snapshot is shared with another Snap; always invalidates the memoized
+  /// forms. The returned reference stays valid (no further reallocation)
+  /// until this Snap is copied and mut() is called again.
+  [[nodiscard]] T& mut() {
+    if (node_.use_count() == 1) {
+      node_->reset_forms();
+      return node_->value;
+    }
+    node_ = std::make_shared<Node>(node_->value);
+    return node_->value;
+  }
+
+  /// True when this snapshot is shared with at least one other Snap.
+  [[nodiscard]] bool is_shared() const noexcept {
+    return node_.use_count() > 1;
+  }
+  /// True when two Snaps alias the identical snapshot (test hook).
+  [[nodiscard]] bool same_snapshot(const Snap& o) const noexcept {
+    return node_ == o.node_;
+  }
+
+  /// The component's serialization in the requested form (bytes + hash),
+  /// memoized on the shared snapshot. Only full-state mode and trace
+  /// output need the bytes — hash-mode searches should use form_hash(),
+  /// which does not pin a copy of the serialization on every live state.
+  [[nodiscard]] const CanonForm& form(bool canonical) const {
+    Node& n = *node_;
+    std::lock_guard<std::mutex> lock(n.mu);
+    std::optional<CanonForm>& slot = n.form[canonical ? 1 : 0];
+    if (!slot) {
+      Ser s;
+      serialize_value(n, s, canonical);
+      CanonForm cf;
+      cf.hash = s.hash();
+      cf.bytes = s.take();
+      slot.emplace(std::move(cf));
+    }
+    return *slot;
+  }
+
+  /// Memoized hash of the component's serialization. Unlike form(), this
+  /// retains only the 16-byte hash: the bytes pass through a per-thread
+  /// scratch buffer, so the default hash-mode search stores no component
+  /// serializations at all (Section 6's computation-for-memory trade).
+  [[nodiscard]] Hash128 form_hash(bool canonical) const {
+    Node& n = *node_;
+    std::lock_guard<std::mutex> lock(n.mu);
+    const int i = canonical ? 1 : 0;
+    if (n.form[i]) return n.form[i]->hash;
+    std::optional<Hash128>& slot = n.hash_only[i];
+    if (!slot) {
+      thread_local Ser scratch;  // clear() keeps capacity across calls
+      scratch.clear();
+      serialize_value(n, scratch, canonical);
+      slot = scratch.hash();
+    }
+    return *slot;
+  }
+
+  /// Memoized hash of an arbitrary projection of the component (e.g. the
+  /// controller's app-only hash used as the discovery-cache key). The
+  /// caller must pass the same projection on every call for a given T.
+  template <typename F>
+  [[nodiscard]] Hash128 projection_hash(F&& compute) const {
+    Node& n = *node_;
+    std::lock_guard<std::mutex> lock(n.mu);
+    if (!n.aux) n.aux = compute(static_cast<const T&>(n.value));
+    return *n.aux;
+  }
+
+ private:
+  struct Node {
+    T value;
+    mutable std::mutex mu;  // guards lazy memo fill on shared snapshots
+    mutable std::optional<CanonForm> form[2];   // [raw, canonical]
+    mutable std::optional<Hash128> hash_only[2];  // hash without the bytes
+    mutable std::optional<Hash128> aux;
+
+    Node() = default;
+    explicit Node(const T& v) : value(v) {}
+    explicit Node(T&& v) : value(std::move(v)) {}
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    // Only legal while the node is uniquely owned (no concurrent readers).
+    void reset_forms() {
+      form[0].reset();
+      form[1].reset();
+      hash_only[0].reset();
+      hash_only[1].reset();
+      aux.reset();
+    }
+  };
+
+  // Serialize n.value into s (caller holds n.mu). Dispatches to
+  // `serialize(Ser&, bool canonical)` when the component distinguishes
+  // forms, else to `serialize(Ser&)`.
+  static void serialize_value(const Node& n, Ser& s, bool canonical) {
+    if constexpr (requires(const T& t) { t.serialized_size_hint(); }) {
+      s.reserve(n.value.serialized_size_hint());
+    }
+    if constexpr (requires(const T& t, Ser& out) {
+                    t.serialize(out, canonical);
+                  }) {
+      n.value.serialize(s, canonical);
+    } else {
+      n.value.serialize(s);
+    }
+  }
+
+  std::shared_ptr<Node> node_;
+};
+
+/// Lightweight iterable view over a vector of Snaps that yields `const T&`,
+/// so read loops look like loops over plain components.
+template <typename T>
+class SnapListView {
+ public:
+  using Storage = std::vector<Snap<T>>;
+
+  explicit SnapListView(const Storage& v) noexcept : v_(&v) {}
+
+  class iterator {
+   public:
+    explicit iterator(const Snap<T>* p) noexcept : p_(p) {}
+    const T& operator*() const noexcept { return p_->get(); }
+    const T* operator->() const noexcept { return &p_->get(); }
+    iterator& operator++() noexcept {
+      ++p_;
+      return *this;
+    }
+    friend bool operator==(iterator a, iterator b) noexcept {
+      return a.p_ == b.p_;
+    }
+
+   private:
+    const Snap<T>* p_;
+  };
+
+  [[nodiscard]] iterator begin() const noexcept {
+    return iterator(v_->data());
+  }
+  [[nodiscard]] iterator end() const noexcept {
+    return iterator(v_->data() + v_->size());
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return v_->size(); }
+  [[nodiscard]] bool empty() const noexcept { return v_->empty(); }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return (*v_)[i].get();
+  }
+
+ private:
+  const Storage* v_;
+};
+
+}  // namespace nicemc::util
+
+#endif  // NICE_UTIL_SNAP_H

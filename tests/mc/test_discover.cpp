@@ -42,7 +42,7 @@ TEST(Discover, LearnedMacCreatesNewClass) {
 
   // Teach the controller where B lives; re-discovery must now contain a
   // class whose representative targets B (the install-rule path).
-  auto& app_state = static_cast<apps::PySwitchState&>(*st.ctrl.app);
+  auto& app_state = static_cast<apps::PySwitchState&>(*st.ctrl_mut().app);
   const auto& b = s.config.topology->host(1);
   app_state.mactable[0].put(b.mac, 2);
 
@@ -65,7 +65,7 @@ TEST(Discover, CacheIsKeyedByControllerState) {
   EXPECT_NE(cache.find_packets(0, h0), nullptr);
   EXPECT_EQ(cache.find_packets(1, h0), nullptr);
 
-  auto& app_state = static_cast<apps::PySwitchState&>(*st.ctrl.app);
+  auto& app_state = static_cast<apps::PySwitchState&>(*st.ctrl_mut().app);
   app_state.mactable[0].put(0x42, 1);
   EXPECT_EQ(cache.find_packets(0, st.ctrl_hash()), nullptr);
 }

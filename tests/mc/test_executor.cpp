@@ -45,22 +45,22 @@ TEST(Executor, SendProcessDeliverReceiveCycle) {
 
   // A sends its ping.
   ex.apply(st, find_kind(ex.enabled(st, cache), TKind::kHostSendScript), v);
-  EXPECT_EQ(st.hosts[0].sends_done, 1);
-  EXPECT_EQ(st.hosts[0].burst, 0);
-  EXPECT_TRUE(st.switches[0].can_process_pkt());
+  EXPECT_EQ(st.host(0).sends_done, 1);
+  EXPECT_EQ(st.host(0).burst, 0);
+  EXPECT_TRUE(st.sw(0).can_process_pkt());
 
   // SW0 processes: no rule → packet_in to controller.
   ex.apply(st, find_kind(ex.enabled(st, cache), TKind::kSwitchProcessPkt),
            v);
-  EXPECT_EQ(st.switches[0].of_out.size(), 1u);
+  EXPECT_EQ(st.sw(0).of_out.size(), 1u);
 
   // Controller handles packet_in: pyswitch floods (dst unknown).
   ex.apply(st, find_kind(ex.enabled(st, cache), TKind::kCtrlDispatch), v);
-  EXPECT_TRUE(st.switches[0].can_process_of());
+  EXPECT_TRUE(st.sw(0).can_process_of());
 
   // SW0 applies the packet_out: flood → out the inter-switch link.
   ex.apply(st, find_kind(ex.enabled(st, cache), TKind::kSwitchProcessOf), v);
-  EXPECT_TRUE(st.switches[1].can_process_pkt());
+  EXPECT_TRUE(st.sw(1).can_process_pkt());
   EXPECT_TRUE(v.empty());
 }
 
@@ -76,7 +76,7 @@ TEST(Executor, BurstTokenReplenishedOnReceive) {
   // Burst exhausted: no further send enabled.
   EXPECT_FALSE(has_kind(ex.enabled(st, cache), TKind::kHostSendScript));
   // Hand-deliver a packet to A and receive it: burst replenishes.
-  st.hosts[0].input.push(of::Packet{});
+  st.host_mut(0).input.push(of::Packet{});
   ex.apply(st, find_kind(ex.enabled(st, cache), TKind::kHostRecv), v);
   EXPECT_TRUE(has_kind(ex.enabled(st, cache), TKind::kHostSendScript));
 }
@@ -91,17 +91,17 @@ TEST(Executor, EchoHostQueuesReplyOnlyForItsOwnMac) {
   of::Packet to_b;
   to_b.hdr.eth_src = s.config.topology->host(0).mac;
   to_b.hdr.eth_dst = s.config.topology->host(1).mac;
-  st.hosts[1].input.push(to_b);
+  st.host_mut(1).input.push(to_b);
   ex.apply(st, Transition{.kind = TKind::kHostRecv, .a = 1}, v);
-  EXPECT_EQ(st.hosts[1].pending_replies.size(), 1u);
-  EXPECT_EQ(st.hosts[1].pending_replies.front().hdr.eth_src,
+  EXPECT_EQ(st.host(1).pending_replies.size(), 1u);
+  EXPECT_EQ(st.host(1).pending_replies.front().hdr.eth_src,
             s.config.topology->host(1).mac);
 
   of::Packet other;
   other.hdr.eth_dst = 0xdead;
-  st.hosts[1].input.push(other);
+  st.host_mut(1).input.push(other);
   ex.apply(st, Transition{.kind = TKind::kHostRecv, .a = 1}, v);
-  EXPECT_EQ(st.hosts[1].pending_replies.size(), 1u);  // unchanged
+  EXPECT_EQ(st.host(1).pending_replies.size(), 1u);  // unchanged
 }
 
 TEST(Executor, NoDelayDrainsControllerCommunicationAtomically) {
@@ -116,10 +116,10 @@ TEST(Executor, NoDelayDrainsControllerCommunicationAtomically) {
   // packet_in → handler → flood packet_out → application, all in one step.
   ex.apply(st, find_kind(ex.enabled(st, cache), TKind::kSwitchProcessPkt),
            v);
-  EXPECT_TRUE(st.switches[0].of_out.empty());
-  EXPECT_FALSE(st.switches[0].can_process_of());
+  EXPECT_TRUE(st.sw(0).of_out.empty());
+  EXPECT_FALSE(st.sw(0).can_process_of());
   // The flooded packet is already on its way to SW1.
-  EXPECT_TRUE(st.switches[1].can_process_pkt());
+  EXPECT_TRUE(st.sw(1).can_process_pkt());
 }
 
 TEST(Executor, FineInterleavingQueuesCommandsIndividually) {
@@ -134,11 +134,11 @@ TEST(Executor, FineInterleavingQueuesCommandsIndividually) {
            v);
   ex.apply(st, find_kind(ex.enabled(st, cache), TKind::kCtrlDispatch), v);
   // The flood command is parked in the controller, not at the switch.
-  EXPECT_FALSE(st.ctrl.pending_commands.empty());
-  EXPECT_FALSE(st.switches[0].can_process_of());
+  EXPECT_FALSE(st.ctrl().pending_commands.empty());
+  EXPECT_FALSE(st.sw(0).can_process_of());
   ex.apply(st, find_kind(ex.enabled(st, cache), TKind::kCtrlApplyCommand),
            v);
-  EXPECT_TRUE(st.switches[0].can_process_of());
+  EXPECT_TRUE(st.sw(0).can_process_of());
 }
 
 TEST(Executor, HostMoveChangesDeliveryTarget) {
@@ -149,7 +149,7 @@ TEST(Executor, HostMoveChangesDeliveryTarget) {
   std::vector<Violation> v;
   ASSERT_TRUE(s.config.host_behavior[1].can_move);
   ex.apply(st, Transition{.kind = TKind::kHostMove, .a = 1, .aux = 0}, v);
-  EXPECT_EQ(st.hosts[1].port, 3u);
+  EXPECT_EQ(st.host(1).port, 3u);
   // A second move to the same alternative is no longer enabled.
   EXPECT_FALSE(has_kind(ex.enabled(st, cache), TKind::kHostMove));
 }
@@ -166,8 +166,8 @@ TEST(Executor, DeadPortDeliveryRaisesEvent) {
   of::Rule r;
   r.match = of::Match::any();
   r.actions = {of::Action::output(2)};
-  st.switches[0].table.add(r);
-  st.switches[0].enqueue_packet(1, of::Packet{});
+  st.sw_mut(0).table.add(r);
+  st.sw_mut(0).enqueue_packet(1, of::Packet{});
   ex.apply(st, Transition{.kind = TKind::kSwitchProcessPkt, .a = 0}, v);
   ASSERT_EQ(v.size(), 1u);
   EXPECT_EQ(v[0].property, "NoBlackHoles");

@@ -186,8 +186,8 @@ TEST_F(PropertiesTest, NoForgottenPacketsChecksSwitchBuffers) {
   prop.at_quiescence(*ps, state_, out_);
   EXPECT_TRUE(out_.empty());
   // Park a packet in SW0's buffer.
-  state_.switches[0].enqueue_packet(1, packet(1, 0xa, 0xb));
-  state_.switches[0].process_pkt();
+  state_.sw_mut(0).enqueue_packet(1, packet(1, 0xa, 0xb));
+  state_.sw_mut(0).process_pkt();
   prop.at_quiescence(*ps, state_, out_);
   ASSERT_EQ(out_.size(), 1u);
   EXPECT_EQ(out_[0].property, "NoForgottenPackets");

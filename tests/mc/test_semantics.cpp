@@ -33,7 +33,7 @@ TEST(Semantics, ChannelFaultTransitionsAppearWhenEnabled) {
   Executor ex(s.config, s.properties);
   DiscoveryCache cache;
   SystemState st = ex.make_initial();
-  st.switches[0].pkt_channel_faults = {.may_drop = true,
+  st.sw_mut(0).pkt_channel_faults = {.may_drop = true,
                                        .may_duplicate = true};
   std::vector<Violation> v;
   ex.apply(st, Transition{.kind = TKind::kHostSendScript, .a = 0}, v);
@@ -49,11 +49,11 @@ TEST(Semantics, ChannelDropRemovesPacketWithoutViolation) {
   Executor ex(s.config, s.properties);
   DiscoveryCache cache;
   SystemState st = ex.make_initial();
-  st.switches[0].pkt_channel_faults.may_drop = true;
+  st.sw_mut(0).pkt_channel_faults.may_drop = true;
   std::vector<Violation> v;
   ex.apply(st, Transition{.kind = TKind::kHostSendScript, .a = 0}, v);
   ex.apply(st, find_kind(ex.enabled(st, cache), TKind::kChannelDropHead), v);
-  EXPECT_FALSE(st.switches[0].can_process_pkt());
+  EXPECT_FALSE(st.sw(0).can_process_pkt());
   // A fault-model drop is environment behaviour, not a controller bug.
   EXPECT_TRUE(v.empty());
   ex.at_quiescence(st, v);
@@ -66,11 +66,11 @@ TEST(Semantics, ChannelDuplicateCreatesSecondCopy) {
   Executor ex(s.config, s.properties);
   DiscoveryCache cache;
   SystemState st = ex.make_initial();
-  st.switches[0].pkt_channel_faults.may_duplicate = true;
+  st.sw_mut(0).pkt_channel_faults.may_duplicate = true;
   std::vector<Violation> v;
   ex.apply(st, Transition{.kind = TKind::kHostSendScript, .a = 0}, v);
   ex.apply(st, find_kind(ex.enabled(st, cache), TKind::kChannelDupHead), v);
-  EXPECT_EQ(st.switches[0].in_ports.at(1).size(), 2u);
+  EXPECT_EQ(st.sw(0).in_ports.at(1).size(), 2u);
 }
 
 TEST(Semantics, RuleExpiryTransitionRemovesRule) {
@@ -86,12 +86,12 @@ TEST(Semantics, RuleExpiryTransitionRemovesRule) {
   r.match = of::Match::any();
   r.actions = {of::Action::output(2)};
   r.hard_timeout = 10;
-  st.switches[0].table.add(r);
+  st.sw_mut(0).table.add(r);
   const auto ts = ex.enabled(st, cache);
   ASSERT_TRUE(has_kind(ts, TKind::kRuleExpire));
   std::vector<Violation> v;
   ex.apply(st, find_kind(ts, TKind::kRuleExpire), v);
-  EXPECT_TRUE(st.switches[0].table.empty());
+  EXPECT_TRUE(st.sw(0).table.empty());
 }
 
 TEST(Semantics, PermanentRulesNeverExpire) {
@@ -103,7 +103,7 @@ TEST(Semantics, PermanentRulesNeverExpire) {
   of::Rule r;
   r.match = of::Match::any();
   r.actions = {of::Action::output(2)};
-  st.switches[0].table.add(r);  // no timeouts
+  st.sw_mut(0).table.add(r);  // no timeouts
   EXPECT_FALSE(has_kind(ex.enabled(st, cache), TKind::kRuleExpire));
 }
 
@@ -122,7 +122,7 @@ TEST(Semantics, StatsRequestRoundTripWithoutDiscovery) {
   auto ts = ex.enabled(st, cache);
   ASSERT_TRUE(has_kind(ts, TKind::kCtrlRequestStats));
   ex.apply(st, find_kind(ts, TKind::kCtrlRequestStats), v);
-  EXPECT_TRUE(st.ctrl.pending_stats.contains(0));
+  EXPECT_TRUE(st.ctrl().pending_stats.contains(0));
   // Request is only issued once per round budget.
   EXPECT_FALSE(has_kind(ex.enabled(st, cache), TKind::kCtrlRequestStats));
 
@@ -130,10 +130,10 @@ TEST(Semantics, StatsRequestRoundTripWithoutDiscovery) {
   ts = ex.enabled(st, cache);
   ASSERT_TRUE(has_kind(ts, TKind::kCtrlDispatch));
   ex.apply(st, find_kind(ts, TKind::kCtrlDispatch), v);
-  EXPECT_FALSE(st.ctrl.pending_stats.contains(0));
+  EXPECT_FALSE(st.ctrl().pending_stats.contains(0));
   // Concrete stats (no traffic yet) keep the energy state low.
   EXPECT_FALSE(
-      static_cast<const apps::RespondTeState&>(*st.ctrl.app).energy_high);
+      static_cast<const apps::RespondTeState&>(*st.ctrl().app).energy_high);
 }
 
 TEST(Semantics, StatsDiscoveryReplacesConcreteDispatch) {
@@ -180,7 +180,7 @@ TEST(Semantics, ProcessStatsAppliesRepresentativeValues) {
   ASSERT_EQ(high.kind, TKind::kCtrlProcessStats);
   ex.apply(st, high, v);
   EXPECT_TRUE(
-      static_cast<const apps::RespondTeState&>(*st.ctrl.app).energy_high);
+      static_cast<const apps::RespondTeState&>(*st.ctrl().app).energy_high);
 }
 
 TEST(Semantics, EquivalentInterleavingsMergeOnlyCanonically) {
@@ -198,16 +198,16 @@ TEST(Semantics, EquivalentInterleavingsMergeOnlyCanonically) {
     of::Rule fwd;
     fwd.match = of::Match::any();
     fwd.actions = {of::Action::output(1)};  // hairpin to the local host
-    st.switches[0].table.add(fwd);
-    st.switches[1].table.add(fwd);
+    st.sw_mut(0).table.add(fwd);
+    st.sw_mut(1).table.add(fwd);
     of::Packet p1;
     p1.hdr.eth_src = 0x0a;
     p1.uid = 1;
     of::Packet p2;
     p2.hdr.eth_src = 0x0b;
     p2.uid = 2;
-    st.switches[0].enqueue_packet(1, p1);
-    st.switches[1].enqueue_packet(1, p2);
+    st.sw_mut(0).enqueue_packet(1, p1);
+    st.sw_mut(1).enqueue_packet(1, p2);
 
     std::vector<Violation> v;
     const Transition proc0{.kind = TKind::kSwitchProcessPkt, .a = 0};
@@ -236,12 +236,12 @@ TEST(Semantics, ControllerInjectedPacketGetsFreshUid) {
   const std::uint32_t uid_before = st.next_uid;
   EXPECT_GE(uid_before, 3u);  // request + injected reply
   // Apply the two packet_outs (reply + buffer discard).
-  while (st.switches[0].can_process_of()) {
+  while (st.sw(0).can_process_of()) {
     ex.apply(st, Transition{.kind = TKind::kSwitchProcessOf, .a = 0}, v);
   }
   // The reply is on its way back to the client.
-  EXPECT_FALSE(st.hosts[0].input.empty());
-  EXPECT_EQ(st.switches[0].forgotten_packets(), 0u);
+  EXPECT_FALSE(st.host(0).input.empty());
+  EXPECT_EQ(st.sw(0).forgotten_packets(), 0u);
 }
 
 }  // namespace

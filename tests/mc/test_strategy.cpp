@@ -25,8 +25,8 @@ TEST(Strategy, UnusualKeepsOnlyLastSentOfMessage) {
   Executor ex(s.config, s.properties);
   SystemState st = ex.make_initial();
   // Simulate the controller having sent messages to SW0 then SW1.
-  st.switches[0].push_of(of::BarrierRequest{.xid = 1}, 1);
-  st.switches[1].push_of(of::BarrierRequest{.xid = 2}, 2);
+  st.sw_mut(0).push_of(of::BarrierRequest{.xid = 1}, 1);
+  st.sw_mut(1).push_of(of::BarrierRequest{.xid = 2}, 2);
   std::vector<Transition> ts = {
       Transition{.kind = TKind::kSwitchProcessOf, .a = 0},
       Transition{.kind = TKind::kSwitchProcessOf, .a = 1},

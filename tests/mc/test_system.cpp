@@ -23,7 +23,7 @@ TEST(System, CloneIsDeepForControllerState) {
   SystemState b = a.clone();
   EXPECT_EQ(a.hash(true), b.hash(true));
   // Mutating the clone's app state must not affect the original.
-  auto& st = static_cast<apps::PySwitchState&>(*b.ctrl.app);
+  auto& st = static_cast<apps::PySwitchState&>(*b.ctrl_mut().app);
   st.mactable[0].put(0x42, 7);
   EXPECT_NE(a.hash(true), b.hash(true));
 }
@@ -33,10 +33,10 @@ TEST(System, CloneIsDeepForSwitchesAndHosts) {
   Executor ex(s.config, s.properties);
   SystemState a = ex.make_initial();
   SystemState b = a.clone();
-  b.switches[0].enqueue_packet(1, of::Packet{});
+  b.sw_mut(0).enqueue_packet(1, of::Packet{});
   EXPECT_NE(a.hash(true), b.hash(true));
   SystemState c = a.clone();
-  c.hosts[0].burst += 1;
+  c.host_mut(0).burst += 1;
   EXPECT_NE(a.hash(true), c.hash(true));
 }
 
@@ -45,10 +45,10 @@ TEST(System, CtrlHashIgnoresNetworkState) {
   Executor ex(s.config, s.properties);
   SystemState a = ex.make_initial();
   const auto before = a.ctrl_hash();
-  a.switches[0].enqueue_packet(1, of::Packet{});
-  a.hosts[0].burst += 3;
+  a.sw_mut(0).enqueue_packet(1, of::Packet{});
+  a.host_mut(0).burst += 3;
   EXPECT_EQ(a.ctrl_hash(), before);
-  auto& st = static_cast<apps::PySwitchState&>(*a.ctrl.app);
+  auto& st = static_cast<apps::PySwitchState&>(*a.ctrl_mut().app);
   st.mactable[0].put(0x42, 7);
   EXPECT_NE(a.ctrl_hash(), before);
 }
@@ -67,8 +67,8 @@ TEST(System, TotalForgottenSumsSwitchBuffers) {
   Executor ex(s.config, s.properties);
   SystemState a = ex.make_initial();
   EXPECT_EQ(a.total_forgotten(), 0u);
-  a.switches[0].enqueue_packet(1, of::Packet{});
-  a.switches[0].process_pkt();  // no rule: buffers the packet
+  a.sw_mut(0).enqueue_packet(1, of::Packet{});
+  a.sw_mut(0).process_pkt();  // no rule: buffers the packet
   EXPECT_EQ(a.total_forgotten(), 1u);
 }
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/hash.h"
 #include "util/ser.h"
 #include "util/strings.h"
@@ -88,6 +90,67 @@ TEST(Ser, ClearResets) {
   s.put_u64(42);
   s.clear();
   EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(Ser, AppendIsByteIdenticalToElementwisePuts) {
+  // append() of a pre-serialized fragment must splice the exact bytes the
+  // elementwise puts would have produced (the canonical-bytes invariant
+  // the COW state pipeline leans on).
+  Ser frag;
+  frag.put_u32(0x01020304);
+  frag.put_str("hello");
+  Ser a;
+  a.put_u8(9);
+  a.append(frag.bytes());
+  a.put_u8(7);
+  Ser b;
+  b.put_u8(9);
+  b.put_u32(0x01020304);
+  b.put_str("hello");
+  b.put_u8(7);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::equal(a.bytes().begin(), a.bytes().end(),
+                         b.bytes().begin()));
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Ser, TakeMovesBytesOutAndEmptiesBuffer) {
+  Ser s;
+  s.put_str("abc");
+  const Hash128 h = s.hash();
+  const std::size_t n = s.size();
+  const std::string blob = s.take();
+  EXPECT_EQ(blob.size(), n);
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(hash128({reinterpret_cast<const std::byte*>(blob.data()),
+                     blob.size()}),
+            h);
+  // The drained buffer is reusable.
+  s.put_u8(1);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Ser, ReserveDoesNotChangeContents) {
+  Ser a;
+  a.reserve(4096);
+  a.put_str("xyz");
+  Ser b;
+  b.put_str("xyz");
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Hash, Hash128CombineIsOrderSensitiveAndStreamsIndependent) {
+  const Hash128 x{1, 2};
+  const Hash128 y{3, 4};
+  const Hash128 seed{0, 0};
+  const Hash128 xy = hash128_combine(hash128_combine(seed, x), y);
+  const Hash128 yx = hash128_combine(hash128_combine(seed, y), x);
+  EXPECT_NE(xy, yx);
+  EXPECT_NE(xy.lo, xy.hi);
+  // Integer overload: distinct counts must produce distinct combines.
+  EXPECT_NE(hash128_combine(seed, std::uint64_t{1}),
+            hash128_combine(seed, std::uint64_t{2}));
 }
 
 TEST(Strings, MacFormatting) {
