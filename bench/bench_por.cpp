@@ -1,0 +1,128 @@
+// Partial-order-reduction benchmark: transitions explored with and
+// without DPOR (sleep sets / sleep + persistent scheduling) on every
+// bundled scenario, plus the soundness contract enforced at runtime —
+// each reduced run must report the identical violation set and the
+// identical unique-state count as the unreduced search, with fewer (or
+// equal) transitions. The run aborts loudly on any mismatch.
+//
+// Usage: bench_por [--json out.json]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+
+using namespace nicemc;
+using mc::violation_key_set;
+
+namespace {
+
+mc::CheckerResult run_scenario(apps::Scenario s, mc::Reduction reduction) {
+  mc::CheckerOptions opt;
+  opt.stop_at_first_violation = false;
+  opt.reduction = reduction;
+  mc::Checker checker(s.config, opt, s.properties);
+  return checker.run();
+}
+
+void check_sound(const char* scenario, const char* mode,
+                 const mc::CheckerResult& none, const mc::CheckerResult& red) {
+  if (red.unique_states != none.unique_states ||
+      red.quiescent_states != none.quiescent_states ||
+      red.transitions > none.transitions ||
+      violation_key_set(red) != violation_key_set(none)) {
+    std::fprintf(stderr,
+                 "FATAL: %s under %s is not sound vs NONE "
+                 "(unique %llu vs %llu, transitions %llu vs %llu, "
+                 "violations %zu vs %zu)\n",
+                 scenario, mode,
+                 static_cast<unsigned long long>(red.unique_states),
+                 static_cast<unsigned long long>(none.unique_states),
+                 static_cast<unsigned long long>(red.transitions),
+                 static_cast<unsigned long long>(none.transitions),
+                 violation_key_set(red).size(), violation_key_set(none).size());
+    std::exit(1);
+  }
+}
+
+struct Row {
+  std::string name;
+  mc::CheckerResult none, sleep, persistent;
+};
+
+double ratio(const mc::CheckerResult& none, const mc::CheckerResult& red) {
+  return red.transitions > 0
+             ? static_cast<double>(none.transitions) /
+                   static_cast<double>(red.transitions)
+             : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+
+  std::vector<Row> rows;
+  std::printf("%-22s %12s %12s %12s %10s %8s %8s\n", "scenario", "unique",
+              "t(NONE)", "t(SLEEP)", "t(S+P)", "xSLEEP", "xS+P");
+  for (const apps::NamedScenario& ns : apps::bundled_scenarios()) {
+    Row row;
+    row.name = ns.name;
+    row.none = run_scenario(ns.make(), mc::Reduction::kNone);
+    row.sleep = run_scenario(ns.make(), mc::Reduction::kSleep);
+    row.persistent = run_scenario(ns.make(), mc::Reduction::kSleepPersistent);
+    check_sound(ns.name.c_str(), "SLEEP", row.none, row.sleep);
+    check_sound(ns.name.c_str(), "SLEEP+PERSISTENT", row.none,
+                row.persistent);
+    std::printf("%-22s %12llu %12llu %12llu %10llu %7.2fx %7.2fx\n",
+                ns.name.c_str(),
+                static_cast<unsigned long long>(row.none.unique_states),
+                static_cast<unsigned long long>(row.none.transitions),
+                static_cast<unsigned long long>(row.sleep.transitions),
+                static_cast<unsigned long long>(row.persistent.transitions),
+                ratio(row.none, row.sleep), ratio(row.none, row.persistent));
+    rows.push_back(std::move(row));
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"por\",\n  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      auto emit = [&](const char* key, const mc::CheckerResult& cr,
+                      const char* tail) {
+        std::fprintf(f,
+                     "      \"%s\": {\"transitions\": %llu, \"unique_states\""
+                     ": %llu, \"revisits\": %llu, \"violations\": %zu, "
+                     "\"seconds\": %.4f}%s\n",
+                     key, static_cast<unsigned long long>(cr.transitions),
+                     static_cast<unsigned long long>(cr.unique_states),
+                     static_cast<unsigned long long>(cr.revisits),
+                     violation_key_set(cr).size(), cr.seconds, tail);
+      };
+      std::fprintf(f, "    {\n      \"name\": \"%s\",\n", r.name.c_str());
+      emit("none", r.none, ",");
+      emit("sleep", r.sleep, ",");
+      emit("sleep_persistent", r.persistent, ",");
+      std::fprintf(f,
+                   "      \"reduction_sleep\": %.3f,\n"
+                   "      \"reduction_sleep_persistent\": %.3f\n    }%s\n",
+                   ratio(r.none, r.sleep), ratio(r.none, r.persistent),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("benchmark record written to %s\n", json_path);
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Build (Release) and run the partial-order-reduction benchmark, writing
+# the machine-readable BENCH_por.json (or $1): per bundled scenario, the
+# transitions explored under NONE / SLEEP / SLEEP+PERSISTENT and the
+# reduction ratios. The benchmark enforces the soundness contract at
+# runtime (identical violation sets and unique-state counts) and exits
+# non-zero on any mismatch, so a successful run doubles as a check.
+#
+# Usage: scripts/bench_por.sh [out.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_por.json}"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j --target bench_por >/dev/null
+
+./build/bench_por --json "$OUT"

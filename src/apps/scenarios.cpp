@@ -283,4 +283,46 @@ Scenario te_scenario(const TeScenarioOptions& options) {
   return s;
 }
 
+std::vector<NamedScenario> bundled_scenarios() {
+  std::vector<NamedScenario> out;
+  out.push_back({"pyswitch-ping1", [] { return pyswitch_ping_chain(1); }});
+  out.push_back({"pyswitch-ping2", [] { return pyswitch_ping_chain(2); }});
+  // NO-SWITCH-REDUCTION baseline: copy ids and raw rule order split
+  // states, so almost nothing commutes — exercises the conservative end.
+  out.push_back({"pyswitch-ping2-raw",
+                 [] { return pyswitch_ping_chain(2, false); }});
+  out.push_back({"pyswitch-bug1", [] { return pyswitch_bug1(); }});
+  out.push_back({"pyswitch-bug2", [] { return pyswitch_bug2(); }});
+  out.push_back({"pyswitch-bug3", [] { return pyswitch_bug3(); }});
+  out.push_back({"lb-fixed", [] {
+                   LbScenarioOptions o;
+                   o.fix_release_packet = true;
+                   o.fix_install_before_delete = true;
+                   o.fix_discard_arp = true;
+                   o.fix_check_assignments = true;
+                   o.client_sends_arp = true;
+                   return lb_scenario(o);
+                 }});
+  out.push_back({"lb-bugs", [] { return lb_scenario({}); }});
+  out.push_back({"lb-affinity", [] {
+                   LbScenarioOptions o;
+                   o.fix_release_packet = true;
+                   o.fix_install_before_delete = true;
+                   o.client_can_dup_syn = true;
+                   o.data_segments = 2;
+                   o.check_flow_affinity = true;
+                   return lb_scenario(o);
+                 }});
+  out.push_back({"te", [] { return te_scenario({}); }});
+  out.push_back({"te-routing", [] {
+                   TeScenarioOptions o;
+                   o.fix_release_packet = true;
+                   o.fix_handle_intermediate = true;
+                   o.stats_rounds = 1;
+                   o.check_routing_table = true;
+                   return te_scenario(o);
+                 }});
+  return out;
+}
+
 }  // namespace nicemc::apps

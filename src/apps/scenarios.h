@@ -4,7 +4,10 @@
 #ifndef NICE_APPS_SCENARIOS_H
 #define NICE_APPS_SCENARIOS_H
 
+#include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "apps/loadbalancer.h"
 #include "apps/pyswitch.h"
@@ -86,6 +89,24 @@ struct TeScenarioOptions {
 /// Triangle topology: ingress S0 (sender), egress S1 (two receivers),
 /// on-demand switch S2.
 Scenario te_scenario(const TeScenarioOptions& options);
+
+// --- Bundled scenario registry ---
+
+/// A named, repeatably-constructible experiment preset. The factory
+/// returns a fresh Scenario each call (Scenario owns its topology/app, so
+/// sweeps that run one scenario several times rebuild it per run).
+struct NamedScenario {
+  std::string name;
+  std::function<Scenario()> make;
+};
+
+/// Every bundled experiment preset across the paper's evaluation:
+/// pyswitch ping chains (canonical + raw-table baseline), BUG-I–III, the
+/// load balancer presets (all-fixed, all-bugs-live, BUG-VII flow
+/// affinity), and the traffic-engineering presets (BUG-VIII,
+/// BUG-X routing table). This is the sweep surface of the reduction
+/// differential test (tests/mc/test_por.cpp) and scripts/bench_por.sh.
+std::vector<NamedScenario> bundled_scenarios();
 
 }  // namespace nicemc::apps
 

@@ -29,9 +29,15 @@ CheckerResult Checker::random_walk(std::uint64_t seed, int walks,
   util::SplitMix64 rng(seed);
 
   for (int w = 0; w < walks; ++w) {
+    if (result.hit_limit == LimitReason::kTime) break;
     SystemState state = executor_.make_initial();
     std::shared_ptr<const PathNode> path;
     for (int step = 0; step < max_steps; ++step) {
+      if (options_.time_limit_seconds > 0 &&
+          seconds_since(start) >= options_.time_limit_seconds) {
+        result.hit_limit = LimitReason::kTime;
+        break;
+      }
       auto ts = apply_strategy(options_.strategy, cfg_, state,
                                executor_.enabled(state, cache_));
       if (ts.empty()) {

@@ -16,8 +16,10 @@
 #define NICE_MC_CHECKER_H
 
 #include <cstdint>
+#include <memory>
 
 #include "mc/discover.h"
+#include "mc/por/sleep.h"
 #include "mc/execute.h"
 #include "mc/frontier.h"
 #include "mc/parallel.h"
@@ -42,7 +44,12 @@ class Checker {
                   ? util::ShardedSeenSet::Mode::kFullState
                   : util::ShardedSeenSet::Mode::kHash,
               shard_count(options)),
-        core_(cfg_, options_, executor_, seen_) {}
+        reducer_(options.reduction == Reduction::kNone
+                     ? nullptr
+                     : std::make_unique<por::Reducer>(options.reduction,
+                                                      packet_keyed(props),
+                                                      shard_count(options))),
+        core_(cfg_, options_, executor_, seen_, reducer_.get()) {}
 
   // core_ holds references into this object's own members, so moving or
   // copying a Checker would leave it pointing at the source.
@@ -80,6 +87,7 @@ class Checker {
   const PropertyList& props_;
   Executor executor_;
   util::ShardedSeenSet seen_;
+  std::unique_ptr<por::Reducer> reducer_;
   SearchCore core_;
   DiscoveryCache cache_;
 };

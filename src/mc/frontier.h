@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "mc/por/sleep.h"
 #include "mc/system.h"
 #include "mc/trace.h"
 #include "mc/transition.h"
@@ -25,11 +26,15 @@ namespace nicemc::mc {
 /// One pending unit of search work: apply `transition` to `*state`.
 /// `state` is shared between all siblings enumerated from it; `path` is
 /// the shared-parent trace chain used to reconstruct counterexamples.
+/// `sleep` is the partial-order-reduction sleep set the resulting state
+/// arrives with (always empty under Reduction::kNone); it is per-node, so
+/// the parallel driver needs no extra shared state beyond the SleepStore.
 struct SearchNode {
   std::shared_ptr<const SystemState> state;
   Transition transition;
   std::shared_ptr<const PathNode> path;
   std::size_t depth{0};
+  por::SleepSet sleep;
 };
 
 enum class FrontierKind : std::uint8_t { kDfs, kBfs, kRandom };

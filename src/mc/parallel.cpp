@@ -30,9 +30,11 @@ void add_discovery(DiscoveryStats& into, const DiscoveryStats& from) {
 /// the deque; `active` counts workers currently expanding a node, so the
 /// search is finished exactly when the deque is empty and active == 0.
 struct SharedSearch {
-  explicit SharedSearch(const CheckerOptions& options) : options(options) {}
+  SharedSearch(const CheckerOptions& options, SearchClock::time_point start)
+      : options(options), start(start) {}
 
   const CheckerOptions& options;
+  const SearchClock::time_point start;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -45,6 +47,7 @@ struct SharedSearch {
   std::atomic<std::uint64_t> revisits{0};
   std::atomic<std::uint64_t> quiescent_states{0};
   std::atomic<bool> truncated{false};
+  std::atomic<LimitReason> limit{LimitReason::kNone};
 
   std::mutex violations_mu;
   std::vector<ViolationRecord> violations;
@@ -61,11 +64,20 @@ struct SharedSearch {
     return options.stop_at_first_violation;
   }
 
-  bool over_limits() const {
-    return transitions.load(std::memory_order_relaxed) >=
-               options.max_transitions ||
-           unique_states.load(std::memory_order_relaxed) >=
-               options.max_unique_states;
+  LimitReason limit_hit() const {
+    if (transitions.load(std::memory_order_relaxed) >=
+        options.max_transitions) {
+      return LimitReason::kTransitions;
+    }
+    if (unique_states.load(std::memory_order_relaxed) >=
+        options.max_unique_states) {
+      return LimitReason::kUniqueStates;
+    }
+    if (options.time_limit_seconds > 0 &&
+        seconds_since(start) >= options.time_limit_seconds) {
+      return LimitReason::kTime;
+    }
+    return LimitReason::kNone;
   }
 };
 
@@ -80,9 +92,11 @@ void search_worker(const SearchCore& core, SharedSearch& shared,
       });
       if (shared.stop) return;
       if (shared.work.empty()) return;  // active == 0: space exhausted
-      if (shared.over_limits()) {
+      if (const LimitReason lr = shared.limit_hit();
+          lr != LimitReason::kNone) {
         shared.stop = true;
         shared.truncated.store(true);
+        shared.limit.store(lr);
         shared.cv.notify_all();
         return;
       }
@@ -98,6 +112,9 @@ void search_worker(const SearchCore& core, SharedSearch& shared,
     if (e.transition_violated) {
       want_stop = shared.record(e.violations);
     } else if (!e.new_state) {
+      // Under partial-order reduction a revisit can still carry children
+      // (re-expansion of transitions every earlier arrival slept); they
+      // are pushed below like any other successors.
       shared.revisits.fetch_add(1, std::memory_order_relaxed);
     } else {
       shared.unique_states.fetch_add(1, std::memory_order_relaxed);
@@ -132,7 +149,7 @@ CheckerResult run_parallel(const SearchCore& core, unsigned threads) {
   DiscoveryCache init_cache;
   std::vector<SearchNode> roots = core.init(result, init_cache);
 
-  SharedSearch shared(options);
+  SharedSearch shared(options, start);
   shared.unique_states.store(result.unique_states);
   shared.quiescent_states.store(result.quiescent_states);
   shared.violations = std::move(result.violations);
@@ -160,6 +177,7 @@ CheckerResult run_parallel(const SearchCore& core, unsigned threads) {
   result.revisits = shared.revisits.load();
   result.quiescent_states = shared.quiescent_states.load();
   result.violations = std::move(shared.violations);
+  result.hit_limit = shared.limit.load();
   result.exhausted = shared.work.empty() && !shared.truncated.load() &&
                      !(options.stop_at_first_violation &&
                        result.found_violation());
@@ -173,11 +191,15 @@ namespace {
 
 /// Shared state of a random-walk portfolio run.
 struct SharedWalks {
+  explicit SharedWalks(SearchClock::time_point start) : start(start) {}
+
+  const SearchClock::time_point start;
   std::atomic<std::uint64_t> transitions{0};
   std::atomic<std::uint64_t> unique_states{0};
   std::atomic<std::uint64_t> revisits{0};
   std::atomic<std::uint64_t> quiescent_states{0};
   std::atomic<bool> stop{false};
+  std::atomic<LimitReason> limit{LimitReason::kNone};
 
   std::mutex violations_mu;
   std::vector<ViolationRecord> violations;
@@ -202,6 +224,12 @@ void walk_worker(const SearchCore& core, SharedWalks& shared,
     SystemState state = executor.make_initial();
     std::shared_ptr<const PathNode> path;
     for (int step = 0; step < max_steps; ++step) {
+      if (options.time_limit_seconds > 0 &&
+          seconds_since(shared.start) >= options.time_limit_seconds) {
+        shared.limit.store(LimitReason::kTime);
+        shared.stop.store(true);
+        return;
+      }
       auto ts = apply_strategy(options.strategy, core.config(), state,
                                executor.enabled(state, cache));
       if (ts.empty()) {
@@ -253,7 +281,7 @@ CheckerResult run_random_walk_portfolio(const SearchCore& core,
   const auto start = SearchClock::now();
   if (threads < 1) threads = 1;
 
-  SharedWalks shared;
+  SharedWalks shared(start);
   std::vector<DiscoveryCache> caches(threads);
   std::vector<std::uint64_t> seeds;
   seeds.reserve(threads);
@@ -275,6 +303,7 @@ CheckerResult run_random_walk_portfolio(const SearchCore& core,
   result.revisits = shared.revisits.load();
   result.quiescent_states = shared.quiescent_states.load();
   result.violations = std::move(shared.violations);
+  result.hit_limit = shared.limit.load();
   for (const DiscoveryCache& c : caches) {
     add_discovery(result.discovery, c.stats());
   }

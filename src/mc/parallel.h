@@ -9,7 +9,11 @@
 // path-dependent packet copy-ids in the messages (when several
 // interleavings reach the same canonical state, the thread that wins the
 // seen-set insert reports its own path's packet uids) — and the order of
-// violations differs.
+// violations differs. Under CheckerOptions::reduction the driver keeps
+// the soundness contract (same unique states, same violation set, ≤
+// transitions of the unreduced run); exact transition counts become
+// schedule-dependent because which arrival claims a sleep re-expansion
+// races (see mc/por/sleep.h).
 //
 // run_random_walk_portfolio: the simulator mode as a portfolio — each
 // worker runs an independent share of the walks with its own seeded RNG,

@@ -1,0 +1,309 @@
+#include "mc/por/footprint.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ctrl/commands.h"
+#include "ctrl/controller.h"
+#include "hosts/server.h"
+#include "util/hash.h"
+#include "util/ser.h"
+
+namespace nicemc::mc::por {
+
+namespace {
+
+// Tags decorrelate the three key families (uid / MAC pair / IP pair).
+constexpr std::uint64_t kUidTag = 0x756964ULL;
+constexpr std::uint64_t kMacTag = 0x6d6163ULL;
+constexpr std::uint64_t kIpTag = 0x6970ULL;
+
+void add_hdr_keys(Footprint& fp, const sym::PacketFields& h) {
+  // Unordered pairs: DirectPaths tracks a flow and its reverse, so a send
+  // A→B must conflict with a delivery B→A.
+  fp.key(util::hash_combine(util::hash_combine(kMacTag,
+                                               std::min(h.eth_src, h.eth_dst)),
+                            std::max(h.eth_src, h.eth_dst)));
+  fp.key(util::hash_combine(util::hash_combine(kIpTag,
+                                               std::min(h.ip_src, h.ip_dst)),
+                            std::max(h.ip_src, h.ip_dst)));
+}
+
+void add_packet_keys(Footprint& fp, const of::Packet& p) {
+  fp.key(util::hash_combine(kUidTag, p.uid));
+  add_hdr_keys(fp, p.hdr);
+}
+
+/// Host currently attached to <sw, port>, if any (the executor's deliver()
+/// resolution).
+int attached_host(const SystemState& state, of::SwitchId sw, of::PortId port) {
+  for (std::size_t i = 0; i < state.host_count(); ++i) {
+    const hosts::HostState& hs = state.host(i);
+    if (hs.sw == sw && hs.port == port) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Footprint of one simulated packet run through switch `sw`'s pipeline:
+/// emissions resolved exactly like Executor::deliver against the current
+/// topology and host attachments.
+void add_outcome(Footprint& fp, const SystemConfig& cfg,
+                 const SystemState& state, of::SwitchId sw,
+                 const of::PacketOutcome& oc) {
+  add_packet_keys(fp, oc.packet);
+  if (oc.to_controller) fp.write(rid(Res::kSwOfOutTail, sw));
+  if (oc.forwards.empty()) return;
+  // Forward resolution reads the attachment map of this switch (a host
+  // moving onto/off one of these ports changes where copies land).
+  fp.read(rid(Res::kSwAttach, sw));
+  if (!cfg.canonical_flowtables) fp.write(rid(Res::kCopyCounter));
+  for (const auto& [port, pkt] : oc.forwards) {
+    add_packet_keys(fp, pkt);
+    const topo::PortPeer peer = cfg.topology->switch_peer(sw, port);
+    if (peer.kind == topo::PortPeer::Kind::kSwitchLink) {
+      fp.write(rid(Res::kSwInTail, peer.sw, peer.port));
+      continue;
+    }
+    const int h = attached_host(state, sw, port);
+    if (h >= 0) fp.write(rid(Res::kHostInTail, static_cast<unsigned>(h)));
+    // No peer and no host: the copy dies at the port (event only).
+  }
+}
+
+/// Footprint of handler-emitted commands (Executor::push_commands).
+void add_commands(Footprint& fp, const SystemConfig& cfg,
+                  const std::vector<ctrl::Command>& cmds) {
+  for (const ctrl::Command& c : cmds) {
+    if (const auto* po = std::get_if<ctrl::CmdPacketOut>(&c)) {
+      if (po->msg.buffer_id == of::kNoBuffer && po->msg.packet.has_value()) {
+        // Bufferless packet_out mints a fresh packet identity.
+        fp.write(rid(Res::kUidCounter));
+        if (!cfg.canonical_flowtables) fp.write(rid(Res::kCopyCounter));
+      }
+    }
+    if (!cfg.fine_interleaving) {
+      fp.write(rid(Res::kSwOfInTail, ctrl::command_target(c)));
+    }
+    // FINE-INTERLEAVING parks commands in the controller's pending queue;
+    // kCtrl (written by every controller transition) already covers it.
+  }
+}
+
+void host_send_common(Footprint& fp, const SystemConfig& cfg,
+                      const SystemState& state, std::uint32_t host) {
+  const hosts::HostState& hs = state.host(host);
+  fp.read(rid(Res::kHostLoc, host));
+  fp.write(rid(Res::kSwInTail, hs.sw, hs.port));
+  fp.write(rid(Res::kUidCounter));
+  if (!cfg.canonical_flowtables) fp.write(rid(Res::kCopyCounter));
+}
+
+}  // namespace
+
+void Footprint::finish() {
+  auto norm = [](std::vector<std::uint64_t>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  norm(reads);
+  norm(writes);
+  norm(keys);
+}
+
+Footprint compute_footprint(const SystemConfig& cfg, const SystemState& state,
+                            const Transition& t) {
+  Footprint fp;
+  if (cfg.no_delay) {
+    // NO-DELAY runs drain_lockstep inside every apply: controller
+    // dispatches and rule installs at arbitrary switches, none of it
+    // attributable to this transition's own resources. Every transition
+    // conflicts with every other — the reduction degenerates to the
+    // unreduced search (sound; NO-DELAY already collapses interleavings).
+    fp.universal = true;
+    return fp;
+  }
+  switch (t.kind) {
+    case TKind::kHostSendScript: {
+      const hosts::HostState& hs = state.host(t.a);
+      const hosts::HostBehavior& hb = cfg.host_behavior[t.a];
+      fp.write(rid(Res::kHostCore, t.a));  // sends_done, burst
+      host_send_common(fp, cfg, state, t.a);
+      add_hdr_keys(fp,
+                   hb.script[static_cast<std::size_t>(hs.sends_done)].hdr);
+      break;
+    }
+    case TKind::kHostSendDiscovered: {
+      fp.write(rid(Res::kHostCore, t.a));
+      host_send_common(fp, cfg, state, t.a);
+      add_hdr_keys(fp, t.fields);
+      break;
+    }
+    case TKind::kHostSendDup: {
+      fp.write(rid(Res::kHostCore, t.a));  // dup_used, burst
+      host_send_common(fp, cfg, state, t.a);
+      add_hdr_keys(fp, cfg.host_behavior[t.a].script.front().hdr);
+      break;
+    }
+    case TKind::kHostSendReply: {
+      const hosts::HostState& hs = state.host(t.a);
+      fp.write(rid(Res::kHostReplyHead, t.a));
+      host_send_common(fp, cfg, state, t.a);
+      add_hdr_keys(fp, hs.pending_replies.front().hdr);
+      break;
+    }
+    case TKind::kHostRecv: {
+      const hosts::HostState& hs = state.host(t.a);
+      const hosts::HostBehavior& hb = cfg.host_behavior[t.a];
+      fp.write(rid(Res::kHostInHead, t.a));
+      fp.write(rid(Res::kHostCore, t.a));  // received, burst replenishment
+      const of::Packet& head = hs.input.front();
+      add_packet_keys(fp, head);
+      if (hb.echo && hosts::should_reply(cfg.topology->host(t.a), head)) {
+        fp.write(rid(Res::kHostReplyTail, t.a));
+      }
+      break;
+    }
+    case TKind::kHostMove: {
+      const hosts::HostState& hs = state.host(t.a);
+      const auto& alts = cfg.topology->host(t.a).alt_locations;
+      fp.write(rid(Res::kHostLoc, t.a));
+      fp.write(rid(Res::kHostCore, t.a));  // moves_used
+      fp.write(rid(Res::kSwAttach, hs.sw));
+      fp.write(rid(Res::kSwAttach, alts[t.aux].first));
+      break;
+    }
+    case TKind::kSwitchProcessPkt: {
+      const of::Switch& sw = state.sw(t.a);
+      fp.write(rid(Res::kSwCore, t.a));  // table lookups, buffer, stats
+      for (const of::PortId p : sw.ports) {
+        const auto it = sw.in_ports.find(p);
+        const bool has = it != sw.in_ports.end() && !it->second.empty();
+        // Non-empty channels lose their head; an append to an *empty*
+        // channel changes which packets this transition would process, so
+        // empty channels are tail-reads.
+        if (has) {
+          fp.write(rid(Res::kSwInHead, t.a, p));
+        } else {
+          fp.read(rid(Res::kSwInTail, t.a, p));
+        }
+      }
+      // Exact emissions: run the pipeline on a private copy of the switch
+      // (deterministic, self-contained).
+      of::Switch sim = sw;
+      for (const of::PacketOutcome& oc : sim.process_pkt()) {
+        add_outcome(fp, cfg, state, t.a, oc);
+      }
+      break;
+    }
+    case TKind::kSwitchProcessOf: {
+      fp.write(rid(Res::kSwOfInHead, t.a));
+      fp.write(rid(Res::kSwCore, t.a));
+      of::Switch sim = state.sw(t.a);
+      const of::OfOutcome oc = sim.process_of();
+      if (oc.barrier_replied || oc.stats_replied) {
+        fp.write(rid(Res::kSwOfOutTail, t.a));
+      }
+      if (oc.packet) add_outcome(fp, cfg, state, t.a, *oc.packet);
+      break;
+    }
+    case TKind::kCtrlDispatch: {
+      fp.write(rid(Res::kCtrl));
+      fp.write(rid(Res::kSwOfOutHead, t.a));
+      // Run the handler on a cloned controller state for the exact command
+      // targets (the clone is discarded; handlers are deterministic).
+      ctrl::ControllerState sim(state.ctrl());
+      const ctrl::DispatchResult res = ctrl::dispatch_message(
+          *cfg.app, sim, t.a, state.sw(t.a).of_out.front());
+      if (res.was_packet_in) add_packet_keys(fp, res.packet_in.packet);
+      add_commands(fp, cfg, res.commands);
+      break;
+    }
+    case TKind::kCtrlApplyCommand: {
+      fp.write(rid(Res::kCtrl));
+      fp.write(rid(Res::kSwOfInTail,
+                   state.ctrl().pending_commands.front().first));
+      break;
+    }
+    case TKind::kCtrlExternal: {
+      fp.write(rid(Res::kCtrl));
+      ctrl::ControllerState sim(state.ctrl());
+      ctrl::Ctx ctx(&sim.next_xid);
+      cfg.app->on_external(*sim.app, ctx, t.aux);
+      add_commands(fp, cfg, ctx.take_commands());
+      break;
+    }
+    case TKind::kCtrlRequestStats: {
+      fp.write(rid(Res::kCtrl));
+      fp.write(rid(Res::kSwOfInTail, t.a));
+      break;
+    }
+    case TKind::kCtrlProcessStats: {
+      fp.write(rid(Res::kCtrl));
+      fp.write(rid(Res::kSwOfOutHead, t.a));
+      ctrl::ControllerState sim(state.ctrl());
+      add_commands(fp, cfg,
+                   ctrl::dispatch_stats_with_values(*cfg.app, sim, t.a,
+                                                    t.stats));
+      break;
+    }
+    case TKind::kRuleExpire: {
+      fp.write(rid(Res::kSwCore, t.a));
+      break;
+    }
+    case TKind::kChannelDropHead: {
+      fp.write(rid(Res::kSwInHead, t.a, t.aux));
+      add_packet_keys(fp, state.sw(t.a).in_ports.at(t.aux).front());
+      break;
+    }
+    case TKind::kChannelDupHead: {
+      fp.write(rid(Res::kSwInHead, t.a, t.aux));
+      fp.write(rid(Res::kSwInTail, t.a, t.aux));
+      add_packet_keys(fp, state.sw(t.a).in_ports.at(t.aux).front());
+      break;
+    }
+    case TKind::kDiscoverPackets:
+    case TKind::kDiscoverStats:
+      // Never enabled (discovery runs inline); conflict with everything.
+      fp.universal = true;
+      break;
+  }
+  fp.finish();
+  return fp;
+}
+
+namespace {
+
+bool intersects(const std::vector<std::uint64_t>& a,
+                const std::vector<std::uint64_t>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool may_conflict(const Footprint& a, const Footprint& b, bool packet_keys) {
+  if (a.universal || b.universal) return true;
+  if (intersects(a.writes, b.writes) || intersects(a.writes, b.reads) ||
+      intersects(a.reads, b.writes)) {
+    return true;
+  }
+  return packet_keys && intersects(a.keys, b.keys);
+}
+
+std::uint64_t transition_hash(const Transition& t) {
+  util::Ser s;
+  t.serialize(s);
+  return util::fnv1a64(s.bytes());
+}
+
+}  // namespace nicemc::mc::por

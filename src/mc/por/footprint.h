@@ -1,0 +1,106 @@
+// Footprints: the typed read/write sets of transitions, computed
+// dynamically from the source state — the independence oracle of the
+// partial-order-reduction layer (mc/por/sleep.h).
+//
+// Every resource a transition can touch is named by a packed 64-bit id:
+// the controller component, a switch's core (flow table / buffer / port
+// stats), the head and tail of each FIFO (per-port ingress channels, the
+// two OpenFlow channel directions, host input queues, pending replies),
+// host counters and attachment points, and the global uid/copy-id
+// counters that feed canonical state identity. Head and tail of a FIFO
+// are distinct resources on purpose: a pop and a push to the same
+// non-empty queue commute, which is exactly the pipeline concurrency
+// (switch forwards while the downstream host drains) the reduction must
+// recognize.
+//
+// Footprints are *dynamic*: for switch and controller transitions the
+// exact effect is obtained by running the deterministic component on a
+// private copy (the same code the executor runs), so the footprint can
+// never drift from the semantics. Where the effect cannot be pinned
+// down, the footprint is conservative (more conflicts = less reduction,
+// never unsoundness).
+//
+// Besides resources, a footprint carries the *conflict keys* of the
+// packets the transition touches (uid, unordered MAC pair, unordered IP
+// pair). Property monitors fold their bookkeeping into the hashed state
+// keyed by exactly these identities (NoBlackHoles per uid, DirectPaths
+// per L2 flow, FlowAffinity per five-tuple), so two transitions whose
+// resources are disjoint but whose packets share an identity may still
+// order-interfere through a monitor — they are declared dependent when
+// any installed property is packet-keyed (Property::monitor_domain).
+#ifndef NICE_MC_POR_FOOTPRINT_H
+#define NICE_MC_POR_FOOTPRINT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mc/system.h"
+#include "mc/transition.h"
+
+namespace nicemc::mc::por {
+
+/// Resource types. `a`/`b` in rid() are the switch/host id and (for
+/// per-port resources) the port id.
+enum class Res : std::uint8_t {
+  kCtrl,         // controller component: app state, xid, stats bookkeeping
+  kUidCounter,   // SystemState::next_uid (part of canonical identity)
+  kCopyCounter,  // SystemState::next_copy (raw / NO-SWITCH-REDUCTION only)
+  kSwCore,       // switch a: flow table, awaiting-controller buffer, stats
+  kSwInHead,     // switch a, port b: ingress FIFO head (pop side)
+  kSwInTail,     // switch a, port b: ingress FIFO tail (append side)
+  kSwOfInHead,   // switch a: ctrl→switch channel head
+  kSwOfInTail,   // switch a: ctrl→switch channel tail
+  kSwOfOutHead,  // switch a: switch→ctrl channel head
+  kSwOfOutTail,  // switch a: switch→ctrl channel tail
+  kSwAttach,     // switch a: which hosts are attached to its ports
+  kHostCore,     // host a: burst / sends_done / received / dup / moves
+  kHostLoc,      // host a: current <switch, port> attachment
+  kHostInHead,   // host a: input FIFO head
+  kHostInTail,   // host a: input FIFO tail
+  kHostReplyHead,  // host a: pending_replies front
+  kHostReplyTail,  // host a: pending_replies back
+};
+
+[[nodiscard]] constexpr std::uint64_t rid(Res r, std::uint64_t a = 0,
+                                          std::uint64_t b = 0) noexcept {
+  return (static_cast<std::uint64_t>(r) << 56) | (a << 28) | b;
+}
+
+struct Footprint {
+  /// Sorted, deduplicated resource ids (finish() establishes the order).
+  std::vector<std::uint64_t> reads;
+  std::vector<std::uint64_t> writes;
+  /// Sorted packet conflict keys (uid / MAC pair / IP pair hashes).
+  std::vector<std::uint64_t> keys;
+  /// Escape hatch: conflicts with everything (unknown transition kinds).
+  bool universal{false};
+
+  void read(std::uint64_t r) { reads.push_back(r); }
+  void write(std::uint64_t r) { writes.push_back(r); }
+  void key(std::uint64_t k) { keys.push_back(k); }
+  /// Sort + dedupe the id vectors; must be called before may_conflict.
+  void finish();
+};
+
+/// Compute the footprint of `t` as enabled in `state`. `t` must be one of
+/// the transitions Executor::enabled would produce for `state`.
+[[nodiscard]] Footprint compute_footprint(const SystemConfig& cfg,
+                                          const SystemState& state,
+                                          const Transition& t);
+
+/// Conservative dependence check: true when executing `a` and `b` in
+/// either order from the same state may yield different successor states
+/// (including property-monitor components) or different violations.
+/// `packet_keys` enables the monitor conflict-key check and must be true
+/// whenever a packet-keyed property monitor is installed.
+[[nodiscard]] bool may_conflict(const Footprint& a, const Footprint& b,
+                                bool packet_keys);
+
+/// 64-bit identity hash of a transition (over its canonical
+/// serialization). Distinct transitions enabled in one state always
+/// serialize differently, so within a state the hash is a faithful key.
+[[nodiscard]] std::uint64_t transition_hash(const Transition& t);
+
+}  // namespace nicemc::mc::por
+
+#endif  // NICE_MC_POR_FOOTPRINT_H

@@ -1,0 +1,119 @@
+#include "mc/por/sleep.h"
+
+#include <algorithm>
+#include <string>
+
+namespace nicemc::mc {
+
+std::string reduction_name(Reduction r) {
+  switch (r) {
+    case Reduction::kNone:
+      return "NONE";
+    case Reduction::kSleep:
+      return "SLEEP";
+    case Reduction::kSleepPersistent:
+      return "SLEEP+PERSISTENT";
+  }
+  return "?";
+}
+
+namespace por {
+
+SleepStore::SleepStore(std::size_t shards) : select_(shards) {
+  shards_.reserve(select_.count());
+  for (std::size_t i = 0; i < select_.count(); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SleepStore::Arrival SleepStore::arrive(const util::Hash128& h,
+                                       const SleepSet& sleep) {
+  std::vector<std::uint64_t> mine;
+  mine.reserve(sleep.size());
+  for (const SleepEntry& z : sleep) mine.push_back(z.thash);
+  std::sort(mine.begin(), mine.end());
+  mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+
+  Shard& sh = shard_of(h);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  // try_emplace leaves `mine` intact when the key already exists.
+  auto [it, inserted] = sh.slept.try_emplace(h, std::move(mine));
+  if (inserted) return Arrival{.first = true, .explore = {}};
+
+  // Revisit: expand what every earlier arrival slept but this one does
+  // not, and shrink the stored set to the intersection (an entry stays
+  // slept only while *all* arrivals justify sleeping it).
+  Arrival out;
+  std::vector<std::uint64_t>& stored = it->second;
+  if (stored.empty()) return out;
+  std::vector<std::uint64_t> kept;
+  kept.reserve(stored.size());
+  for (const std::uint64_t th : stored) {
+    if (std::binary_search(mine.begin(), mine.end(), th)) {
+      kept.push_back(th);
+    } else {
+      out.explore.push_back(th);
+    }
+  }
+  stored = std::move(kept);
+  return out;
+}
+
+std::uint64_t SleepStore::states() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    n += sh->slept.size();
+  }
+  return n;
+}
+
+void SleepStore::clear() {
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->slept.clear();
+  }
+}
+
+void cluster_order(const std::vector<Footprint>& fps, bool packet_keys,
+                   std::vector<std::size_t>& order) {
+  const std::size_t n = order.size();
+  if (n < 3) return;  // with ≤ 2 transitions every order is clustered
+
+  // Union-find over positions of `order`, edges = footprint conflicts.
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (may_conflict(fps[order[i]], fps[order[j]], packet_keys)) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+
+  // Stable partition: clusters in order of first appearance, members in
+  // original order — the cluster of the first transition (the persistent
+  // set committed to first) leads.
+  std::vector<std::size_t> roots;
+  std::vector<std::size_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = find(i);
+    if (std::find(roots.begin(), roots.end(), r) != roots.end()) continue;
+    roots.push_back(r);
+    for (std::size_t j = i; j < n; ++j) {
+      if (find(j) == r) out.push_back(order[j]);
+    }
+  }
+  order = std::move(out);
+}
+
+}  // namespace por
+}  // namespace nicemc::mc

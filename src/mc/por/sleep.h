@@ -1,0 +1,145 @@
+// Sound dynamic partial-order reduction over SearchCore: sleep sets with
+// per-state bookkeeping, plus a persistent-set selector that schedules
+// expansion cluster-by-cluster.
+//
+// A sleep set rides on each SearchNode: the sibling transitions explored
+// before it (and inherited entries) that are independent of everything
+// executed since — re-exploring them would only re-derive a state the
+// search already produces through the commuted order. At each state the
+// engine expands `filtered_enabled \ sleep` instead of all of
+// `filtered_enabled`.
+//
+// Stateful searches need one extra piece (Godefroid/Holzmann/Pirottin):
+// the seen-set collapses commuting paths into one state, but different
+// arrivals can carry different sleep sets. The SleepStore keeps, per
+// canonical state hash, the set of transitions slept at *every* arrival
+// so far. A later arrival whose sleep set no longer covers a stored entry
+// re-expands exactly the difference (the classic "visited state revisited
+// with a smaller sleep set" rule). This preserves the full reachable
+// state set — only redundant transitions are pruned — which is the
+// contract the differential test enforces: identical violation sets,
+// identical unique-state counts, fewer (or equal) transitions.
+//
+// The persistent-set selector (Reduction::kSleepPersistent) computes the
+// conflict-closure clusters of the transitions about to be expanded and
+// schedules whole clusters consecutively (the cluster of the first
+// enabled transition first — the persistent set a Flanagan–Godefroid
+// explorer would commit to). It deliberately schedules rather than
+// discards: dropping the complement of a persistent set prunes the
+// intermediate states reachable only through deferred orders, and this
+// checker's properties are state predicates (quiescence checks run at
+// every terminal state; monitor state is part of state identity), so the
+// reduction must keep the visited-state set intact. When the footprints
+// all alias into one cluster the selector degenerates to the full set.
+#ifndef NICE_MC_POR_SLEEP_H
+#define NICE_MC_POR_SLEEP_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mc/por/footprint.h"
+#include "util/hash.h"
+#include "util/seen_set.h"
+
+namespace nicemc::mc {
+
+/// Partial-order-reduction mode (CheckerOptions::reduction).
+enum class Reduction : std::uint8_t {
+  kNone,             // expand every strategy-filtered enabled transition
+  kSleep,            // sleep sets (sound; prunes commuted re-derivations)
+  kSleepPersistent,  // sleep sets + persistent-cluster scheduling
+};
+
+std::string reduction_name(Reduction r);
+
+namespace por {
+
+/// One slept transition: its identity hash plus the footprint computed at
+/// the state where it entered the sleep set. The footprint stays valid
+/// down the path because every step it survives is independent of it (its
+/// inputs are untouched).
+struct SleepEntry {
+  std::uint64_t thash{0};
+  Footprint fp;
+};
+
+using SleepSet = std::vector<SleepEntry>;
+
+/// Per-state sleep bookkeeping shared by all drivers, lock-striped like
+/// the seen-set (same util::ShardSelect striping). Stores, per canonical
+/// state hash, the transition hashes slept at every arrival so far (the
+/// intersection over arrivals).
+///
+/// States are matched by their 128-bit hash — also in full-state seen-set
+/// mode, where the seen-set itself keys on the serialized blob. Reduction
+/// therefore carries hash-mode's (negligible, 2^-128-scale) collision
+/// tolerance into full-state mode; keying the store on the blob is a
+/// ROADMAP follow-on.
+class SleepStore {
+ public:
+  /// `shards` rounded up to a power of two, clamped to [1, 1024].
+  explicit SleepStore(std::size_t shards);
+
+  struct Arrival {
+    /// First arrival at this state (the caller expands enabled \ sleep).
+    bool first{false};
+    /// Revisits only: transition hashes slept at every earlier arrival
+    /// but not in this arrival's sleep set — they must be expanded now.
+    std::vector<std::uint64_t> explore;
+  };
+
+  /// Record an arrival at state `h` carrying `sleep`; atomically updates
+  /// the stored slept-set to its intersection with `sleep` and returns
+  /// what the caller must expand. The first/revisit verdict is made here
+  /// (not by the seen-set) so parallel workers agree under one lock.
+  Arrival arrive(const util::Hash128& h, const SleepSet& sleep);
+
+  [[nodiscard]] std::uint64_t states() const;
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<util::Hash128, std::vector<std::uint64_t>> slept;
+  };
+
+  [[nodiscard]] Shard& shard_of(const util::Hash128& h) const {
+    return *shards_[select_.index(h)];
+  }
+
+  util::ShardSelect select_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Reduction context owned by the Checker and shared by every worker:
+/// the mode, whether packet conflict keys are live (any packet-keyed
+/// property monitor installed), and the per-state sleep store.
+class Reducer {
+ public:
+  Reducer(Reduction mode, bool packet_keys, std::size_t shards)
+      : mode_(mode), packet_keys_(packet_keys), store_(shards) {}
+
+  [[nodiscard]] Reduction mode() const noexcept { return mode_; }
+  [[nodiscard]] bool packet_keys() const noexcept { return packet_keys_; }
+  [[nodiscard]] SleepStore& store() noexcept { return store_; }
+
+ private:
+  Reduction mode_;
+  bool packet_keys_;
+  SleepStore store_;
+};
+
+/// Persistent-set scheduling: permute `order` (indices into `fps`) so
+/// that conflict-closure clusters are expanded consecutively, the cluster
+/// of the first transition first. No-op when everything aliases into one
+/// cluster.
+void cluster_order(const std::vector<Footprint>& fps, bool packet_keys,
+                   std::vector<std::size_t>& order);
+
+}  // namespace por
+}  // namespace nicemc::mc
+
+#endif  // NICE_MC_POR_SLEEP_H

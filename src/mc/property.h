@@ -65,7 +65,21 @@ class Property {
  public:
   virtual ~Property() = default;
 
+  /// How a monitor couples otherwise-independent transitions, for the
+  /// partial-order-reduction footprint layer (mc/por/footprint.h):
+  ///   * kPacketKeyed — the monitor keeps state keyed by packet identity
+  ///     (uid / L2 flow / five-tuple), so transitions touching packets of
+  ///     the same identity must stay ordered (the conservative default);
+  ///   * kEventLocal  — violations depend only on the triggering event
+  ///     batch (or on quiescent-state predicates), never on monitor state
+  ///     accumulated across transitions: the monitor adds no conflicts.
+  enum class MonitorDomain : std::uint8_t { kEventLocal, kPacketKeyed };
+
   [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual MonitorDomain monitor_domain() const {
+    return MonitorDomain::kPacketKeyed;
+  }
   [[nodiscard]] virtual std::unique_ptr<PropState> make_state() const {
     return std::make_unique<EmptyPropState>();
   }
@@ -87,6 +101,17 @@ class Property {
 };
 
 using PropertyList = std::vector<std::unique_ptr<Property>>;
+
+/// Any monitor whose bookkeeping is keyed by packet identity? Gates the
+/// reduction footprint layer's packet conflict keys (mc/por/footprint.h).
+[[nodiscard]] inline bool packet_keyed(const PropertyList& props) {
+  for (const auto& p : props) {
+    if (p->monitor_domain() == Property::MonitorDomain::kPacketKeyed) {
+      return true;
+    }
+  }
+  return false;
+}
 
 }  // namespace nicemc::mc
 

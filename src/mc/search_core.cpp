@@ -1,6 +1,8 @@
 #include "mc/search_core.h"
 
+#include <algorithm>
 #include <memory>
+#include <regex>
 #include <string>
 #include <utility>
 
@@ -11,6 +13,31 @@ namespace nicemc::mc {
 
 using detail::SearchClock;
 using detail::seconds_since;
+
+std::vector<std::string> violation_keys(const std::vector<Violation>& vs) {
+  static const std::regex uid_re("uid=[0-9]+(\\.[0-9]+)?");
+  std::vector<std::string> keys;
+  keys.reserve(vs.size());
+  for (const Violation& v : vs) {
+    keys.push_back(v.property + "|" +
+                   std::regex_replace(v.message, uid_re, "uid=#"));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<std::string> violation_keys(const CheckerResult& r) {
+  std::vector<Violation> vs;
+  vs.reserve(r.violations.size());
+  for (const ViolationRecord& v : r.violations) vs.push_back(v.violation);
+  return violation_keys(vs);
+}
+
+std::vector<std::string> violation_key_set(const CheckerResult& r) {
+  std::vector<std::string> keys = violation_keys(r);
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
 
 bool SearchCore::remember(const SystemState& state) const {
   if (!options_.store_full_states) {
@@ -43,6 +70,12 @@ std::vector<SearchNode> SearchCore::init(CheckerResult& result,
   auto initial_sp =
       std::make_shared<const SystemState>(executor_.make_initial());
   remember(*initial_sp);
+  if (reducer_ != nullptr) {
+    // Register the root arrival (empty sleep set) so later re-arrivals at
+    // the initial state are pure revisits.
+    (void)reducer_->store().arrive(
+        initial_sp->hash(cfg_.canonical_flowtables), {});
+  }
   result.unique_states = 1;
 
   std::vector<SearchNode> roots;
@@ -59,10 +92,16 @@ std::vector<SearchNode> SearchCore::init(CheckerResult& result,
     for (Violation& v : vs) {
       result.violations.push_back(ViolationRecord{std::move(v), {}});
     }
+    return roots;
+  }
+  if (reducer_ != nullptr) {
+    make_reduced_children(initial_sp, nullptr, 1, std::move(ts), {}, nullptr,
+                          roots);
+    return roots;
   }
   roots.reserve(ts.size());
   for (Transition& t : ts) {
-    roots.push_back(SearchNode{initial_sp, std::move(t), nullptr, 1});
+    roots.push_back(SearchNode{initial_sp, std::move(t), nullptr, 1, {}});
   }
   return roots;
 }
@@ -86,6 +125,11 @@ SearchCore::Expansion SearchCore::expand(const SearchNode& node,
       out.violations.push_back(ViolationRecord{std::move(v), trace});
     }
     return out;  // do not remember or expand beyond an erroneous state
+  }
+
+  if (reducer_ != nullptr) {
+    expand_reduced(out, std::move(next), node, std::move(path), cache);
+    return out;
   }
 
   if (!remember(next)) return out;  // revisit
@@ -112,9 +156,119 @@ SearchCore::Expansion SearchCore::expand(const SearchNode& node,
   out.children.reserve(ts.size());
   for (Transition& t : ts) {
     out.children.push_back(
-        SearchNode{next_sp, std::move(t), path, node.depth + 1});
+        SearchNode{next_sp, std::move(t), path, node.depth + 1, {}});
   }
   return out;
+}
+
+void SearchCore::expand_reduced(Expansion& out, SystemState&& next,
+                                const SearchNode& node,
+                                std::shared_ptr<const PathNode> path,
+                                DiscoveryCache& cache) const {
+  // The SleepStore makes the first/revisit verdict (one lock covers both
+  // the verdict and the sleep bookkeeping, so parallel workers agree);
+  // remember() keeps the seen-set storage in sync for accounting and the
+  // full-state blobs.
+  const util::Hash128 h = next.hash(cfg_.canonical_flowtables);
+  por::SleepStore::Arrival arr = reducer_->store().arrive(h, node.sleep);
+  remember(next);
+  out.new_state = arr.first;
+
+  if (!arr.first && arr.explore.empty()) return;  // pure revisit
+  if (node.depth >= options_.max_depth) return;
+
+  auto ts = apply_strategy(options_.strategy, cfg_, next,
+                           executor_.enabled(next, cache));
+  if (ts.empty()) {
+    // Quiescence is a state predicate on the strategy-filtered enabled
+    // set, never affected by sleep filtering; check it once (first
+    // arrival), exactly like the unreduced search.
+    if (arr.first) {
+      out.quiescent = true;
+      std::vector<Violation> vs;
+      executor_.at_quiescence(next, vs);
+      if (!vs.empty()) {
+        const auto trace = trace_of(path);
+        for (Violation& v : vs) {
+          out.violations.push_back(ViolationRecord{std::move(v), trace});
+        }
+      }
+    }
+    return;
+  }
+
+  auto next_sp = std::make_shared<const SystemState>(std::move(next));
+  make_reduced_children(next_sp, path, node.depth + 1, std::move(ts),
+                        node.sleep, arr.first ? nullptr : &arr.explore,
+                        out.children);
+}
+
+void SearchCore::make_reduced_children(
+    const std::shared_ptr<const SystemState>& sp,
+    const std::shared_ptr<const PathNode>& path, std::size_t depth,
+    std::vector<Transition>&& ts, const por::SleepSet& arrival_sleep,
+    const std::vector<std::uint64_t>* explore_only,
+    std::vector<SearchNode>& out) const {
+  const bool keys = reducer_->packet_keys();
+
+  std::vector<std::uint64_t> th(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    th[i] = por::transition_hash(ts[i]);
+  }
+  const auto slept = [&arrival_sleep](std::uint64_t x) {
+    for (const por::SleepEntry& z : arrival_sleep) {
+      if (z.thash == x) return true;
+    }
+    return false;
+  };
+
+  // First arrival: everything outside the arrival sleep set. Revisit:
+  // exactly the transitions every earlier arrival slept but this one does
+  // not (intersected with the enabled set — stored entries can reference
+  // inherited sleep members not enabled here; those need no exploration).
+  std::vector<std::size_t> sel;
+  sel.reserve(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (explore_only != nullptr) {
+      if (std::find(explore_only->begin(), explore_only->end(), th[i]) !=
+          explore_only->end()) {
+        sel.push_back(i);
+      }
+    } else if (!slept(th[i])) {
+      sel.push_back(i);
+    }
+  }
+  if (sel.empty()) return;
+
+  std::vector<por::Footprint> fps(ts.size());
+  for (const std::size_t i : sel) {
+    fps[i] = por::compute_footprint(cfg_, *sp, ts[i]);
+  }
+
+  if (reducer_->mode() == Reduction::kSleepPersistent) {
+    por::cluster_order(fps, keys, sel);
+  }
+
+  out.reserve(out.size() + sel.size());
+  for (std::size_t k = 0; k < sel.size(); ++k) {
+    const std::size_t i = sel[k];
+    por::SleepSet child;
+    // Inherit arrival-sleep entries still independent of this transition.
+    for (const por::SleepEntry& z : arrival_sleep) {
+      if (!por::may_conflict(z.fp, fps[i], keys)) child.push_back(z);
+    }
+    // Earlier-expanded independent siblings go to sleep: exploring them
+    // after `ts[i]` would only commute into states the sibling-first
+    // order already reaches.
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t pj = sel[j];
+      if (!por::may_conflict(fps[pj], fps[i], keys)) {
+        child.push_back(por::SleepEntry{th[pj], fps[pj]});
+      }
+    }
+    out.push_back(SearchNode{sp, std::move(ts[i]), path, depth,
+                             std::move(child)});
+  }
 }
 
 CheckerResult SearchCore::run_sequential(Frontier& frontier,
@@ -122,17 +276,28 @@ CheckerResult SearchCore::run_sequential(Frontier& frontier,
   const auto start = SearchClock::now();
   CheckerResult result;
 
+  const auto finalize = [&](LimitReason reason) -> CheckerResult& {
+    result.hit_limit = reason;
+    result.seconds = seconds_since(start);
+    result.discovery = cache.stats();
+    result.store_bytes = seen_.store_bytes();
+    return result;
+  };
+
   for (SearchNode& root : init(result, cache)) {
     frontier.push(std::move(root));
   }
 
   while (!frontier.empty()) {
-    if (result.transitions >= options_.max_transitions ||
-        result.unique_states >= options_.max_unique_states) {
-      result.seconds = seconds_since(start);
-      result.discovery = cache.stats();
-      result.store_bytes = seen_.store_bytes();
-      return result;  // hit a limit: not exhausted
+    if (result.transitions >= options_.max_transitions) {
+      return finalize(LimitReason::kTransitions);  // hit a limit: not exhausted
+    }
+    if (result.unique_states >= options_.max_unique_states) {
+      return finalize(LimitReason::kUniqueStates);
+    }
+    if (options_.time_limit_seconds > 0 &&
+        seconds_since(start) >= options_.time_limit_seconds) {
+      return finalize(LimitReason::kTime);
     }
     if (options_.stop_at_first_violation && result.found_violation()) break;
 
@@ -152,6 +317,11 @@ CheckerResult SearchCore::run_sequential(Frontier& frontier,
 
     if (!e.new_state) {
       ++result.revisits;
+      // Reduction mode only: a revisit carrying a smaller sleep set
+      // re-expands the difference; e.children is empty otherwise.
+      for (SearchNode& child : e.children) {
+        frontier.push(std::move(child));
+      }
       continue;
     }
     ++result.unique_states;
@@ -178,10 +348,7 @@ CheckerResult SearchCore::run_sequential(Frontier& frontier,
   result.exhausted =
       frontier.empty() &&
       !(options_.stop_at_first_violation && result.found_violation());
-  result.seconds = seconds_since(start);
-  result.discovery = cache.stats();
-  result.store_bytes = seen_.store_bytes();
-  return result;
+  return finalize(LimitReason::kNone);
 }
 
 }  // namespace nicemc::mc

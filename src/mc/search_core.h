@@ -21,6 +21,7 @@
 #include "mc/discover.h"
 #include "mc/execute.h"
 #include "mc/frontier.h"
+#include "mc/por/sleep.h"
 #include "mc/property.h"
 #include "mc/strategy.h"
 #include "mc/system.h"
@@ -62,6 +63,28 @@ struct CheckerOptions {
   /// Shards of the seen-set (rounded up to a power of two). 0 = automatic:
   /// 1 shard single-threaded, 4× threads when parallel.
   std::size_t seen_shards{0};
+  /// Sound partial-order reduction (mc/por/): kSleep and kSleepPersistent
+  /// visit the same unique states and report the same violation set as
+  /// kNone on exhaustive runs, with fewer (or equal) transitions. Composes
+  /// with the heuristic strategies (inert under NO-DELAY, whose lock-step
+  /// drain defeats per-transition footprints) and with every exhaustive
+  /// driver; ignored by the random-walk simulator (a walk is a single
+  /// path). Note: the reduction's per-state bookkeeping matches states by
+  /// 128-bit hash even in store_full_states mode, so it carries hash
+  /// mode's negligible collision tolerance there (see por::SleepStore).
+  Reduction reduction{Reduction::kNone};
+  /// Wall-clock budget in seconds; 0 = off. Honored by the sequential,
+  /// parallel and random-walk drivers; a timed-out search reports
+  /// hit_limit = kTime and never claims exhaustion.
+  double time_limit_seconds{0.0};
+};
+
+/// Which bound cut a search short (CheckerResult::hit_limit).
+enum class LimitReason : std::uint8_t {
+  kNone,          // ran to completion (exhausted, or stopped at violation)
+  kTransitions,   // max_transitions reached
+  kUniqueStates,  // max_unique_states reached
+  kTime,          // time_limit_seconds elapsed
 };
 
 struct ViolationRecord {
@@ -78,6 +101,9 @@ struct CheckerResult {
   /// True when the search exhausted the (bounded) state space rather than
   /// stopping at a violation or a limit.
   bool exhausted{false};
+  /// The limit that truncated the search, if any — so "exhausted" is
+  /// never misreported on a timeout or count cap.
+  LimitReason hit_limit{LimitReason::kNone};
   /// Bytes held by the explored-state store (full-state mode measures the
   /// serialized states; hash mode counts 16 bytes per state).
   std::uint64_t store_bytes{0};
@@ -87,16 +113,40 @@ struct CheckerResult {
   [[nodiscard]] bool found_violation() const { return !violations.empty(); }
 };
 
+/// Violation identities with path-dependent packet naming normalized
+/// ("uid=N[.M]" → "uid=#"), sorted: several interleavings reach the same
+/// canonical state, and the arrival that wins the seen-set insert reports
+/// the violation with its own path's packet uid/copy numbers. Used by the
+/// parallel count-equivalence and reduction-soundness checks.
+[[nodiscard]] std::vector<std::string> violation_keys(
+    const std::vector<Violation>& vs);
+[[nodiscard]] std::vector<std::string> violation_keys(const CheckerResult& r);
+/// As violation_keys, deduplicated — a sound reduction prunes *duplicate*
+/// reports of one violation reached through commuting orders, so set
+/// semantics are what its equivalence checks compare.
+[[nodiscard]] std::vector<std::string> violation_key_set(
+    const CheckerResult& r);
+
 class SearchCore {
  public:
+  /// `reducer` (owned by the caller, e.g. Checker) enables partial-order
+  /// reduction; nullptr = expand every strategy-filtered transition (the
+  /// exact seed semantics).
   SearchCore(const SystemConfig& cfg, const CheckerOptions& options,
-             const Executor& executor, util::ShardedSeenSet& seen)
-      : cfg_(cfg), options_(options), executor_(executor), seen_(seen) {}
+             const Executor& executor, util::ShardedSeenSet& seen,
+             por::Reducer* reducer = nullptr)
+      : cfg_(cfg),
+        options_(options),
+        executor_(executor),
+        seen_(seen),
+        reducer_(reducer) {}
 
   /// Result of expanding one SearchNode (applying its transition).
   struct Expansion {
     /// Successor work items (empty on violation, revisit, quiescence or
-    /// depth cap).
+    /// depth cap). Under partial-order reduction a *revisit* can also
+    /// carry children: a state reached again with a smaller sleep set
+    /// re-expands exactly the transitions every earlier arrival slept.
     std::vector<SearchNode> children;
     /// Violations raised by the transition itself, or by the quiescence
     /// check when the resulting state is terminal. Traces included.
@@ -141,10 +191,28 @@ class SearchCore {
   [[nodiscard]] util::ShardedSeenSet& seen() const noexcept { return seen_; }
 
  private:
+  /// Reduction-mode tail of expand(): arrival bookkeeping in the
+  /// SleepStore, sleep-filtered child enumeration, sleep inheritance.
+  void expand_reduced(Expansion& out, SystemState&& next,
+                      const SearchNode& node,
+                      std::shared_ptr<const PathNode> path,
+                      DiscoveryCache& cache) const;
+
+  /// Build the sleep-filtered, sleep-carrying children of a state.
+  /// `explore_only` selects the revisit re-expansion set (nullptr = first
+  /// arrival: expand everything outside `arrival_sleep`).
+  void make_reduced_children(
+      const std::shared_ptr<const SystemState>& sp,
+      const std::shared_ptr<const PathNode>& path, std::size_t depth,
+      std::vector<Transition>&& ts, const por::SleepSet& arrival_sleep,
+      const std::vector<std::uint64_t>* explore_only,
+      std::vector<SearchNode>& out) const;
+
   const SystemConfig& cfg_;
   const CheckerOptions& options_;
   const Executor& executor_;
   util::ShardedSeenSet& seen_;
+  por::Reducer* reducer_;
 };
 
 }  // namespace nicemc::mc

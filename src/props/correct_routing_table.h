@@ -32,6 +32,11 @@ class UseCorrectRoutingTable final : public mc::Property {
   [[nodiscard]] std::string name() const override {
     return "UseCorrectRoutingTable";
   }
+  /// Stateless; reads only controller app state at packet_in time, and
+  /// every controller transition already conflicts through kCtrl.
+  [[nodiscard]] MonitorDomain monitor_domain() const override {
+    return MonitorDomain::kEventLocal;
+  }
   void on_events(mc::PropState& ps, std::span<const mc::Event> events,
                  const mc::SystemState& state,
                  std::vector<mc::Violation>& out) const override;

@@ -15,6 +15,10 @@ class NoForgottenPackets final : public mc::Property {
   [[nodiscard]] std::string name() const override {
     return "NoForgottenPackets";
   }
+  /// Pure quiescent-state predicate over the switch buffers.
+  [[nodiscard]] MonitorDomain monitor_domain() const override {
+    return MonitorDomain::kEventLocal;
+  }
   void on_events(mc::PropState& ps, std::span<const mc::Event> events,
                  const mc::SystemState& state,
                  std::vector<mc::Violation>& out) const override {

@@ -13,6 +13,10 @@ class NoForwardingLoops final : public mc::Property {
   [[nodiscard]] std::string name() const override {
     return "NoForwardingLoops";
   }
+  /// Stateless: a revisit is detected from the packet's own hop list.
+  [[nodiscard]] MonitorDomain monitor_domain() const override {
+    return MonitorDomain::kEventLocal;
+  }
   void on_events(mc::PropState& ps, std::span<const mc::Event> events,
                  const mc::SystemState& state,
                  std::vector<mc::Violation>& out) const override;

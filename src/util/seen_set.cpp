@@ -2,31 +2,10 @@
 
 namespace nicemc::util {
 
-namespace {
-
-std::size_t round_up_pow2(std::size_t n) {
-  if (n < 2) return 1;
-  std::size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
-}
-
-unsigned log2_pow2(std::size_t p) {
-  unsigned lg = 0;
-  while ((std::size_t{1} << lg) < p) ++lg;
-  return lg;
-}
-
-}  // namespace
-
-ShardedSeenSet::ShardedSeenSet(Mode mode, std::size_t shards) : mode_(mode) {
-  std::size_t n = round_up_pow2(shards);
-  if (n > 1024) n = 1024;
-  const unsigned lg = log2_pow2(n);
-  shift_ = 64 - (lg == 0 ? 1 : lg);
-  mask_ = n - 1;
-  shards_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
+ShardedSeenSet::ShardedSeenSet(Mode mode, std::size_t shards)
+    : mode_(mode), select_(shards) {
+  shards_.reserve(select_.count());
+  for (std::size_t i = 0; i < select_.count(); ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
 }

@@ -24,6 +24,35 @@
 
 namespace nicemc::util {
 
+/// Shard selection shared by the lock-striped stores (ShardedSeenSet and
+/// the reduction layer's SleepStore): normalizes the shard count to a
+/// power of two in [1, 1024] and maps a Hash128 to a shard index via its
+/// top bits, so related stores stripe the same way.
+class ShardSelect {
+ public:
+  explicit ShardSelect(std::size_t shards) {
+    std::size_t n = 1;
+    while (n < shards && n < 1024) n <<= 1;
+    unsigned lg = 0;
+    while ((std::size_t{1} << lg) < n) ++lg;
+    // shift_ stays < 64 even for a single shard (mask_ == 0 then selects
+    // shard 0).
+    shift_ = 64 - (lg == 0 ? 1 : lg);
+    mask_ = n - 1;
+    count_ = n;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t index(const Hash128& h) const noexcept {
+    return (h.hi >> shift_) & mask_;
+  }
+
+ private:
+  unsigned shift_;
+  std::uint64_t mask_;
+  std::size_t count_;
+};
+
 class ShardedSeenSet {
  public:
   enum class Mode : std::uint8_t { kHash, kFullState };
@@ -64,14 +93,11 @@ class ShardedSeenSet {
   };
 
   [[nodiscard]] Shard& shard_of(const Hash128& h) const {
-    return *shards_[(h.hi >> shift_) & mask_];
+    return *shards_[select_.index(h)];
   }
 
   Mode mode_;
-  // Shard index = top log2(N) bits of Hash128::hi. shift_ stays < 64 even
-  // for a single shard (mask_ == 0 then selects shard 0).
-  unsigned shift_;
-  std::uint64_t mask_;
+  ShardSelect select_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -111,5 +111,68 @@ TEST(CheckerOptions, NoSwitchReductionStillFindsBugs) {
   EXPECT_TRUE(r.found_violation());
 }
 
+TEST(CheckerOptions, CountLimitsReportTheirReason) {
+  auto s = apps::pyswitch_ping_chain(3);
+  CheckerOptions opt;
+  opt.max_transitions = 200;
+  Checker by_transitions(s.config, opt, s.properties);
+  const CheckerResult rt = by_transitions.run();
+  EXPECT_FALSE(rt.exhausted);
+  EXPECT_EQ(rt.hit_limit, LimitReason::kTransitions);
+
+  auto s2 = apps::pyswitch_ping_chain(3);
+  CheckerOptions opt2;
+  opt2.max_unique_states = 100;
+  Checker by_states(s2.config, opt2, s2.properties);
+  const CheckerResult rs = by_states.run();
+  EXPECT_FALSE(rs.exhausted);
+  EXPECT_EQ(rs.hit_limit, LimitReason::kUniqueStates);
+
+  // A run that actually exhausts reports no limit.
+  auto s3 = apps::pyswitch_ping_chain(1);
+  Checker clean(s3.config, CheckerOptions{}, s3.properties);
+  const CheckerResult rc = clean.run();
+  EXPECT_TRUE(rc.exhausted);
+  EXPECT_EQ(rc.hit_limit, LimitReason::kNone);
+}
+
+TEST(CheckerOptions, TimeLimitStopsSequentialSearch) {
+  // A wall-clock budget far below the scenario's full search time: the
+  // run must stop, report kTime, and never claim exhaustion.
+  auto s = apps::pyswitch_ping_chain(4);
+  CheckerOptions opt;
+  opt.time_limit_seconds = 0.005;
+  Checker checker(s.config, opt, s.properties);
+  const CheckerResult r = checker.run();
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_EQ(r.hit_limit, LimitReason::kTime);
+}
+
+TEST(CheckerOptions, TimeLimitStopsParallelSearch) {
+  auto s = apps::pyswitch_ping_chain(4);
+  CheckerOptions opt;
+  opt.threads = 4;
+  opt.time_limit_seconds = 0.005;
+  Checker checker(s.config, opt, s.properties);
+  const CheckerResult r = checker.run();
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_EQ(r.hit_limit, LimitReason::kTime);
+}
+
+TEST(CheckerOptions, TimeLimitStopsRandomWalks) {
+  for (const unsigned threads : {1u, 4u}) {
+    auto s = apps::pyswitch_ping_chain(3);
+    CheckerOptions opt;
+    opt.threads = threads;
+    opt.time_limit_seconds = 0.005;
+    Checker checker(s.config, opt, s.properties);
+    const CheckerResult r = checker.random_walk(/*seed=*/7,
+                                                /*walks=*/1000000,
+                                                /*max_steps=*/1000);
+    EXPECT_EQ(r.hit_limit, LimitReason::kTime) << threads;
+    EXPECT_FALSE(r.exhausted) << threads;
+  }
+}
+
 }  // namespace
 }  // namespace nicemc::mc
