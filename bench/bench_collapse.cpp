@@ -1,0 +1,180 @@
+// State-store representation benchmark: hash vs full-state vs collapsed
+// (COLLAPSE component interning) on every bundled scenario — store bytes,
+// interning dedupe, unique states and wall time per mode — with the
+// count-equivalence soundness contract enforced at runtime: all three
+// modes must report identical unique-state / quiescent-state / transition
+// counts and identical violation key sets on exhaustive runs, or the run
+// aborts loudly.
+//
+// Wall times are the minimum over `reps` runs (timing only; the counts
+// and byte totals of every run feed the soundness check and the record).
+//
+// Usage: bench_collapse [--json out.json] [reps]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+#include "util/seen_set.h"
+
+using namespace nicemc;
+using mc::violation_key_set;
+using StoreMode = util::ShardedSeenSet::Mode;
+
+namespace {
+
+const char* mode_key(StoreMode m) {
+  switch (m) {
+    case StoreMode::kHash:
+      return "hash";
+    case StoreMode::kFullState:
+      return "full_state";
+    case StoreMode::kCollapsed:
+      return "collapsed";
+  }
+  return "?";
+}
+
+mc::CheckerResult run_mode(const apps::NamedScenario& ns, StoreMode mode,
+                           int reps) {
+  mc::CheckerResult best;
+  for (int r = 0; r < reps; ++r) {
+    auto s = ns.make();
+    mc::CheckerOptions opt;
+    opt.stop_at_first_violation = false;
+    opt.state_store = mode;
+    mc::Checker checker(s.config, opt, s.properties);
+    mc::CheckerResult cr = checker.run();
+    if (r == 0 || cr.seconds < best.seconds) best = std::move(cr);
+  }
+  return best;
+}
+
+void check_equivalent(const char* scenario, const mc::CheckerResult& base,
+                      const char* mode, const mc::CheckerResult& r) {
+  if (r.unique_states != base.unique_states ||
+      r.quiescent_states != base.quiescent_states ||
+      r.transitions != base.transitions || !r.exhausted ||
+      violation_key_set(r) != violation_key_set(base)) {
+    std::fprintf(stderr,
+                 "FATAL: %s store mode %s is not count-equivalent to hash "
+                 "mode (unique %llu vs %llu, transitions %llu vs %llu, "
+                 "violations %zu vs %zu, exhausted %d)\n",
+                 scenario, mode,
+                 static_cast<unsigned long long>(r.unique_states),
+                 static_cast<unsigned long long>(base.unique_states),
+                 static_cast<unsigned long long>(r.transitions),
+                 static_cast<unsigned long long>(base.transitions),
+                 violation_key_set(r).size(), violation_key_set(base).size(),
+                 r.exhausted ? 1 : 0);
+    std::exit(1);
+  }
+}
+
+struct Row {
+  std::string name;
+  mc::CheckerResult hash, full, collapsed;
+
+  [[nodiscard]] double compression() const {
+    return collapsed.store_bytes > 0
+               ? static_cast<double>(full.store_bytes) /
+                     static_cast<double>(collapsed.store_bytes)
+               : 0.0;
+  }
+  [[nodiscard]] double time_vs_full() const {
+    return full.seconds > 0 ? collapsed.seconds / full.seconds : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  int reps = pos.size() > 0 ? std::atoi(pos[0]) : 3;
+  if (reps < 1) reps = 1;
+
+  std::vector<Row> rows;
+  std::printf("%-22s %9s %12s %12s %12s %8s %7s %7s\n", "scenario", "unique",
+              "B(hash)", "B(full)", "B(collapsed)", "dedupe", "xfull",
+              "t/full");
+  for (const apps::NamedScenario& ns : apps::bundled_scenarios()) {
+    Row row;
+    row.name = ns.name;
+    row.hash = run_mode(ns, StoreMode::kHash, reps);
+    row.full = run_mode(ns, StoreMode::kFullState, reps);
+    row.collapsed = run_mode(ns, StoreMode::kCollapsed, reps);
+    check_equivalent(ns.name.c_str(), row.hash, "full_state", row.full);
+    check_equivalent(ns.name.c_str(), row.hash, "collapsed", row.collapsed);
+    std::printf("%-22s %9llu %12llu %12llu %12llu %7.1fx %6.1fx %6.2fx\n",
+                ns.name.c_str(),
+                static_cast<unsigned long long>(row.hash.unique_states),
+                static_cast<unsigned long long>(row.hash.store_bytes),
+                static_cast<unsigned long long>(row.full.store_bytes),
+                static_cast<unsigned long long>(row.collapsed.store_bytes),
+                row.collapsed.collapse.dedupe_ratio, row.compression(),
+                row.time_vs_full());
+    rows.push_back(std::move(row));
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"collapse\",\n  \"reps\": %d,\n", reps);
+    std::fprintf(f, "  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f, "    {\n      \"name\": \"%s\",\n", r.name.c_str());
+      std::fprintf(
+          f,
+          "      \"unique_states\": %llu,\n      \"transitions\": %llu,\n"
+          "      \"violations\": %zu,\n",
+          static_cast<unsigned long long>(r.hash.unique_states),
+          static_cast<unsigned long long>(r.hash.transitions),
+          violation_key_set(r.hash).size());
+      const mc::CheckerResult* modes[3] = {&r.hash, &r.full, &r.collapsed};
+      const StoreMode kinds[3] = {StoreMode::kHash, StoreMode::kFullState,
+                                  StoreMode::kCollapsed};
+      for (int m = 0; m < 3; ++m) {
+        std::fprintf(f,
+                     "      \"%s\": {\"store_bytes\": %llu, \"seconds\": "
+                     "%.4f}%s\n",
+                     mode_key(kinds[m]),
+                     static_cast<unsigned long long>(modes[m]->store_bytes),
+                     modes[m]->seconds, ",");
+      }
+      std::fprintf(
+          f,
+          "      \"collapse\": {\"unique_blobs\": %llu, \"interned_bytes\": "
+          "%llu, \"intern_calls\": %llu, \"dedupe_ratio\": %.2f},\n",
+          static_cast<unsigned long long>(r.collapsed.collapse.unique_blobs),
+          static_cast<unsigned long long>(
+              r.collapsed.collapse.interned_bytes),
+          static_cast<unsigned long long>(r.collapsed.collapse.intern_calls),
+          r.collapsed.collapse.dedupe_ratio);
+      std::fprintf(f,
+                   "      \"compression_vs_full\": %.2f,\n"
+                   "      \"collapsed_time_vs_full\": %.3f\n    }%s\n",
+                   r.compression(), r.time_vs_full(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("benchmark record written to %s\n", json_path);
+  }
+  return 0;
+}

@@ -32,7 +32,8 @@ mc::CheckerResult run(int pings, const Config& c, std::uint64_t cap) {
   s.config.fine_interleaving = c.fine_interleaving;
   mc::CheckerOptions opt;
   opt.max_transitions = cap;
-  opt.store_full_states = c.full_store;
+  opt.state_store = c.full_store ? util::ShardedSeenSet::Mode::kFullState
+                                 : util::ShardedSeenSet::Mode::kHash;
   mc::Checker checker(s.config, opt, s.properties);
   return checker.run();
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build (Release) and run the state-store representation benchmark (hash vs
+# full-state vs COLLAPSE-interned), writing the machine-readable
+# BENCH_collapse.json at the repo root (or $1). The benchmark aborts if any
+# store mode is not count-equivalent to hash mode, so a green run is also a
+# soundness check.
+#
+# Usage: scripts/bench_collapse.sh [out.json] [reps]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_collapse.json}"
+REPS="${2:-3}"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j --target bench_collapse >/dev/null
+
+./build/bench_collapse --json "$OUT" "$REPS"
+echo "benchmark record written to $OUT"

@@ -74,7 +74,7 @@ CheckerResult Checker::random_walk(std::uint64_t seed, int walks,
 
   result.seconds = seconds_since(start);
   result.discovery = cache_.stats();
-  result.store_bytes = seen_.store_bytes();
+  core_.fill_store_stats(result);
   return result;
 }
 

@@ -28,6 +28,7 @@
 #include "mc/strategy.h"
 #include "mc/system.h"
 #include "mc/trace.h"
+#include "util/collapse.h"
 #include "util/seen_set.h"
 
 namespace nicemc::mc {
@@ -40,16 +41,19 @@ class Checker {
         options_(options),
         props_(props),
         executor_(cfg, props),
-        seen_(options.store_full_states
-                  ? util::ShardedSeenSet::Mode::kFullState
-                  : util::ShardedSeenSet::Mode::kHash,
-              shard_count(options)),
+        seen_(options.state_store, shard_count(options)),
+        collapse_(options.state_store ==
+                          util::ShardedSeenSet::Mode::kCollapsed
+                      ? std::make_unique<util::CollapseTable>(
+                            shard_count(options))
+                      : nullptr),
         reducer_(options.reduction == Reduction::kNone
                      ? nullptr
                      : std::make_unique<por::Reducer>(options.reduction,
                                                       packet_keyed(props),
                                                       shard_count(options))),
-        core_(cfg_, options_, executor_, seen_, reducer_.get()) {}
+        core_(cfg_, options_, executor_, seen_, reducer_.get(),
+              collapse_.get()) {}
 
   // core_ holds references into this object's own members, so moving or
   // copying a Checker would leave it pointing at the source.
@@ -87,6 +91,7 @@ class Checker {
   const PropertyList& props_;
   Executor executor_;
   util::ShardedSeenSet seen_;
+  std::unique_ptr<util::CollapseTable> collapse_;
   std::unique_ptr<por::Reducer> reducer_;
   SearchCore core_;
   DiscoveryCache cache_;

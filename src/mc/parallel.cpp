@@ -182,7 +182,7 @@ CheckerResult run_parallel(const SearchCore& core, unsigned threads) {
                      !(options.stop_at_first_violation &&
                        result.found_violation());
   add_discovery(result.discovery, init_cache.stats());
-  result.store_bytes = core.seen().store_bytes();
+  core.fill_store_stats(result);
   result.seconds = seconds_since(start);
   return result;
 }
@@ -307,7 +307,7 @@ CheckerResult run_random_walk_portfolio(const SearchCore& core,
   for (const DiscoveryCache& c : caches) {
     add_discovery(result.discovery, c.stats());
   }
-  result.store_bytes = core.seen().store_bytes();
+  core.fill_store_stats(result);
   result.seconds = seconds_since(start);
   return result;
 }

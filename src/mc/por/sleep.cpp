@@ -27,6 +27,7 @@ SleepStore::SleepStore(std::size_t shards) : select_(shards) {
 }
 
 SleepStore::Arrival SleepStore::arrive(const util::Hash128& h,
+                                       std::string_view identity,
                                        const SleepSet& sleep) {
   std::vector<std::uint64_t> mine;
   mine.reserve(sleep.size());
@@ -36,9 +37,11 @@ SleepStore::Arrival SleepStore::arrive(const util::Hash128& h,
 
   Shard& sh = shard_of(h);
   std::lock_guard<std::mutex> lock(sh.mu);
-  // try_emplace leaves `mine` intact when the key already exists.
-  auto [it, inserted] = sh.slept.try_emplace(h, std::move(mine));
-  if (inserted) return Arrival{.first = true, .explore = {}};
+  auto it = sh.slept.find(identity);
+  if (it == sh.slept.end()) {
+    sh.slept.emplace(std::string(identity), std::move(mine));
+    return Arrival{.first = true, .explore = {}};
+  }
 
   // Revisit: expand what every earlier arrival slept but this one does
   // not, and shrink the stored set to the intersection (an entry stays

@@ -35,8 +35,11 @@
 #define NICE_MC_POR_SLEEP_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -69,15 +72,16 @@ struct SleepEntry {
 using SleepSet = std::vector<SleepEntry>;
 
 /// Per-state sleep bookkeeping shared by all drivers, lock-striped like
-/// the seen-set (same util::ShardSelect striping). Stores, per canonical
-/// state hash, the transition hashes slept at every arrival so far (the
-/// intersection over arrivals).
+/// the seen-set (same util::ShardSelect striping). Stores, per state, the
+/// transition hashes slept at every arrival so far (the intersection over
+/// arrivals).
 ///
-/// States are matched by their 128-bit hash — also in full-state seen-set
-/// mode, where the seen-set itself keys on the serialized blob. Reduction
-/// therefore carries hash-mode's (negligible, 2^-128-scale) collision
-/// tolerance into full-state mode; keying the store on the blob is a
-/// ROADMAP follow-on.
+/// States are matched by the seen-set's *true* identity key — the packed
+/// 128-bit hash in kHash mode, the canonical blob in kFullState, the
+/// interned component-id tuple in kCollapsed — so the sleep bookkeeping
+/// is exactly as collision-proof as the store it rides on: a hash
+/// collision can never merge two states' sleep sets in the modes whose
+/// seen-set it cannot merge either.
 class SleepStore {
  public:
   /// `shards` rounded up to a power of two, clamped to [1, 1024].
@@ -91,11 +95,14 @@ class SleepStore {
     std::vector<std::uint64_t> explore;
   };
 
-  /// Record an arrival at state `h` carrying `sleep`; atomically updates
-  /// the stored slept-set to its intersection with `sleep` and returns
-  /// what the caller must expand. The first/revisit verdict is made here
-  /// (not by the seen-set) so parallel workers agree under one lock.
-  Arrival arrive(const util::Hash128& h, const SleepSet& sleep);
+  /// Record an arrival at the state identified by `identity` (the
+  /// seen-set store key; `h` only selects the shard) carrying `sleep`;
+  /// atomically updates the stored slept-set to its intersection with
+  /// `sleep` and returns what the caller must expand. The first/revisit
+  /// verdict is made here (not by the seen-set) so parallel workers agree
+  /// under one lock. `identity` is copied only on first arrival.
+  Arrival arrive(const util::Hash128& h, std::string_view identity,
+                 const SleepSet& sleep);
 
   [[nodiscard]] std::uint64_t states() const;
   void clear();
@@ -103,7 +110,15 @@ class SleepStore {
  private:
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<util::Hash128, std::vector<std::uint64_t>> slept;
+    // Heterogeneous lookup: revisits probe with a string_view and
+    // allocate nothing. Note the identity copy stored on first arrival:
+    // in kFullState mode under reduction this holds each unique state's
+    // blob a second time (the price of collision-proof sleep keying
+    // there) — kCollapsed pays ~4 bytes per component instead, which is
+    // one more reason it is the collision-proof mode of choice.
+    std::unordered_map<std::string, std::vector<std::uint64_t>,
+                       util::TransparentStringHash, std::equal_to<>>
+        slept;
   };
 
   [[nodiscard]] Shard& shard_of(const util::Hash128& h) const {

@@ -1,9 +1,11 @@
 #include "mc/search_core.h"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <regex>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "util/hash.h"
@@ -39,28 +41,93 @@ std::vector<std::string> violation_key_set(const CheckerResult& r) {
   return keys;
 }
 
+namespace {
+
+/// The 16 bytes of a Hash128 in a fixed order — hash mode's state
+/// identity key for the sleep store.
+std::array<char, 16> hash_identity(const util::Hash128& h) {
+  std::array<char, 16> out;
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<char>(h.lo >> (8 * (7 - i)));
+    out[static_cast<std::size_t>(8 + i)] =
+        static_cast<char>(h.hi >> (8 * (7 - i)));
+  }
+  return out;
+}
+
+}  // namespace
+
+SearchCore::StateKey SearchCore::state_key(const SystemState& state) const {
+  // Byte-keyed modes only (kFullState / kCollapsed). One implementation
+  // feeds both the plain remember() and the reduction path, so a future
+  // change to the key construction cannot make reduced and unreduced
+  // searches key states differently.
+  const bool canon = cfg_.canonical_flowtables;
+  StateKey k;
+  if (seen_.mode() == util::ShardedSeenSet::Mode::kFullState) {
+    // Serialize first so each changed component's bytes + hash are
+    // memoized in one pass (hash() below then reads the memoized
+    // hashes), assembling the blob pre-sized to the previous state's
+    // length. The hash only selects the shard; the blob itself is the
+    // store key, so collisions can never merge states.
+    util::Ser s;
+    s.reserve(last_blob_size_.load(std::memory_order_relaxed));
+    state.serialize(s, canon);
+    last_blob_size_.store(s.size(), std::memory_order_relaxed);
+    k.key = s.take();
+  } else {
+    // Interning memoizes each component's form hash, so the hash() for
+    // shard selection reads memos only.
+    k.key = state.collapse_key(*collapse_, canon);
+  }
+  k.hash = state.hash(canon);
+  return k;
+}
+
 bool SearchCore::remember(const SystemState& state) const {
-  if (!options_.store_full_states) {
+  if (seen_.mode() == util::ShardedSeenSet::Mode::kHash) {
     // Combined from the per-component hashes memoized on the shared
     // snapshots: only components the transition touched are re-serialized
     // (and no component bytes are retained — hash mode is Section 6's
     // computation-for-memory trade).
     return seen_.insert(state.hash(cfg_.canonical_flowtables));
   }
+  StateKey k = state_key(state);
+  return seen_.insert_key(k.hash, std::move(k.key));
+}
 
-  // Full-state mode: serialize first so each changed component's bytes +
-  // hash are memoized in one pass (hash() below then reads the memoized
-  // hashes), assemble the blob pre-sized to the previous state's length,
-  // and move (not copy) it into the store. The hash only selects the
-  // shard; the blob itself is the store key, so collisions can never
-  // merge states.
-  thread_local std::size_t last_size = 0;
-  util::Ser s;
-  s.reserve(last_size);
-  state.serialize(s, cfg_.canonical_flowtables);
-  last_size = s.size();
-  const util::Hash128 h = state.hash(cfg_.canonical_flowtables);
-  return seen_.insert_full(h, s.take());
+por::SleepStore::Arrival SearchCore::arrive_and_remember(
+    const SystemState& state, const por::SleepSet& sleep) const {
+  // One lock in the SleepStore covers both the first/revisit verdict and
+  // the sleep bookkeeping (parallel workers agree); the seen-set insert
+  // that follows keeps the storage and byte accounting in sync. The
+  // identity bytes are computed once and used for both stores, so the
+  // sleep keying is exactly as collision-proof as the seen-set mode.
+  por::SleepStore& store = reducer_->store();
+  if (seen_.mode() == util::ShardedSeenSet::Mode::kHash) {
+    const util::Hash128 h = state.hash(cfg_.canonical_flowtables);
+    const std::array<char, 16> id = hash_identity(h);
+    por::SleepStore::Arrival arr =
+        store.arrive(h, std::string_view(id.data(), id.size()), sleep);
+    seen_.insert(h);
+    return arr;
+  }
+  StateKey k = state_key(state);
+  por::SleepStore::Arrival arr = store.arrive(k.hash, k.key, sleep);
+  seen_.insert_key(k.hash, std::move(k.key));
+  return arr;
+}
+
+void SearchCore::fill_store_stats(CheckerResult& result) const {
+  result.store_bytes = seen_.store_bytes();
+  if (collapse_ != nullptr) {
+    result.store_bytes += collapse_->interned_bytes();
+    result.collapse.unique_blobs = collapse_->unique_blobs();
+    result.collapse.interned_bytes = collapse_->interned_bytes();
+    result.collapse.intern_calls = collapse_->intern_calls();
+    result.collapse.dedupe_ratio = collapse_->dedupe_ratio();
+  }
 }
 
 std::vector<SearchNode> SearchCore::init(CheckerResult& result,
@@ -69,12 +136,12 @@ std::vector<SearchNode> SearchCore::init(CheckerResult& result,
   // make_initial → local → clone into the shared_ptr).
   auto initial_sp =
       std::make_shared<const SystemState>(executor_.make_initial());
-  remember(*initial_sp);
   if (reducer_ != nullptr) {
     // Register the root arrival (empty sleep set) so later re-arrivals at
     // the initial state are pure revisits.
-    (void)reducer_->store().arrive(
-        initial_sp->hash(cfg_.canonical_flowtables), {});
+    (void)arrive_and_remember(*initial_sp, {});
+  } else {
+    remember(*initial_sp);
   }
   result.unique_states = 1;
 
@@ -165,13 +232,7 @@ void SearchCore::expand_reduced(Expansion& out, SystemState&& next,
                                 const SearchNode& node,
                                 std::shared_ptr<const PathNode> path,
                                 DiscoveryCache& cache) const {
-  // The SleepStore makes the first/revisit verdict (one lock covers both
-  // the verdict and the sleep bookkeeping, so parallel workers agree);
-  // remember() keeps the seen-set storage in sync for accounting and the
-  // full-state blobs.
-  const util::Hash128 h = next.hash(cfg_.canonical_flowtables);
-  por::SleepStore::Arrival arr = reducer_->store().arrive(h, node.sleep);
-  remember(next);
+  por::SleepStore::Arrival arr = arrive_and_remember(next, node.sleep);
   out.new_state = arr.first;
 
   if (!arr.first && arr.explore.empty()) return;  // pure revisit
@@ -280,7 +341,7 @@ CheckerResult SearchCore::run_sequential(Frontier& frontier,
     result.hit_limit = reason;
     result.seconds = seconds_since(start);
     result.discovery = cache.stats();
-    result.store_bytes = seen_.store_bytes();
+    fill_store_stats(result);
     return result;
   };
 

@@ -14,8 +14,10 @@
 #ifndef NICE_MC_SEARCH_CORE_H
 #define NICE_MC_SEARCH_CORE_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mc/discover.h"
@@ -26,6 +28,7 @@
 #include "mc/strategy.h"
 #include "mc/system.h"
 #include "mc/trace.h"
+#include "util/collapse.h"
 #include "util/seen_set.h"
 
 namespace nicemc::mc {
@@ -46,10 +49,18 @@ struct CheckerOptions {
   std::uint64_t max_unique_states{~0ULL};
   std::size_t max_depth{100000};
   bool stop_at_first_violation{true};
-  /// SPIN-like baseline: store full serialized states in the explored set
-  /// instead of 128-bit hashes (measures the memory trade-off of
-  /// Section 6's "trading computation for memory").
-  bool store_full_states{false};
+  /// Explored-state store representation (see ARCHITECTURE.md, "State
+  /// storage"):
+  ///   * kHash (default) — 16 bytes per state; Section 6's computation-
+  ///     for-memory trade, with a vanishingly small but nonzero chance of
+  ///     merging distinct states;
+  ///   * kFullState — the canonical serialized state per entry: the
+  ///     collision-proof SPIN-like ground truth, at full blob cost;
+  ///   * kCollapsed — COLLAPSE-style component interning: each distinct
+  ///     component blob is stored once in a shared util::CollapseTable
+  ///     and states are keyed by their packed component-id tuple —
+  ///     collision-proof like kFullState at a fraction of the bytes.
+  util::ShardedSeenSet::Mode state_store{util::ShardedSeenSet::Mode::kHash};
   /// Exploration order for the single-threaded search. kDfs reproduces the
   /// original checker exactly; kBfs finds shortest counterexamples first;
   /// kRandom is a seeded random-priority order. Ignored when threads > 1:
@@ -69,9 +80,10 @@ struct CheckerOptions {
   /// with the heuristic strategies (inert under NO-DELAY, whose lock-step
   /// drain defeats per-transition footprints) and with every exhaustive
   /// driver; ignored by the random-walk simulator (a walk is a single
-  /// path). Note: the reduction's per-state bookkeeping matches states by
-  /// 128-bit hash even in store_full_states mode, so it carries hash
-  /// mode's negligible collision tolerance there (see por::SleepStore).
+  /// path). The reduction's per-state bookkeeping matches states by the
+  /// store's true identity key (hash bytes / blob / id tuple), so it is
+  /// exactly as collision-proof as the configured state_store mode (see
+  /// por::SleepStore).
   Reduction reduction{Reduction::kNone};
   /// Wall-clock budget in seconds; 0 = off. Honored by the sequential,
   /// parallel and random-walk drivers; a timed-out search reports
@@ -104,9 +116,20 @@ struct CheckerResult {
   /// The limit that truncated the search, if any — so "exhausted" is
   /// never misreported on a timeout or count cap.
   LimitReason hit_limit{LimitReason::kNone};
-  /// Bytes held by the explored-state store (full-state mode measures the
-  /// serialized states; hash mode counts 16 bytes per state).
+  /// Bytes held by the explored-state store: 16 per state in hash mode,
+  /// the serialized states in full-state mode, and in collapsed mode the
+  /// id-tuple keys *plus* the shared interned-blob table (the complete
+  /// footprint of representing the explored set).
   std::uint64_t store_bytes{0};
+  /// Component-interning statistics (kCollapsed mode only; zeros
+  /// otherwise).
+  struct CollapseStats {
+    std::uint64_t unique_blobs{0};    // distinct component blobs interned
+    std::uint64_t interned_bytes{0};  // blob payload held by the table
+    std::uint64_t intern_calls{0};    // total intern requests
+    double dedupe_ratio{0.0};         // intern_calls / unique_blobs
+  };
+  CollapseStats collapse;
   std::vector<ViolationRecord> violations;
   DiscoveryStats discovery;
 
@@ -131,15 +154,18 @@ class SearchCore {
  public:
   /// `reducer` (owned by the caller, e.g. Checker) enables partial-order
   /// reduction; nullptr = expand every strategy-filtered transition (the
-  /// exact seed semantics).
+  /// exact seed semantics). `collapse` is the shared component-interning
+  /// table, required (and used) exactly when `seen` is in kCollapsed mode.
   SearchCore(const SystemConfig& cfg, const CheckerOptions& options,
              const Executor& executor, util::ShardedSeenSet& seen,
-             por::Reducer* reducer = nullptr)
+             por::Reducer* reducer = nullptr,
+             util::CollapseTable* collapse = nullptr)
       : cfg_(cfg),
         options_(options),
         executor_(executor),
         seen_(seen),
-        reducer_(reducer) {}
+        reducer_(reducer),
+        collapse_(collapse) {}
 
   /// Result of expanding one SearchNode (applying its transition).
   struct Expansion {
@@ -181,6 +207,11 @@ class SearchCore {
   /// Returns true when the state was not seen before.
   bool remember(const SystemState& state) const;
 
+  /// Fill `result` with the store's memory footprint and (in collapsed
+  /// mode) the interning counters — one implementation shared by the
+  /// sequential, parallel, and random-walk drivers.
+  void fill_store_stats(CheckerResult& result) const;
+
   [[nodiscard]] const CheckerOptions& options() const noexcept {
     return options_;
   }
@@ -189,6 +220,9 @@ class SearchCore {
     return executor_;
   }
   [[nodiscard]] util::ShardedSeenSet& seen() const noexcept { return seen_; }
+  [[nodiscard]] util::CollapseTable* collapse() const noexcept {
+    return collapse_;
+  }
 
  private:
   /// Reduction-mode tail of expand(): arrival bookkeeping in the
@@ -197,6 +231,22 @@ class SearchCore {
                       const SearchNode& node,
                       std::shared_ptr<const PathNode> path,
                       DiscoveryCache& cache) const;
+
+  /// Reduction mode: register the arrival in the SleepStore under the
+  /// store's true state identity (hash bytes / blob / id tuple, matching
+  /// the seen-set mode) and keep the seen-set storage in sync. The
+  /// identity bytes are computed once and shared by both stores.
+  por::SleepStore::Arrival arrive_and_remember(
+      const SystemState& state, const por::SleepSet& sleep) const;
+
+  /// A state's identity in the byte-keyed store modes: the store key
+  /// (canonical blob in kFullState, packed component-id tuple in
+  /// kCollapsed) plus the 128-bit hash that selects the shard.
+  struct StateKey {
+    util::Hash128 hash;
+    std::string key;
+  };
+  StateKey state_key(const SystemState& state) const;
 
   /// Build the sleep-filtered, sleep-carrying children of a state.
   /// `explore_only` selects the revisit re-expansion set (nullptr = first
@@ -213,6 +263,13 @@ class SearchCore {
   const Executor& executor_;
   util::ShardedSeenSet& seen_;
   por::Reducer* reducer_;
+  util::CollapseTable* collapse_;
+  /// Pre-sizing hint for full-state blobs: the previous remembered state's
+  /// serialized length. Per-core (a core serves one search), so concurrent
+  /// searches in one process never cross-pollinate their hints; relaxed
+  /// atomic because parallel workers of the same search update it
+  /// concurrently and any of their values is a fine hint.
+  mutable std::atomic<std::size_t> last_blob_size_{0};
 };
 
 }  // namespace nicemc::mc

@@ -33,6 +33,29 @@ void SystemState::serialize(util::Ser& s, bool canonical) const {
   if (!canonical) s.put_u32(next_copy);
 }
 
+std::string SystemState::collapse_key(util::CollapseTable& table,
+                                      bool canonical) const {
+  // Component ids in serialization order, prefixed by one packed shape
+  // word (the three component counts): id-tuple equality ⇔ canonical-
+  // bytes equality, because id equality ⇔ blob equality (CollapseTable's
+  // interning contract), the order fixes which id sits at which position,
+  // and the shape word disambiguates the variable-length sections (counts
+  // are fixed within one search — the topology never changes — but the
+  // key stays self-describing at 4 bytes instead of three count words).
+  util::Ser s;
+  s.reserve(4 * (switches_.size() + hosts_.size() + props_.size() + 4));
+  s.put_u32(static_cast<std::uint32_t>((switches_.size() << 20) |
+                                       (hosts_.size() << 10) |
+                                       props_.size()));
+  s.put_u32(ctrl_.form_id(canonical, table));
+  for (const auto& sw : switches_) s.put_u32(sw.form_id(canonical, table));
+  for (const auto& h : hosts_) s.put_u32(h.form_id(canonical, table));
+  for (const auto& p : props_) s.put_u32(p.form_id(canonical, table));
+  s.put_u32(next_uid);
+  if (!canonical) s.put_u32(next_copy);
+  return s.take();
+}
+
 util::Hash128 SystemState::hash(bool canonical) const {
   // Combine the memoized component hashes in serialization order. Two
   // states have equal combined hashes iff their canonical serializations

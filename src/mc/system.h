@@ -14,9 +14,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ctrl/app.h"
+#include "util/collapse.h"
 #include "ctrl/controller.h"
 #include "hosts/host.h"
 #include "mc/property.h"
@@ -156,6 +158,18 @@ struct SystemState {
   /// component in place, but assembled from the memoized per-component
   /// forms with bulk appends.
   void serialize(util::Ser& s, bool canonical_tables) const;
+
+  /// COLLAPSE-mode state key: intern every component's canonical form in
+  /// `table` (via Snap::form_id — one serialize+intern pass, no bytes
+  /// pinned on the snapshots) and pack the resulting component ids, the
+  /// component counts and the trailing counters into a fixed-layout byte
+  /// string. The layout mirrors serialize(), so two states have equal id
+  /// tuples exactly when their canonical serializations are byte-identical
+  /// — a collision-proof state key at ~4 bytes per component. Memoizes
+  /// each component's form hash as a side effect, making a following
+  /// hash() call free.
+  [[nodiscard]] std::string collapse_key(util::CollapseTable& table,
+                                         bool canonical_tables) const;
 
   /// 128-bit state hash combined from the memoized per-component hashes —
   /// only components mutated since the parent state are re-serialized.

@@ -241,10 +241,13 @@ std::size_t Switch::serialized_size_hint() const {
 }
 
 void Switch::serialize(util::Ser& s, bool canonical) const {
-  s.put_tag('W');
-  s.put_u32(id);
-  table.serialize(s, canonical);
+  std::size_t bounds[kSerializeParts + 1];
+  serialize_parts(s, canonical, bounds);
+}
 
+void Switch::serialize_parts(util::Ser& s, bool canonical,
+                             std::size_t* bounds) const {
+  const std::size_t base = s.size();
   const std::map<std::uint32_t, std::uint32_t> rename =
       canonical ? canonical_buffer_ids()
                 : std::map<std::uint32_t, std::uint32_t>{};
@@ -254,6 +257,14 @@ void Switch::serialize(util::Ser& s, bool canonical) const {
     return it == rename.end() ? bid : it->second;
   };
 
+  // part 0: identity + flow table
+  bounds[0] = s.size() - base;
+  s.put_tag('W');
+  s.put_u32(id);
+  table.serialize(s, canonical);
+
+  // part 1: ingress packet channels
+  bounds[1] = s.size() - base;
   s.put_u32(static_cast<std::uint32_t>(in_ports.size()));
   for (const auto& [port, chan] : in_ports) {
     s.put_u32(port);
@@ -261,6 +272,9 @@ void Switch::serialize(util::Ser& s, bool canonical) const {
       p.serialize(ser, /*include_copy_id=*/!canonical);
     });
   }
+
+  // part 2: controller → switch channel
+  bounds[2] = s.size() - base;
   of_in.serialize(s, [&](util::Ser& ser, const ToSwitch& m) {
     if (canonical) {
       if (const auto* po = std::get_if<PacketOut>(&m)) {
@@ -273,6 +287,9 @@ void Switch::serialize(util::Ser& s, bool canonical) const {
     }
     serialize_message(ser, m);
   });
+
+  // part 3: switch → controller channel
+  bounds[3] = s.size() - base;
   of_out.serialize(s, [&](util::Ser& ser, const ToController& m) {
     if (canonical) {
       if (const auto* pin = std::get_if<PacketIn>(&m)) {
@@ -285,6 +302,9 @@ void Switch::serialize(util::Ser& s, bool canonical) const {
     }
     serialize_message(ser, m);
   });
+
+  // part 4: awaiting-controller buffer
+  bounds[4] = s.size() - base;
   s.put_u32(static_cast<std::uint32_t>(buffer.size()));
   if (canonical) {
     // Iterate in renamed (content) order so the bytes are canonical.
@@ -303,11 +323,15 @@ void Switch::serialize(util::Ser& s, bool canonical) const {
     }
     s.put_u32(next_buffer_id);
   }
+
+  // part 5: port statistics
+  bounds[5] = s.size() - base;
   s.put_u32(static_cast<std::uint32_t>(port_stats.size()));
   for (const auto& [port, st] : port_stats) {
     s.put_u32(port);
     st.serialize(s);
   }
+  bounds[6] = s.size() - base;
 }
 
 }  // namespace nicemc::of

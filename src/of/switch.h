@@ -134,6 +134,22 @@ struct Switch {
   /// NO-SWITCH-REDUCTION baseline hashes.
   void serialize(util::Ser& s, bool canonical = true) const;
 
+  /// Two-level COLLAPSE support: the serialization splits into
+  /// kSerializeParts contiguous sections whose concatenation (in part
+  /// order) is byte-identical to serialize(). The flow table, each
+  /// channel direction, the ingress queues, the buffer and the port stats
+  /// vary semi-independently during a search, so interning them
+  /// separately turns the product of their variants into a sum
+  /// (util::Snap::form_id interns each part, then the part-id tuple).
+  /// Each part is a deterministic function of the whole switch (the
+  /// message/buffer sections consult the canonical buffer-id renaming).
+  /// serialize_parts emits all sections in one pass and records the
+  /// kSerializeParts + 1 boundary offsets (relative to s's size on entry)
+  /// in `bounds`.
+  static constexpr std::size_t kSerializeParts = 6;
+  void serialize_parts(util::Ser& s, bool canonical,
+                       std::size_t* bounds) const;
+
   /// Rough upper estimate of serialize()'s output size — lets the state
   /// pipeline pre-size per-component buffers (see util::Snap::form).
   [[nodiscard]] std::size_t serialized_size_hint() const;

@@ -1,0 +1,76 @@
+#include "util/collapse.h"
+
+namespace nicemc::util {
+
+namespace {
+
+// Epoch values are drawn from one process-wide monotonic counter, so a
+// (table address, epoch) pair can never be recycled: a new table at a
+// freed table's address still gets a fresh epoch, and Snap::form_id
+// memos keyed on the pair can never serve an id from a dead table.
+std::atomic<std::uint64_t> g_epoch_source{1};
+
+}  // namespace
+
+CollapseTable::CollapseTable(std::size_t shards)
+    : select_(shards),
+      epoch_(g_epoch_source.fetch_add(1, std::memory_order_relaxed)) {
+  shards_.reserve(select_.count());
+  for (std::size_t i = 0; i < select_.count(); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::uint32_t CollapseTable::intern(std::string_view bytes) {
+  Shard& s = shard_of(bytes);
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.calls;  // under the shard lock: no shared cache line on the hot path
+  const auto it = s.ids.find(bytes);
+  if (it != s.ids.end()) return it->second;
+  // Equal bytes always hash to the same shard, so allocating under this
+  // shard's lock keeps one id per blob; the shared counter keeps ids
+  // dense across shards.
+  const std::uint32_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  s.ids.emplace(std::string(bytes), id);
+  s.bytes += bytes.size();
+  return id;
+}
+
+std::uint64_t CollapseTable::interned_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->bytes;
+  }
+  return total;
+}
+
+std::uint64_t CollapseTable::intern_calls() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->calls;
+  }
+  return total;
+}
+
+double CollapseTable::dedupe_ratio() const {
+  const std::uint64_t blobs = unique_blobs();
+  return blobs > 0 ? static_cast<double>(intern_calls()) /
+                         static_cast<double>(blobs)
+                   : 0.0;
+}
+
+void CollapseTable::clear() {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->ids.clear();
+    s->bytes = 0;
+    s->calls = 0;
+  }
+  next_id_.store(0, std::memory_order_relaxed);
+  epoch_.store(g_epoch_source.fetch_add(1, std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+}  // namespace nicemc::util

@@ -13,6 +13,7 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <string_view>
 
 namespace nicemc::util {
 
@@ -61,6 +62,17 @@ constexpr Hash128 hash128_combine(const Hash128& seed,
   return Hash128{hash_combine(seed.lo, v),
                  hash_combine(seed.hi, v + 0x9e3779b97f4a7c15ULL)};
 }
+
+/// Transparent hasher for unordered containers keyed by std::string: lets
+/// lookups probe with a string_view without materializing a std::string
+/// (pair with std::equal_to<> as KeyEqual). Used by the byte-keyed
+/// lock-striped stores (CollapseTable, por::SleepStore).
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// Deterministic, seedable PRNG (splitmix64). Used for random-walk search;
 /// never std::rand, so runs are reproducible from the seed.

@@ -18,10 +18,10 @@ bool ShardedSeenSet::insert(const Hash128& h) {
   return inserted;
 }
 
-bool ShardedSeenSet::insert_full(const Hash128& h, std::string blob) {
+bool ShardedSeenSet::insert_key(const Hash128& h, std::string key) {
   Shard& s = shard_of(h);
   std::lock_guard<std::mutex> lock(s.mu);
-  const auto [it, inserted] = s.blobs.insert(std::move(blob));
+  const auto [it, inserted] = s.keys.insert(std::move(key));
   if (inserted) s.bytes += it->size();
   return inserted;
 }
@@ -30,7 +30,7 @@ std::uint64_t ShardedSeenSet::size() const {
   std::uint64_t total = 0;
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lock(s->mu);
-    total += s->hashes.size() + s->blobs.size();
+    total += s->hashes.size() + s->keys.size();
   }
   return total;
 }
@@ -48,7 +48,7 @@ void ShardedSeenSet::clear() {
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lock(s->mu);
     s->hashes.clear();
-    s->blobs.clear();
+    s->keys.clear();
     s->bytes = 0;
   }
 }

@@ -4,12 +4,18 @@
 // unordered_set serializes every worker on one lock, so the store is split
 // into N lock-striped shards selected by the top bits of the state's
 // Hash128 — concurrent inserts of different states almost never contend.
-// Two modes mirror the paper's Section 6 trade-off:
+// Three modes span the memory/soundness trade-off (paper Section 6 +
+// SPIN's COLLAPSE):
 //   * kHash      — store 16-byte hashes (NICE's "trading computation for
-//                  memory");
+//                  memory"); a vanishingly small but nonzero chance of
+//                  merging distinct states;
 //   * kFullState — store the canonical serialized state bytes (the
 //                  SPIN-like baseline), keyed by the full blob so hash
-//                  collisions can never merge distinct states.
+//                  collisions can never merge distinct states;
+//   * kCollapsed — store the packed tuple of component ids interned in a
+//                  util::CollapseTable: collision-proof like kFullState
+//                  (id equality ⇔ blob equality by construction) at a
+//                  fraction of the bytes.
 #ifndef NICE_UTIL_SEEN_SET_H
 #define NICE_UTIL_SEEN_SET_H
 
@@ -55,7 +61,7 @@ class ShardSelect {
 
 class ShardedSeenSet {
  public:
-  enum class Mode : std::uint8_t { kHash, kFullState };
+  enum class Mode : std::uint8_t { kHash, kFullState, kCollapsed };
 
   /// `shards` is rounded up to a power of two (so shard selection is a
   /// shift of the hash's top bits) and clamped to [1, 1024].
@@ -64,17 +70,22 @@ class ShardedSeenSet {
   /// Hash mode: remember `h`. Returns true when it was not seen before.
   bool insert(const Hash128& h);
 
-  /// Full-state mode: remember the serialized state `blob`; `h` (any
-  /// deterministic hash of the state — callers pass the combined
-  /// per-component hash, NOT necessarily hash128(blob)) only selects the
-  /// shard; the blob itself is the key. Returns true when new.
-  bool insert_full(const Hash128& h, std::string blob);
+  /// Full-state / collapsed modes: remember the state's identity key —
+  /// the canonical serialized blob (kFullState) or the packed tuple of
+  /// interned component ids (kCollapsed). `h` (any deterministic hash of
+  /// the state — callers pass the combined per-component hash, NOT
+  /// necessarily hash128(key)) only selects the shard; the key itself is
+  /// the store key, so hash collisions can never merge distinct states.
+  /// Returns true when new.
+  bool insert_key(const Hash128& h, std::string key);
 
   /// Unique entries across all shards.
   [[nodiscard]] std::uint64_t size() const;
 
   /// Bytes held by the store: sizeof(Hash128) per entry in hash mode, the
-  /// serialized state bytes in full-state mode.
+  /// key bytes (serialized state / id tuple) otherwise. Collapsed mode's
+  /// total footprint is this plus the shared CollapseTable's
+  /// interned_bytes() — CheckerResult::store_bytes reports the sum.
   [[nodiscard]] std::uint64_t store_bytes() const;
 
   [[nodiscard]] Mode mode() const noexcept { return mode_; }
@@ -88,7 +99,7 @@ class ShardedSeenSet {
   struct Shard {
     mutable std::mutex mu;
     std::unordered_set<Hash128> hashes;
-    std::unordered_set<std::string> blobs;
+    std::unordered_set<std::string> keys;  // blobs or id tuples, by mode
     std::uint64_t bytes{0};
   };
 

@@ -21,14 +21,19 @@
 #ifndef NICE_UTIL_SNAP_H
 #define NICE_UTIL_SNAP_H
 
+#include <concepts>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "util/collapse.h"
 #include "util/hash.h"
 #include "util/ser.h"
 
@@ -120,6 +125,80 @@ class Snap {
     return *slot;
   }
 
+  /// Intern the component's serialization in `table` (COLLAPSE mode) and
+  /// return the assigned blob id, memoized per (table, form) on the shared
+  /// snapshot. Serializes and interns in one pass: like form_hash(), the
+  /// bytes go through a per-thread scratch buffer and are never pinned on
+  /// the snapshot — a collapsed-mode search retains one copy of each
+  /// *distinct* blob in the table, not one per live state. The component's
+  /// form hash is memoized as a side effect, so a SystemState::hash() that
+  /// follows a collapse is free.
+  ///
+  /// Components whose sections vary semi-independently (e.g. of::Switch:
+  /// flow table × queues × buffer) expose `kSerializeParts` +
+  /// `serialize_parts(Ser&, canonical, bounds)` and get two-level
+  /// COLLAPSE: each section is interned separately and the component's id
+  /// is the id of its packed part-id tuple — the table then stores the
+  /// sum of the per-part variants, not their product. Soundness is
+  /// unchanged: the parts' concatenation is byte-identical to
+  /// serialize(), every part is length-prefixed/tag-structured
+  /// (prefix-unambiguous), and one scheme is used per type, so id
+  /// equality ⇔ component-bytes equality still holds.
+  [[nodiscard]] std::uint32_t form_id(bool canonical,
+                                      CollapseTable& table) const {
+    Node& n = *node_;
+    std::lock_guard<std::mutex> lock(n.mu);
+    const int i = canonical ? 1 : 0;
+    if (n.id_table[i] == &table && n.id_epoch[i] == table.epoch()) {
+      return n.id[i];
+    }
+    std::uint32_t id;
+    if constexpr (requires(const T& t, Ser& out, std::size_t* b) {
+                    { T::kSerializeParts } -> std::convertible_to<std::size_t>;
+                    t.serialize_parts(out, canonical, b);
+                  }) {
+      thread_local Ser scratch;  // clear() keeps capacity across calls
+      scratch.clear();
+      if constexpr (requires(const T& t) { t.serialized_size_hint(); }) {
+        scratch.reserve(n.value.serialized_size_hint());
+      }
+      // Serialize every part into one buffer (their concatenation is the
+      // component's canonical serialization — memoize its hash), then
+      // intern each slice and the packed part-id tuple.
+      std::size_t bounds[T::kSerializeParts + 1];
+      n.value.serialize_parts(scratch, canonical, bounds);
+      if (!n.hash_only[i]) n.hash_only[i] = scratch.hash();
+      const auto bytes = scratch.bytes();
+      char tuple[4 * T::kSerializeParts];
+      for (std::size_t p = 0; p < T::kSerializeParts; ++p) {
+        const auto slice = bytes.subspan(bounds[p], bounds[p + 1] - bounds[p]);
+        const std::uint32_t pid = table.intern(
+            std::string_view(reinterpret_cast<const char*>(slice.data()),
+                             slice.size()));
+        tuple[4 * p] = static_cast<char>(pid >> 24);
+        tuple[4 * p + 1] = static_cast<char>(pid >> 16);
+        tuple[4 * p + 2] = static_cast<char>(pid >> 8);
+        tuple[4 * p + 3] = static_cast<char>(pid);
+      }
+      id = table.intern(std::string_view(tuple, sizeof(tuple)));
+    } else if (n.form[i]) {
+      id = table.intern(n.form[i]->bytes);
+    } else {
+      thread_local Ser scratch;  // clear() keeps capacity across calls
+      scratch.clear();
+      serialize_value(n, scratch, canonical);
+      if (!n.hash_only[i]) n.hash_only[i] = scratch.hash();
+      const auto bytes = scratch.bytes();
+      id = table.intern(
+          std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                           bytes.size()));
+    }
+    n.id_table[i] = &table;
+    n.id_epoch[i] = table.epoch();
+    n.id[i] = id;
+    return id;
+  }
+
   /// Memoized hash of an arbitrary projection of the component (e.g. the
   /// controller's app-only hash used as the discovery-cache key). The
   /// caller must pass the same projection on every call for a given T.
@@ -138,6 +217,12 @@ class Snap {
     mutable std::optional<CanonForm> form[2];   // [raw, canonical]
     mutable std::optional<Hash128> hash_only[2];  // hash without the bytes
     mutable std::optional<Hash128> aux;
+    // Interned blob id per form, valid only for the (table, epoch) it was
+    // interned in: differential runs intern one snapshot in several
+    // tables, and a clear()ed table restarts its id space.
+    mutable const CollapseTable* id_table[2]{nullptr, nullptr};
+    mutable std::uint64_t id_epoch[2]{0, 0};
+    mutable std::uint32_t id[2]{0, 0};
 
     Node() = default;
     explicit Node(const T& v) : value(v) {}
@@ -152,6 +237,8 @@ class Snap {
       hash_only[0].reset();
       hash_only[1].reset();
       aux.reset();
+      id_table[0] = nullptr;
+      id_table[1] = nullptr;
     }
   };
 

@@ -72,22 +72,27 @@ TEST(Checker, TransitionLimitTruncatesSearch) {
 }
 
 TEST(Checker, FullStateStoreCountsSameUniqueStates) {
-  auto hash_mode = []() {
-    auto s = apps::pyswitch_ping_chain(2);
-    Checker c(s.config, CheckerOptions{}, s.properties);
-    return c.run();
-  }();
-  auto full_mode = []() {
+  auto run_mode = [](util::ShardedSeenSet::Mode mode) {
     auto s = apps::pyswitch_ping_chain(2);
     CheckerOptions opt;
-    opt.store_full_states = true;
+    opt.state_store = mode;
     Checker c(s.config, opt, s.properties);
     return c.run();
-  }();
+  };
+  const auto hash_mode = run_mode(util::ShardedSeenSet::Mode::kHash);
+  const auto full_mode = run_mode(util::ShardedSeenSet::Mode::kFullState);
+  const auto collapsed = run_mode(util::ShardedSeenSet::Mode::kCollapsed);
   EXPECT_EQ(hash_mode.unique_states, full_mode.unique_states);
   EXPECT_EQ(hash_mode.transitions, full_mode.transitions);
-  // Full states dwarf 16-byte hashes (the SPIN-memory effect, Section 7).
+  EXPECT_EQ(hash_mode.unique_states, collapsed.unique_states);
+  EXPECT_EQ(hash_mode.transitions, collapsed.transitions);
+  // Full states dwarf 16-byte hashes (the SPIN-memory effect, Section 7);
+  // interning component blobs collapses that gap while staying
+  // collision-proof.
   EXPECT_GT(full_mode.store_bytes, 10 * hash_mode.store_bytes);
+  EXPECT_LT(collapsed.store_bytes, full_mode.store_bytes);
+  EXPECT_GT(collapsed.collapse.unique_blobs, 0u);
+  EXPECT_GE(collapsed.collapse.dedupe_ratio, 1.0);
 }
 
 TEST(Checker, RandomWalkTerminatesAndCounts) {

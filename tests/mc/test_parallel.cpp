@@ -260,13 +260,30 @@ TEST(ParallelSearch, RandomWalkPortfolioFindsKnownBug) {
 TEST(ParallelSearch, ParallelFullStateStoreCountEquivalent) {
   CheckerOptions base;
   base.stop_at_first_violation = false;
-  base.store_full_states = true;
+  base.state_store = util::ShardedSeenSet::Mode::kFullState;
   const CheckerResult seq = run_with(apps::pyswitch_ping_chain(2), base);
   CheckerOptions opt = base;
   opt.threads = 4;
   const CheckerResult par = run_with(apps::pyswitch_ping_chain(2), opt);
   EXPECT_EQ(par.unique_states, seq.unique_states);
   EXPECT_EQ(par.store_bytes, seq.store_bytes);
+}
+
+TEST(ParallelSearch, ParallelCollapsedStoreCountEquivalent) {
+  // The interning path is the one with real cross-thread sharing (the
+  // CollapseTable and the per-snapshot id memos); the parallel run must
+  // land on the identical explored set and the identical id-tuple bytes.
+  CheckerOptions base;
+  base.stop_at_first_violation = false;
+  base.state_store = util::ShardedSeenSet::Mode::kCollapsed;
+  const CheckerResult seq = run_with(apps::pyswitch_ping_chain(2), base);
+  CheckerOptions opt = base;
+  opt.threads = 4;
+  const CheckerResult par = run_with(apps::pyswitch_ping_chain(2), opt);
+  EXPECT_EQ(par.unique_states, seq.unique_states);
+  EXPECT_EQ(par.store_bytes, seq.store_bytes);
+  EXPECT_EQ(par.collapse.unique_blobs, seq.collapse.unique_blobs);
+  EXPECT_EQ(par.collapse.interned_bytes, seq.collapse.interned_bytes);
 }
 
 TEST(ParallelSearch, ParallelRespectsTransitionLimitApproximately) {

@@ -193,12 +193,13 @@ TEST(Por, ReductionComposesWithFlowIr) {
 TEST(Por, SleepStoreArrivalSemantics) {
   por::SleepStore store(4);
   const util::Hash128 h{1, 2};
+  const std::string id = "state-identity";
   por::Footprint fp;
 
   por::SleepSet z1;
   z1.push_back(por::SleepEntry{10, fp});
   z1.push_back(por::SleepEntry{20, fp});
-  const auto first = store.arrive(h, z1);
+  const auto first = store.arrive(h, id, z1);
   EXPECT_TRUE(first.first);
   EXPECT_TRUE(first.explore.empty());
 
@@ -206,19 +207,43 @@ TEST(Por, SleepStoreArrivalSemantics) {
   // and the stored set shrinks to the intersection.
   por::SleepSet z2;
   z2.push_back(por::SleepEntry{20, fp});
-  const auto second = store.arrive(h, z2);
+  const auto second = store.arrive(h, id, z2);
   EXPECT_FALSE(second.first);
   EXPECT_EQ(second.explore, (std::vector<std::uint64_t>{10}));
 
   // 10 is no longer stored-slept; arriving without it re-expands nothing.
-  const auto third = store.arrive(h, {});
+  const auto third = store.arrive(h, id, {});
   EXPECT_FALSE(third.first);
   EXPECT_EQ(third.explore, (std::vector<std::uint64_t>{20}));
-  const auto fourth = store.arrive(h, {});
+  const auto fourth = store.arrive(h, id, {});
   EXPECT_FALSE(fourth.first);
   EXPECT_TRUE(fourth.explore.empty());
 
   EXPECT_EQ(store.states(), 1u);
+}
+
+TEST(Por, SleepStoreSurvivesShardHashCollisions) {
+  // Two distinct states whose 128-bit hashes collide must keep separate
+  // sleep sets: the store keys on the seen-set's true identity (blob or
+  // id tuple), the hash only selects the shard.
+  por::SleepStore store(4);
+  const util::Hash128 h{7, 7};  // identical for both states
+  por::Footprint fp;
+
+  por::SleepSet z;
+  z.push_back(por::SleepEntry{10, fp});
+  EXPECT_TRUE(store.arrive(h, "state-a", z).first);
+  // A different state colliding on the hash is a fresh first arrival, and
+  // its empty sleep set must not dig into state-a's bookkeeping.
+  const auto other = store.arrive(h, "state-b", {});
+  EXPECT_TRUE(other.first);
+  EXPECT_TRUE(other.explore.empty());
+  EXPECT_EQ(store.states(), 2u);
+
+  // state-a's stored sleep set survived the collision untouched.
+  const auto revisit = store.arrive(h, "state-a", {});
+  EXPECT_FALSE(revisit.first);
+  EXPECT_EQ(revisit.explore, (std::vector<std::uint64_t>{10}));
 }
 
 }  // namespace

@@ -1,0 +1,159 @@
+// CollapseTable: the interning contract (id equality ⇔ blob equality),
+// dense id allocation, byte/dedupe accounting, concurrent interning, and
+// the Snap::form_id memoization that feeds it.
+#include "util/collapse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/ser.h"
+#include "util/snap.h"
+
+namespace nicemc::util {
+namespace {
+
+TEST(CollapseTable, InterningContractIdEqualityIffBlobEquality) {
+  CollapseTable table(4);
+  const auto a1 = table.intern("blob-a");
+  const auto b = table.intern("blob-b");
+  const auto a2 = table.intern("blob-a");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(table.unique_blobs(), 2u);
+}
+
+TEST(CollapseTable, IdsAreDense) {
+  CollapseTable table(8);
+  std::set<std::uint32_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.insert(table.intern("blob-" + std::to_string(i)));
+  }
+  EXPECT_EQ(ids.size(), 100u);
+  EXPECT_EQ(*ids.begin(), 0u);
+  EXPECT_EQ(*ids.rbegin(), 99u);
+}
+
+TEST(CollapseTable, ByteAndDedupeAccounting) {
+  CollapseTable table(2);
+  table.intern("aaaa");
+  table.intern("bb");
+  table.intern("aaaa");
+  table.intern("aaaa");
+  EXPECT_EQ(table.interned_bytes(), 6u);  // one copy per distinct blob
+  EXPECT_EQ(table.intern_calls(), 4u);
+  EXPECT_DOUBLE_EQ(table.dedupe_ratio(), 2.0);
+  table.clear();
+  EXPECT_EQ(table.unique_blobs(), 0u);
+  EXPECT_EQ(table.interned_bytes(), 0u);
+}
+
+TEST(CollapseTable, ConcurrentInterningIsStableAndExact) {
+  // 4 workers intern overlapping blob sets; every worker must observe the
+  // same id for the same bytes and the table must hold each blob once.
+  CollapseTable table(16);
+  constexpr int kBlobs = 2000;
+  constexpr unsigned kWorkers = 4;
+  std::vector<std::vector<std::uint32_t>> ids(
+      kWorkers, std::vector<std::uint32_t>(kBlobs));
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&table, &ids, w] {
+      for (int i = 0; i < kBlobs; ++i) {
+        const std::string blob = "blob-" + std::to_string(i);
+        ids[w][static_cast<std::size_t>(i)] = table.intern(blob);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(table.unique_blobs(), static_cast<std::uint64_t>(kBlobs));
+  for (unsigned w = 1; w < kWorkers; ++w) EXPECT_EQ(ids[w], ids[0]);
+  std::set<std::uint32_t> distinct(ids[0].begin(), ids[0].end());
+  EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kBlobs));
+}
+
+// A minimal serializable component for Snap<T> tests.
+struct Comp {
+  std::uint64_t v{0};
+  void serialize(Ser& s) const { s.put_u64(v); }
+};
+
+TEST(SnapFormId, MemoizesPerTableAndInvalidatesOnMut) {
+  CollapseTable table(2);
+  Snap<Comp> a(Comp{7});
+  const auto id1 = a.form_id(true, table);
+  // Second call is a memo hit: no new intern request reaches the table.
+  const auto calls_after_first = table.intern_calls();
+  const auto id2 = a.form_id(true, table);
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(table.intern_calls(), calls_after_first);
+
+  // A copy shares the snapshot and its memoized id.
+  Snap<Comp> b = a;
+  EXPECT_EQ(b.form_id(true, table), id1);
+  EXPECT_EQ(table.intern_calls(), calls_after_first);
+
+  // Mutation invalidates the memo; an equal value re-interns to the SAME
+  // id (blob equality), a different value gets a fresh id.
+  b.mut().v = 7;
+  EXPECT_EQ(b.form_id(true, table), id1);
+  b.mut().v = 8;
+  EXPECT_NE(b.form_id(true, table), id1);
+  // The original snapshot is untouched.
+  EXPECT_EQ(a.form_id(true, table), id1);
+}
+
+TEST(SnapFormId, DistinctTablesGetDistinctMemos) {
+  // Differential runs intern one snapshot in several tables; the memo is
+  // per-table, so switching tables must re-intern rather than reuse a
+  // stale id.
+  CollapseTable t1(1);
+  CollapseTable t2(1);
+  t2.intern("occupy-id-0");  // offset t2's id space
+  Snap<Comp> a(Comp{7});
+  const auto id1 = a.form_id(true, t1);
+  const auto id2 = a.form_id(true, t2);
+  EXPECT_EQ(id1, 0u);
+  EXPECT_EQ(id2, 1u);
+  // Returning to t1 re-interns there and finds the same blob → same id.
+  EXPECT_EQ(a.form_id(true, t1), id1);
+}
+
+TEST(SnapFormId, ClearedTableInvalidatesMemoizedIds) {
+  // clear() restarts the id space in a new epoch; a snapshot that
+  // memoized an id against the old epoch must re-intern, not serve the
+  // stale id for bytes the new epoch assigned to someone else.
+  CollapseTable table(2);
+  Snap<Comp> a(Comp{7});
+  EXPECT_EQ(a.form_id(true, table), 0u);
+  table.clear();
+  table.intern("usurper-of-id-0");
+  EXPECT_EQ(a.form_id(true, table), 1u);
+  // The re-interned id is memoized against the new epoch.
+  const auto calls = table.intern_calls();
+  EXPECT_EQ(a.form_id(true, table), 1u);
+  EXPECT_EQ(table.intern_calls(), calls);
+}
+
+TEST(SnapFormId, DoesNotPinBytesButReusesMemoizedForm) {
+  // form_id after form() must intern the already-memoized bytes (no
+  // re-serialization), and agree with the id of an identical component
+  // interned without bytes pinned.
+  CollapseTable table(2);
+  Snap<Comp> with_form(Comp{42});
+  (void)with_form.form(true);  // memoize bytes + hash
+  Snap<Comp> without_form(Comp{42});
+  EXPECT_EQ(with_form.form_id(true, table),
+            without_form.form_id(true, table));
+  EXPECT_EQ(table.unique_blobs(), 1u);
+}
+
+}  // namespace
+}  // namespace nicemc::util
