@@ -1,9 +1,12 @@
-// Partial-order-reduction benchmark: transitions explored with and
-// without DPOR (sleep sets / sleep + persistent scheduling) on every
-// bundled scenario, plus the soundness contract enforced at runtime —
-// each reduced run must report the identical violation set and the
-// identical unique-state count as the unreduced search, with fewer (or
-// equal) transitions. The run aborts loudly on any mismatch.
+// Partial-order-reduction benchmark: transitions explored without DPOR
+// and under each reducing mode (sleep sets / sleep + persistent
+// scheduling / Source-DPOR with wakeup trees) on every bundled scenario,
+// plus the soundness contract enforced at runtime — each reduced run
+// must report the identical violation set and the identical unique-state
+// count as the unreduced search, with fewer (or equal) transitions — and
+// the Source-DPOR gate: kSourceDpor must never explore more transitions
+// than kSleepPersistent. The run aborts loudly on any mismatch, so a
+// successful run doubles as a check (the CI bench-por job relies on it).
 //
 // Usage: bench_por [--json out.json]
 #include <cstdio>
@@ -50,7 +53,7 @@ void check_sound(const char* scenario, const char* mode,
 
 struct Row {
   std::string name;
-  mc::CheckerResult none, sleep, persistent;
+  mc::CheckerResult none, sleep, persistent, source;
 };
 
 double ratio(const mc::CheckerResult& none, const mc::CheckerResult& red) {
@@ -69,24 +72,42 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Row> rows;
-  std::printf("%-22s %12s %12s %12s %10s %8s %8s\n", "scenario", "unique",
-              "t(NONE)", "t(SLEEP)", "t(S+P)", "xSLEEP", "xS+P");
+  std::printf("%-22s %10s %10s %10s %10s %10s %7s %7s %7s\n", "scenario",
+              "unique", "t(NONE)", "t(SLEEP)", "t(S+P)", "t(SRC)", "xSLEEP",
+              "xS+P", "xSRC");
   for (const apps::NamedScenario& ns : apps::bundled_scenarios()) {
     Row row;
     row.name = ns.name;
     row.none = run_scenario(ns.make(), mc::Reduction::kNone);
     row.sleep = run_scenario(ns.make(), mc::Reduction::kSleep);
     row.persistent = run_scenario(ns.make(), mc::Reduction::kSleepPersistent);
+    row.source = run_scenario(ns.make(), mc::Reduction::kSourceDpor);
     check_sound(ns.name.c_str(), "SLEEP", row.none, row.sleep);
     check_sound(ns.name.c_str(), "SLEEP+PERSISTENT", row.none,
                 row.persistent);
-    std::printf("%-22s %12llu %12llu %12llu %10llu %7.2fx %7.2fx\n",
+    check_sound(ns.name.c_str(), "SOURCE-DPOR", row.none, row.source);
+    if (row.source.transitions > row.persistent.transitions) {
+      std::fprintf(stderr,
+                   "FATAL: %s: SOURCE-DPOR explored %llu transitions > "
+                   "SLEEP+PERSISTENT's %llu (replays %llu woken %llu)\n",
+                   ns.name.c_str(),
+                   static_cast<unsigned long long>(row.source.transitions),
+                   static_cast<unsigned long long>(
+                       row.persistent.transitions),
+                   static_cast<unsigned long long>(row.source.wakeup.replays),
+                   static_cast<unsigned long long>(row.source.wakeup.woken));
+      std::exit(1);
+    }
+    std::printf("%-22s %10llu %10llu %10llu %10llu %10llu %6.2fx %6.2fx "
+                "%6.2fx\n",
                 ns.name.c_str(),
                 static_cast<unsigned long long>(row.none.unique_states),
                 static_cast<unsigned long long>(row.none.transitions),
                 static_cast<unsigned long long>(row.sleep.transitions),
                 static_cast<unsigned long long>(row.persistent.transitions),
-                ratio(row.none, row.sleep), ratio(row.none, row.persistent));
+                static_cast<unsigned long long>(row.source.transitions),
+                ratio(row.none, row.sleep), ratio(row.none, row.persistent),
+                ratio(row.none, row.source));
     rows.push_back(std::move(row));
   }
 
@@ -114,11 +135,21 @@ int main(int argc, char** argv) {
       emit("none", r.none, ",");
       emit("sleep", r.sleep, ",");
       emit("sleep_persistent", r.persistent, ",");
+      emit("source_dpor", r.source, ",");
+      std::fprintf(
+          f,
+          "      \"wakeup\": {\"replays\": %llu, \"woken\": %llu, "
+          "\"trees\": %llu, \"sequences\": %llu},\n",
+          static_cast<unsigned long long>(r.source.wakeup.replays),
+          static_cast<unsigned long long>(r.source.wakeup.woken),
+          static_cast<unsigned long long>(r.source.wakeup.trees),
+          static_cast<unsigned long long>(r.source.wakeup.sequences));
       std::fprintf(f,
                    "      \"reduction_sleep\": %.3f,\n"
-                   "      \"reduction_sleep_persistent\": %.3f\n    }%s\n",
+                   "      \"reduction_sleep_persistent\": %.3f,\n"
+                   "      \"reduction_source_dpor\": %.3f\n    }%s\n",
                    ratio(r.none, r.sleep), ratio(r.none, r.persistent),
-                   i + 1 < rows.size() ? "," : "");
+                   ratio(r.none, r.source), i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

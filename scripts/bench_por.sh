@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Build (Release) and run the partial-order-reduction benchmark, writing
 # the machine-readable BENCH_por.json (or $1): per bundled scenario, the
-# transitions explored under NONE / SLEEP / SLEEP+PERSISTENT and the
+# transitions explored under NONE / SLEEP / SLEEP+PERSISTENT / SOURCE-DPOR
+# and the
 # reduction ratios. The benchmark enforces the soundness contract at
-# runtime (identical violation sets and unique-state counts) and exits
+# runtime (identical violation sets and unique-state counts, and the
+# SOURCE-DPOR ≤ SLEEP+PERSISTENT transition gate) and exits
 # non-zero on any mismatch, so a successful run doubles as a check.
 #
 # Usage: scripts/bench_por.sh [out.json]

@@ -19,7 +19,7 @@
 #include <memory>
 
 #include "mc/discover.h"
-#include "mc/por/sleep.h"
+#include "mc/por/reduction.h"
 #include "mc/execute.h"
 #include "mc/frontier.h"
 #include "mc/parallel.h"

@@ -1,0 +1,19 @@
+#include "mc/por/reduction.h"
+
+namespace nicemc::mc {
+
+std::string reduction_name(Reduction r) {
+  switch (r) {
+    case Reduction::kNone:
+      return "NONE";
+    case Reduction::kSleep:
+      return "SLEEP";
+    case Reduction::kSleepPersistent:
+      return "SLEEP+PERSISTENT";
+    case Reduction::kSourceDpor:
+      return "SOURCE-DPOR";
+  }
+  return "?";
+}
+
+}  // namespace nicemc::mc

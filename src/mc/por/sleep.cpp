@@ -3,21 +3,7 @@
 #include <algorithm>
 #include <string>
 
-namespace nicemc::mc {
-
-std::string reduction_name(Reduction r) {
-  switch (r) {
-    case Reduction::kNone:
-      return "NONE";
-    case Reduction::kSleep:
-      return "SLEEP";
-    case Reduction::kSleepPersistent:
-      return "SLEEP+PERSISTENT";
-  }
-  return "?";
-}
-
-namespace por {
+namespace nicemc::mc::por {
 
 SleepStore::SleepStore(std::size_t shards) : select_(shards) {
   shards_.reserve(select_.count());
@@ -28,7 +14,9 @@ SleepStore::SleepStore(std::size_t shards) : select_(shards) {
 
 SleepStore::Arrival SleepStore::arrive(const util::Hash128& h,
                                        std::string_view identity,
-                                       const SleepSet& sleep) {
+                                       const SleepSet& sleep, bool wakeups,
+                                       const std::vector<std::uint64_t>* wake,
+                                       bool observe) {
   std::vector<std::uint64_t> mine;
   mine.reserve(sleep.size());
   for (const SleepEntry& z : sleep) mine.push_back(z.thash);
@@ -39,16 +27,33 @@ SleepStore::Arrival SleepStore::arrive(const util::Hash128& h,
   std::lock_guard<std::mutex> lock(sh.mu);
   auto it = sh.slept.find(identity);
   if (it == sh.slept.end()) {
-    sh.slept.emplace(std::string(identity), std::move(mine));
-    return Arrival{.first = true, .explore = {}};
+    sh.slept.emplace(std::string(identity), Entry{std::move(mine), nullptr});
+    return Arrival{.first = true, .explore = {}, .dispatched = {}};
+  }
+
+  Arrival out;
+  if (observe) return out;  // claim-free: the visit itself was the point
+  Entry& entry = it->second;
+  std::vector<std::uint64_t>& stored = entry.slept;
+  if (stored.empty()) return out;
+
+  if (wake != nullptr) {
+    // Targeted arrival: dispatch exactly the still-owed wake events (they
+    // leave the stored set because they are explored now); everything
+    // else keeps the justification its own arrivals established.
+    std::erase_if(stored, [&](std::uint64_t th) {
+      if (std::find(wake->begin(), wake->end(), th) == wake->end()) {
+        return false;
+      }
+      out.explore.push_back(th);
+      return true;
+    });
+    return out;
   }
 
   // Revisit: expand what every earlier arrival slept but this one does
   // not, and shrink the stored set to the intersection (an entry stays
   // slept only while *all* arrivals justify sleeping it).
-  Arrival out;
-  std::vector<std::uint64_t>& stored = it->second;
-  if (stored.empty()) return out;
   std::vector<std::uint64_t> kept;
   kept.reserve(stored.size());
   for (const std::uint64_t th : stored) {
@@ -59,7 +64,81 @@ SleepStore::Arrival SleepStore::arrive(const util::Hash128& h,
     }
   }
   stored = std::move(kept);
+  // The dispatched roots only matter to a re-expanding caller, so pure
+  // revisits (the dominant case) skip the copy and keep the critical
+  // section short.
+  if (wakeups && !out.explore.empty() && entry.wakeups != nullptr) {
+    entry.wakeups->roots(out.dispatched);
+  }
   return out;
+}
+
+std::size_t SleepStore::record_schedule(
+    const util::Hash128& h, std::string_view identity,
+    const std::vector<std::uint64_t>& events,
+    std::vector<WakeupContext>&& contexts,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& races) {
+  if (events.empty()) return 0;
+  Shard& sh = shard_of(h);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.slept.find(identity);
+  if (it == sh.slept.end()) {
+    // The arrival that schedules a dispatch always registered first, so
+    // the entry exists; tolerate direct store use (tests) anyway.
+    it = sh.slept.emplace(std::string(identity), Entry{}).first;
+  }
+  if (it->second.wakeups == nullptr) {
+    it->second.wakeups = std::make_unique<WakeupTree>();
+  }
+  WakeupTree& tree = *it->second.wakeups;
+  std::size_t recorded = 0;
+  std::vector<std::uint64_t> seq(1);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    seq[0] = events[i];
+    WakeupContext ctx =
+        i < contexts.size() ? std::move(contexts[i]) : WakeupContext{};
+    if (tree.insert(seq, std::move(ctx))) ++recorded;
+  }
+  std::vector<std::uint64_t> pair_seq(2);
+  for (const auto& [a, b] : races) {
+    pair_seq[0] = events[a];
+    pair_seq[1] = events[b];
+    if (tree.insert(pair_seq, {})) ++recorded;
+  }
+  return recorded;
+}
+
+bool SleepStore::covered(const util::Hash128& h, std::string_view identity,
+                         std::uint64_t event, const WakeupContext& ctx) const {
+  Shard& sh = shard_of(h);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.slept.find(identity);
+  if (it == sh.slept.end() || it->second.wakeups == nullptr) return false;
+  return it->second.wakeups->covered(std::vector<std::uint64_t>{event}, ctx);
+}
+
+std::vector<std::uint64_t> SleepStore::claim_wakeups(
+    const util::Hash128& h, std::string_view identity, std::uint64_t event,
+    const std::vector<std::uint64_t>& want) {
+  std::vector<std::uint64_t> fresh;
+  Shard& sh = shard_of(h);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.slept.find(identity);
+  if (it == sh.slept.end()) {
+    it = sh.slept.emplace(std::string(identity), Entry{}).first;
+  }
+  if (it->second.wakeups == nullptr) {
+    it->second.wakeups = std::make_unique<WakeupTree>();
+  }
+  WakeupTree& tree = *it->second.wakeups;
+  std::vector<std::uint64_t> seq{event, 0};
+  for (const std::uint64_t t : want) {
+    seq[1] = t;
+    if (tree.contains(seq)) continue;
+    tree.insert(seq, {});
+    fresh.push_back(t);
+  }
+  return fresh;
 }
 
 std::uint64_t SleepStore::states() const {
@@ -69,6 +148,20 @@ std::uint64_t SleepStore::states() const {
     n += sh->slept.size();
   }
   return n;
+}
+
+SleepStore::WakeupTotals SleepStore::wakeup_totals() const {
+  WakeupTotals t;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    for (const auto& [key, entry] : sh->slept) {
+      if (entry.wakeups == nullptr) continue;
+      ++t.trees;
+      t.nodes += entry.wakeups->nodes();
+      t.sequences += entry.wakeups->sequences();
+    }
+  }
+  return t;
 }
 
 void SleepStore::clear() {
@@ -118,5 +211,4 @@ void cluster_order(const std::vector<Footprint>& fps, bool packet_keys,
   order = std::move(out);
 }
 
-}  // namespace por
-}  // namespace nicemc::mc
+}  // namespace nicemc::mc::por

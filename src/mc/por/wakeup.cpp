@@ -1,0 +1,93 @@
+#include "mc/por/wakeup.h"
+
+#include <algorithm>
+
+namespace nicemc::mc::por {
+
+void normalize_context(WakeupContext& ctx) {
+  std::sort(ctx.begin(), ctx.end());
+  ctx.erase(std::unique(ctx.begin(), ctx.end()), ctx.end());
+}
+
+bool context_subsumes(const WakeupContext& small, const WakeupContext& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+std::uint32_t WakeupTree::find_child(std::uint32_t at,
+                                     std::uint64_t event) const {
+  for (const std::uint32_t k : nodes_[at].kids) {
+    if (nodes_[k].event == event) return k;
+  }
+  return kNpos;
+}
+
+bool WakeupTree::insert(const std::vector<std::uint64_t>& seq,
+                        WakeupContext ctx) {
+  if (seq.empty()) return false;
+  std::uint32_t at = 0;
+  for (const std::uint64_t e : seq) {
+    std::uint32_t next = find_child(at, e);
+    if (next == kNpos) {
+      next = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(Node{e, {}, {}});
+      nodes_[at].kids.push_back(next);
+    }
+    at = next;
+  }
+  std::vector<WakeupContext>& ctxs = nodes_[at].contexts;
+  for (const WakeupContext& c : ctxs) {
+    if (context_subsumes(c, ctx)) return false;  // already covered
+  }
+  const bool was_sequence = !ctxs.empty();
+  // Keep the antichain minimal: drop every recorded context the new one
+  // subsumes (the new dispatch slept less, so it covers their claims).
+  std::erase_if(ctxs, [&ctx](const WakeupContext& c) {
+    return context_subsumes(ctx, c);
+  });
+  ctxs.push_back(std::move(ctx));
+  if (!was_sequence) ++sequences_;
+  return true;
+}
+
+bool WakeupTree::covered(const std::vector<std::uint64_t>& seq,
+                         const WakeupContext& ctx) const {
+  std::uint32_t at = 0;
+  for (const std::uint64_t e : seq) {
+    at = find_child(at, e);
+    if (at == kNpos) return false;
+  }
+  for (const WakeupContext& c : nodes_[at].contexts) {
+    if (context_subsumes(c, ctx)) return true;
+  }
+  return false;
+}
+
+bool WakeupTree::contains(const std::vector<std::uint64_t>& seq) const {
+  std::uint32_t at = 0;
+  for (const std::uint64_t e : seq) {
+    at = find_child(at, e);
+    if (at == kNpos) return false;
+  }
+  return at != 0;
+}
+
+void WakeupTree::roots(std::vector<std::uint64_t>& out) const {
+  out.reserve(out.size() + nodes_[0].kids.size());
+  for (const std::uint32_t k : nodes_[0].kids) {
+    out.push_back(nodes_[k].event);
+  }
+}
+
+std::vector<std::uint64_t> WakeupTree::continuations(
+    std::uint64_t event) const {
+  std::vector<std::uint64_t> out;
+  const std::uint32_t at = find_child(0, event);
+  if (at == kNpos) return out;
+  out.reserve(nodes_[at].kids.size());
+  for (const std::uint32_t k : nodes_[at].kids) {
+    out.push_back(nodes_[k].event);
+  }
+  return out;
+}
+
+}  // namespace nicemc::mc::por

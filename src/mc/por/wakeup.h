@@ -1,0 +1,109 @@
+// Wakeup trees (Abdulla/Aronis/Jonsson/Sagonas, adapted): per-state
+// ordered tries of event sequences, the bookkeeping behind the
+// Reduction::kSourceDpor mode.
+//
+// A classical wakeup tree tells a *selective* explorer which sequences it
+// still owes from a backtrack point. This checker is not selective — its
+// contract is that the full reachable state set is visited (properties
+// are state predicates), so the tree's role is inverted: it records, per
+// canonical state, which event sequences have already been *dispatched*
+// from it and under which sleep context, so that later arrivals at the
+// same state can (a) treat every previously dispatched independent event
+// as asleep in the children they re-dispatch (the source-set extension of
+// the stateful revisit rule — see sleep.h and the lazy replay activation
+// in search_core.cpp), and (b) keep recorded claims minimal through
+// context subsumption (a context w ⊆ w' explores a superset of what w'
+// would — insert() maintains the antichain, and SleepStore::covered
+// exposes the query to tooling and tests).
+//
+// Structure: a trie over 64-bit event hashes (por::transition_hash).
+// Children keep *insertion order* — the order events were first
+// dispatched, which is the order the source-set sleeping rule needs.
+// Each node holds a minimal antichain of sleep contexts (sorted hash
+// sets) under which the sequence ending at that node was dispatched;
+// context subsumption is plain subset inclusion. Race-reversal pairs
+// detected through the footprint may_conflict oracle are inserted as
+// depth-2 sequences, so the recorded schedule keeps the conflict order
+// that produced it.
+#ifndef NICE_MC_POR_WAKEUP_H
+#define NICE_MC_POR_WAKEUP_H
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace nicemc::mc::por {
+
+/// A sleep context: the sorted, deduplicated transition hashes slept at
+/// the moment a sequence was dispatched. Empty = dispatched with nothing
+/// asleep (subsumes every other context).
+using WakeupContext = std::vector<std::uint64_t>;
+
+/// Normalize a context in place (sort + dedupe) so subsumption is a
+/// linear std::includes walk.
+void normalize_context(WakeupContext& ctx);
+
+/// True when `small` ⊆ `big`; both must be normalized.
+[[nodiscard]] bool context_subsumes(const WakeupContext& small,
+                                    const WakeupContext& big);
+
+class WakeupTree {
+ public:
+  /// Record that `seq` (non-empty) was dispatched under `ctx` (must be
+  /// normalized). Returns false — and records nothing — when an existing
+  /// context at the sequence's node already subsumes `ctx`; otherwise
+  /// inserts the path, replaces any recorded contexts that `ctx`
+  /// subsumes (keeping the antichain minimal), and returns true.
+  bool insert(const std::vector<std::uint64_t>& seq, WakeupContext ctx);
+
+  /// True when `seq` has been recorded with a context ⊆ `ctx` (`ctx`
+  /// normalized): a dispatch of `seq` under `ctx` would re-derive states
+  /// the recorded dispatch already reaches.
+  [[nodiscard]] bool covered(const std::vector<std::uint64_t>& seq,
+                             const WakeupContext& ctx) const;
+
+  /// True when the exact event path of `seq` exists (context-blind).
+  [[nodiscard]] bool contains(const std::vector<std::uint64_t>& seq) const;
+
+  /// Depth-1 events — everything ever dispatched from the owning state —
+  /// appended to `out` in first-dispatch order.
+  void roots(std::vector<std::uint64_t>& out) const;
+
+  /// The recorded continuations of depth-1 event `event`, in
+  /// first-dispatch order (empty when the event or its subtree is
+  /// absent). Exposes the race-reversal schedule to tests and tooling.
+  [[nodiscard]] std::vector<std::uint64_t> continuations(
+      std::uint64_t event) const;
+
+  /// Trie nodes, excluding the root.
+  [[nodiscard]] std::size_t nodes() const noexcept {
+    return nodes_.size() - 1;
+  }
+  /// Nodes currently holding at least one context (recorded sequence
+  /// endpoints that no later insertion subsumed away).
+  [[nodiscard]] std::size_t sequences() const noexcept { return sequences_; }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.size() == 1; }
+
+ private:
+  struct Node {
+    std::uint64_t event{0};
+    /// Child node indices in first-insertion order.
+    std::vector<std::uint32_t> kids;
+    /// Minimal antichain of contexts this node's sequence was dispatched
+    /// under (no element subsumes another).
+    std::vector<WakeupContext> contexts;
+  };
+
+  /// Index of `event` under `nodes_[at]`, or npos.
+  [[nodiscard]] std::uint32_t find_child(std::uint32_t at,
+                                         std::uint64_t event) const;
+
+  static constexpr std::uint32_t kNpos = ~0U;
+
+  std::vector<Node> nodes_{Node{}};  // nodes_[0] is the root
+  std::size_t sequences_{0};
+};
+
+}  // namespace nicemc::mc::por
+
+#endif  // NICE_MC_POR_WAKEUP_H

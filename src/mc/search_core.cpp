@@ -97,26 +97,44 @@ bool SearchCore::remember(const SystemState& state) const {
   return seen_.insert_key(k.hash, std::move(k.key));
 }
 
-por::SleepStore::Arrival SearchCore::arrive_and_remember(
-    const SystemState& state, const por::SleepSet& sleep) const {
-  // One lock in the SleepStore covers both the first/revisit verdict and
-  // the sleep bookkeeping (parallel workers agree); the seen-set insert
-  // that follows keeps the storage and byte accounting in sync. The
-  // identity bytes are computed once and used for both stores, so the
-  // sleep keying is exactly as collision-proof as the seen-set mode.
-  por::SleepStore& store = reducer_->store();
+SearchCore::StateKey SearchCore::identity_key(const SystemState& state) const {
+  // The store's true identity: packed hash bytes in kHash mode (memoized
+  // on the snapshots, so this is cheap), the canonical blob / id tuple in
+  // the byte-keyed modes.
   if (seen_.mode() == util::ShardedSeenSet::Mode::kHash) {
-    const util::Hash128 h = state.hash(cfg_.canonical_flowtables);
-    const std::array<char, 16> id = hash_identity(h);
-    por::SleepStore::Arrival arr =
-        store.arrive(h, std::string_view(id.data(), id.size()), sleep);
-    seen_.insert(h);
-    return arr;
+    StateKey k;
+    k.hash = state.hash(cfg_.canonical_flowtables);
+    const std::array<char, 16> id = hash_identity(k.hash);
+    k.key.assign(id.data(), id.size());
+    return k;
   }
-  StateKey k = state_key(state);
-  por::SleepStore::Arrival arr = store.arrive(k.hash, k.key, sleep);
-  seen_.insert_key(k.hash, std::move(k.key));
-  return arr;
+  return state_key(state);
+}
+
+SearchCore::ArriveOutcome SearchCore::arrive_reduced(
+    const SystemState& state, const por::SleepSet& sleep,
+    const std::vector<std::uint64_t>* wake, bool observe) const {
+  // One lock in the SleepStore covers the first/revisit verdict, the
+  // sleep bookkeeping and (wakeup mode) the previously dispatched events
+  // (parallel workers agree); the seen-set insert is deferred to
+  // sync_seen() so the identity bytes — computed once — can first key the
+  // wakeup-tree recording. The sleep keying is therefore exactly as
+  // collision-proof as the seen-set mode.
+  ArriveOutcome at;
+  StateKey k = identity_key(state);
+  at.hash = k.hash;
+  at.identity = std::move(k.key);
+  at.arr = reducer_->store().arrive(at.hash, at.identity, sleep,
+                                    reducer_->wakeups(), wake, observe);
+  return at;
+}
+
+void SearchCore::sync_seen(ArriveOutcome&& at) const {
+  if (seen_.mode() == util::ShardedSeenSet::Mode::kHash) {
+    seen_.insert(at.hash);
+  } else {
+    seen_.insert_key(at.hash, std::move(at.identity));
+  }
 }
 
 void SearchCore::fill_store_stats(CheckerResult& result) const {
@@ -128,6 +146,14 @@ void SearchCore::fill_store_stats(CheckerResult& result) const {
     result.collapse.intern_calls = collapse_->intern_calls();
     result.collapse.dedupe_ratio = collapse_->dedupe_ratio();
   }
+  if (reducer_ != nullptr && reducer_->wakeups()) {
+    result.wakeup.replays = replays_.load(std::memory_order_relaxed);
+    result.wakeup.woken = woken_.load(std::memory_order_relaxed);
+    const por::SleepStore::WakeupTotals t = reducer_->store().wakeup_totals();
+    result.wakeup.trees = t.trees;
+    result.wakeup.nodes = t.nodes;
+    result.wakeup.sequences = t.sequences;
+  }
 }
 
 std::vector<SearchNode> SearchCore::init(CheckerResult& result,
@@ -136,10 +162,11 @@ std::vector<SearchNode> SearchCore::init(CheckerResult& result,
   // make_initial → local → clone into the shared_ptr).
   auto initial_sp =
       std::make_shared<const SystemState>(executor_.make_initial());
+  ArriveOutcome root_at;
   if (reducer_ != nullptr) {
     // Register the root arrival (empty sleep set) so later re-arrivals at
     // the initial state are pure revisits.
-    (void)arrive_and_remember(*initial_sp, {});
+    root_at = arrive_reduced(*initial_sp, {}, nullptr);
   } else {
     remember(*initial_sp);
   }
@@ -149,6 +176,7 @@ std::vector<SearchNode> SearchCore::init(CheckerResult& result,
   auto ts = apply_strategy(options_.strategy, cfg_, *initial_sp,
                            executor_.enabled(*initial_sp, cache));
   if (ts.empty()) {
+    if (reducer_ != nullptr) sync_seen(std::move(root_at));
     ++result.quiescent_states;
     std::vector<Violation> vs;
     // COW clone: O(#components) pointer copies. Monitors may mutate their
@@ -163,12 +191,14 @@ std::vector<SearchNode> SearchCore::init(CheckerResult& result,
   }
   if (reducer_ != nullptr) {
     make_reduced_children(initial_sp, nullptr, 1, std::move(ts), {}, nullptr,
-                          roots);
+                          root_at, /*targeted=*/false, roots);
+    sync_seen(std::move(root_at));
     return roots;
   }
   roots.reserve(ts.size());
   for (Transition& t : ts) {
-    roots.push_back(SearchNode{initial_sp, std::move(t), nullptr, 1, {}});
+    roots.push_back(
+        SearchNode{initial_sp, std::move(t), nullptr, 1, {}, {}, {}, false});
   }
   return roots;
 }
@@ -186,6 +216,13 @@ SearchCore::Expansion SearchCore::expand(const SearchNode& node,
 
   if (!violations.empty()) {
     out.transition_violated = true;
+    // A wakeup replay re-executes an edge whose original dispatch (same
+    // source state, deterministic apply) already reported exactly these
+    // violations — re-reporting would duplicate the records in
+    // collect-all mode. The wake it carried needs no delivery either:
+    // nothing is ever explored beyond an erroneous transition, in any
+    // mode.
+    if (!node.wake.empty()) return out;
     const auto trace = trace_of(path);
     out.violations.reserve(violations.size());
     for (Violation& v : violations) {
@@ -223,7 +260,7 @@ SearchCore::Expansion SearchCore::expand(const SearchNode& node,
   out.children.reserve(ts.size());
   for (Transition& t : ts) {
     out.children.push_back(
-        SearchNode{next_sp, std::move(t), path, node.depth + 1, {}});
+        SearchNode{next_sp, std::move(t), path, node.depth + 1, {}, {}, {}, false});
   }
   return out;
 }
@@ -232,11 +269,18 @@ void SearchCore::expand_reduced(Expansion& out, SystemState&& next,
                                 const SearchNode& node,
                                 std::shared_ptr<const PathNode> path,
                                 DiscoveryCache& cache) const {
-  por::SleepStore::Arrival arr = arrive_and_remember(next, node.sleep);
-  out.new_state = arr.first;
+  const bool targeted = !node.wake.empty();
+  ArriveOutcome at = arrive_reduced(
+      next, node.sleep, targeted ? &node.wake : nullptr, node.claim_free);
+  out.new_state = at.arr.first;
+  if (targeted && !at.arr.explore.empty()) {
+    woken_.fetch_add(at.arr.explore.size(), std::memory_order_relaxed);
+  }
 
-  if (!arr.first && arr.explore.empty()) return;  // pure revisit
-  if (node.depth >= options_.max_depth) return;
+  if (!at.arr.first && at.arr.explore.empty()) {
+    return sync_seen(std::move(at));  // pure revisit
+  }
+  if (node.depth >= options_.max_depth) return sync_seen(std::move(at));
 
   auto ts = apply_strategy(options_.strategy, cfg_, next,
                            executor_.enabled(next, cache));
@@ -244,7 +288,7 @@ void SearchCore::expand_reduced(Expansion& out, SystemState&& next,
     // Quiescence is a state predicate on the strategy-filtered enabled
     // set, never affected by sleep filtering; check it once (first
     // arrival), exactly like the unreduced search.
-    if (arr.first) {
+    if (at.arr.first) {
       out.quiescent = true;
       std::vector<Violation> vs;
       executor_.at_quiescence(next, vs);
@@ -255,13 +299,49 @@ void SearchCore::expand_reduced(Expansion& out, SystemState&& next,
         }
       }
     }
-    return;
+    return sync_seen(std::move(at));
+  }
+
+  // A re-expanded child that discovered a new state activates its
+  // conditional sleep entries: the commuting previously-dispatched events
+  // join the arrival sleep set (their exploration here would only
+  // re-derive states their own subtrees reach after the owed replay), and
+  // the owed wakeup sequences — replay the event from the parent state,
+  // wake this node's transition at its successor — are emitted, deduped
+  // per (event, wakee) pair through the parent tree's claimed sequences.
+  const por::SleepSet* arrival_sleep = &node.sleep;
+  por::SleepSet augmented;
+  if (at.arr.first && !node.cond.empty()) {
+    const bool keys = reducer_->packet_keys();
+    const StateKey pk = identity_key(*node.state);
+    const std::uint64_t me = por::transition_hash(node.transition);
+    const std::vector<std::uint64_t> want{me};
+    augmented = node.sleep;
+    for (const CondSleep& c : node.cond) {
+      augmented.push_back(por::SleepEntry{c.thash, c.fp});
+      if (reducer_->store()
+              .claim_wakeups(pk.hash, pk.key, c.thash, want)
+              .empty()) {
+        continue;  // an earlier activation already owes this replay
+      }
+      replays_.fetch_add(1, std::memory_order_relaxed);
+      por::SleepSet replay_sleep;
+      for (const por::SleepEntry& z : node.sleep) {
+        if (!por::may_conflict(z.fp, c.fp, keys)) replay_sleep.push_back(z);
+      }
+      out.children.push_back(SearchNode{node.state, c.transition, node.path,
+                                        node.depth, std::move(replay_sleep),
+                                        {me}, {}, false});
+    }
+    arrival_sleep = &augmented;
   }
 
   auto next_sp = std::make_shared<const SystemState>(std::move(next));
   make_reduced_children(next_sp, path, node.depth + 1, std::move(ts),
-                        node.sleep, arr.first ? nullptr : &arr.explore,
-                        out.children);
+                        *arrival_sleep,
+                        at.arr.first ? nullptr : &at.arr.explore, at,
+                        targeted, out.children);
+  sync_seen(std::move(at));
 }
 
 void SearchCore::make_reduced_children(
@@ -269,8 +349,10 @@ void SearchCore::make_reduced_children(
     const std::shared_ptr<const PathNode>& path, std::size_t depth,
     std::vector<Transition>&& ts, const por::SleepSet& arrival_sleep,
     const std::vector<std::uint64_t>* explore_only,
+    const ArriveOutcome& at, bool targeted,
     std::vector<SearchNode>& out) const {
   const bool keys = reducer_->packet_keys();
+  const bool wake = reducer_->wakeups();
 
   std::vector<std::uint64_t> th(ts.size());
   for (std::size_t i = 0; i < ts.size(); ++i) {
@@ -306,9 +388,46 @@ void SearchCore::make_reduced_children(
     fps[i] = por::compute_footprint(cfg_, *sp, ts[i]);
   }
 
-  if (reducer_->mode() == Reduction::kSleepPersistent) {
+  // Source-DPOR revisits: a re-expanded transition may sleep a previously
+  // dispatched independent event only if some dispatch of that event ran
+  // with the re-expanded transition awake — and every earlier dispatch
+  // had it asleep (it sat in every prior arrival's sleep set, or it would
+  // not be re-expanded now). The entitlement must therefore be *bought*
+  // by replaying the event's wakeup sequence (re-dispatch it, wake the
+  // re-expanded transition at its successor). Replays cost two real
+  // transitions, so they are attached lazily: each re-expanded child
+  // carries the commuting dispatched events as conditional sleep entries
+  // (SearchNode::cond) and pays for them — emitting the owed replays from
+  // the parent state it still holds — only if it discovers a genuinely
+  // new state, where the sleeping propagates into a fresh subtree. At an
+  // already-seen state the entries are dropped for free.
+  std::vector<std::size_t> redispatch;
+  if (wake && !targeted && explore_only != nullptr &&
+      !at.arr.dispatched.empty()) {
+    for (const std::uint64_t d : at.arr.dispatched) {
+      // First-dispatch order; skip events not enabled here (strategy
+      // filters that key on non-canonical tags can differ per path),
+      // asleep at this arrival (their commuted orders are covered by the
+      // ancestor that put them to sleep), or in the batch itself.
+      const auto pos = std::find(th.begin(), th.end(), d);
+      if (pos == th.end() || slept(d)) continue;
+      const std::size_t i = static_cast<std::size_t>(pos - th.begin());
+      if (std::find(sel.begin(), sel.end(), i) != sel.end()) continue;
+      fps[i] = por::compute_footprint(cfg_, *sp, ts[i]);
+      redispatch.push_back(i);
+    }
+  }
+
+  if (reducer_->clusters()) {
     por::cluster_order(fps, keys, sel);
   }
+
+  // Wakeup bookkeeping of this batch: the dispatched events in scheduled
+  // order, each with the sleep context it ran under, plus the conflicting
+  // pairs (the race order this schedule commits to).
+  std::vector<std::uint64_t> events;
+  std::vector<por::WakeupContext> contexts;
+  std::vector<std::size_t> emitted;  // ts indices behind `events`
 
   out.reserve(out.size() + sel.size());
   for (std::size_t k = 0; k < sel.size(); ++k) {
@@ -327,8 +446,46 @@ void SearchCore::make_reduced_children(
         child.push_back(por::SleepEntry{th[pj], fps[pj]});
       }
     }
+    std::vector<CondSleep> cond;
+    if (wake && !targeted) {
+      // Note the recorded context deliberately excludes the conditional
+      // entries: whether they end up slept is decided at the child's own
+      // expansion, and underclaiming what a dispatch kept awake is the
+      // conservative direction for any future subsumption consumer.
+      por::WakeupContext ctx;
+      ctx.reserve(child.size());
+      for (const por::SleepEntry& z : child) ctx.push_back(z.thash);
+      por::normalize_context(ctx);
+      events.push_back(th[i]);
+      contexts.push_back(std::move(ctx));
+      emitted.push_back(i);
+      for (const std::size_t d : redispatch) {
+        if (!por::may_conflict(fps[d], fps[i], keys)) {
+          cond.push_back(CondSleep{ts[d], fps[d], th[d]});
+        }
+      }
+    }
+    // Woken successors of a targeted replay are claim-free (and never
+    // recorded as dispatches above): their arrival visits the commuted
+    // twin state, claiming nothing about its residue.
     out.push_back(SearchNode{sp, std::move(ts[i]), path, depth,
-                             std::move(child)});
+                             std::move(child), {}, std::move(cond),
+                             targeted});
+  }
+
+  if (wake && !events.empty()) {
+    // Race pairs among the emitted children, in scheduled order.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> races;
+    for (std::size_t a = 0; a < emitted.size(); ++a) {
+      for (std::size_t b = a + 1; b < emitted.size(); ++b) {
+        if (por::may_conflict(fps[emitted[a]], fps[emitted[b]], keys)) {
+          races.emplace_back(static_cast<std::uint32_t>(a),
+                             static_cast<std::uint32_t>(b));
+        }
+      }
+    }
+    reducer_->store().record_schedule(at.hash, at.identity, events,
+                                      std::move(contexts), races);
   }
 }
 

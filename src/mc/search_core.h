@@ -23,7 +23,7 @@
 #include "mc/discover.h"
 #include "mc/execute.h"
 #include "mc/frontier.h"
-#include "mc/por/sleep.h"
+#include "mc/por/reduction.h"
 #include "mc/property.h"
 #include "mc/strategy.h"
 #include "mc/system.h"
@@ -74,15 +74,18 @@ struct CheckerOptions {
   /// Shards of the seen-set (rounded up to a power of two). 0 = automatic:
   /// 1 shard single-threaded, 4× threads when parallel.
   std::size_t seen_shards{0};
-  /// Sound partial-order reduction (mc/por/): kSleep and kSleepPersistent
-  /// visit the same unique states and report the same violation set as
-  /// kNone on exhaustive runs, with fewer (or equal) transitions. Composes
-  /// with the heuristic strategies (inert under NO-DELAY, whose lock-step
-  /// drain defeats per-transition footprints) and with every exhaustive
-  /// driver; ignored by the random-walk simulator (a walk is a single
-  /// path). The reduction's per-state bookkeeping matches states by the
-  /// store's true identity key (hash bytes / blob / id tuple), so it is
-  /// exactly as collision-proof as the configured state_store mode (see
+  /// Sound partial-order reduction (mc/por/): every reducing mode visits
+  /// the same unique states and reports the same violation set as kNone
+  /// on exhaustive runs, with fewer (or equal) transitions; kSourceDpor
+  /// additionally never explores more than kSleepPersistent (per-state
+  /// wakeup trees with lazily-paid replays; see mc/por/reduction.h for
+  /// the enforced ordering). Composes with the heuristic
+  /// strategies (inert under NO-DELAY, whose lock-step drain defeats
+  /// per-transition footprints) and with every exhaustive driver; ignored
+  /// by the random-walk simulator (a walk is a single path). The
+  /// reduction's per-state bookkeeping matches states by the store's true
+  /// identity key (hash bytes / blob / id tuple), so it is exactly as
+  /// collision-proof as the configured state_store mode (see
   /// por::SleepStore).
   Reduction reduction{Reduction::kNone};
   /// Wall-clock budget in seconds; 0 = off. Honored by the sequential,
@@ -130,6 +133,18 @@ struct CheckerResult {
     double dedupe_ratio{0.0};         // intern_calls / unique_blobs
   };
   CollapseStats collapse;
+  /// Wakeup-tree statistics (Reduction::kSourceDpor only; zeros
+  /// otherwise). `replays` counts targeted wakeup-sequence re-dispatches,
+  /// `woken` the stored-slept events those replays re-opened; trees /
+  /// nodes / sequences describe the recorded tries.
+  struct WakeupStats {
+    std::uint64_t replays{0};
+    std::uint64_t woken{0};
+    std::uint64_t trees{0};
+    std::uint64_t nodes{0};
+    std::uint64_t sequences{0};
+  };
+  WakeupStats wakeup;
   std::vector<ViolationRecord> violations;
   DiscoveryStats discovery;
 
@@ -226,18 +241,37 @@ class SearchCore {
 
  private:
   /// Reduction-mode tail of expand(): arrival bookkeeping in the
-  /// SleepStore, sleep-filtered child enumeration, sleep inheritance.
+  /// SleepStore, sleep-filtered child enumeration, sleep inheritance,
+  /// and (kSourceDpor) wakeup-tree recording.
   void expand_reduced(Expansion& out, SystemState&& next,
                       const SearchNode& node,
                       std::shared_ptr<const PathNode> path,
                       DiscoveryCache& cache) const;
 
+  /// One reduced arrival: the SleepStore verdict plus the state identity
+  /// it was registered under — kept around so the wakeup recording and
+  /// the deferred seen-set sync reuse the same bytes.
+  struct ArriveOutcome {
+    por::SleepStore::Arrival arr;
+    util::Hash128 hash;
+    /// The store's true identity key (packed hash bytes in kHash mode,
+    /// canonical blob in kFullState, component-id tuple in kCollapsed).
+    std::string identity;
+  };
+
   /// Reduction mode: register the arrival in the SleepStore under the
-  /// store's true state identity (hash bytes / blob / id tuple, matching
-  /// the seen-set mode) and keep the seen-set storage in sync. The
-  /// identity bytes are computed once and shared by both stores.
-  por::SleepStore::Arrival arrive_and_remember(
-      const SystemState& state, const por::SleepSet& sleep) const;
+  /// store's true state identity (matching the seen-set mode). A non-null
+  /// `wake` marks a targeted wakeup-sequence replay (kSourceDpor). The
+  /// caller must pass the outcome to sync_seen() on every path so the
+  /// seen-set storage and byte accounting stay in sync.
+  ArriveOutcome arrive_reduced(const SystemState& state,
+                               const por::SleepSet& sleep,
+                               const std::vector<std::uint64_t>* wake,
+                               bool observe = false) const;
+
+  /// Mirror a reduced arrival into the seen-set (the SleepStore already
+  /// made the authoritative first/revisit verdict).
+  void sync_seen(ArriveOutcome&& at) const;
 
   /// A state's identity in the byte-keyed store modes: the store key
   /// (canonical blob in kFullState, packed component-id tuple in
@@ -247,15 +281,25 @@ class SearchCore {
     std::string key;
   };
   StateKey state_key(const SystemState& state) const;
+  /// As state_key, but also valid in kHash mode (packed hash bytes).
+  StateKey identity_key(const SystemState& state) const;
 
   /// Build the sleep-filtered, sleep-carrying children of a state.
   /// `explore_only` selects the revisit re-expansion set (nullptr = first
-  /// arrival: expand everything outside `arrival_sleep`).
+  /// arrival: expand everything outside `arrival_sleep`). In wakeup mode,
+  /// revisits with a re-expansion set prepend targeted re-dispatches of
+  /// the previously dispatched independent events (`at.arr.dispatched`),
+  /// which is what entitles the re-expanded children to sleep them; the
+  /// batch's schedule + race pairs are recorded in the state's wakeup
+  /// tree. `targeted` (the node carried a wake list) suppresses new
+  /// re-dispatches — a replayed sequence must not spawn replays of its
+  /// own, or chains of them would cascade.
   void make_reduced_children(
       const std::shared_ptr<const SystemState>& sp,
       const std::shared_ptr<const PathNode>& path, std::size_t depth,
       std::vector<Transition>&& ts, const por::SleepSet& arrival_sleep,
       const std::vector<std::uint64_t>* explore_only,
+      const ArriveOutcome& at, bool targeted,
       std::vector<SearchNode>& out) const;
 
   const SystemConfig& cfg_;
@@ -270,6 +314,10 @@ class SearchCore {
   /// atomic because parallel workers of the same search update it
   /// concurrently and any of their values is a fine hint.
   mutable std::atomic<std::size_t> last_blob_size_{0};
+  /// Wakeup-replay accounting (kSourceDpor): emitted replay nodes and the
+  /// events their targeted arrivals re-opened. Relaxed — counters only.
+  mutable std::atomic<std::uint64_t> replays_{0};
+  mutable std::atomic<std::uint64_t> woken_{0};
 };
 
 }  // namespace nicemc::mc

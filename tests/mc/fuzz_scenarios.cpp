@@ -1,0 +1,222 @@
+#include "fuzz_scenarios.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "hosts/client.h"
+#include "props/direct_paths.h"
+#include "props/no_forgotten_packets.h"
+#include "props/no_forwarding_loops.h"
+#include "util/hash.h"
+
+namespace nicemc::apps {
+
+namespace {
+
+constexpr std::uint64_t kMacBase = 0x00bb00000001ULL;
+constexpr std::uint32_t kIpBase = 0x0a010001;  // 10.1.0.1
+
+struct Rng {
+  util::SplitMix64 sm;
+  explicit Rng(std::uint64_t seed) : sm(seed * 0x9e3779b97f4a7c15ULL + 1) {}
+  std::uint64_t below(std::uint64_t n) { return sm.next_below(n); }
+  bool chance(unsigned percent) { return below(100) < percent; }
+};
+
+void finish(Scenario& s) {
+  s.config.topology = s.topology.get();
+  s.config.app = s.app.get();
+}
+
+/// Free-form pyswitch world: random chain/ring of 1–3 switches, 2–3
+/// hosts on random free ports, random ping scripts and behaviour flags.
+/// Ports 1–2 of every switch host; ports 3 (left) and 4 (right) link.
+Scenario fuzz_pyswitch(Rng& rng, std::string* name) {
+  Scenario s;
+  s.topology = std::make_unique<topo::Topology>();
+
+  // Chains only: a ring floods broadcast copies around the loop and every
+  // delivery to an echo host mints a reply, so ringed echo worlds have
+  // unbounded state spaces (the bundled pyswitch-bug3 preset covers the
+  // ring-with-loop-property case with a bounded packet budget).
+  const int nsw = 1 + static_cast<int>(rng.below(3));
+  std::vector<topo::SwitchId> sws;
+  for (int i = 0; i < nsw; ++i) {
+    sws.push_back(s.topology->add_switch({1, 2, 3, 4}));
+  }
+  for (int i = 0; i + 1 < nsw; ++i) {
+    s.topology->add_link(sws[static_cast<std::size_t>(i)], 4,
+                         sws[static_cast<std::size_t>(i + 1)], 3);
+  }
+
+  // Hosts on distinct (switch, port ∈ {1, 2}) slots — at most the 2·nsw
+  // the topology offers.
+  const int nhosts =
+      std::min(2 + static_cast<int>(rng.below(2)), 2 * nsw);
+  std::vector<std::pair<topo::SwitchId, of::PortId>> free_slots;
+  for (const topo::SwitchId sw : sws) {
+    free_slots.emplace_back(sw, 1);
+    free_slots.emplace_back(sw, 2);
+  }
+  std::vector<of::HostId> hosts;
+  for (int j = 0; j < nhosts; ++j) {
+    const std::size_t pick = rng.below(free_slots.size());
+    const auto [sw, port] = free_slots[pick];
+    free_slots.erase(free_slots.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+    hosts.push_back(s.topology->add_host(
+        "h" + std::to_string(j), kMacBase + static_cast<std::uint64_t>(j),
+        kIpBase + static_cast<std::uint32_t>(j), sw, port));
+  }
+
+  // One mobile host, sometimes (needs a free slot to move to).
+  bool mobile = false;
+  if (!free_slots.empty() && rng.chance(20)) {
+    mobile = true;
+    const auto [sw, port] = free_slots.front();
+    s.topology->add_alt_location(hosts.back(), sw, port);
+  }
+
+  PySwitchOptions ps;
+  ps.microflow_grouping = rng.chance(50);
+  s.app = std::make_unique<PySwitch>(ps);
+
+  // Long chains multiply the in-flight interleavings per packet, so the
+  // 3-switch worlds get a single ping; shorter ones 1–2, occasionally
+  // with an ARP warm-up.
+  const int pings = nsw == 3 ? 1 : 1 + static_cast<int>(rng.below(2));
+  std::vector<hosts::HostBehavior> hb(static_cast<std::size_t>(nhosts));
+  const std::size_t sender = 0;
+  const std::size_t target = 1 + rng.below(static_cast<std::size_t>(
+                                     nhosts - 1));
+  hb[sender].script = hosts::l2_ping_script(
+      s.topology->host(hosts[sender]), s.topology->host(hosts[target]),
+      pings, /*first_flow_id=*/1);
+  for (std::size_t i = 0; i < hb[sender].script.size(); ++i) {
+    hb[sender].script[i].hdr.tp_src = 3000 + i;
+  }
+  const bool arp = rng.chance(25);
+  if (arp) {
+    hb[sender].script.insert(
+        hb[sender].script.begin(),
+        hosts::arp_request(s.topology->host(hosts[sender]),
+                           kIpBase + static_cast<std::uint32_t>(target),
+                           90));
+  }
+  hb[sender].initial_burst =
+      1 + static_cast<int>(rng.below(hb[sender].script.size()));
+  for (std::size_t j = 1; j < hb.size(); ++j) {
+    hb[j].echo = rng.chance(60);
+  }
+  if (mobile) hb.back().can_move = true;
+
+  s.config.host_behavior = std::move(hb);
+  s.config.symbolic_discovery = false;
+  s.config.canonical_flowtables = !rng.chance(25);
+  // Fault/expiry transitions multiply the space; only with one packet.
+  if (pings == 1 && !arp) {
+    s.config.enable_rule_expiry = rng.chance(15);
+    s.config.enable_channel_faults = rng.chance(15);
+  }
+  finish(s);
+
+  switch (rng.below(4)) {
+    case 0:
+      s.properties.push_back(std::make_unique<props::NoForwardingLoops>());
+      break;
+    case 1:
+      s.properties.push_back(std::make_unique<props::StrictDirectPaths>());
+      break;
+    case 2:
+      s.properties.push_back(
+          std::make_unique<props::NoForgottenPackets>());
+      break;
+    default:
+      break;  // no property: pure state-space differential
+  }
+
+  if (name != nullptr) {
+    *name = "pyswitch sw=" + std::to_string(nsw) + " hosts=" +
+            std::to_string(nhosts) + " pings=" + std::to_string(pings) +
+            (arp ? " arp" : "") + (mobile ? " mobile" : "") +
+            (s.config.canonical_flowtables ? "" : " raw") +
+            (s.config.enable_rule_expiry ? " expiry" : "") +
+            (s.config.enable_channel_faults ? " faults" : "");
+  }
+  return s;
+}
+
+Scenario fuzz_lb(Rng& rng, std::string* name) {
+  LbScenarioOptions o;
+  o.fix_release_packet = rng.chance(50);
+  o.fix_install_before_delete = rng.chance(50);
+  o.fix_discard_arp = rng.chance(50);
+  o.fix_check_assignments = rng.chance(50);
+  // The concurrency knobs (ARP warm-up, replica ARP, duplicate SYN, data
+  // segments) multiply each other's interleavings; allow at most one of
+  // the heavy ones per scenario so broken-app variants stay exhaustively
+  // searchable.
+  o.client_sends_arp = rng.chance(40);
+  o.client_can_dup_syn = !o.client_sends_arp && rng.chance(25);
+  o.replica_sends_arp =
+      !o.client_sends_arp && !o.client_can_dup_syn && rng.chance(25);
+  o.data_segments =
+      o.client_can_dup_syn || o.replica_sends_arp
+          ? 0
+          : static_cast<int>(rng.below(2));
+  o.check_flow_affinity = rng.chance(30);
+  if (name != nullptr) {
+    *name = std::string("lb") + (o.client_sends_arp ? " arp" : "") +
+            (o.replica_sends_arp ? " rarp" : "") +
+            (o.client_can_dup_syn ? " dup" : "") + " seg=" +
+            std::to_string(o.data_segments) +
+            (o.check_flow_affinity ? " affinity" : "");
+  }
+  return lb_scenario(o);
+}
+
+Scenario fuzz_te(Rng& rng, std::string* name) {
+  TeScenarioOptions o;
+  o.fix_release_packet = rng.chance(50);
+  o.fix_handle_intermediate = rng.chance(50);
+  o.fix_per_flow_table = rng.chance(50);
+  o.fix_lookup_all_tables = rng.chance(50);
+  o.stats_rounds = static_cast<std::uint32_t>(rng.below(2));
+  o.check_routing_table = rng.chance(40);
+  o.flows = 1 + static_cast<int>(rng.below(2));
+  if (name != nullptr) {
+    *name = "te flows=" + std::to_string(o.flows) + " stats=" +
+            std::to_string(o.stats_rounds) +
+            (o.check_routing_table ? " routing" : "");
+  }
+  return te_scenario(o);
+}
+
+Scenario make(std::uint64_t seed, std::string* name) {
+  Rng rng(seed);
+  // Half the corpus gets the free-form topology; the app presets with
+  // randomized bug knobs split the rest.
+  switch (rng.below(4)) {
+    case 0:
+    case 1:
+      return fuzz_pyswitch(rng, name);
+    case 2:
+      return fuzz_lb(rng, name);
+    default:
+      return fuzz_te(rng, name);
+  }
+}
+
+}  // namespace
+
+Scenario fuzz_scenario(std::uint64_t seed) { return make(seed, nullptr); }
+
+std::string fuzz_scenario_name(std::uint64_t seed) {
+  std::string name;
+  (void)make(seed, &name);
+  return "seed=" + std::to_string(seed) + " [" + name + "]";
+}
+
+}  // namespace nicemc::apps

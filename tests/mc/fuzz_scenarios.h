@@ -1,0 +1,37 @@
+// Seeded random mini-scenario generator for differential fuzzing of the
+// model checker: every seed deterministically produces a small,
+// exhaustively-searchable Scenario with a random topology (1–3 switches,
+// chain or ring links, random host placement), a random application
+// (pyswitch / load balancer / respond-TE with randomized bug-fix knobs),
+// a random host mix (scripts, bursts, echo, ARP, mobility, duplicate
+// SYNs) and random model options (canonical tables, rule expiry, channel
+// faults, properties).
+//
+// The generator is the input half of the reduction × state-store ×
+// thread differential sweep (test_fuzz_scenarios.cpp): every mode
+// combination must report identical violations / unique states /
+// quiescent states on each generated scenario. It lives in a header so
+// future suites (new reductions, new stores, distributed drivers) can
+// reuse the same corpus.
+#ifndef NICE_TESTS_MC_FUZZ_SCENARIOS_H
+#define NICE_TESTS_MC_FUZZ_SCENARIOS_H
+
+#include <cstdint>
+#include <string>
+
+#include "apps/scenarios.h"
+
+namespace nicemc::apps {
+
+/// Deterministically build the mini-scenario for `seed`. Scenarios are
+/// sized for exhaustive search: the unreduced transition count stays in
+/// the low thousands (enforced by the fuzz test's sanity bound).
+Scenario fuzz_scenario(std::uint64_t seed);
+
+/// A short human-readable tag of what `seed` generates (family + knobs),
+/// for test failure messages.
+std::string fuzz_scenario_name(std::uint64_t seed);
+
+}  // namespace nicemc::apps
+
+#endif  // NICE_TESTS_MC_FUZZ_SCENARIOS_H

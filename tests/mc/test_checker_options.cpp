@@ -1,12 +1,29 @@
 // Checker option coverage: limits, collect-all-violations mode, depth
-// bounds, and the interaction between strategies and baselines.
+// bounds, the interaction between strategies and baselines, and the full
+// reduction × state-store option matrix (time limits, hit_limit
+// reporting, store statistics).
 #include <gtest/gtest.h>
+
+#include <string>
 
 #include "apps/scenarios.h"
 #include "mc/checker.h"
 
 namespace nicemc::mc {
 namespace {
+
+constexpr Reduction kAllReductions[] = {
+    Reduction::kNone, Reduction::kSleep, Reduction::kSleepPersistent,
+    Reduction::kSourceDpor};
+constexpr util::ShardedSeenSet::Mode kAllStores[] = {
+    util::ShardedSeenSet::Mode::kHash,
+    util::ShardedSeenSet::Mode::kFullState,
+    util::ShardedSeenSet::Mode::kCollapsed};
+
+std::string cell_tag(Reduction r, util::ShardedSeenSet::Mode m) {
+  return reduction_name(r) + " store=" +
+         std::to_string(static_cast<int>(m));
+}
 
 TEST(CheckerOptions, CollectAllViolationsExhaustsTheSpace) {
   // BUG-IV and BUG-VI are both live in this configuration: collect-all
@@ -157,6 +174,87 @@ TEST(CheckerOptions, TimeLimitStopsParallelSearch) {
   const CheckerResult r = checker.run();
   EXPECT_FALSE(r.exhausted);
   EXPECT_EQ(r.hit_limit, LimitReason::kTime);
+}
+
+TEST(CheckerOptions, TimeLimitMatrixAcrossReductionsAndStores) {
+  // Every reduction × state-store pair must honor the wall-clock budget:
+  // a run truncated by time reports hit_limit = kTime and never claims
+  // exhaustion, whatever bookkeeping (sleep store, wakeup trees,
+  // interning tables) rides along.
+  for (const Reduction r : kAllReductions) {
+    for (const util::ShardedSeenSet::Mode m : kAllStores) {
+      auto s = apps::pyswitch_ping_chain(4);
+      CheckerOptions opt;
+      opt.reduction = r;
+      opt.state_store = m;
+      opt.time_limit_seconds = 0.004;
+      Checker checker(s.config, opt, s.properties);
+      const CheckerResult res = checker.run();
+      const std::string tag = cell_tag(r, m);
+      EXPECT_FALSE(res.exhausted) << tag;
+      EXPECT_EQ(res.hit_limit, LimitReason::kTime) << tag;
+    }
+  }
+}
+
+TEST(CheckerOptions, StoreStatsConsistentAcrossReductionMatrix) {
+  // Exhaustive runs across the full matrix: store statistics must match
+  // the store mode (interning counters exactly when collapsed; nonzero
+  // store bytes always) and wakeup statistics must appear exactly in
+  // kSourceDpor mode.
+  for (const Reduction r : kAllReductions) {
+    for (const util::ShardedSeenSet::Mode m : kAllStores) {
+      auto s = apps::pyswitch_ping_chain(2);
+      CheckerOptions opt;
+      opt.stop_at_first_violation = false;
+      opt.reduction = r;
+      opt.state_store = m;
+      Checker checker(s.config, opt, s.properties);
+      const CheckerResult res = checker.run();
+      const std::string tag = cell_tag(r, m);
+      EXPECT_TRUE(res.exhausted) << tag;
+      EXPECT_EQ(res.hit_limit, LimitReason::kNone) << tag;
+      EXPECT_GT(res.store_bytes, 0u) << tag;
+      if (m == util::ShardedSeenSet::Mode::kCollapsed) {
+        EXPECT_GT(res.collapse.unique_blobs, 0u) << tag;
+        EXPECT_GT(res.collapse.dedupe_ratio, 1.0) << tag;
+      } else {
+        EXPECT_EQ(res.collapse.unique_blobs, 0u) << tag;
+      }
+      if (r == Reduction::kSourceDpor) {
+        EXPECT_GT(res.wakeup.trees, 0u) << tag;
+        EXPECT_GT(res.wakeup.sequences, 0u) << tag;
+      } else {
+        EXPECT_EQ(res.wakeup.trees, 0u) << tag;
+        EXPECT_EQ(res.wakeup.sequences, 0u) << tag;
+      }
+    }
+  }
+}
+
+TEST(CheckerOptions, CountLimitsReportReasonUnderReduction) {
+  // Transition / unique-state caps keep their reporting contract when
+  // the reduction layer is active (the caps see reduced counts).
+  for (const Reduction r :
+       {Reduction::kSleepPersistent, Reduction::kSourceDpor}) {
+    auto s = apps::pyswitch_ping_chain(3);
+    CheckerOptions opt;
+    opt.reduction = r;
+    opt.max_transitions = 150;
+    Checker by_transitions(s.config, opt, s.properties);
+    const CheckerResult rt = by_transitions.run();
+    EXPECT_FALSE(rt.exhausted) << reduction_name(r);
+    EXPECT_EQ(rt.hit_limit, LimitReason::kTransitions) << reduction_name(r);
+
+    auto s2 = apps::pyswitch_ping_chain(3);
+    CheckerOptions opt2;
+    opt2.reduction = r;
+    opt2.max_unique_states = 80;
+    Checker by_states(s2.config, opt2, s2.properties);
+    const CheckerResult rs = by_states.run();
+    EXPECT_FALSE(rs.exhausted) << reduction_name(r);
+    EXPECT_EQ(rs.hit_limit, LimitReason::kUniqueStates) << reduction_name(r);
+  }
 }
 
 TEST(CheckerOptions, TimeLimitStopsRandomWalks) {

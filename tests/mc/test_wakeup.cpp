@@ -1,0 +1,280 @@
+// The wakeup-tree layer (mc/por/wakeup.h) and its SleepStore integration:
+// insertion / context-subsumption / antichain invariants of the trie,
+// first-dispatch ordering, claimed wakeup sequences, targeted and
+// claim-free arrivals, and the race-reversal replay property — recorded
+// conflicting schedules replay deterministically to byte-identical
+// canonical states, and genuinely race (the two orders can disagree),
+// extending the commutation pattern of test_por_footprint.cpp to the
+// dependent pairs the wakeup trees exist for.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+#include "mc/por/footprint.h"
+#include "mc/por/sleep.h"
+#include "mc/por/wakeup.h"
+#include "util/hash.h"
+
+namespace nicemc::mc::por {
+namespace {
+
+using Seq = std::vector<std::uint64_t>;
+
+TEST(WakeupTree, InsertContainsAndInsertionOrderedRoots) {
+  WakeupTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.insert({7}, {}));
+  EXPECT_TRUE(t.insert({3}, {}));
+  EXPECT_TRUE(t.insert({9}, {}));
+  EXPECT_TRUE(t.contains({7}));
+  EXPECT_FALSE(t.contains({8}));
+  // Roots come back in first-dispatch (insertion) order, not key order.
+  Seq roots;
+  t.roots(roots);
+  EXPECT_EQ(roots, (Seq{7, 3, 9}));
+  EXPECT_EQ(t.nodes(), 3u);
+  EXPECT_EQ(t.sequences(), 3u);
+}
+
+TEST(WakeupTree, DeepSequencesShareThePrefixPath) {
+  WakeupTree t;
+  EXPECT_TRUE(t.insert({1, 2}, {}));
+  EXPECT_TRUE(t.insert({1, 4}, {}));
+  EXPECT_TRUE(t.insert({1, 2, 8}, {}));
+  // The shared prefix node is created once; contains() is context-blind
+  // path existence, so the intermediate {1} path also reports present.
+  EXPECT_EQ(t.nodes(), 4u);
+  EXPECT_TRUE(t.contains({1}));
+  EXPECT_TRUE(t.contains({1, 2, 8}));
+  EXPECT_FALSE(t.contains({1, 8}));
+  EXPECT_EQ(t.continuations(1), (Seq{2, 4}));
+  EXPECT_TRUE(t.continuations(2).empty());
+}
+
+TEST(WakeupTree, ContextSubsumptionGovernsInsertAndCovered) {
+  WakeupTree t;
+  WakeupContext big{1, 2, 3};
+  normalize_context(big);
+  EXPECT_TRUE(t.insert({5}, big));
+  // A dispatch under a superset context is covered: it would explore a
+  // subset of what the recorded dispatch already reached.
+  EXPECT_TRUE(t.covered({5}, {1, 2, 3}));
+  EXPECT_TRUE(t.covered({5}, {1, 2, 3, 4}));
+  EXPECT_FALSE(t.covered({5}, {1, 2}));
+  EXPECT_FALSE(t.insert({5}, {1, 2, 3, 4}));  // already covered: no-op
+  EXPECT_EQ(t.sequences(), 1u);
+
+  // A smaller context replaces what it subsumes (minimal antichain).
+  EXPECT_TRUE(t.insert({5}, {2}));
+  EXPECT_TRUE(t.covered({5}, {2}));
+  EXPECT_TRUE(t.covered({5}, {1, 2}));
+  EXPECT_FALSE(t.covered({5}, {1, 3}));
+  EXPECT_EQ(t.sequences(), 1u);  // same endpoint, tighter claim
+
+  // Incomparable contexts coexist.
+  EXPECT_TRUE(t.insert({5}, {1, 3}));
+  EXPECT_TRUE(t.covered({5}, {1, 3}));
+  EXPECT_TRUE(t.covered({5}, {2}));
+  // The empty context subsumes everything.
+  EXPECT_TRUE(t.insert({5}, {}));
+  EXPECT_TRUE(t.covered({5}, {}));
+  EXPECT_FALSE(t.insert({5}, {9}));  // {} already covers any context
+}
+
+TEST(WakeupTree, NormalizeAndSubsumeHelpers) {
+  WakeupContext c{9, 1, 9, 4};
+  normalize_context(c);
+  EXPECT_EQ(c, (WakeupContext{1, 4, 9}));
+  EXPECT_TRUE(context_subsumes({1, 4}, {1, 4, 9}));
+  EXPECT_TRUE(context_subsumes({}, {1}));
+  EXPECT_FALSE(context_subsumes({2}, {1, 4, 9}));
+}
+
+TEST(SleepStoreWakeup, RecordScheduleExposesDispatchOrderAndRaces) {
+  SleepStore store(4);
+  const util::Hash128 h{1, 2};
+  const std::string id = "state";
+  Footprint fp;
+  SleepSet z;
+  z.push_back(SleepEntry{40, fp});
+  EXPECT_TRUE(store.arrive(h, id, z, /*wakeups=*/true).first);
+
+  // One batch: events 10, 20, 30 dispatched in that order; 10 and 30
+  // conflict, recorded as the depth-2 race sequence 10·30.
+  std::vector<WakeupContext> ctxs(3);
+  EXPECT_EQ(store.record_schedule(h, id, {10, 20, 30}, std::move(ctxs),
+                                  {{0, 2}}),
+            4u);
+
+  // A pure revisit (nothing re-expanded) skips the roots copy; a revisit
+  // that wakes the stored 40 gets them in first-dispatch order.
+  const auto pure = store.arrive(h, id, z, /*wakeups=*/true);
+  EXPECT_FALSE(pure.first);
+  EXPECT_TRUE(pure.explore.empty());
+  EXPECT_TRUE(pure.dispatched.empty());
+  const auto revisit = store.arrive(h, id, {}, /*wakeups=*/true);
+  EXPECT_FALSE(revisit.first);
+  EXPECT_EQ(revisit.explore, (Seq{40}));
+  EXPECT_EQ(revisit.dispatched, (Seq{10, 20, 30}));
+
+  const auto totals = store.wakeup_totals();
+  EXPECT_EQ(totals.trees, 1u);
+  EXPECT_EQ(totals.sequences, 4u);  // three roots + one race pair
+  EXPECT_TRUE(store.covered(h, id, 20, {}));
+  EXPECT_FALSE(store.covered(h, id, 40, {}));
+}
+
+TEST(SleepStoreWakeup, ClaimWakeupsIsOnceOnlyPerPair) {
+  SleepStore store(2);
+  const util::Hash128 h{3, 4};
+  const std::string id = "s";
+  EXPECT_EQ(store.claim_wakeups(h, id, 10, {20, 30}), (Seq{20, 30}));
+  // Second claim of the same pairs yields nothing; fresh wakees pass.
+  EXPECT_EQ(store.claim_wakeups(h, id, 10, {20, 30, 40}), (Seq{40}));
+  EXPECT_TRUE(store.claim_wakeups(h, id, 10, {30}).empty());
+  // A different root event claims independently.
+  EXPECT_EQ(store.claim_wakeups(h, id, 11, {20}), (Seq{20}));
+}
+
+TEST(SleepStoreWakeup, TargetedArrivalWakesExactlyTheWakeList) {
+  SleepStore store(2);
+  const util::Hash128 h{5, 6};
+  const std::string id = "s";
+  Footprint fp;
+  SleepSet z;
+  z.push_back(SleepEntry{10, fp});
+  z.push_back(SleepEntry{20, fp});
+  z.push_back(SleepEntry{30, fp});
+  EXPECT_TRUE(store.arrive(h, id, z).first);
+
+  // Targeted: wake 20 (owed) and 40 (never slept here → nothing to do);
+  // 10 and 30 keep their stored justification even though the carried
+  // sleep set is empty.
+  const Seq wake{20, 40};
+  const auto t = store.arrive(h, id, {}, false, &wake);
+  EXPECT_FALSE(t.first);
+  EXPECT_EQ(t.explore, (Seq{20}));
+
+  // The same wake again: 20 already dispatched, nothing owed.
+  const auto t2 = store.arrive(h, id, {}, false, &wake);
+  EXPECT_TRUE(t2.explore.empty());
+
+  // A normal empty-sleep revisit still re-opens the untouched residue.
+  const auto n = store.arrive(h, id, {});
+  EXPECT_EQ(n.explore, (Seq{10, 30}));
+}
+
+TEST(SleepStoreWakeup, ObserveArrivalTouchesNothing) {
+  SleepStore store(2);
+  const util::Hash128 h{7, 8};
+  const std::string id = "s";
+  Footprint fp;
+  SleepSet z;
+  z.push_back(SleepEntry{10, fp});
+  EXPECT_TRUE(store.arrive(h, id, z).first);
+
+  // Claim-free visit: no explore, and the stored set is left alone.
+  const auto o = store.arrive(h, id, {}, false, nullptr, /*observe=*/true);
+  EXPECT_FALSE(o.first);
+  EXPECT_TRUE(o.explore.empty());
+  const auto n = store.arrive(h, id, {});
+  EXPECT_EQ(n.explore, (Seq{10}));
+
+  // At an unknown state, observe falls back to a first arrival.
+  const auto f =
+      store.arrive(h, "other", z, false, nullptr, /*observe=*/true);
+  EXPECT_TRUE(f.first);
+}
+
+std::string canonical_bytes(const SystemState& st, bool canonical) {
+  util::Ser s;
+  st.serialize(s, canonical);
+  const auto b = s.bytes();
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+bool contains_t(const std::vector<Transition>& ts, const Transition& t) {
+  return std::find(ts.begin(), ts.end(), t) != ts.end();
+}
+
+// Race-reversal replay: walk real scenario states; record every
+// conflicting enabled pair (both orders applicable) as the depth-2
+// schedule the search would commit to, then replay each recorded
+// sequence twice — replays must be deterministic to byte-identical
+// canonical states — and replay the reversal, counting how often the two
+// orders genuinely disagree (the races the wakeup trees exist for).
+TEST(WakeupReplay, RecordedRaceSequencesReplayDeterministically) {
+  std::size_t recorded = 0;
+  std::size_t disagreements = 0;
+  for (const apps::NamedScenario& ns : apps::bundled_scenarios()) {
+    const apps::Scenario s = ns.make();
+    Executor executor(s.config, s.properties);
+    DiscoveryCache cache;
+    const bool keys = packet_keyed(s.properties);
+    const bool canonical = s.config.canonical_flowtables;
+    WakeupTree tree;
+
+    for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    util::SplitMix64 rng(seed);
+    SystemState state = executor.make_initial();
+    for (int step = 0; step < 60; ++step) {
+      const auto ts =
+          apply_strategy(CheckerOptions{}.strategy, s.config, state,
+                         executor.enabled(state, cache));
+      if (ts.empty()) break;
+
+      std::vector<Footprint> fps(ts.size());
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        fps[i] = compute_footprint(s.config, state, ts[i]);
+      }
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        for (std::size_t j = i + 1; j < ts.size(); ++j) {
+          if (!may_conflict(fps[i], fps[j], keys)) continue;
+          const Seq seq{transition_hash(ts[i]), transition_hash(ts[j])};
+          const bool fresh = tree.insert(seq, {});
+          EXPECT_TRUE(tree.contains(seq));
+          if (!fresh) continue;
+          ++recorded;
+
+          // Replay the recorded schedule twice: byte-identical states.
+          const auto replay = [&](std::size_t a,
+                                  std::size_t b) -> std::string {
+            std::vector<Violation> ignored;
+            SystemState st = state.clone();
+            executor.apply(st, ts[a], ignored);
+            if (!contains_t(executor.enabled(st, cache), ts[b])) {
+              return {};  // conflicting partner got disabled: no replay
+            }
+            executor.apply(st, ts[b], ignored);
+            return canonical_bytes(st, canonical);
+          };
+          const std::string once = replay(i, j);
+          EXPECT_EQ(once, replay(i, j)) << ns.name;
+          // The reversal (when applicable) is allowed to disagree —
+          // that disagreement is what makes the pair a race.
+          const std::string rev = replay(j, i);
+          if (!once.empty() && !rev.empty() && once != rev) {
+            ++disagreements;
+          }
+        }
+      }
+
+      const Transition& t =
+          ts[static_cast<std::size_t>(rng.next_below(ts.size()))];
+      std::vector<Violation> ignored;
+      executor.apply(state, t, ignored);
+    }
+    }
+  }
+  // The sweep must exercise real races, and many must genuinely reorder
+  // (that disagreement is exactly why the pair was recorded as ordered).
+  EXPECT_GT(recorded, 50u);
+  EXPECT_GT(disagreements, 20u);
+}
+
+}  // namespace
+}  // namespace nicemc::mc::por
