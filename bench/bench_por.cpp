@@ -8,7 +8,18 @@
 // than kSleepPersistent. The run aborts loudly on any mismatch, so a
 // successful run doubles as a check (the CI bench-por job relies on it).
 //
-// Usage: bench_por [--json out.json]
+// Every (scenario, reduction) cell runs twice — memo on and memo off
+// (CheckerOptions::memo, the footprint/discovery memoization layer) —
+// with two more runtime gates:
+//   * the memo knob must not change violation/unique/quiescent/transition
+//     counts (pure-function caching, differentially enforced);
+//   * the footprint-memo hit rate of every reduced memo-on run must stay
+//     above a floor on the bundled scenarios (CI fails on regression).
+//
+// Usage: bench_por [--json out.json] [--repeat N]
+//   --repeat N re-runs every cell N times and records the minimum wall
+//   time (counts are asserted identical across repeats); use when
+//   regenerating the committed BENCH_por.json on a noisy machine.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,12 +34,40 @@ using mc::violation_key_set;
 
 namespace {
 
-mc::CheckerResult run_scenario(apps::Scenario s, mc::Reduction reduction) {
-  mc::CheckerOptions opt;
-  opt.stop_at_first_violation = false;
-  opt.reduction = reduction;
-  mc::Checker checker(s.config, opt, s.properties);
-  return checker.run();
+/// Minimum footprint-memo hit rate on every bundled scenario's reduced
+/// memo-on runs (only rows with enough lookups to be meaningful — see
+/// check_hit_rate_floor). Sequential searches are deterministic, so the
+/// rates are exactly reproducible; the lowest today is lb-fixed under
+/// SLEEP+PERSISTENT at 0.357 (most sit between 0.44 and 0.86). The floor
+/// is a regression tripwire for the key scheme — a keying change that
+/// silently turns the memo into a miss machine trips it — not a target.
+constexpr double kFootprintHitRateFloor = 0.30;
+
+mc::CheckerResult run_scenario(const apps::NamedScenario& ns,
+                               mc::Reduction reduction, bool memo,
+                               int repeats) {
+  mc::CheckerResult best;
+  for (int i = 0; i < repeats; ++i) {
+    apps::Scenario s = ns.make();
+    mc::CheckerOptions opt;
+    opt.stop_at_first_violation = false;
+    opt.reduction = reduction;
+    opt.memo = memo;
+    mc::Checker checker(s.config, opt, s.properties);
+    mc::CheckerResult r = checker.run();
+    if (i == 0) {
+      best = std::move(r);
+      continue;
+    }
+    if (r.transitions != best.transitions ||
+        r.unique_states != best.unique_states) {
+      std::fprintf(stderr, "FATAL: %s: nondeterministic repeat\n",
+                   ns.name.c_str());
+      std::exit(1);
+    }
+    if (r.seconds < best.seconds) best = std::move(r);
+  }
+  return best;
 }
 
 void check_sound(const char* scenario, const char* mode,
@@ -51,9 +90,71 @@ void check_sound(const char* scenario, const char* mode,
   }
 }
 
+/// The memo-knob soundness gate: memoization is pure-function caching, so
+/// flipping it must be invisible in every search count.
+void check_memo_identical(const char* scenario, const char* mode,
+                          const mc::CheckerResult& on,
+                          const mc::CheckerResult& off) {
+  if (on.transitions != off.transitions ||
+      on.unique_states != off.unique_states ||
+      on.quiescent_states != off.quiescent_states ||
+      violation_key_set(on) != violation_key_set(off)) {
+    std::fprintf(
+        stderr,
+        "FATAL: %s under %s differs across the memo knob "
+        "(transitions %llu vs %llu, unique %llu vs %llu, quiescent %llu "
+        "vs %llu, violations %zu vs %zu)\n",
+        scenario, mode, static_cast<unsigned long long>(on.transitions),
+        static_cast<unsigned long long>(off.transitions),
+        static_cast<unsigned long long>(on.unique_states),
+        static_cast<unsigned long long>(off.unique_states),
+        static_cast<unsigned long long>(on.quiescent_states),
+        static_cast<unsigned long long>(off.quiescent_states),
+        violation_key_set(on).size(), violation_key_set(off).size());
+    std::exit(1);
+  }
+}
+
+double hit_rate(std::uint64_t hits, std::uint64_t misses) {
+  const std::uint64_t lookups = hits + misses;
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(lookups);
+}
+
+double fp_hit_rate(const mc::CheckerResult& r) {
+  return hit_rate(r.memo.footprint_hits, r.memo.footprint_misses);
+}
+
+void check_hit_rate_floor(const char* scenario, const char* mode,
+                          const mc::CheckerResult& on) {
+  const std::uint64_t lookups =
+      on.memo.footprint_hits + on.memo.footprint_misses;
+  // Tiny searches have nothing to reuse (every footprint is computed
+  // once); the floor is about sustained reuse on real state spaces.
+  if (lookups < 500) return;
+  const double rate = fp_hit_rate(on);
+  if (rate < kFootprintHitRateFloor) {
+    std::fprintf(stderr,
+                 "FATAL: %s under %s: footprint memo hit rate %.3f below "
+                 "floor %.2f (%llu hits / %llu lookups)\n",
+                 scenario, mode, rate, kFootprintHitRateFloor,
+                 static_cast<unsigned long long>(on.memo.footprint_hits),
+                 static_cast<unsigned long long>(lookups));
+    std::exit(1);
+  }
+}
+
+/// One (scenario, reduction) cell: the same search with the memo on and
+/// off. Counts are gate-checked identical; `on.seconds` vs `off.seconds`
+/// is the layer's wall-time effect.
+struct ModePair {
+  mc::CheckerResult on, off;
+};
+
 struct Row {
   std::string name;
-  mc::CheckerResult none, sleep, persistent, source;
+  ModePair none, sleep, persistent, source;
 };
 
 double ratio(const mc::CheckerResult& none, const mc::CheckerResult& red) {
@@ -63,51 +164,78 @@ double ratio(const mc::CheckerResult& none, const mc::CheckerResult& red) {
              : 0.0;
 }
 
+double wall_ratio(double base, double red) {
+  return base > 0.0 ? red / base : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
+  int repeats = 1;
   for (int i = 1; i < argc - 1; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--repeat") == 0) {
+      repeats = std::atoi(argv[i + 1]);
+      if (repeats < 1) repeats = 1;
+    }
   }
 
   std::vector<Row> rows;
-  std::printf("%-22s %10s %10s %10s %10s %10s %7s %7s %7s\n", "scenario",
-              "unique", "t(NONE)", "t(SLEEP)", "t(S+P)", "t(SRC)", "xSLEEP",
-              "xS+P", "xSRC");
+  std::printf("%-22s %10s %9s %9s %9s %7s %7s %7s %7s %6s\n", "scenario",
+              "t(NONE)", "t(S+P)", "t(SRC)", "s(NONE)", "s(S+P)", "s(SRC)",
+              "noMemo", "xWALL", "fpHit");
   for (const apps::NamedScenario& ns : apps::bundled_scenarios()) {
     Row row;
     row.name = ns.name;
-    row.none = run_scenario(ns.make(), mc::Reduction::kNone);
-    row.sleep = run_scenario(ns.make(), mc::Reduction::kSleep);
-    row.persistent = run_scenario(ns.make(), mc::Reduction::kSleepPersistent);
-    row.source = run_scenario(ns.make(), mc::Reduction::kSourceDpor);
-    check_sound(ns.name.c_str(), "SLEEP", row.none, row.sleep);
-    check_sound(ns.name.c_str(), "SLEEP+PERSISTENT", row.none,
-                row.persistent);
-    check_sound(ns.name.c_str(), "SOURCE-DPOR", row.none, row.source);
-    if (row.source.transitions > row.persistent.transitions) {
-      std::fprintf(stderr,
-                   "FATAL: %s: SOURCE-DPOR explored %llu transitions > "
-                   "SLEEP+PERSISTENT's %llu (replays %llu woken %llu)\n",
-                   ns.name.c_str(),
-                   static_cast<unsigned long long>(row.source.transitions),
-                   static_cast<unsigned long long>(
-                       row.persistent.transitions),
-                   static_cast<unsigned long long>(row.source.wakeup.replays),
-                   static_cast<unsigned long long>(row.source.wakeup.woken));
+    auto pair = [&](mc::Reduction r) {
+      return ModePair{run_scenario(ns, r, /*memo=*/true, repeats),
+                      run_scenario(ns, r, /*memo=*/false, repeats)};
+    };
+    row.none = pair(mc::Reduction::kNone);
+    row.sleep = pair(mc::Reduction::kSleep);
+    row.persistent = pair(mc::Reduction::kSleepPersistent);
+    row.source = pair(mc::Reduction::kSourceDpor);
+
+    check_sound(ns.name.c_str(), "SLEEP", row.none.on, row.sleep.on);
+    check_sound(ns.name.c_str(), "SLEEP+PERSISTENT", row.none.on,
+                row.persistent.on);
+    check_sound(ns.name.c_str(), "SOURCE-DPOR", row.none.on, row.source.on);
+    check_memo_identical(ns.name.c_str(), "NONE", row.none.on, row.none.off);
+    check_memo_identical(ns.name.c_str(), "SLEEP", row.sleep.on,
+                         row.sleep.off);
+    check_memo_identical(ns.name.c_str(), "SLEEP+PERSISTENT",
+                         row.persistent.on, row.persistent.off);
+    check_memo_identical(ns.name.c_str(), "SOURCE-DPOR", row.source.on,
+                         row.source.off);
+    check_hit_rate_floor(ns.name.c_str(), "SLEEP", row.sleep.on);
+    check_hit_rate_floor(ns.name.c_str(), "SLEEP+PERSISTENT",
+                         row.persistent.on);
+    check_hit_rate_floor(ns.name.c_str(), "SOURCE-DPOR", row.source.on);
+    if (row.source.on.transitions > row.persistent.on.transitions) {
+      std::fprintf(
+          stderr,
+          "FATAL: %s: SOURCE-DPOR explored %llu transitions > "
+          "SLEEP+PERSISTENT's %llu (replays %llu woken %llu)\n",
+          ns.name.c_str(),
+          static_cast<unsigned long long>(row.source.on.transitions),
+          static_cast<unsigned long long>(row.persistent.on.transitions),
+          static_cast<unsigned long long>(row.source.on.wakeup.replays),
+          static_cast<unsigned long long>(row.source.on.wakeup.woken));
       std::exit(1);
     }
-    std::printf("%-22s %10llu %10llu %10llu %10llu %10llu %6.2fx %6.2fx "
-                "%6.2fx\n",
-                ns.name.c_str(),
-                static_cast<unsigned long long>(row.none.unique_states),
-                static_cast<unsigned long long>(row.none.transitions),
-                static_cast<unsigned long long>(row.sleep.transitions),
-                static_cast<unsigned long long>(row.persistent.transitions),
-                static_cast<unsigned long long>(row.source.transitions),
-                ratio(row.none, row.sleep), ratio(row.none, row.persistent),
-                ratio(row.none, row.source));
+
+    std::printf(
+        "%-22s %10llu %9llu %9llu %6.3fs %6.3fs %6.3fs %6.3fs %6.2fx "
+        "%5.0f%%\n",
+        ns.name.c_str(),
+        static_cast<unsigned long long>(row.none.on.transitions),
+        static_cast<unsigned long long>(row.persistent.on.transitions),
+        static_cast<unsigned long long>(row.source.on.transitions),
+        row.none.on.seconds, row.persistent.on.seconds, row.source.on.seconds,
+        row.source.off.seconds,
+        wall_ratio(row.none.on.seconds, row.source.on.seconds),
+        100.0 * fp_hit_rate(row.source.on));
     rows.push_back(std::move(row));
   }
 
@@ -120,36 +248,55 @@ int main(int argc, char** argv) {
     std::fprintf(f, "{\n  \"bench\": \"por\",\n  \"scenarios\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
-      auto emit = [&](const char* key, const mc::CheckerResult& cr,
-                      const char* tail) {
+      auto emit = [&](const char* key, const ModePair& mp) {
+        const mc::CheckerResult& cr = mp.on;
         std::fprintf(f,
                      "      \"%s\": {\"transitions\": %llu, \"unique_states\""
                      ": %llu, \"revisits\": %llu, \"violations\": %zu, "
-                     "\"seconds\": %.4f}%s\n",
+                     "\"seconds\": %.4f, \"seconds_memo_off\": %.4f, "
+                     "\"memo\": {\"footprint_hits\": %llu, "
+                     "\"footprint_misses\": %llu, \"footprint_hit_rate\": "
+                     "%.3f, \"discover_hits\": %llu, \"discover_misses\": "
+                     "%llu, \"bytes\": %llu}},\n",
                      key, static_cast<unsigned long long>(cr.transitions),
                      static_cast<unsigned long long>(cr.unique_states),
                      static_cast<unsigned long long>(cr.revisits),
-                     violation_key_set(cr).size(), cr.seconds, tail);
+                     violation_key_set(cr).size(), cr.seconds,
+                     mp.off.seconds,
+                     static_cast<unsigned long long>(cr.memo.footprint_hits),
+                     static_cast<unsigned long long>(
+                         cr.memo.footprint_misses),
+                     fp_hit_rate(cr),
+                     static_cast<unsigned long long>(cr.memo.discover_hits),
+                     static_cast<unsigned long long>(
+                         cr.memo.discover_misses),
+                     static_cast<unsigned long long>(cr.memo.bytes));
       };
       std::fprintf(f, "    {\n      \"name\": \"%s\",\n", r.name.c_str());
-      emit("none", r.none, ",");
-      emit("sleep", r.sleep, ",");
-      emit("sleep_persistent", r.persistent, ",");
-      emit("source_dpor", r.source, ",");
+      emit("none", r.none);
+      emit("sleep", r.sleep);
+      emit("sleep_persistent", r.persistent);
+      emit("source_dpor", r.source);
       std::fprintf(
           f,
           "      \"wakeup\": {\"replays\": %llu, \"woken\": %llu, "
           "\"trees\": %llu, \"sequences\": %llu},\n",
-          static_cast<unsigned long long>(r.source.wakeup.replays),
-          static_cast<unsigned long long>(r.source.wakeup.woken),
-          static_cast<unsigned long long>(r.source.wakeup.trees),
-          static_cast<unsigned long long>(r.source.wakeup.sequences));
+          static_cast<unsigned long long>(r.source.on.wakeup.replays),
+          static_cast<unsigned long long>(r.source.on.wakeup.woken),
+          static_cast<unsigned long long>(r.source.on.wakeup.trees),
+          static_cast<unsigned long long>(r.source.on.wakeup.sequences));
       std::fprintf(f,
                    "      \"reduction_sleep\": %.3f,\n"
                    "      \"reduction_sleep_persistent\": %.3f,\n"
-                   "      \"reduction_source_dpor\": %.3f\n    }%s\n",
-                   ratio(r.none, r.sleep), ratio(r.none, r.persistent),
-                   ratio(r.none, r.source), i + 1 < rows.size() ? "," : "");
+                   "      \"reduction_source_dpor\": %.3f,\n"
+                   "      \"wall_overhead_sleep_persistent\": %.3f,\n"
+                   "      \"wall_overhead_source_dpor\": %.3f\n    }%s\n",
+                   ratio(r.none.on, r.sleep.on),
+                   ratio(r.none.on, r.persistent.on),
+                   ratio(r.none.on, r.source.on),
+                   wall_ratio(r.none.on.seconds, r.persistent.on.seconds),
+                   wall_ratio(r.none.on.seconds, r.source.on.seconds),
+                   i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

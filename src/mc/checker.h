@@ -52,8 +52,25 @@ class Checker {
                      : std::make_unique<por::Reducer>(options.reduction,
                                                       packet_keyed(props),
                                                       shard_count(options))),
+        // The memo layer keys on component identities that the seen-set's
+        // own bookkeeping already computes: interned ids in kCollapsed
+        // mode (collapse_key warms the Snap::form_id memos as a side
+        // effect), memoized component form hashes otherwise.
+        fp_memo_(options.memo
+                     ? std::make_unique<por::FootprintMemo>(
+                           cfg_, collapse_.get(), shard_count(options),
+                           options.memo_budget_bytes / 2)
+                     : nullptr),
+        disc_memo_(options.memo
+                       ? std::make_unique<DiscoveryMemo>(
+                             collapse_.get(), shard_count(options),
+                             options.memo_budget_bytes -
+                                 options.memo_budget_bytes / 2)
+                       : nullptr),
         core_(cfg_, options_, executor_, seen_, reducer_.get(),
-              collapse_.get()) {}
+              collapse_.get(), fp_memo_.get(), disc_memo_.get()) {
+    executor_.set_discovery_memo(disc_memo_.get());
+  }
 
   // core_ holds references into this object's own members, so moving or
   // copying a Checker would leave it pointing at the source.
@@ -93,6 +110,8 @@ class Checker {
   util::ShardedSeenSet seen_;
   std::unique_ptr<util::CollapseTable> collapse_;
   std::unique_ptr<por::Reducer> reducer_;
+  std::unique_ptr<por::FootprintMemo> fp_memo_;
+  std::unique_ptr<DiscoveryMemo> disc_memo_;
   SearchCore core_;
   DiscoveryCache cache_;
 };

@@ -27,6 +27,91 @@ void DiscoveryCache::store_stats(of::SwitchId sw, util::Hash128 ctrl_hash,
   stats_values_.emplace(StatsKey{sw, ctrl_hash}, std::move(values));
 }
 
+namespace {
+
+std::string_view ser_view(const util::Ser& s) {
+  const auto b = s.bytes();
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+}  // namespace
+
+void DiscoveryMemo::put_app_id(util::Ser& key,
+                               const SystemState& state) const {
+  if (ids_ != nullptr) {
+    key.put_u32(state.app_state_id(*ids_));
+  } else {
+    const util::Hash128 h = state.ctrl_hash();
+    key.put_u64(h.lo);
+    key.put_u64(h.hi);
+  }
+}
+
+void DiscoveryMemo::packets_key(util::Ser& key, const SystemState& state,
+                                of::HostId host) const {
+  key.put_u8('P');
+  const hosts::HostState& hs = state.host(host);
+  key.put_u32(host);
+  key.put_u32(static_cast<std::uint32_t>(hs.sw));
+  key.put_u32(static_cast<std::uint32_t>(hs.port));
+  put_app_id(key, state);
+}
+
+void DiscoveryMemo::stats_key(util::Ser& key, const SystemState& state,
+                              of::SwitchId sw) const {
+  key.put_u8('S');
+  key.put_u32(sw);
+  put_app_id(key, state);
+  // The exact symbolic seeds discover_stats registers per port.
+  const of::Switch& swm = state.sw(sw);
+  for (const of::PortId p : swm.ports) {
+    const auto it = swm.port_stats.find(p);
+    key.put_u32(p);
+    key.put_u64(it == swm.port_stats.end()
+                    ? 0
+                    : (it->second.tx_bytes & 0xffffffffULL));
+  }
+}
+
+std::shared_ptr<const std::vector<sym::PacketFields>>
+DiscoveryMemo::find_packets(const SystemState& state, of::HostId host) {
+  thread_local util::Ser key;  // clear() keeps capacity across calls
+  key.clear();
+  packets_key(key, state, host);
+  return packets_.find(ser_view(key));
+}
+
+void DiscoveryMemo::store_packets(
+    const SystemState& state, of::HostId host,
+    const std::vector<sym::PacketFields>& packets) {
+  thread_local util::Ser key;
+  key.clear();
+  packets_key(key, state, host);
+  packets_.insert(ser_view(key), packets,
+                  packets.size() * sizeof(sym::PacketFields) +
+                      sizeof(packets));
+}
+
+std::shared_ptr<const std::vector<StatsValues>> DiscoveryMemo::find_stats(
+    const SystemState& state, of::SwitchId sw) {
+  thread_local util::Ser key;
+  key.clear();
+  stats_key(key, state, sw);
+  return stats_.find(ser_view(key));
+}
+
+void DiscoveryMemo::store_stats(const SystemState& state, of::SwitchId sw,
+                                const std::vector<StatsValues>& values) {
+  thread_local util::Ser key;
+  key.clear();
+  stats_key(key, state, sw);
+  std::size_t bytes = sizeof(values);
+  for (const StatsValues& v : values) {
+    bytes += sizeof(v) + v.size() * sizeof(StatsValues::value_type);
+  }
+  stats_.insert(ser_view(key), values, bytes);
+}
+
 std::vector<sym::PacketFields> discover_packets(const SystemConfig& cfg,
                                                 const SystemState& state,
                                                 of::HostId host,

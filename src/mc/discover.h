@@ -20,7 +20,9 @@
 
 #include "mc/system.h"
 #include "sym/sympacket.h"
+#include "util/collapse.h"
 #include "util/hash.h"
+#include "util/memo.h"
 
 namespace nicemc::mc {
 
@@ -59,6 +61,63 @@ class DiscoveryCache {
   std::map<PacketKey, std::vector<sym::PacketFields>> packets_;
   std::map<StatsKey, std::vector<StatsValues>> stats_values_;
   DiscoveryStats stats_;
+};
+
+/// Search-wide memo of discovery results, shared by all workers — the
+/// cross-state "relevant packets" index the paper recomputes from scratch
+/// per controller state (client.packets[state(ctrl)], Figure 5).
+///
+/// discover_packets is a pure function of (the client's <switch, port>
+/// location, the controller *application* state, the fixed config),
+/// discover_stats of (the switch's per-port tx_bytes seeds, the
+/// application state, the config). The application state is keyed by its
+/// interned projection id in kCollapsed mode (SystemState::app_state_id —
+/// id equality ⇔ app-bytes equality, collision-proof) and by its memoized
+/// projection hash otherwise (SystemState::ctrl_hash — already computed
+/// by every enabled() call, at the hash-store's own negligible collision
+/// risk); everything else by its exact bytes.
+///
+/// The per-worker DiscoveryCache stays in front of this: Executor::enabled
+/// consults it first and stores into it always, so sequential searches
+/// behave bit-identically with the memo on or off; the shared memo only
+/// short-circuits the symbolic run on a local miss.
+class DiscoveryMemo {
+ public:
+  /// `ids` is the seen-set's interning table in kCollapsed mode, nullptr
+  /// otherwise (memoized-hash keys).
+  DiscoveryMemo(util::CollapseTable* ids, std::size_t shards,
+                std::uint64_t byte_budget)
+      : ids_(ids),
+        packets_(shards, byte_budget / 2),
+        stats_(shards, byte_budget - byte_budget / 2) {}
+
+  [[nodiscard]] std::shared_ptr<const std::vector<sym::PacketFields>>
+  find_packets(const SystemState& state, of::HostId host);
+  void store_packets(const SystemState& state, of::HostId host,
+                     const std::vector<sym::PacketFields>& packets);
+
+  [[nodiscard]] std::shared_ptr<const std::vector<StatsValues>> find_stats(
+      const SystemState& state, of::SwitchId sw);
+  void store_stats(const SystemState& state, of::SwitchId sw,
+                   const std::vector<StatsValues>& values);
+
+  [[nodiscard]] util::MemoCore::Stats packet_stats() const {
+    return packets_.stats();
+  }
+  [[nodiscard]] util::MemoCore::Stats stats_stats() const {
+    return stats_.stats();
+  }
+
+ private:
+  void put_app_id(util::Ser& key, const SystemState& state) const;
+  void packets_key(util::Ser& key, const SystemState& state,
+                   of::HostId host) const;
+  void stats_key(util::Ser& key, const SystemState& state,
+                 of::SwitchId sw) const;
+
+  util::CollapseTable* ids_;
+  util::MemoTable<std::vector<sym::PacketFields>> packets_;
+  util::MemoTable<std::vector<StatsValues>> stats_;
 };
 
 /// Run symbolic execution of packet_in for `host` at its current location.

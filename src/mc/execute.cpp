@@ -74,7 +74,14 @@ std::vector<Transition> Executor::enabled(const SystemState& state,
     if (head_is_stats && cfg_.symbolic_discovery) {
       const std::vector<StatsValues>* vals = cache.find_stats(sw.id, chash);
       if (vals == nullptr) {
-        auto discovered = discover_stats(cfg_, state, sw.id, cache.stats());
+        std::vector<StatsValues> discovered;
+        if (const auto hit =
+                memo_ ? memo_->find_stats(state, sw.id) : nullptr) {
+          discovered = *hit;
+        } else {
+          discovered = discover_stats(cfg_, state, sw.id, cache.stats());
+          if (memo_) memo_->store_stats(state, sw.id, discovered);
+        }
         cache.store_stats(sw.id, chash, std::move(discovered));
         vals = cache.find_stats(sw.id, chash);
       }
@@ -160,7 +167,14 @@ std::vector<Transition> Executor::enabled(const SystemState& state,
       const std::vector<sym::PacketFields>* pkts =
           cache.find_packets(hs.id, chash);
       if (pkts == nullptr) {
-        auto discovered = discover_packets(cfg_, state, hs.id, cache.stats());
+        std::vector<sym::PacketFields> discovered;
+        if (const auto hit =
+                memo_ ? memo_->find_packets(state, hs.id) : nullptr) {
+          discovered = *hit;
+        } else {
+          discovered = discover_packets(cfg_, state, hs.id, cache.stats());
+          if (memo_) memo_->store_packets(state, hs.id, discovered);
+        }
         cache.store_packets(hs.id, chash, std::move(discovered));
         pkts = cache.find_packets(hs.id, chash);
       }

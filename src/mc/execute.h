@@ -29,6 +29,11 @@ class Executor {
   std::vector<Transition> enabled(const SystemState& state,
                                   DiscoveryCache& cache) const;
 
+  /// Attach the search-wide discovery memo (nullptr = off). Consulted only
+  /// on a local-cache miss and stored into after every fresh symbolic run,
+  /// so per-worker behavior is unchanged — hits merely skip recomputation.
+  void set_discovery_memo(DiscoveryMemo* memo) noexcept { memo_ = memo; }
+
   /// Execute `t` on `state`; property monitors observe the generated
   /// events and append any violations.
   void apply(SystemState& state, const Transition& t,
@@ -65,6 +70,7 @@ class Executor {
 
   const SystemConfig& cfg_;
   const PropertyList& props_;
+  DiscoveryMemo* memo_{nullptr};
 };
 
 }  // namespace nicemc::mc

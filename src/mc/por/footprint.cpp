@@ -306,4 +306,103 @@ std::uint64_t transition_hash(const Transition& t) {
   return util::fnv1a64(s.bytes());
 }
 
+namespace {
+
+/// Only the kinds whose footprint analysis does real work — simulating
+/// the switch pipeline or cloning the controller and running a handler —
+/// go through the memo. The host/queue kinds compute their footprint with
+/// a handful of vector pushes; for those even a warm lookup (key build +
+/// shard lock + entry copy) costs more than recomputation.
+constexpr bool memoizable(TKind k) {
+  switch (k) {
+    case TKind::kSwitchProcessPkt:
+    case TKind::kSwitchProcessOf:
+    case TKind::kCtrlDispatch:
+    case TKind::kCtrlExternal:
+    case TKind::kCtrlProcessStats:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Footprint FootprintMemo::get(const SystemState& state, const Transition& t) {
+  // NO-DELAY footprints are universal (computed in O(1)); the non-
+  // memoizable kinds are cheaper to recompute than to look up.
+  if (cfg_.no_delay || !memoizable(t.kind)) {
+    return compute_footprint(cfg_, state, t);
+  }
+
+  // Key = the transition's full serialization + the identities of the
+  // components its footprint analysis reads (see compute_footprint):
+  // interned ids in kCollapsed mode, memoized form hashes otherwise —
+  // both already warm from the seen-set's own bookkeeping.
+  thread_local util::Ser key;  // clear() keeps capacity across calls
+  key.clear();
+  t.serialize(key);
+  const bool canon = cfg_.canonical_flowtables;
+  // Controller kinds read only the *application* state (handlers run on
+  // state.app; next_xid mints ids the footprint never sees, and the
+  // pending_stats bookkeeping is covered by the kCtrl write) — keying on
+  // the app-only projection keeps xid/stats churn from fragmenting the
+  // cache. Same identity the discovery memo uses.
+  const auto put_app = [&] {
+    if (ids_ != nullptr) {
+      key.put_u32(state.app_state_id(*ids_));
+    } else {
+      const util::Hash128 h = state.ctrl_hash();
+      key.put_u64(h.lo);
+      key.put_u64(h.hi);
+    }
+  };
+  const auto put_sw = [&] {
+    if (ids_ != nullptr) {
+      key.put_u32(state.sw_id(t.a, canon, *ids_));
+    } else {
+      const util::Hash128 h = state.sw_form_hash(t.a, canon);
+      key.put_u64(h.lo);
+      key.put_u64(h.hi);
+    }
+  };
+  switch (t.kind) {
+    case TKind::kSwitchProcessPkt:
+    case TKind::kSwitchProcessOf:
+      // The pipeline simulation reads the whole switch component (flow
+      // table, buffer, every ingress head), and add_outcome resolves
+      // forwards through attached_host, which scans every host's
+      // <switch, port> — switch identity plus the attachment signature
+      // is the function's exact input.
+      put_sw();
+      for (const hosts::HostState& hs : state.hosts()) {
+        key.put_u32(static_cast<std::uint32_t>(hs.sw));
+        key.put_u32(static_cast<std::uint32_t>(hs.port));
+      }
+      break;
+    case TKind::kCtrlDispatch:
+      // dispatch_message reads the head of the switch's of_out queue and
+      // nothing else of the switch — key the message bytes, not the
+      // switch component (whose queue churn would kill the hit rate).
+      put_app();
+      of::serialize_message(key, state.sw(t.a).of_out.front());
+      break;
+    default:  // kCtrlExternal / kCtrlProcessStats: app state only
+      put_app();
+      break;
+  }
+
+  const auto kb = key.bytes();
+  const std::string_view kv(reinterpret_cast<const char*>(kb.data()),
+                            kb.size());
+  if (const auto hit = table_.find(kv)) return *hit;
+  Footprint fp = compute_footprint(cfg_, state, t);
+  const std::size_t bytes =
+      sizeof(Footprint) +
+      (fp.reads.size() + fp.writes.size() + fp.keys.size()) *
+          sizeof(std::uint64_t);
+  table_.insert(kv, fp, bytes);
+  return fp;
+}
+
 }  // namespace nicemc::mc::por

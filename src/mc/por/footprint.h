@@ -36,6 +36,8 @@
 
 #include "mc/system.h"
 #include "mc/transition.h"
+#include "util/collapse.h"
+#include "util/memo.h"
 
 namespace nicemc::mc::por {
 
@@ -80,6 +82,8 @@ struct Footprint {
   void key(std::uint64_t k) { keys.push_back(k); }
   /// Sort + dedupe the id vectors; must be called before may_conflict.
   void finish();
+
+  friend bool operator==(const Footprint&, const Footprint&) = default;
 };
 
 /// Compute the footprint of `t` as enabled in `state`. `t` must be one of
@@ -100,6 +104,54 @@ struct Footprint {
 /// serialization). Distinct transitions enabled in one state always
 /// serialize differently, so within a state the hash is a faithful key.
 [[nodiscard]] std::uint64_t transition_hash(const Transition& t);
+
+/// Memoized compute_footprint, shared by all workers of one search.
+///
+/// A footprint is a pure function of (the transition's serialized bytes,
+/// the state the per-kind analysis reads, the fixed SystemConfig). The
+/// key appends to the transition bytes exactly that state — switch kinds
+/// the switch component plus the host-attachment signature (add_outcome
+/// resolves forwards against every host's <switch, port>), controller
+/// kinds the app-only projection (handlers run on state.app; xid and
+/// stats bookkeeping never reach the footprint), kCtrlDispatch also the
+/// serialized head of the switch's of_out queue — the one message the
+/// handler reads, not the whole switch.
+///
+/// Component identity comes in two flavors, picked per store mode:
+///   * kCollapsed (`ids` non-null): the store's interned component id —
+///     warmed by collapse_key as a side effect of remembering the state,
+///     and collision-proof (id equality ⇔ component-bytes equality);
+///   * kHash / kFullState (`ids` null): the memoized 128-bit component
+///     form hash — also already warm (the store hashed every component to
+///     remember the state), at the same negligible collision risk the
+///     kHash store itself accepts. Interning into a private table instead
+///     would serialize every component a second time (the hash memo and
+///     id memo are separate Snap slots), which benchmarks as a net loss.
+///
+/// Only the expensive kinds are memoized (see `memoizable` in the .cpp):
+/// switch-pipeline simulation and controller-handler clones. The cheap
+/// kinds recompute directly — a warm lookup costs more than they do.
+/// NO-DELAY searches bypass the table entirely: every footprint is
+/// `universal` there and the lookup would be pure overhead.
+class FootprintMemo {
+ public:
+  /// `ids` is the seen-set's component-interning table in kCollapsed mode,
+  /// nullptr otherwise (memoized-hash keys). `byte_budget` bounds the
+  /// resident entry bytes (util::MemoCore LRU eviction).
+  FootprintMemo(const SystemConfig& cfg, util::CollapseTable* ids,
+                std::size_t shards, std::uint64_t byte_budget)
+      : cfg_(cfg), ids_(ids), table_(shards, byte_budget) {}
+
+  /// Drop-in replacement for compute_footprint(cfg, state, t).
+  [[nodiscard]] Footprint get(const SystemState& state, const Transition& t);
+
+  [[nodiscard]] util::MemoCore::Stats stats() const { return table_.stats(); }
+
+ private:
+  const SystemConfig& cfg_;
+  util::CollapseTable* ids_;
+  util::MemoTable<Footprint> table_;
+};
 
 }  // namespace nicemc::mc::por
 

@@ -154,6 +154,22 @@ void SearchCore::fill_store_stats(CheckerResult& result) const {
     result.wakeup.nodes = t.nodes;
     result.wakeup.sequences = t.sequences;
   }
+  if (fp_memo_ != nullptr) {
+    const util::MemoCore::Stats s = fp_memo_->stats();
+    result.memo.footprint_hits = s.hits;
+    result.memo.footprint_misses = s.misses;
+    result.memo.evictions += s.evictions;
+    result.memo.bytes += s.bytes;
+  }
+  if (disc_memo_ != nullptr) {
+    for (const util::MemoCore::Stats& s :
+         {disc_memo_->packet_stats(), disc_memo_->stats_stats()}) {
+      result.memo.discover_hits += s.hits;
+      result.memo.discover_misses += s.misses;
+      result.memo.evictions += s.evictions;
+      result.memo.bytes += s.bytes;
+    }
+  }
 }
 
 std::vector<SearchNode> SearchCore::init(CheckerResult& result,
@@ -385,7 +401,7 @@ void SearchCore::make_reduced_children(
 
   std::vector<por::Footprint> fps(ts.size());
   for (const std::size_t i : sel) {
-    fps[i] = por::compute_footprint(cfg_, *sp, ts[i]);
+    fps[i] = footprint_of(*sp, ts[i]);
   }
 
   // Source-DPOR revisits: a re-expanded transition may sleep a previously
@@ -413,7 +429,7 @@ void SearchCore::make_reduced_children(
       if (pos == th.end() || slept(d)) continue;
       const std::size_t i = static_cast<std::size_t>(pos - th.begin());
       if (std::find(sel.begin(), sel.end(), i) != sel.end()) continue;
-      fps[i] = por::compute_footprint(cfg_, *sp, ts[i]);
+      fps[i] = footprint_of(*sp, ts[i]);
       redispatch.push_back(i);
     }
   }

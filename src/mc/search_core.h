@@ -92,6 +92,17 @@ struct CheckerOptions {
   /// parallel and random-walk drivers; a timed-out search reports
   /// hit_limit = kTime and never claims exhaustion.
   double time_limit_seconds{0.0};
+  /// Footprint + discovery memoization (util/memo.h): cache
+  /// por::compute_footprint and discover_packets / discover_stats results
+  /// under collision-proof interned-component-id keys, shared by all
+  /// workers. Pure-function caching — violation/unique/quiescent/
+  /// transition counts are identical with the memo on or off (the fuzz
+  /// harness and bench_por enforce this differentially).
+  bool memo{true};
+  /// Resident-byte budget across the memo tables (per-shard LRU eviction;
+  /// entries that alone exceed a shard's slice are never stored, so
+  /// CheckerResult::memo.bytes ≤ this at all times).
+  std::uint64_t memo_budget_bytes{64ull << 20};
 };
 
 /// Which bound cut a search short (CheckerResult::hit_limit).
@@ -145,6 +156,21 @@ struct CheckerResult {
     std::uint64_t sequences{0};
   };
   WakeupStats wakeup;
+  /// Memoization-layer statistics (CheckerOptions::memo; zeros when
+  /// disabled). Hits + misses = lookups; `bytes` is the resident memo
+  /// entry footprint (≤ memo_budget_bytes by construction). The memo
+  /// keys through identities the store computes anyway — interned ids
+  /// (kCollapsed, reported under `collapse`) or memoized component
+  /// hashes — so there is no separate key-table cost to account.
+  struct MemoStats {
+    std::uint64_t footprint_hits{0};
+    std::uint64_t footprint_misses{0};
+    std::uint64_t discover_hits{0};
+    std::uint64_t discover_misses{0};
+    std::uint64_t evictions{0};
+    std::uint64_t bytes{0};
+  };
+  MemoStats memo;
   std::vector<ViolationRecord> violations;
   DiscoveryStats discovery;
 
@@ -171,16 +197,22 @@ class SearchCore {
   /// reduction; nullptr = expand every strategy-filtered transition (the
   /// exact seed semantics). `collapse` is the shared component-interning
   /// table, required (and used) exactly when `seen` is in kCollapsed mode.
+  /// `fp_memo` / `disc_memo` are the shared memo tables (nullptr = memo
+  /// off).
   SearchCore(const SystemConfig& cfg, const CheckerOptions& options,
              const Executor& executor, util::ShardedSeenSet& seen,
              por::Reducer* reducer = nullptr,
-             util::CollapseTable* collapse = nullptr)
+             util::CollapseTable* collapse = nullptr,
+             por::FootprintMemo* fp_memo = nullptr,
+             DiscoveryMemo* disc_memo = nullptr)
       : cfg_(cfg),
         options_(options),
         executor_(executor),
         seen_(seen),
         reducer_(reducer),
-        collapse_(collapse) {}
+        collapse_(collapse),
+        fp_memo_(fp_memo),
+        disc_memo_(disc_memo) {}
 
   /// Result of expanding one SearchNode (applying its transition).
   struct Expansion {
@@ -302,12 +334,21 @@ class SearchCore {
       const ArriveOutcome& at, bool targeted,
       std::vector<SearchNode>& out) const;
 
+  /// Memo-aware footprint computation (make_reduced_children).
+  [[nodiscard]] por::Footprint footprint_of(const SystemState& state,
+                                            const Transition& t) const {
+    return fp_memo_ != nullptr ? fp_memo_->get(state, t)
+                               : por::compute_footprint(cfg_, state, t);
+  }
+
   const SystemConfig& cfg_;
   const CheckerOptions& options_;
   const Executor& executor_;
   util::ShardedSeenSet& seen_;
   por::Reducer* reducer_;
   util::CollapseTable* collapse_;
+  por::FootprintMemo* fp_memo_;
+  DiscoveryMemo* disc_memo_;
   /// Pre-sizing hint for full-state blobs: the previous remembered state's
   /// serialized length. Per-core (a core serves one search), so concurrent
   /// searches in one process never cross-pollinate their hints; relaxed

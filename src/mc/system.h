@@ -186,6 +186,34 @@ struct SystemState {
         [](const ctrl::ControllerState& c) { return c.app_hash(); });
   }
 
+  // --- interned component ids (memo-layer keys; see util/memo.h) ---
+  // Passthroughs to Snap::form_id: dense ids whose equality is byte
+  // equality of the component's serialization, memoized per (table,
+  // epoch) on the shared snapshot. In kCollapsed mode the search's own
+  // collapse_key() interning warms these memos, so the memo layer reads
+  // them back for free.
+  [[nodiscard]] std::uint32_t sw_id(std::size_t i, bool canonical,
+                                    util::CollapseTable& table) const {
+    return switches_[i].form_id(canonical, table);
+  }
+  // Memoized per-component form hash (Snap::form_hash) — the memo
+  // layer's key fallback in the non-collapsed store modes, where the
+  // search already hashes every component to remember the state, so
+  // this is a warm read rather than a fresh serialization.
+  [[nodiscard]] util::Hash128 sw_form_hash(std::size_t i,
+                                           bool canonical) const {
+    return switches_[i].form_hash(canonical);
+  }
+  /// Interned id of the controller *application* state alone — the exact
+  /// projection app_hash() hashes, but collision-proof. Key of the shared
+  /// discovery memo (the paper's `client.packets[state(ctrl)]` index).
+  [[nodiscard]] std::uint32_t app_state_id(util::CollapseTable& table) const {
+    return ctrl_.projection_id(
+        table, [](const ctrl::ControllerState& c, util::Ser& s) {
+          if (c.app) c.app->serialize(s);
+        });
+  }
+
   /// Total packets parked in switch buffers (NoForgottenPackets).
   [[nodiscard]] std::size_t total_forgotten() const;
 

@@ -1,0 +1,91 @@
+#include "util/memo.h"
+
+#include <algorithm>
+
+namespace nicemc::util {
+
+namespace {
+/// Per-entry accounting overhead: list node links, index slot, shared_ptr
+/// control block. A coarse constant keeps the budget honest without
+/// platform-specific sizing.
+constexpr std::size_t kEntryOverhead = 96;
+}  // namespace
+
+MemoCore::MemoCore(std::size_t shards, std::uint64_t byte_budget)
+    : select_(shards), budget_total_(byte_budget) {
+  shards_.reserve(select_.count());
+  for (std::size_t i = 0; i < select_.count(); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  budget_per_shard_ = budget_total_ / select_.count();
+}
+
+std::shared_ptr<const void> MemoCore::find(std::string_view key) {
+  Shard& sh = shard_of(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.index.find(key);
+  if (it == sh.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->value;
+}
+
+void MemoCore::insert(std::string_view key,
+                      std::shared_ptr<const void> value,
+                      std::size_t value_bytes) {
+  Shard& sh = shard_of(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+
+  const auto existing = sh.index.find(key);
+  if (existing != sh.index.end()) {
+    // Pure-function values are byte-identical per key; just refresh the
+    // pointer and recency so concurrent racers agree on one handle.
+    existing->second->value = std::move(value);
+    sh.lru.splice(sh.lru.begin(), sh.lru, existing->second);
+    return;
+  }
+
+  const std::size_t cost = key.size() + value_bytes + kEntryOverhead;
+  if (cost > budget_per_shard_) return;  // would bust the shard alone
+
+  while (sh.bytes + cost > budget_per_shard_ && !sh.lru.empty()) {
+    const Entry& victim = sh.lru.back();
+    sh.bytes -= victim.bytes;
+    sh.index.erase(std::string_view(victim.key));
+    sh.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  sh.lru.push_front(Entry{std::string(key), std::move(value), cost});
+  sh.index.emplace(std::string_view(sh.lru.front().key), sh.lru.begin());
+  sh.bytes += cost;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+MemoCore::Stats MemoCore::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    s.bytes += sh->bytes;
+    s.entries += sh->lru.size();
+  }
+  return s;
+}
+
+void MemoCore::clear() {
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->index.clear();
+    sh->lru.clear();
+    sh->bytes = 0;
+  }
+}
+
+}  // namespace nicemc::util

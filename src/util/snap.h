@@ -210,6 +210,33 @@ class Snap {
     return *n.aux;
   }
 
+  /// Intern an arbitrary projection of the component in `table` and return
+  /// the blob id, memoized per (table, epoch) like form_id(). `emit` must
+  /// serialize the same projection on every call for a given T — the memo
+  /// layer uses this for the controller's app-only bytes, giving discovery
+  /// a collision-proof AppState-id (id equality ⇔ projection-bytes
+  /// equality) instead of a 128-bit hash.
+  template <typename F>
+  [[nodiscard]] std::uint32_t projection_id(CollapseTable& table,
+                                            F&& emit) const {
+    Node& n = *node_;
+    std::lock_guard<std::mutex> lock(n.mu);
+    if (n.aux_id_table == &table && n.aux_id_epoch == table.epoch()) {
+      return n.aux_id;
+    }
+    thread_local Ser scratch;  // clear() keeps capacity across calls
+    scratch.clear();
+    emit(static_cast<const T&>(n.value), scratch);
+    const auto bytes = scratch.bytes();
+    const std::uint32_t id = table.intern(
+        std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                         bytes.size()));
+    n.aux_id_table = &table;
+    n.aux_id_epoch = table.epoch();
+    n.aux_id = id;
+    return id;
+  }
+
  private:
   struct Node {
     T value;
@@ -223,6 +250,10 @@ class Snap {
     mutable const CollapseTable* id_table[2]{nullptr, nullptr};
     mutable std::uint64_t id_epoch[2]{0, 0};
     mutable std::uint32_t id[2]{0, 0};
+    // Interned projection id (projection_id), same (table, epoch) rules.
+    mutable const CollapseTable* aux_id_table{nullptr};
+    mutable std::uint64_t aux_id_epoch{0};
+    mutable std::uint32_t aux_id{0};
 
     Node() = default;
     explicit Node(const T& v) : value(v) {}
@@ -239,6 +270,7 @@ class Snap {
       aux.reset();
       id_table[0] = nullptr;
       id_table[1] = nullptr;
+      aux_id_table = nullptr;
     }
   };
 

@@ -232,6 +232,83 @@ TEST(CheckerOptions, StoreStatsConsistentAcrossReductionMatrix) {
   }
 }
 
+TEST(CheckerOptions, MemoStatsConsistentAcrossReductionMatrix) {
+  // Memo accounting contract over the full reduction × store matrix on a
+  // scenario with symbolic discovery enabled (BUG-II): with the memo on,
+  // discovery lookups happen in every mode (the shared memo sees each
+  // per-worker DiscoveryCache miss), footprint lookups exactly when a
+  // reducer is active, and resident bytes never exceed the configured
+  // budget. With the memo off, every memo counter stays zero.
+  for (const Reduction r : kAllReductions) {
+    for (const util::ShardedSeenSet::Mode m : kAllStores) {
+      const std::string tag = cell_tag(r, m);
+      for (const bool memo : {true, false}) {
+        auto s = apps::pyswitch_bug2();
+        CheckerOptions opt;
+        opt.stop_at_first_violation = false;
+        opt.reduction = r;
+        opt.state_store = m;
+        opt.memo = memo;
+        Checker checker(s.config, opt, s.properties);
+        const CheckerResult res = checker.run();
+        EXPECT_TRUE(res.exhausted) << tag;
+        if (!memo) {
+          EXPECT_EQ(res.memo.footprint_hits, 0u) << tag;
+          EXPECT_EQ(res.memo.footprint_misses, 0u) << tag;
+          EXPECT_EQ(res.memo.discover_hits, 0u) << tag;
+          EXPECT_EQ(res.memo.discover_misses, 0u) << tag;
+          EXPECT_EQ(res.memo.evictions, 0u) << tag;
+          EXPECT_EQ(res.memo.bytes, 0u) << tag;
+          continue;
+        }
+        EXPECT_GT(res.memo.discover_hits + res.memo.discover_misses, 0u)
+            << tag;
+        EXPECT_LE(res.memo.bytes, opt.memo_budget_bytes) << tag;
+        if (r == Reduction::kNone) {
+          // No reducer → no footprint computations at all.
+          EXPECT_EQ(res.memo.footprint_hits + res.memo.footprint_misses,
+                    0u)
+              << tag;
+        } else {
+          EXPECT_GT(res.memo.footprint_hits + res.memo.footprint_misses,
+                    0u)
+              << tag;
+          // Reuse must actually happen on this scenario, not just
+          // bookkeeping: the table answers some lookups.
+          EXPECT_GT(res.memo.footprint_hits, 0u) << tag;
+        }
+        // The default budget is far above this scenario's working set, so
+        // nothing should have been evicted.
+        EXPECT_EQ(res.memo.evictions, 0u) << tag;
+        EXPECT_GT(res.memo.bytes, 0u) << tag;
+      }
+    }
+  }
+}
+
+TEST(CheckerOptions, MemoBudgetIsRespectedUnderPressure) {
+  // A deliberately tiny budget forces the LRU to evict; the search must
+  // still complete with identical counts, and the resident bytes must
+  // stay within the budget.
+  auto baseline_s = apps::pyswitch_ping_chain(3);
+  CheckerOptions base_opt;
+  base_opt.stop_at_first_violation = false;
+  base_opt.reduction = Reduction::kSleepPersistent;
+  Checker baseline(baseline_s.config, base_opt, baseline_s.properties);
+  const CheckerResult want = baseline.run();
+
+  auto s = apps::pyswitch_ping_chain(3);
+  CheckerOptions opt = base_opt;
+  opt.memo_budget_bytes = 8192;
+  Checker checker(s.config, opt, s.properties);
+  const CheckerResult res = checker.run();
+  EXPECT_EQ(res.transitions, want.transitions);
+  EXPECT_EQ(res.unique_states, want.unique_states);
+  EXPECT_EQ(violation_key_set(res), violation_key_set(want));
+  EXPECT_LE(res.memo.bytes, opt.memo_budget_bytes);
+  EXPECT_GT(res.memo.evictions, 0u);
+}
+
 TEST(CheckerOptions, CountLimitsReportReasonUnderReduction) {
   // Transition / unique-state caps keep their reporting contract when
   // the reduction layer is active (the caps see reduced counts).

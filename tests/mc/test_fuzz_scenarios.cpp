@@ -29,13 +29,15 @@ constexpr std::uint64_t kSeedBase = 1000;
 constexpr std::uint64_t kSeeds = 120;  // ≥ 100, per the harness contract
 
 CheckerResult run(std::uint64_t seed, Reduction reduction,
-                  util::ShardedSeenSet::Mode store, unsigned threads) {
+                  util::ShardedSeenSet::Mode store, unsigned threads,
+                  bool memo = true) {
   apps::Scenario s = apps::fuzz_scenario(seed);
   CheckerOptions opt;
   opt.stop_at_first_violation = false;
   opt.reduction = reduction;
   opt.state_store = store;
   opt.threads = threads;
+  opt.memo = memo;
   Checker checker(s.config, opt, s.properties);
   return checker.run();
 }
@@ -94,6 +96,38 @@ TEST(FuzzScenarios, DifferentialSweepAcrossReductionsStoresAndThreads) {
             }
           }
         }
+      }
+    }
+  }
+}
+
+TEST(FuzzScenarios, MemoKnobIsCountInvisibleAcrossReductionsAndStores) {
+  // The memoization layer (CheckerOptions::memo) caches pure functions —
+  // footprints and discovery results — so flipping it must change wall
+  // time only, never what the search explores or reports. Differential
+  // sweep on a corpus subset: memo-off must reproduce the memo-on counts
+  // exactly, per reduction × store cell (sequential, where counts are
+  // deterministic).
+  constexpr std::uint64_t kSubset = 24;
+  for (std::uint64_t seed = kSeedBase; seed < kSeedBase + kSubset; ++seed) {
+    const std::string tag = apps::fuzz_scenario_name(seed);
+    for (const util::ShardedSeenSet::Mode store : kStores) {
+      for (const Reduction r : kReductions) {
+        const CheckerResult on = run(seed, r, store, 1, /*memo=*/true);
+        const CheckerResult off = run(seed, r, store, 1, /*memo=*/false);
+        const std::string cell = tag + " / " + reduction_name(r) +
+                                 " store=" +
+                                 std::to_string(static_cast<int>(store));
+        EXPECT_EQ(on.transitions, off.transitions) << cell;
+        EXPECT_EQ(on.unique_states, off.unique_states) << cell;
+        EXPECT_EQ(on.quiescent_states, off.quiescent_states) << cell;
+        EXPECT_EQ(violation_key_set(on), violation_key_set(off)) << cell;
+        // The off runs must not touch the memo at all.
+        EXPECT_EQ(off.memo.footprint_hits + off.memo.footprint_misses +
+                      off.memo.discover_hits + off.memo.discover_misses +
+                      off.memo.bytes,
+                  0u)
+            << cell;
       }
     }
   }

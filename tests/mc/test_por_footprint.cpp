@@ -6,12 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "apps/scenarios.h"
 #include "mc/checker.h"
 #include "mc/por/footprint.h"
+#include "util/collapse.h"
 #include "util/hash.h"
 
 namespace nicemc::mc {
@@ -106,6 +111,116 @@ TEST(PorFootprint, IndependentPairsCommuteOnAllBundledScenarios) {
   }
   // The sweep must actually exercise independence, not vacuously pass.
   EXPECT_GT(total, 100u);
+}
+
+/// Walk `max_steps` random steps through a scenario collecting every
+/// (state, enabled transition) pair along the way. The states are shared
+/// so the pairs stay valid after the walk moves on.
+std::vector<std::pair<std::shared_ptr<const SystemState>, Transition>>
+collect_pairs(const apps::Scenario& s, Executor& executor,
+              std::uint64_t seed, int max_steps) {
+  DiscoveryCache cache;
+  util::SplitMix64 rng(seed);
+  std::vector<std::pair<std::shared_ptr<const SystemState>, Transition>>
+      pairs;
+  SystemState state = executor.make_initial();
+  for (int step = 0; step < max_steps; ++step) {
+    const auto ts = apply_strategy(CheckerOptions{}.strategy, s.config,
+                                   state, executor.enabled(state, cache));
+    if (ts.empty()) break;
+    auto sp = std::make_shared<const SystemState>(state.clone());
+    for (const Transition& t : ts) pairs.emplace_back(sp, t);
+    const Transition& t =
+        ts[static_cast<std::size_t>(rng.next_below(ts.size()))];
+    std::vector<Violation> ignored;
+    executor.apply(state, t, ignored);
+  }
+  return pairs;
+}
+
+TEST(PorFootprint, MemoizedFootprintEqualsFreshOnAllBundledScenarios) {
+  // FootprintMemo::get must be observationally identical to
+  // compute_footprint — for every transition kind (memoized or bypassed),
+  // in both key flavors (interned component ids / memoized component
+  // hashes), on hits as well as misses. Each pair is queried twice so the
+  // second query exercises the hit path against the same fresh value.
+  for (const apps::NamedScenario& ns : apps::bundled_scenarios()) {
+    const apps::Scenario s = ns.make();
+    Executor executor(s.config, s.properties);
+    const auto pairs = collect_pairs(s, executor, /*seed=*/7,
+                                     /*max_steps=*/40);
+    util::CollapseTable ids(/*shards=*/2);
+    por::FootprintMemo with_ids(s.config, &ids, /*shards=*/2,
+                                /*byte_budget=*/8u << 20);
+    por::FootprintMemo with_hashes(s.config, nullptr, /*shards=*/2,
+                                   /*byte_budget=*/8u << 20);
+    for (const auto& [sp, t] : pairs) {
+      SCOPED_TRACE(ns.name + " / " + t.label());
+      const por::Footprint fresh =
+          por::compute_footprint(s.config, *sp, t);
+      EXPECT_EQ(with_ids.get(*sp, t), fresh);
+      EXPECT_EQ(with_ids.get(*sp, t), fresh);  // hit path
+      EXPECT_EQ(with_hashes.get(*sp, t), fresh);
+      EXPECT_EQ(with_hashes.get(*sp, t), fresh);
+    }
+  }
+}
+
+TEST(PorFootprint, MemoizedFootprintSurvivesEvictionPressure) {
+  // A budget far below the working set forces constant LRU eviction; the
+  // memo must still answer every query identically to a fresh compute and
+  // must hold its resident bytes at or under the budget throughout.
+  const apps::Scenario s = apps::pyswitch_ping_chain(3);
+  Executor executor(s.config, s.properties);
+  const auto pairs = collect_pairs(s, executor, /*seed=*/11,
+                                   /*max_steps=*/80);
+  constexpr std::uint64_t kTinyBudget = 4096;
+  por::FootprintMemo memo(s.config, nullptr, /*shards=*/1, kTinyBudget);
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& [sp, t] : pairs) {
+      EXPECT_EQ(memo.get(*sp, t), por::compute_footprint(s.config, *sp, t))
+          << t.label();
+      EXPECT_LE(memo.stats().bytes, kTinyBudget);
+    }
+  }
+  EXPECT_GT(memo.stats().evictions, 0u);
+}
+
+TEST(PorFootprint, MemoizedFootprintIsThreadSafeUnderHammering) {
+  // Shared-memo hammering: several threads query the same pair set
+  // concurrently (mixed hits, misses and — with a small budget —
+  // evictions). TSan builds of this test are the data-race oracle; every
+  // thread must also observe values identical to a fresh compute.
+  const apps::Scenario s = apps::pyswitch_ping_chain(2);
+  Executor executor(s.config, s.properties);
+  const auto pairs = collect_pairs(s, executor, /*seed=*/13,
+                                   /*max_steps=*/60);
+  ASSERT_FALSE(pairs.empty());
+  std::vector<por::Footprint> fresh;
+  fresh.reserve(pairs.size());
+  for (const auto& [sp, t] : pairs) {
+    fresh.push_back(por::compute_footprint(s.config, *sp, t));
+  }
+  por::FootprintMemo memo(s.config, nullptr, /*shards=*/4,
+                          /*byte_budget=*/64u << 10);
+  std::vector<std::thread> workers;
+  std::atomic<int> mismatches{0};
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      for (int round = 0; round < 3; ++round) {
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+          // Stagger the iteration per worker so lookups overlap inserts.
+          const std::size_t k =
+              (i + static_cast<std::size_t>(w) * 7) % pairs.size();
+          if (!(memo.get(*pairs[k].first, pairs[k].second) == fresh[k])) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(PorFootprint, DisjointHostsAreIndependentWithoutMonitors) {
