@@ -19,6 +19,7 @@
 
 #include "apps/scenarios.h"
 #include "mc/checker.h"
+#include "util/resource.h"
 #include "util/seen_set.h"
 
 using namespace nicemc;
@@ -135,6 +136,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(f, "{\n  \"bench\": \"collapse\",\n  \"reps\": %d,\n", reps);
+    std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(util::peak_rss_bytes()));
     std::fprintf(f, "  \"scenarios\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];

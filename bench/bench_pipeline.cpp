@@ -30,6 +30,7 @@
 #include "apps/scenarios.h"
 #include "mc/checker.h"
 #include "mc/execute.h"
+#include "util/resource.h"
 #include "util/ser.h"
 
 using namespace nicemc;
@@ -208,6 +209,8 @@ int main(int argc, char** argv) {
     std::fprintf(f, "{\n  \"bench\": \"pipeline\",\n");
     std::fprintf(f, "  \"pings\": %d,\n  \"micro_iters\": %d,\n", pings,
                  iters);
+    std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(util::peak_rss_bytes()));
     std::fprintf(f,
                  "  \"micro_ns\": {\"clone\": %.1f, \"serialize\": %.1f, "
                  "\"hash\": %.1f, \"clone_remember\": %.1f, "

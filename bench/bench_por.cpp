@@ -16,6 +16,12 @@
 //   * the footprint-memo hit rate of every reduced memo-on run must stay
 //     above a floor on the bundled scenarios (CI fails on regression).
 //
+// A third runtime gate exercises the durability layer (mc/checkpoint.h):
+// for every scenario, a transition-capped run checkpoints at its halt and
+// a fresh process-state Checker resumes it — the resumed totals
+// (transitions, unique states, quiescent states, violation set) must be
+// identical to the uninterrupted search's, under kNone and kSourceDpor.
+//
 // Usage: bench_por [--json out.json] [--repeat N]
 //   --repeat N re-runs every cell N times and records the minimum wall
 //   time (counts are asserted identical across repeats); use when
@@ -28,6 +34,7 @@
 
 #include "apps/scenarios.h"
 #include "mc/checker.h"
+#include "util/resource.h"
 
 using namespace nicemc;
 using mc::violation_key_set;
@@ -145,6 +152,55 @@ void check_hit_rate_floor(const char* scenario, const char* mode,
   }
 }
 
+/// The resume differential gate: cap the search mid-way (the halt writes a
+/// final checkpoint), resume it in a fresh Checker, and require the
+/// resumed run's totals to match the uninterrupted search exactly. Both
+/// runs are sequential DFS, so identity must hold down to the transition
+/// count.
+void check_resume_identity(const apps::NamedScenario& ns,
+                           mc::Reduction reduction, const char* mode,
+                           const mc::CheckerResult& full) {
+  const std::string path = "/tmp/bench_por_ckpt_" + ns.name;
+  std::remove((path + ".a").c_str());
+  std::remove((path + ".b").c_str());
+
+  mc::CheckerOptions opt;
+  opt.stop_at_first_violation = false;
+  opt.reduction = reduction;
+  opt.checkpoint_path = path;
+  opt.checkpoint_interval_seconds = 0;  // at-halt checkpoint only
+  opt.max_transitions = full.transitions / 2 + 1;
+  apps::Scenario s1 = ns.make();
+  mc::Checker first(s1.config, opt, s1.properties);
+  (void)first.run();
+
+  opt.max_transitions = ~0ULL;
+  opt.resume = true;
+  apps::Scenario s2 = ns.make();
+  mc::Checker second(s2.config, opt, s2.properties);
+  const mc::CheckerResult resumed = second.run();
+
+  if (!resumed.exhausted || resumed.transitions != full.transitions ||
+      resumed.unique_states != full.unique_states ||
+      resumed.quiescent_states != full.quiescent_states ||
+      violation_key_set(resumed) != violation_key_set(full)) {
+    std::fprintf(stderr,
+                 "FATAL: %s under %s: interrupted+resumed run differs from "
+                 "uninterrupted (transitions %llu vs %llu, unique %llu vs "
+                 "%llu, resumed=%d exhausted=%d)\n",
+                 ns.name.c_str(), mode,
+                 static_cast<unsigned long long>(resumed.transitions),
+                 static_cast<unsigned long long>(full.transitions),
+                 static_cast<unsigned long long>(resumed.unique_states),
+                 static_cast<unsigned long long>(full.unique_states),
+                 resumed.durability.resumed ? 1 : 0,
+                 resumed.exhausted ? 1 : 0);
+    std::exit(1);
+  }
+  std::remove((path + ".a").c_str());
+  std::remove((path + ".b").c_str());
+}
+
 /// One (scenario, reduction) cell: the same search with the memo on and
 /// off. Counts are gate-checked identical; `on.seconds` vs `off.seconds`
 /// is the layer's wall-time effect.
@@ -212,6 +268,9 @@ int main(int argc, char** argv) {
     check_hit_rate_floor(ns.name.c_str(), "SLEEP+PERSISTENT",
                          row.persistent.on);
     check_hit_rate_floor(ns.name.c_str(), "SOURCE-DPOR", row.source.on);
+    check_resume_identity(ns, mc::Reduction::kNone, "NONE", row.none.on);
+    check_resume_identity(ns, mc::Reduction::kSourceDpor, "SOURCE-DPOR",
+                          row.source.on);
     if (row.source.on.transitions > row.persistent.on.transitions) {
       std::fprintf(
           stderr,
@@ -245,7 +304,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path);
       return 1;
     }
-    std::fprintf(f, "{\n  \"bench\": \"por\",\n  \"scenarios\": [\n");
+    std::fprintf(f, "{\n  \"bench\": \"por\",\n  \"peak_rss_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(util::peak_rss_bytes()));
+    std::fprintf(f, "  \"scenarios\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       auto emit = [&](const char* key, const ModePair& mp) {

@@ -1,0 +1,197 @@
+// Durable search: crash-safe checkpointed exploration from the command
+// line.
+//
+// Runs any bundled scenario with the durability layer on: periodic
+// A/B-slot checkpoints, cooperative SIGINT/SIGTERM handling, an optional
+// memory budget, and --resume to continue a previous (killed or
+// interrupted) run as if it had never stopped. The CI kill-and-resume
+// smoke job drives this binary: start it with a tiny checkpoint
+// interval, SIGKILL it mid-search, resume, and require totals identical
+// to an uninterrupted run.
+//
+//   durable_search --scenario pyswitch-bug1 --checkpoint /tmp/ck \
+//                  --interval 0.01 --handle-signals --json out.json
+//   durable_search --scenario pyswitch-bug1 --checkpoint /tmp/ck --resume
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+
+using namespace nicemc;
+
+namespace {
+
+const char* limit_name(mc::LimitReason r) {
+  switch (r) {
+    case mc::LimitReason::kNone: return "none";
+    case mc::LimitReason::kTransitions: return "transitions";
+    case mc::LimitReason::kUniqueStates: return "unique_states";
+    case mc::LimitReason::kTime: return "time";
+    case mc::LimitReason::kMemory: return "memory";
+    case mc::LimitReason::kInterrupted: return "interrupted";
+  }
+  return "?";
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--scenario NAME] [--checkpoint PATH] [--interval SECS]\n"
+      "          [--resume] [--handle-signals] [--memory-budget BYTES]\n"
+      "          [--threads N] [--frontier dfs|bfs|random]\n"
+      "          [--reduction none|sleep|sleep-persistent|source-dpor]\n"
+      "          [--store hash|full|collapsed] [--max-transitions N]\n"
+      "          [--json PATH] [--list]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario = "pyswitch-bug1";
+  std::string json_path;
+  mc::CheckerOptions opt;
+  opt.stop_at_first_violation = false;
+  opt.checkpoint_interval_seconds = 30.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--list") {
+      for (const auto& ns : apps::bundled_scenarios()) {
+        std::printf("%s\n", ns.name.c_str());
+      }
+      return 0;
+    } else if (arg == "--scenario") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      scenario = v;
+    } else if (arg == "--checkpoint") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.checkpoint_path = v;
+    } else if (arg == "--interval") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.checkpoint_interval_seconds = std::atof(v);
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--handle-signals") {
+      opt.handle_signals = true;
+    } else if (arg == "--memory-budget") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.memory_budget_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.threads = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--max-transitions") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.max_transitions = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--frontier") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      if (std::strcmp(v, "dfs") == 0) opt.frontier = mc::FrontierKind::kDfs;
+      else if (std::strcmp(v, "bfs") == 0) opt.frontier = mc::FrontierKind::kBfs;
+      else if (std::strcmp(v, "random") == 0) opt.frontier = mc::FrontierKind::kRandom;
+      else return usage(argv[0]);
+    } else if (arg == "--reduction") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      if (std::strcmp(v, "none") == 0) opt.reduction = mc::Reduction::kNone;
+      else if (std::strcmp(v, "sleep") == 0) opt.reduction = mc::Reduction::kSleep;
+      else if (std::strcmp(v, "sleep-persistent") == 0) opt.reduction = mc::Reduction::kSleepPersistent;
+      else if (std::strcmp(v, "source-dpor") == 0) opt.reduction = mc::Reduction::kSourceDpor;
+      else return usage(argv[0]);
+    } else if (arg == "--json") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      json_path = v;
+    } else if (arg == "--store") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      if (std::strcmp(v, "hash") == 0) opt.state_store = util::ShardedSeenSet::Mode::kHash;
+      else if (std::strcmp(v, "full") == 0) opt.state_store = util::ShardedSeenSet::Mode::kFullState;
+      else if (std::strcmp(v, "collapsed") == 0) opt.state_store = util::ShardedSeenSet::Mode::kCollapsed;
+      else return usage(argv[0]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  apps::Scenario s;
+  bool found = false;
+  for (const auto& ns : apps::bundled_scenarios()) {
+    if (ns.name == scenario) {
+      s = ns.make();
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                 scenario.c_str());
+    return 2;
+  }
+
+  mc::Checker checker(s.config, opt, s.properties);
+  const mc::CheckerResult r = checker.run();
+
+  std::printf(
+      "%s: transitions=%llu unique=%llu revisits=%llu quiescent=%llu "
+      "violations=%zu exhausted=%d limit=%s resumed=%d checkpoints=%llu "
+      "%.3fs\n",
+      scenario.c_str(), static_cast<unsigned long long>(r.transitions),
+      static_cast<unsigned long long>(r.unique_states),
+      static_cast<unsigned long long>(r.revisits),
+      static_cast<unsigned long long>(r.quiescent_states),
+      r.violations.size(), static_cast<int>(r.exhausted),
+      limit_name(r.hit_limit), static_cast<int>(r.durability.resumed),
+      static_cast<unsigned long long>(r.durability.checkpoints_written),
+      r.seconds);
+
+  // JSON record (the stdout line above is for humans): lets the CI smoke
+  // job diff interrupted-and-resumed totals against an uninterrupted run
+  // field by field.
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"scenario\": \"%s\",\n", scenario.c_str());
+    std::fprintf(f, "  \"transitions\": %llu,\n",
+                 static_cast<unsigned long long>(r.transitions));
+    std::fprintf(f, "  \"unique_states\": %llu,\n",
+                 static_cast<unsigned long long>(r.unique_states));
+    std::fprintf(f, "  \"revisits\": %llu,\n",
+                 static_cast<unsigned long long>(r.revisits));
+    std::fprintf(f, "  \"quiescent_states\": %llu,\n",
+                 static_cast<unsigned long long>(r.quiescent_states));
+    std::fprintf(f, "  \"violations\": %zu,\n", r.violations.size());
+    std::fprintf(f, "  \"exhausted\": %s,\n", r.exhausted ? "true" : "false");
+    std::fprintf(f, "  \"limit\": \"%s\",\n", limit_name(r.hit_limit));
+    std::fprintf(f, "  \"resumed\": %s,\n",
+                 r.durability.resumed ? "true" : "false");
+    std::fprintf(f, "  \"checkpoints_written\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     r.durability.checkpoints_written));
+    std::fprintf(f, "  \"checkpoint_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(r.durability.checkpoint_bytes));
+    std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(r.peak_rss_bytes));
+    std::fprintf(f, "  \"seconds\": %.6f\n", r.seconds);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+  return 0;
+}

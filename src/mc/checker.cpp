@@ -1,8 +1,11 @@
 #include "mc/checker.h"
 
 #include <memory>
+#include <string>
 
+#include "mc/checkpoint.h"
 #include "util/hash.h"
+#include "util/resource.h"
 
 namespace nicemc::mc {
 
@@ -10,11 +13,24 @@ using detail::SearchClock;
 using detail::seconds_since;
 
 CheckerResult Checker::run() {
+  std::unique_ptr<Durability> durability;
+  if (!options_.checkpoint_path.empty() ||
+      options_.memory_budget_bytes > 0 || options_.handle_signals) {
+    durability = std::make_unique<Durability>(
+        options_, search_config_fingerprint(cfg_, options_, executor_),
+        fp_memo_.get(), disc_memo_.get());
+    if (options_.resume) {
+      // Resume-or-fresh: a missing/corrupt/mismatching checkpoint is not
+      // fatal — the search simply starts over (and re-creates the slots).
+      std::string error;
+      (void)durability->resume(core_, error);
+    }
+  }
   if (options_.threads > 1) {
-    return run_parallel(core_, options_.threads);
+    return run_parallel(core_, options_.threads, durability.get());
   }
   auto frontier = make_frontier(options_.frontier, options_.frontier_seed);
-  return core_.run_sequential(*frontier, cache_);
+  return core_.run_sequential(*frontier, cache_, durability.get());
 }
 
 CheckerResult Checker::random_walk(std::uint64_t seed, int walks,
@@ -75,6 +91,7 @@ CheckerResult Checker::random_walk(std::uint64_t seed, int walks,
   result.seconds = seconds_since(start);
   result.discovery = cache_.stats();
   core_.fill_store_stats(result);
+  result.peak_rss_bytes = util::peak_rss_bytes();
   return result;
 }
 

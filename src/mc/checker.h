@@ -58,12 +58,12 @@ class Checker {
         // effect), memoized component form hashes otherwise.
         fp_memo_(options.memo
                      ? std::make_unique<por::FootprintMemo>(
-                           cfg_, collapse_.get(), shard_count(options),
+                           cfg_, collapse_.get(), memo_shard_count(options),
                            options.memo_budget_bytes / 2)
                      : nullptr),
         disc_memo_(options.memo
                        ? std::make_unique<DiscoveryMemo>(
-                             collapse_.get(), shard_count(options),
+                             collapse_.get(), memo_shard_count(options),
                              options.memo_budget_bytes -
                                  options.memo_budget_bytes / 2)
                        : nullptr),
@@ -101,6 +101,11 @@ class Checker {
     if (options.seen_shards != 0) return options.seen_shards;
     return options.threads <= 1 ? 1 : 4 * static_cast<std::size_t>(
                                            options.threads);
+  }
+
+  static std::size_t memo_shard_count(const CheckerOptions& options) {
+    return options.memo_shards != 0 ? options.memo_shards
+                                    : shard_count(options);
   }
 
   const SystemConfig& cfg_;

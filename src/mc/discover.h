@@ -37,6 +37,24 @@ struct DiscoveryStats {
   std::uint64_t packets_found{0};
 };
 
+/// Accumulate `from` into `into` — used by the parallel driver (per-worker
+/// caches) and by checkpoint resume (counters carried across runs).
+inline void add_discovery_stats(DiscoveryStats& into,
+                                const DiscoveryStats& from) {
+  into.packet_discoveries += from.packet_discoveries;
+  into.stats_discoveries += from.stats_discoveries;
+  into.handler_runs += from.handler_runs;
+  into.solver_queries += from.solver_queries;
+  into.packets_found += from.packets_found;
+}
+
+/// Per-run (and, in the parallel driver, per-worker) front cache over
+/// discovery. The Hash128 the caller keys with must cover *every* input
+/// the discovery reads beyond the id — Executor::enabled folds the
+/// controller-state hash with the host's location (packets) or the
+/// per-port tx_bytes seeds (stats). An under-keyed entry would alias
+/// distinct states and make the cached representatives depend on visit
+/// order, which breaks checkpoint/resume count-identity.
 class DiscoveryCache {
  public:
   using PacketKey = std::pair<of::HostId, util::Hash128>;
@@ -106,6 +124,15 @@ class DiscoveryMemo {
   }
   [[nodiscard]] util::MemoCore::Stats stats_stats() const {
     return stats_.stats();
+  }
+
+  /// Memory-watchdog hook: lower the combined byte budget and evict.
+  void shrink_to(std::uint64_t new_budget) {
+    packets_.shrink_to(new_budget / 2);
+    stats_.shrink_to(new_budget - new_budget / 2);
+  }
+  [[nodiscard]] std::uint64_t byte_budget() const noexcept {
+    return packets_.byte_budget() + stats_.byte_budget();
   }
 
  private:

@@ -72,7 +72,24 @@ std::vector<Transition> Executor::enabled(const SystemState& state,
     const bool head_is_stats =
         std::holds_alternative<of::StatsReply>(sw.of_out.front());
     if (head_is_stats && cfg_.symbolic_discovery) {
-      const std::vector<StatsValues>* vals = cache.find_stats(sw.id, chash);
+      // Key the per-run cache on every input discover_stats reads: the
+      // controller application state AND the per-port tx_bytes seeds
+      // (discover.cpp seeds one symbolic var per port with the current
+      // counter, so the representatives depend on them). Keying on the
+      // app state alone would alias states that differ only in counters,
+      // making the cached representatives depend on which state happened
+      // to discover first — visit-order-dependent transition payloads
+      // that break checkpoint/resume count-identity.
+      util::Hash128 skey = chash;
+      for (const of::PortId p : sw.ports) {
+        const auto it = sw.port_stats.find(p);
+        skey = util::hash128_combine(skey, static_cast<std::uint64_t>(p));
+        skey = util::hash128_combine(
+            skey, it == sw.port_stats.end()
+                      ? 0
+                      : (it->second.tx_bytes & 0xffffffffULL));
+      }
+      const std::vector<StatsValues>* vals = cache.find_stats(sw.id, skey);
       if (vals == nullptr) {
         std::vector<StatsValues> discovered;
         if (const auto hit =
@@ -82,8 +99,8 @@ std::vector<Transition> Executor::enabled(const SystemState& state,
           discovered = discover_stats(cfg_, state, sw.id, cache.stats());
           if (memo_) memo_->store_stats(state, sw.id, discovered);
         }
-        cache.store_stats(sw.id, chash, std::move(discovered));
-        vals = cache.find_stats(sw.id, chash);
+        cache.store_stats(sw.id, skey, std::move(discovered));
+        vals = cache.find_stats(sw.id, skey);
       }
       for (const StatsValues& v : *vals) {
         out.push_back(Transition{.kind = TKind::kCtrlProcessStats,
@@ -164,8 +181,14 @@ std::vector<Transition> Executor::enabled(const SystemState& state,
     }
     if (!hs.can_send(hb)) continue;
     if (hb.discovery_sends && cfg_.symbolic_discovery) {
+      // Same completeness rule as the stats key above: discover_packets
+      // reads the host's current <switch, port> location (hosts move via
+      // kHostMove), so the location joins the cache key.
+      const util::Hash128 pkey = util::hash128_combine(
+          util::hash128_combine(chash, static_cast<std::uint64_t>(hs.sw)),
+          static_cast<std::uint64_t>(hs.port));
       const std::vector<sym::PacketFields>* pkts =
-          cache.find_packets(hs.id, chash);
+          cache.find_packets(hs.id, pkey);
       if (pkts == nullptr) {
         std::vector<sym::PacketFields> discovered;
         if (const auto hit =
@@ -175,8 +198,8 @@ std::vector<Transition> Executor::enabled(const SystemState& state,
           discovered = discover_packets(cfg_, state, hs.id, cache.stats());
           if (memo_) memo_->store_packets(state, hs.id, discovered);
         }
-        cache.store_packets(hs.id, chash, std::move(discovered));
-        pkts = cache.find_packets(hs.id, chash);
+        cache.store_packets(hs.id, pkey, std::move(discovered));
+        pkts = cache.find_packets(hs.id, pkey);
       }
       for (const sym::PacketFields& f : *pkts) {
         out.push_back(Transition{.kind = TKind::kHostSendDiscovered,

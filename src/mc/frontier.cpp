@@ -24,6 +24,12 @@ class DfsFrontier final : public Frontier {
   [[nodiscard]] bool empty() const override { return stack_.empty(); }
   [[nodiscard]] std::size_t size() const override { return stack_.size(); }
 
+  void for_each(
+      const std::function<void(const SearchNode&)>& fn) const override {
+    // Bottom-to-top: re-pushing in this order rebuilds the same stack.
+    for (const SearchNode& n : stack_) fn(n);
+  }
+
  private:
   std::vector<SearchNode> stack_;
 };
@@ -41,6 +47,12 @@ class BfsFrontier final : public Frontier {
 
   [[nodiscard]] bool empty() const override { return queue_.empty(); }
   [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+  void for_each(
+      const std::function<void(const SearchNode&)>& fn) const override {
+    // Front-to-back: re-pushing in this order rebuilds the same queue.
+    for (const SearchNode& n : queue_) fn(n);
+  }
 
  private:
   std::deque<SearchNode> queue_;
@@ -66,6 +78,17 @@ class RandomFrontier final : public Frontier {
 
   [[nodiscard]] bool empty() const override { return pool_.empty(); }
   [[nodiscard]] std::size_t size() const override { return pool_.size(); }
+
+  void for_each(
+      const std::function<void(const SearchNode&)>& fn) const override {
+    // Pool order + the saved RNG state reproduce the same pop sequence.
+    for (const SearchNode& n : pool_) fn(n);
+  }
+
+  [[nodiscard]] std::uint64_t rng_state() const override {
+    return rng_.state();
+  }
+  void set_rng_state(std::uint64_t state) override { rng_.set_state(state); }
 
  private:
   util::SplitMix64 rng_;

@@ -13,6 +13,7 @@
 #define NICE_MC_FRONTIER_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -75,6 +76,19 @@ class Frontier {
   virtual bool pop(SearchNode& out) = 0;
   [[nodiscard]] virtual bool empty() const = 0;
   [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Visit every pending node in *reconstruction order*: pushing the
+  /// visited nodes into a fresh frontier of the same kind, in visit
+  /// order, reproduces this frontier's future pop sequence exactly (for
+  /// the random frontier, together with rng_state()). The checkpoint
+  /// writer snapshots frontiers through this.
+  virtual void for_each(
+      const std::function<void(const SearchNode&)>& fn) const = 0;
+
+  /// Pop-policy RNG state (random frontier only; 0 elsewhere). Restoring
+  /// it via set_rng_state() resumes the exact pop sequence.
+  [[nodiscard]] virtual std::uint64_t rng_state() const { return 0; }
+  virtual void set_rng_state(std::uint64_t /*state*/) {}
 };
 
 /// `seed` is only used by the random-priority frontier.

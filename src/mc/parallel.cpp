@@ -9,7 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "mc/checkpoint.h"
 #include "util/hash.h"
+#include "util/resource.h"
 
 namespace nicemc::mc {
 
@@ -17,14 +19,6 @@ using detail::SearchClock;
 using detail::seconds_since;
 
 namespace {
-
-void add_discovery(DiscoveryStats& into, const DiscoveryStats& from) {
-  into.packet_discoveries += from.packet_discoveries;
-  into.stats_discoveries += from.stats_discoveries;
-  into.handler_runs += from.handler_runs;
-  into.solver_queries += from.solver_queries;
-  into.packets_found += from.packets_found;
-}
 
 /// Shared state of one parallel exhaustive run. Work is popped LIFO from
 /// the deque; `active` counts workers currently expanding a node, so the
@@ -41,6 +35,19 @@ struct SharedSearch {
   std::deque<SearchNode> work;
   std::size_t active{0};
   bool stop{false};
+  /// Quiesce barrier for checkpointing: while set, no worker claims new
+  /// work; the worker that observes active == 0 writes the snapshot
+  /// (everything mutable is then at rest), clears the flag, and releases
+  /// the others. All guarded by `mu`.
+  bool snapshot_pending{false};
+  std::uint64_t poll_tick{0};
+
+  /// Durability context (may be null); the discovery sources a snapshot
+  /// must sum (resumed seed + init cache + per-worker caches).
+  Durability* dur{nullptr};
+  DiscoveryStats seed_discovery;
+  const DiscoveryCache* init_cache{nullptr};
+  const std::vector<DiscoveryCache>* caches{nullptr};
 
   std::atomic<std::uint64_t> transitions{0};
   std::atomic<std::uint64_t> unique_states{0};
@@ -79,7 +86,43 @@ struct SharedSearch {
     }
     return LimitReason::kNone;
   }
+
+  /// Sum every discovery source visible so far. Callers must hold `mu`
+  /// with active == 0 (or have joined the workers) so no cache is mid-
+  /// mutation.
+  [[nodiscard]] DiscoveryStats discovery_now() const {
+    DiscoveryStats disc = seed_discovery;
+    if (init_cache != nullptr) add_discovery_stats(disc, init_cache->stats());
+    if (caches != nullptr) {
+      for (const DiscoveryCache& c : *caches) {
+        add_discovery_stats(disc, c.stats());
+      }
+    }
+    return disc;
+  }
 };
+
+/// Write a checkpoint of the shared search. Caller holds `mu` and the
+/// workers are quiesced (active == 0), so counters, deque, violations and
+/// discovery caches are all at rest. The deque is snapshotted front-to-
+/// back: re-push_back in that order reproduces it exactly, LIFO pops and
+/// all.
+void parallel_snapshot(const SearchCore& core, SharedSearch& shared) {
+  Durability::Snapshot snap;
+  snap.transitions = shared.transitions.load(std::memory_order_relaxed);
+  snap.unique_states = shared.unique_states.load(std::memory_order_relaxed);
+  snap.revisits = shared.revisits.load(std::memory_order_relaxed);
+  snap.quiescent_states =
+      shared.quiescent_states.load(std::memory_order_relaxed);
+  snap.violations = &shared.violations;
+  snap.discovery = shared.discovery_now();
+  snap.frontier_rng = 0;
+  snap.for_each_node =
+      [&shared](const std::function<void(const SearchNode&)>& fn) {
+        for (const SearchNode& n : shared.work) fn(n);
+      };
+  shared.dur->save(core, snap);
+}
 
 void search_worker(const SearchCore& core, SharedSearch& shared,
                    DiscoveryCache& cache) {
@@ -88,9 +131,31 @@ void search_worker(const SearchCore& core, SharedSearch& shared,
     {
       std::unique_lock<std::mutex> lock(shared.mu);
       shared.cv.wait(lock, [&] {
-        return shared.stop || !shared.work.empty() || shared.active == 0;
+        return shared.stop || shared.active == 0 ||
+               (!shared.work.empty() && !shared.snapshot_pending);
       });
       if (shared.stop) return;
+      if (shared.dur != nullptr) {
+        if (!shared.snapshot_pending && shared.dur->due()) {
+          shared.snapshot_pending = true;
+        }
+        if (shared.snapshot_pending) {
+          if (shared.active > 0) continue;  // wait for peers to quiesce
+          parallel_snapshot(core, shared);
+          shared.snapshot_pending = false;
+          shared.cv.notify_all();
+        }
+        if (++shared.poll_tick % 32 == 0) {
+          const LimitReason r = shared.dur->poll(core, shared.work.size());
+          if (r != LimitReason::kNone) {
+            shared.stop = true;
+            shared.truncated.store(true);
+            shared.limit.store(r);
+            shared.cv.notify_all();
+            return;
+          }
+        }
+      }
       if (shared.work.empty()) return;  // active == 0: space exhausted
       if (const LimitReason lr = shared.limit_hit();
           lr != LimitReason::kNone) {
@@ -140,26 +205,42 @@ void search_worker(const SearchCore& core, SharedSearch& shared,
 
 }  // namespace
 
-CheckerResult run_parallel(const SearchCore& core, unsigned threads) {
+CheckerResult run_parallel(const SearchCore& core, unsigned threads,
+                           Durability* dur) {
   const auto start = SearchClock::now();
   if (threads < 1) threads = 1;
   const CheckerOptions& options = core.options();
 
   CheckerResult result;
   DiscoveryCache init_cache;
-  std::vector<SearchNode> roots = core.init(result, init_cache);
+  std::vector<SearchNode> roots;
+  if (dur != nullptr && dur->resumed()) {
+    // Stores were reloaded by Durability::resume; carry the counters and
+    // re-seed the deque with the rebuilt pending nodes.
+    dur->seed(result);
+    roots = dur->take_nodes();
+  } else {
+    roots = core.init(result, init_cache);
+  }
 
   SharedSearch shared(options, start);
+  shared.transitions.store(result.transitions);
   shared.unique_states.store(result.unique_states);
+  shared.revisits.store(result.revisits);
   shared.quiescent_states.store(result.quiescent_states);
   shared.violations = std::move(result.violations);
   result.violations.clear();
   for (SearchNode& root : roots) shared.work.push_back(std::move(root));
 
+  std::vector<DiscoveryCache> caches(threads);
+  shared.dur = dur;
+  shared.seed_discovery = result.discovery;
+  shared.init_cache = &init_cache;
+  shared.caches = &caches;
+
   const bool stop_immediately =
       options.stop_at_first_violation && shared.found_violation();
   if (!stop_immediately && !shared.work.empty()) {
-    std::vector<DiscoveryCache> caches(threads);
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (unsigned w = 0; w < threads; ++w) {
@@ -168,7 +249,7 @@ CheckerResult run_parallel(const SearchCore& core, unsigned threads) {
     }
     for (std::thread& t : workers) t.join();
     for (const DiscoveryCache& c : caches) {
-      add_discovery(result.discovery, c.stats());
+      add_discovery_stats(result.discovery, c.stats());
     }
   }
 
@@ -181,8 +262,27 @@ CheckerResult run_parallel(const SearchCore& core, unsigned threads) {
   result.exhausted = shared.work.empty() && !shared.truncated.load() &&
                      !(options.stop_at_first_violation &&
                        result.found_violation());
-  add_discovery(result.discovery, init_cache.stats());
+  add_discovery_stats(result.discovery, init_cache.stats());
   core.fill_store_stats(result);
+  if (dur != nullptr) {
+    // Final checkpoint with the workers joined: whatever halted the run
+    // (limit, interrupt, memory, exhaustion) leaves a resumable snapshot.
+    Durability::Snapshot snap;
+    snap.transitions = result.transitions;
+    snap.unique_states = result.unique_states;
+    snap.revisits = result.revisits;
+    snap.quiescent_states = result.quiescent_states;
+    snap.violations = &result.violations;
+    snap.discovery = result.discovery;
+    snap.frontier_rng = 0;
+    snap.for_each_node =
+        [&shared](const std::function<void(const SearchNode&)>& fn) {
+          for (const SearchNode& n : shared.work) fn(n);
+        };
+    dur->save(core, snap);
+    dur->fill(result);
+  }
+  result.peak_rss_bytes = util::peak_rss_bytes();
   result.seconds = seconds_since(start);
   return result;
 }
@@ -305,9 +405,10 @@ CheckerResult run_random_walk_portfolio(const SearchCore& core,
   result.violations = std::move(shared.violations);
   result.hit_limit = shared.limit.load();
   for (const DiscoveryCache& c : caches) {
-    add_discovery(result.discovery, c.stats());
+    add_discovery_stats(result.discovery, c.stats());
   }
   core.fill_store_stats(result);
+  result.peak_rss_bytes = util::peak_rss_bytes();
   result.seconds = seconds_since(start);
   return result;
 }

@@ -35,7 +35,12 @@ namespace nicemc::mc {
 /// Exhaustive (bounded) search with `threads` workers. `threads` is
 /// clamped to at least 1; with 1 it still runs the shared-deque driver on
 /// the calling thread (prefer SearchCore::run_sequential for determinism).
-CheckerResult run_parallel(const SearchCore& core, unsigned threads);
+/// `dur` (optional) enables the durability layer: resume seeding, periodic
+/// checkpoints behind a quiesce barrier (workers drain before the snapshot
+/// is taken), a final at-halt checkpoint, the memory watchdog, and
+/// cooperative interrupts.
+CheckerResult run_parallel(const SearchCore& core, unsigned threads,
+                           Durability* dur = nullptr);
 
 /// `walks` random walks split across `threads` workers; worker w takes
 /// walks w, w+threads, ... and draws from its own SplitMix64 stream

@@ -110,6 +110,33 @@ void Footprint::finish() {
   norm(keys);
 }
 
+void Footprint::serialize(util::Ser& s) const {
+  auto put_ids = [&s](const std::vector<std::uint64_t>& v) {
+    s.put_u32(static_cast<std::uint32_t>(v.size()));
+    for (const std::uint64_t x : v) s.put_u64(x);
+  };
+  put_ids(reads);
+  put_ids(writes);
+  put_ids(keys);
+  s.put_bool(universal);
+}
+
+Footprint Footprint::deserialize(util::Des& d) {
+  Footprint fp;
+  auto get_ids = [&d](std::vector<std::uint64_t>& v) {
+    const std::uint32_t n = d.get_u32();
+    if (n > d.remaining() / sizeof(std::uint64_t)) d.fail();
+    if (!d.ok()) return;
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) v.push_back(d.get_u64());
+  };
+  get_ids(fp.reads);
+  get_ids(fp.writes);
+  get_ids(fp.keys);
+  fp.universal = d.get_bool();
+  return fp;
+}
+
 Footprint compute_footprint(const SystemConfig& cfg, const SystemState& state,
                             const Transition& t) {
   Footprint fp;

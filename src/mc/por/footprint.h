@@ -83,6 +83,11 @@ struct Footprint {
   /// Sort + dedupe the id vectors; must be called before may_conflict.
   void finish();
 
+  /// Checkpoint encoding (frontier nodes carry conditional-sleep
+  /// footprints); deserialize() is the exact inverse.
+  void serialize(nicemc::util::Ser& s) const;
+  [[nodiscard]] static Footprint deserialize(nicemc::util::Des& d);
+
   friend bool operator==(const Footprint&, const Footprint&) = default;
 };
 
@@ -146,6 +151,12 @@ class FootprintMemo {
   [[nodiscard]] Footprint get(const SystemState& state, const Transition& t);
 
   [[nodiscard]] util::MemoCore::Stats stats() const { return table_.stats(); }
+
+  /// Memory-watchdog hook: lower the byte budget and evict to fit.
+  void shrink_to(std::uint64_t new_budget) { table_.shrink_to(new_budget); }
+  [[nodiscard]] std::uint64_t byte_budget() const noexcept {
+    return table_.byte_budget();
+  }
 
  private:
   const SystemConfig& cfg_;

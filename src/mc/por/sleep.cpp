@@ -5,6 +5,14 @@
 
 namespace nicemc::mc::por {
 
+namespace {
+/// Coarse per-entry accounting overhead (map node, Entry, vectors) and
+/// per-wakeup-node cost used by the running store_bytes() counter — the
+/// watchdog needs honest magnitudes, not exact heap telemetry.
+constexpr std::uint64_t kEntryOverhead = 96;
+constexpr std::uint64_t kWakeupNodeCost = 96;
+}  // namespace
+
 SleepStore::SleepStore(std::size_t shards) : select_(shards) {
   shards_.reserve(select_.count());
   for (std::size_t i = 0; i < select_.count(); ++i) {
@@ -12,8 +20,7 @@ SleepStore::SleepStore(std::size_t shards) : select_(shards) {
   }
 }
 
-SleepStore::Arrival SleepStore::arrive(const util::Hash128& h,
-                                       std::string_view identity,
+SleepStore::Arrival SleepStore::arrive(std::string_view identity,
                                        const SleepSet& sleep, bool wakeups,
                                        const std::vector<std::uint64_t>* wake,
                                        bool observe) {
@@ -23,10 +30,13 @@ SleepStore::Arrival SleepStore::arrive(const util::Hash128& h,
   std::sort(mine.begin(), mine.end());
   mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
 
-  Shard& sh = shard_of(h);
+  Shard& sh = shard_of(identity);
   std::lock_guard<std::mutex> lock(sh.mu);
   auto it = sh.slept.find(identity);
   if (it == sh.slept.end()) {
+    bytes_.fetch_add(identity.size() + kEntryOverhead +
+                         mine.size() * sizeof(std::uint64_t),
+                     std::memory_order_relaxed);
     sh.slept.emplace(std::string(identity), Entry{std::move(mine), nullptr});
     return Arrival{.first = true, .explore = {}, .dispatched = {}};
   }
@@ -48,6 +58,8 @@ SleepStore::Arrival SleepStore::arrive(const util::Hash128& h,
       out.explore.push_back(th);
       return true;
     });
+    bytes_.fetch_sub(out.explore.size() * sizeof(std::uint64_t),
+                     std::memory_order_relaxed);
     return out;
   }
 
@@ -64,6 +76,8 @@ SleepStore::Arrival SleepStore::arrive(const util::Hash128& h,
     }
   }
   stored = std::move(kept);
+  bytes_.fetch_sub(out.explore.size() * sizeof(std::uint64_t),
+                   std::memory_order_relaxed);
   // The dispatched roots only matter to a re-expanding caller, so pure
   // revisits (the dominant case) skip the copy and keep the critical
   // section short.
@@ -74,23 +88,25 @@ SleepStore::Arrival SleepStore::arrive(const util::Hash128& h,
 }
 
 std::size_t SleepStore::record_schedule(
-    const util::Hash128& h, std::string_view identity,
-    const std::vector<std::uint64_t>& events,
+    std::string_view identity, const std::vector<std::uint64_t>& events,
     std::vector<WakeupContext>&& contexts,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& races) {
   if (events.empty()) return 0;
-  Shard& sh = shard_of(h);
+  Shard& sh = shard_of(identity);
   std::lock_guard<std::mutex> lock(sh.mu);
   auto it = sh.slept.find(identity);
   if (it == sh.slept.end()) {
     // The arrival that schedules a dispatch always registered first, so
     // the entry exists; tolerate direct store use (tests) anyway.
     it = sh.slept.emplace(std::string(identity), Entry{}).first;
+    bytes_.fetch_add(identity.size() + kEntryOverhead,
+                     std::memory_order_relaxed);
   }
   if (it->second.wakeups == nullptr) {
     it->second.wakeups = std::make_unique<WakeupTree>();
   }
   WakeupTree& tree = *it->second.wakeups;
+  const std::size_t nodes_before = tree.nodes();
   std::size_t recorded = 0;
   std::vector<std::uint64_t> seq(1);
   for (std::size_t i = 0; i < events.size(); ++i) {
@@ -105,12 +121,14 @@ std::size_t SleepStore::record_schedule(
     pair_seq[1] = events[b];
     if (tree.insert(pair_seq, {})) ++recorded;
   }
+  bytes_.fetch_add((tree.nodes() - nodes_before) * kWakeupNodeCost,
+                   std::memory_order_relaxed);
   return recorded;
 }
 
-bool SleepStore::covered(const util::Hash128& h, std::string_view identity,
-                         std::uint64_t event, const WakeupContext& ctx) const {
-  Shard& sh = shard_of(h);
+bool SleepStore::covered(std::string_view identity, std::uint64_t event,
+                         const WakeupContext& ctx) const {
+  Shard& sh = shard_of(identity);
   std::lock_guard<std::mutex> lock(sh.mu);
   const auto it = sh.slept.find(identity);
   if (it == sh.slept.end() || it->second.wakeups == nullptr) return false;
@@ -118,19 +136,22 @@ bool SleepStore::covered(const util::Hash128& h, std::string_view identity,
 }
 
 std::vector<std::uint64_t> SleepStore::claim_wakeups(
-    const util::Hash128& h, std::string_view identity, std::uint64_t event,
+    std::string_view identity, std::uint64_t event,
     const std::vector<std::uint64_t>& want) {
   std::vector<std::uint64_t> fresh;
-  Shard& sh = shard_of(h);
+  Shard& sh = shard_of(identity);
   std::lock_guard<std::mutex> lock(sh.mu);
   auto it = sh.slept.find(identity);
   if (it == sh.slept.end()) {
     it = sh.slept.emplace(std::string(identity), Entry{}).first;
+    bytes_.fetch_add(identity.size() + kEntryOverhead,
+                     std::memory_order_relaxed);
   }
   if (it->second.wakeups == nullptr) {
     it->second.wakeups = std::make_unique<WakeupTree>();
   }
   WakeupTree& tree = *it->second.wakeups;
+  const std::size_t nodes_before = tree.nodes();
   std::vector<std::uint64_t> seq{event, 0};
   for (const std::uint64_t t : want) {
     seq[1] = t;
@@ -138,6 +159,8 @@ std::vector<std::uint64_t> SleepStore::claim_wakeups(
     tree.insert(seq, {});
     fresh.push_back(t);
   }
+  bytes_.fetch_add((tree.nodes() - nodes_before) * kWakeupNodeCost,
+                   std::memory_order_relaxed);
   return fresh;
 }
 
@@ -164,11 +187,62 @@ SleepStore::WakeupTotals SleepStore::wakeup_totals() const {
   return t;
 }
 
+void SleepStore::serialize(util::Ser& s) const {
+  s.put_u64(states());
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    for (const auto& [identity, entry] : sh->slept) {
+      s.put_str(identity);
+      s.put_u64(entry.slept.size());
+      for (const std::uint64_t th : entry.slept) s.put_u64(th);
+      s.put_bool(entry.wakeups != nullptr);
+      if (entry.wakeups != nullptr) entry.wakeups->serialize(s);
+    }
+  }
+}
+
+bool SleepStore::restore(util::Des& d) {
+  if (states() != 0) return false;
+  const std::uint64_t n = d.get_count(sizeof(std::uint32_t));
+  if (!d.ok()) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string_view identity = d.get_str();
+    const std::uint64_t slept_n = d.get_count(sizeof(std::uint64_t));
+    if (!d.ok()) return false;
+    Entry entry;
+    entry.slept.reserve(slept_n);
+    for (std::uint64_t j = 0; j < slept_n; ++j) {
+      entry.slept.push_back(d.get_u64());
+    }
+    std::uint64_t tree_bytes = 0;
+    if (d.get_bool()) {
+      entry.wakeups = std::make_unique<WakeupTree>();
+      if (!entry.wakeups->restore(d)) return false;
+      tree_bytes = entry.wakeups->nodes() * kWakeupNodeCost;
+    }
+    if (!d.ok()) return false;
+    Shard& sh = shard_of(identity);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const auto [it, inserted] =
+        sh.slept.emplace(std::string(identity), std::move(entry));
+    if (!inserted) {
+      d.fail();  // duplicate identity: the section is corrupt
+      return false;
+    }
+    bytes_.fetch_add(identity.size() + kEntryOverhead +
+                         it->second.slept.size() * sizeof(std::uint64_t) +
+                         tree_bytes,
+                     std::memory_order_relaxed);
+  }
+  return d.ok();
+}
+
 void SleepStore::clear() {
   for (const auto& sh : shards_) {
     std::lock_guard<std::mutex> lock(sh->mu);
     sh->slept.clear();
   }
+  bytes_.store(0, std::memory_order_relaxed);
 }
 
 void cluster_order(const std::vector<Footprint>& fps, bool packet_keys,

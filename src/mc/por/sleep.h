@@ -48,6 +48,8 @@
 #ifndef NICE_MC_POR_SLEEP_H
 #define NICE_MC_POR_SLEEP_H
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -107,12 +109,15 @@ class SleepStore {
   };
 
   /// Record an arrival at the state identified by `identity` (the
-  /// seen-set store key; `h` only selects the shard) carrying `sleep`;
-  /// atomically updates the stored slept-set to its intersection with
-  /// `sleep` and returns what the caller must expand. The first/revisit
-  /// verdict is made here (not by the seen-set) so parallel workers agree
-  /// under one lock. `identity` is copied only on first arrival. With
-  /// `wakeups` the previously dispatched events are returned too.
+  /// seen-set store key; the shard is selected by an internal hash of the
+  /// identity bytes, so placement is a pure function of the entry and a
+  /// checkpoint restore re-derives it under any shard count) carrying
+  /// `sleep`; atomically updates the stored slept-set to its intersection
+  /// with `sleep` and returns what the caller must expand. The
+  /// first/revisit verdict is made here (not by the seen-set) so parallel
+  /// workers agree under one lock. `identity` is copied only on first
+  /// arrival. With `wakeups` the previously dispatched events are
+  /// returned too.
   ///
   /// A non-null `wake` marks a *targeted* arrival (a replayed wakeup
   /// sequence, Reduction::kSourceDpor): on a revisit the caller must
@@ -124,8 +129,8 @@ class SleepStore {
   /// woken successor of a replay): at a known state it neither expands
   /// nor touches the stored set — the visit itself is the point — and at
   /// an unknown state both fall back to a normal first arrival.
-  Arrival arrive(const util::Hash128& h, std::string_view identity,
-                 const SleepSet& sleep, bool wakeups = false,
+  Arrival arrive(std::string_view identity, const SleepSet& sleep,
+                 bool wakeups = false,
                  const std::vector<std::uint64_t>* wake = nullptr,
                  bool observe = false);
 
@@ -136,8 +141,7 @@ class SleepStore {
   /// race is recorded as the depth-2 sequence it was scheduled in.
   /// Returns the number of newly recorded sequences.
   std::size_t record_schedule(
-      const util::Hash128& h, std::string_view identity,
-      const std::vector<std::uint64_t>& events,
+      std::string_view identity, const std::vector<std::uint64_t>& events,
       std::vector<WakeupContext>&& contexts,
       const std::vector<std::pair<std::uint32_t, std::uint32_t>>& races);
 
@@ -147,8 +151,7 @@ class SleepStore {
   /// covers. Diagnostic/tooling surface over the antichain semantics
   /// that WakeupTree::insert enforces internally; the search itself
   /// dedupes replays through claim_wakeups.
-  [[nodiscard]] bool covered(const util::Hash128& h,
-                             std::string_view identity, std::uint64_t event,
+  [[nodiscard]] bool covered(std::string_view identity, std::uint64_t event,
                              const WakeupContext& ctx) const;
 
   /// Wakeup mode: atomically claim the wakeup sequences `event`·t (t ∈
@@ -157,10 +160,27 @@ class SleepStore {
   /// sequence, so a given (event, wakee) pair is replayed at most once
   /// per state — concurrent revisits agree under the shard lock.
   std::vector<std::uint64_t> claim_wakeups(
-      const util::Hash128& h, std::string_view identity, std::uint64_t event,
+      std::string_view identity, std::uint64_t event,
       const std::vector<std::uint64_t>& want);
 
   [[nodiscard]] std::uint64_t states() const;
+
+  /// Approximate resident bytes (identity keys, slept sets, wakeup-tree
+  /// node estimates), maintained as a running counter so the memory
+  /// watchdog can poll it without walking the shards.
+  [[nodiscard]] std::uint64_t store_bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Checkpoint section: entry count + every entry (identity key, slept
+  /// hashes, optional wakeup-tree section). Placement on restore is
+  /// re-derived from the identity bytes, so iteration order carries no
+  /// meaning. Not safe against concurrent mutation — drivers quiesce
+  /// before snapshotting.
+  void serialize(util::Ser& s) const;
+  /// Restore a serialize() section into this (must-be-empty) store.
+  /// Returns false on a malformed section.
+  bool restore(util::Des& d);
 
   /// Aggregate wakeup-tree statistics (zeros outside wakeup mode).
   struct WakeupTotals {
@@ -194,12 +214,17 @@ class SleepStore {
         slept;
   };
 
-  [[nodiscard]] Shard& shard_of(const util::Hash128& h) const {
-    return *shards_[select_.index(h)];
+  [[nodiscard]] Shard& shard_of(std::string_view identity) const {
+    // Placement is a pure function of the identity bytes — the property
+    // checkpoint restore relies on to re-shard entries.
+    return *shards_[select_.index(util::hash128(
+        {reinterpret_cast<const std::byte*>(identity.data()),
+         identity.size()}))];
   }
 
   util::ShardSelect select_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> bytes_{0};
 };
 
 /// Persistent-set scheduling: permute `order` (indices into `fps`) so

@@ -78,6 +78,74 @@ void WakeupTree::roots(std::vector<std::uint64_t>& out) const {
   }
 }
 
+void WakeupTree::serialize(util::Ser& s) const {
+  s.put_u64(nodes_.size());
+  for (const Node& n : nodes_) {
+    s.put_u64(n.event);
+    s.put_u32(static_cast<std::uint32_t>(n.kids.size()));
+    for (const std::uint32_t k : n.kids) s.put_u32(k);
+    s.put_u32(static_cast<std::uint32_t>(n.contexts.size()));
+    for (const WakeupContext& c : n.contexts) {
+      s.put_u32(static_cast<std::uint32_t>(c.size()));
+      for (const std::uint64_t t : c) s.put_u64(t);
+    }
+  }
+  s.put_u64(sequences_);
+}
+
+bool WakeupTree::restore(util::Des& d) {
+  if (nodes_.size() != 1) return false;
+  const std::uint64_t n = d.get_count(sizeof(std::uint64_t));
+  if (!d.ok() || n == 0) return false;  // even an empty tree has its root
+  std::vector<Node> nodes;
+  nodes.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Node node;
+    node.event = d.get_u64();
+    const std::uint32_t kids = d.get_u32();
+    if (kids > d.remaining() / sizeof(std::uint32_t)) d.fail();
+    if (!d.ok()) return false;
+    node.kids.reserve(kids);
+    for (std::uint32_t k = 0; k < kids; ++k) {
+      const std::uint32_t kid = d.get_u32();
+      if (kid == 0 || kid >= n) d.fail();  // the root is nobody's kid
+      node.kids.push_back(kid);
+    }
+    const std::uint32_t ctxs = d.get_u32();
+    if (ctxs > d.remaining() / sizeof(std::uint32_t)) d.fail();
+    if (!d.ok()) return false;
+    node.contexts.reserve(ctxs);
+    for (std::uint32_t c = 0; c < ctxs; ++c) {
+      const std::uint32_t len = d.get_u32();
+      if (len > d.remaining() / sizeof(std::uint64_t)) d.fail();
+      if (!d.ok()) return false;
+      WakeupContext ctx;
+      ctx.reserve(len);
+      for (std::uint32_t t = 0; t < len; ++t) ctx.push_back(d.get_u64());
+      node.contexts.push_back(std::move(ctx));
+    }
+    if (!d.ok()) return false;
+    nodes.push_back(std::move(node));
+  }
+  const std::uint64_t seqs = d.get_u64();
+  if (!d.ok()) return false;
+  nodes_ = std::move(nodes);
+  sequences_ = static_cast<std::size_t>(seqs);
+  return true;
+}
+
+std::uint64_t WakeupTree::bytes() const {
+  std::uint64_t total = nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_) {
+    total += n.kids.capacity() * sizeof(std::uint32_t);
+    total += n.contexts.capacity() * sizeof(WakeupContext);
+    for (const WakeupContext& c : n.contexts) {
+      total += c.capacity() * sizeof(std::uint64_t);
+    }
+  }
+  return total;
+}
+
 std::vector<std::uint64_t> WakeupTree::continuations(
     std::uint64_t event) const {
   std::vector<std::uint64_t> out;

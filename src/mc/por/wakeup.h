@@ -32,6 +32,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/ser.h"
+
 namespace nicemc::mc::por {
 
 /// A sleep context: the sorted, deduplicated transition hashes slept at
@@ -74,6 +76,18 @@ class WakeupTree {
   /// absent). Exposes the race-reversal schedule to tests and tooling.
   [[nodiscard]] std::vector<std::uint64_t> continuations(
       std::uint64_t event) const;
+
+  /// Checkpoint section: the full trie — every node with its event, its
+  /// kid indices in insertion order, and its context antichain — plus the
+  /// sequence counter. Insertion order is preserved verbatim because the
+  /// source-set sleeping rule consumes roots() in first-dispatch order.
+  void serialize(util::Ser& s) const;
+  /// Restore a serialize() section into this (must-be-empty) tree.
+  /// Returns false on a malformed section.
+  bool restore(util::Des& d);
+
+  /// Resident bytes (node vectors + contexts), for watchdog accounting.
+  [[nodiscard]] std::uint64_t bytes() const;
 
   /// Trie nodes, excluding the root.
   [[nodiscard]] std::size_t nodes() const noexcept {

@@ -8,7 +8,9 @@
 #include <string_view>
 #include <utility>
 
+#include "mc/checkpoint.h"
 #include "util/hash.h"
+#include "util/resource.h"
 #include "util/ser.h"
 
 namespace nicemc::mc {
@@ -94,7 +96,7 @@ bool SearchCore::remember(const SystemState& state) const {
     return seen_.insert(state.hash(cfg_.canonical_flowtables));
   }
   StateKey k = state_key(state);
-  return seen_.insert_key(k.hash, std::move(k.key));
+  return seen_.insert_key(std::move(k.key));
 }
 
 SearchCore::StateKey SearchCore::identity_key(const SystemState& state) const {
@@ -124,8 +126,8 @@ SearchCore::ArriveOutcome SearchCore::arrive_reduced(
   StateKey k = identity_key(state);
   at.hash = k.hash;
   at.identity = std::move(k.key);
-  at.arr = reducer_->store().arrive(at.hash, at.identity, sleep,
-                                    reducer_->wakeups(), wake, observe);
+  at.arr = reducer_->store().arrive(at.identity, sleep, reducer_->wakeups(),
+                                    wake, observe);
   return at;
 }
 
@@ -133,7 +135,7 @@ void SearchCore::sync_seen(ArriveOutcome&& at) const {
   if (seen_.mode() == util::ShardedSeenSet::Mode::kHash) {
     seen_.insert(at.hash);
   } else {
-    seen_.insert_key(at.hash, std::move(at.identity));
+    seen_.insert_key(std::move(at.identity));
   }
 }
 
@@ -335,9 +337,7 @@ void SearchCore::expand_reduced(Expansion& out, SystemState&& next,
     augmented = node.sleep;
     for (const CondSleep& c : node.cond) {
       augmented.push_back(por::SleepEntry{c.thash, c.fp});
-      if (reducer_->store()
-              .claim_wakeups(pk.hash, pk.key, c.thash, want)
-              .empty()) {
+      if (reducer_->store().claim_wakeups(pk.key, c.thash, want).empty()) {
         continue;  // an earlier activation already owes this replay
       }
       replays_.fetch_add(1, std::memory_order_relaxed);
@@ -500,27 +500,73 @@ void SearchCore::make_reduced_children(
         }
       }
     }
-    reducer_->store().record_schedule(at.hash, at.identity, events,
+    reducer_->store().record_schedule(at.identity, events,
                                       std::move(contexts), races);
   }
 }
 
 CheckerResult SearchCore::run_sequential(Frontier& frontier,
-                                         DiscoveryCache& cache) const {
+                                         DiscoveryCache& cache,
+                                         Durability* dur) const {
   const auto start = SearchClock::now();
   CheckerResult result;
+
+  // Snapshot of the run as of *now*: counters (seeded totals + this run),
+  // the frontier in reconstruction order, and the combined discovery
+  // stats the caller passes in.
+  const auto make_snapshot = [&](const DiscoveryStats& disc) {
+    Durability::Snapshot snap;
+    snap.transitions = result.transitions;
+    snap.unique_states = result.unique_states;
+    snap.revisits = result.revisits;
+    snap.quiescent_states = result.quiescent_states;
+    snap.violations = &result.violations;
+    snap.discovery = disc;
+    snap.frontier_rng = frontier.rng_state();
+    snap.for_each_node =
+        [&frontier](const std::function<void(const SearchNode&)>& fn) {
+          frontier.for_each(fn);
+        };
+    return snap;
+  };
 
   const auto finalize = [&](LimitReason reason) -> CheckerResult& {
     result.hit_limit = reason;
     result.seconds = seconds_since(start);
-    result.discovery = cache.stats();
+    // Accumulate, not assign: a resumed run's seed discovery counters are
+    // already in result.discovery.
+    add_discovery_stats(result.discovery, cache.stats());
     fill_store_stats(result);
+    if (dur != nullptr) {
+      // Every halt — limit, interrupt, memory, exhaustion — leaves a
+      // final checkpoint, so resuming a finished run is an idempotent
+      // no-op and an interrupted one continues where it stopped.
+      dur->save(*this, make_snapshot(result.discovery));
+      dur->fill(result);
+    }
+    result.peak_rss_bytes = util::peak_rss_bytes();
     return result;
   };
 
-  for (SearchNode& root : init(result, cache)) {
-    frontier.push(std::move(root));
+  if (dur != nullptr && dur->resumed()) {
+    // The stores were already reloaded by Durability::resume; seed the
+    // carried counters/violations and re-push the rebuilt frontier.
+    dur->seed(result);
+    frontier.set_rng_state(dur->frontier_rng());
+    for (SearchNode& node : dur->take_nodes()) {
+      frontier.push(std::move(node));
+    }
+  } else {
+    for (SearchNode& root : init(result, cache)) {
+      frontier.push(std::move(root));
+    }
   }
+
+  // Interrupt/watchdog polls and checkpoint-due checks run every
+  // kPollStride expansions — cheap enough to never show up in profiles,
+  // frequent enough that a signal halts promptly.
+  constexpr std::uint64_t kPollStride = 32;
+  std::uint64_t since_poll = 0;
 
   while (!frontier.empty()) {
     if (result.transitions >= options_.max_transitions) {
@@ -532,6 +578,16 @@ CheckerResult SearchCore::run_sequential(Frontier& frontier,
     if (options_.time_limit_seconds > 0 &&
         seconds_since(start) >= options_.time_limit_seconds) {
       return finalize(LimitReason::kTime);
+    }
+    if (dur != nullptr && ++since_poll >= kPollStride) {
+      since_poll = 0;
+      const LimitReason r = dur->poll(*this, frontier.size());
+      if (r != LimitReason::kNone) return finalize(r);
+      if (dur->due()) {
+        DiscoveryStats disc = result.discovery;
+        add_discovery_stats(disc, cache.stats());
+        dur->save(*this, make_snapshot(disc));
+      }
     }
     if (options_.stop_at_first_violation && result.found_violation()) break;
 

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mc/discover.h"
@@ -103,6 +104,33 @@ struct CheckerOptions {
   /// entries that alone exceed a shard's slice are never stored, so
   /// CheckerResult::memo.bytes ≤ this at all times).
   std::uint64_t memo_budget_bytes{64ull << 20};
+  /// Shards of the memo tables (rounded up to a power of two). 0 =
+  /// automatic: the seen-set's shard count.
+  std::size_t memo_shards{0};
+  /// Durability layer (mc/checkpoint.h). Non-empty = periodically write a
+  /// crash-safe A/B-slot checkpoint of the full search state (seen-set,
+  /// collapse table, sleep store, frontier, counters) to
+  /// `<checkpoint_path>.a` / `.b`, and write a final one at every halt —
+  /// so a SIGKILL at any point leaves a resumable latest-good snapshot.
+  std::string checkpoint_path;
+  /// Seconds between periodic checkpoints (checked between expansions).
+  double checkpoint_interval_seconds{30.0};
+  /// Load the latest valid checkpoint slot before searching and continue
+  /// from it; falls back to a fresh run when no valid slot exists. An
+  /// interrupted-and-resumed run reports totals (transitions, unique
+  /// states, violations) as if it had never been interrupted.
+  bool resume{false};
+  /// Memory-budget watchdog: 0 = off. When the engine-accounted resident
+  /// bytes (store + collapse + sleep + memo + frontier estimate) exceed
+  /// the budget, the memo tables are shrunk/evicted first (they are
+  /// count-invisible); if that cannot fit the budget, the search
+  /// checkpoints (when checkpoint_path is set) and halts with
+  /// LimitReason::kMemory instead of OOM-aborting.
+  std::uint64_t memory_budget_bytes{0};
+  /// Install cooperative SIGINT/SIGTERM handlers: the first signal
+  /// requests a graceful halt — the drivers checkpoint and return
+  /// LimitReason::kInterrupted instead of dying mid-write.
+  bool handle_signals{false};
 };
 
 /// Which bound cut a search short (CheckerResult::hit_limit).
@@ -111,6 +139,8 @@ enum class LimitReason : std::uint8_t {
   kTransitions,   // max_transitions reached
   kUniqueStates,  // max_unique_states reached
   kTime,          // time_limit_seconds elapsed
+  kMemory,        // memory_budget_bytes exceeded past the eviction ladder
+  kInterrupted,   // cooperative SIGINT/SIGTERM (or a test-injected request)
 };
 
 struct ViolationRecord {
@@ -171,6 +201,21 @@ struct CheckerResult {
     std::uint64_t bytes{0};
   };
   MemoStats memo;
+  /// OS-reported peak resident set size of the process at search end
+  /// (getrusage ru_maxrss; monotone over the process, so multi-run
+  /// processes see the max across runs). Ground truth the engine's own
+  /// byte accounting is validated against.
+  std::uint64_t peak_rss_bytes{0};
+  /// Durability-layer statistics (zeros when no checkpoint path, memory
+  /// budget, or signal handling is configured).
+  struct DurabilityStats {
+    std::uint64_t checkpoints_written{0};  // snapshots persisted this run
+    std::uint64_t checkpoint_bytes{0};     // size of the last snapshot
+    bool resumed{false};                   // run continued a checkpoint
+    std::uint64_t memo_shrinks{0};         // watchdog eviction-ladder steps
+    std::uint64_t watchdog_bytes{0};       // last engine-accounted bytes
+  };
+  DurabilityStats durability;
   std::vector<ViolationRecord> violations;
   DiscoveryStats discovery;
 
@@ -190,6 +235,8 @@ struct CheckerResult {
 /// semantics are what its equivalence checks compare.
 [[nodiscard]] std::vector<std::string> violation_key_set(
     const CheckerResult& r);
+
+class Durability;  // mc/checkpoint.h — checkpoint/watchdog/signal context
 
 class SearchCore {
  public:
@@ -248,8 +295,12 @@ class SearchCore {
 
   /// Single-threaded search loop over `frontier` — with a DFS frontier,
   /// transition/state counts reproduce the original checker exactly.
+  /// `dur` (optional) enables the durability layer: resume seeding,
+  /// periodic + at-halt checkpoints, the memory watchdog, and cooperative
+  /// interrupts.
   [[nodiscard]] CheckerResult run_sequential(Frontier& frontier,
-                                             DiscoveryCache& cache) const;
+                                             DiscoveryCache& cache,
+                                             Durability* dur = nullptr) const;
 
   /// Returns true when the state was not seen before.
   bool remember(const SystemState& state) const;
@@ -269,6 +320,35 @@ class SearchCore {
   [[nodiscard]] util::ShardedSeenSet& seen() const noexcept { return seen_; }
   [[nodiscard]] util::CollapseTable* collapse() const noexcept {
     return collapse_;
+  }
+  [[nodiscard]] por::Reducer* reducer() const noexcept { return reducer_; }
+  [[nodiscard]] por::FootprintMemo* footprint_memo() const noexcept {
+    return fp_memo_;
+  }
+  [[nodiscard]] DiscoveryMemo* discovery_memo() const noexcept {
+    return disc_memo_;
+  }
+
+  /// Engine-accounted resident bytes of the search: seen-set + collapse
+  /// table + sleep store + memo tables + a coarse per-node estimate for
+  /// `frontier_nodes` pending nodes. The memory watchdog's trigger — a
+  /// pure function of engine state, so the budget ladder behaves the same
+  /// on every platform (peak_rss_bytes is reported alongside as the OS
+  /// ground truth, not used as a trigger).
+  [[nodiscard]] std::uint64_t resident_bytes(
+      std::uint64_t frontier_nodes) const;
+
+  /// Wakeup-replay counters (kSourceDpor accounting), exposed so the
+  /// checkpoint layer can carry them across a halt/resume boundary.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t>
+  wakeup_replay_counters() const noexcept {
+    return {replays_.load(std::memory_order_relaxed),
+            woken_.load(std::memory_order_relaxed)};
+  }
+  void seed_wakeup_replay_counters(std::uint64_t replays,
+                                   std::uint64_t woken) const noexcept {
+    replays_.store(replays, std::memory_order_relaxed);
+    woken_.store(woken, std::memory_order_relaxed);
   }
 
  private:

@@ -72,4 +72,35 @@ void Transition::serialize(util::Ser& s) const {
   }
 }
 
+Transition Transition::deserialize(util::Des& d) {
+  Transition t;
+  const std::uint8_t kind = d.get_u8();
+  if (kind > static_cast<std::uint8_t>(TKind::kDiscoverStats)) d.fail();
+  if (!d.ok()) return t;
+  t.kind = static_cast<TKind>(kind);
+  t.a = d.get_u32();
+  t.aux = d.get_u32();
+  t.fields.eth_src = d.get_u64();
+  t.fields.eth_dst = d.get_u64();
+  t.fields.eth_type = d.get_u64();
+  t.fields.ip_src = d.get_u64();
+  t.fields.ip_dst = d.get_u64();
+  t.fields.ip_proto = d.get_u64();
+  t.fields.tp_src = d.get_u64();
+  t.fields.tp_dst = d.get_u64();
+  t.fields.tcp_flags = d.get_u64();
+  const std::uint32_t n = d.get_u32();
+  if (n > d.remaining() / (sizeof(std::uint32_t) + sizeof(std::uint64_t))) {
+    d.fail();
+  }
+  if (!d.ok()) return t;
+  t.stats.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const of::PortId port = d.get_u32();
+    const std::uint64_t bytes = d.get_u64();
+    t.stats.emplace_back(port, bytes);
+  }
+  return t;
+}
+
 }  // namespace nicemc::mc

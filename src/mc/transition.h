@@ -53,6 +53,10 @@ struct Transition {
 
   [[nodiscard]] std::string label() const;
   void serialize(util::Ser& s) const;
+  /// Exact inverse of serialize() — transitions are self-describing
+  /// values, so a checkpointed frontier stores them verbatim and replays
+  /// them to rebuild states (mc/checkpoint.h).
+  [[nodiscard]] static Transition deserialize(util::Des& d);
 };
 
 }  // namespace nicemc::mc

@@ -61,6 +61,43 @@ double CollapseTable::dedupe_ratio() const {
                    : 0.0;
 }
 
+void CollapseTable::serialize(Ser& s) const {
+  const std::uint64_t n = unique_blobs();
+  // Invert the shard maps into id order: ids are dense in [0, n).
+  std::vector<const std::string*> by_id(n, nullptr);
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    for (const auto& [blob, id] : sh->ids) by_id[id] = &blob;
+  }
+  s.put_u64(n);
+  for (const std::string* blob : by_id) s.put_str(*blob);
+  s.put_u64(intern_calls());
+}
+
+bool CollapseTable::restore(Des& d) {
+  if (unique_blobs() != 0) return false;
+  const std::uint64_t n = d.get_count(4);
+  if (!d.ok()) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string_view blob = d.get_str();
+    if (!d.ok()) return false;
+    // Dense in-order allocation: re-interning the i-th blob into an empty
+    // table must hand back id i, or the id tuples referencing this table
+    // would silently point at the wrong blobs.
+    if (intern(blob) != i) {
+      d.fail();
+      return false;
+    }
+  }
+  const std::uint64_t calls = d.get_u64();
+  if (!d.ok() || calls < n) return d.ok();
+  // The restore itself issued n intern calls; top shard 0 up so
+  // intern_calls()/dedupe_ratio() report the original run's totals.
+  std::lock_guard<std::mutex> lock(shards_[0]->mu);
+  shards_[0]->calls += calls - n;
+  return true;
+}
+
 void CollapseTable::clear() {
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lock(s->mu);

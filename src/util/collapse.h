@@ -76,6 +76,19 @@ class CollapseTable {
   /// not race intern() (callers clear between searches, not during one).
   void clear();
 
+  /// Checkpoint section: blob count + every blob in ascending id order,
+  /// plus the intern-call counter (so dedupe statistics survive a
+  /// restore). Not safe against concurrent intern() — callers quiesce
+  /// first.
+  void serialize(Ser& s) const;
+  /// Restore a serialize() section into this (must-be-empty) table by
+  /// re-interning every blob in id order — ids are dense and allocated in
+  /// intern order, so each blob receives exactly the id it held when the
+  /// section was written, and id tuples stored elsewhere (seen-set keys,
+  /// sleep-store identities) remain valid verbatim. Returns false on a
+  /// malformed section or an id mismatch.
+  bool restore(Des& d);
+
  private:
   struct Shard {
     mutable std::mutex mu;

@@ -92,6 +92,13 @@ class SplitMix64 {
     return next() % bound;
   }
 
+  /// The raw generator state — checkpointable: restoring it reproduces
+  /// the exact remaining output sequence.
+  [[nodiscard]] constexpr std::uint64_t state() const noexcept {
+    return state_;
+  }
+  constexpr void set_state(std::uint64_t s) noexcept { state_ = s; }
+
  private:
   std::uint64_t state_;
 };

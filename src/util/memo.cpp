@@ -48,10 +48,11 @@ void MemoCore::insert(std::string_view key,
     return;
   }
 
+  const std::uint64_t slice = budget_per_shard_.load(std::memory_order_relaxed);
   const std::size_t cost = key.size() + value_bytes + kEntryOverhead;
-  if (cost > budget_per_shard_) return;  // would bust the shard alone
+  if (cost > slice) return;  // would bust the shard alone
 
-  while (sh.bytes + cost > budget_per_shard_ && !sh.lru.empty()) {
+  while (sh.bytes + cost > slice && !sh.lru.empty()) {
     const Entry& victim = sh.lru.back();
     sh.bytes -= victim.bytes;
     sh.index.erase(std::string_view(victim.key));
@@ -77,6 +78,23 @@ MemoCore::Stats MemoCore::stats() const {
     s.entries += sh->lru.size();
   }
   return s;
+}
+
+void MemoCore::shrink_to(std::uint64_t new_budget) {
+  if (new_budget >= budget_total_.load(std::memory_order_relaxed)) return;
+  budget_total_.store(new_budget, std::memory_order_relaxed);
+  const std::uint64_t slice = new_budget / select_.count();
+  budget_per_shard_.store(slice, std::memory_order_relaxed);
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    while (sh->bytes > slice && !sh->lru.empty()) {
+      const Entry& victim = sh->lru.back();
+      sh->bytes -= victim.bytes;
+      sh->index.erase(std::string_view(victim.key));
+      sh->lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 void MemoCore::clear() {

@@ -65,8 +65,15 @@ class MemoCore {
   [[nodiscard]] Stats stats() const;
 
   [[nodiscard]] std::uint64_t byte_budget() const noexcept {
-    return budget_total_;
+    return budget_total_.load(std::memory_order_relaxed);
   }
+
+  /// Lower the byte budget to `new_budget` (no-op if already at or below)
+  /// and immediately evict LRU entries until every shard fits its new
+  /// slice. This is the memory watchdog's first rung: memo contents are
+  /// count-invisible by construction, so shrinking mid-search changes
+  /// wall-clock time only. Safe against concurrent find/insert.
+  void shrink_to(std::uint64_t new_budget);
 
   void clear();
 
@@ -92,8 +99,11 @@ class MemoCore {
 
   ShardSelect select_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::uint64_t budget_total_;
-  std::uint64_t budget_per_shard_;
+  // Atomic so shrink_to() can lower the budget while workers insert; each
+  // insert reads the per-shard slice once (relaxed — a stale read admits
+  // at most one entry over a budget that just shrank).
+  std::atomic<std::uint64_t> budget_total_;
+  std::atomic<std::uint64_t> budget_per_shard_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> insertions_{0};
@@ -128,6 +138,7 @@ class MemoTable {
   [[nodiscard]] std::uint64_t byte_budget() const noexcept {
     return core_.byte_budget();
   }
+  void shrink_to(std::uint64_t new_budget) { core_.shrink_to(new_budget); }
   void clear() { core_.clear(); }
 
  private:

@@ -1,0 +1,25 @@
+#include "util/resource.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace nicemc::util {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+#elif defined(__unix__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // Linux and the BSDs report ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace nicemc::util

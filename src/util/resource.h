@@ -1,0 +1,22 @@
+// Process resource introspection for the memory watchdog and reporting.
+//
+// The search engine's own accounting (seen-set bytes, collapse-table
+// bytes, memo bytes, frontier estimate) drives the memory-budget ladder —
+// it is deterministic and schedule-independent. The OS-reported peak RSS
+// is the ground truth those numbers are validated against, so benches and
+// CheckerResult report both side by side.
+#ifndef NICE_UTIL_RESOURCE_H
+#define NICE_UTIL_RESOURCE_H
+
+#include <cstdint>
+
+namespace nicemc::util {
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss),
+/// 0 where the platform does not report it. Monotone over the process
+/// lifetime — per-run deltas require recording the value before the run.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace nicemc::util
+
+#endif  // NICE_UTIL_RESOURCE_H

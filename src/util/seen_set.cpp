@@ -2,6 +2,17 @@
 
 namespace nicemc::util {
 
+namespace {
+
+/// Placement hash of a key-mode entry: a pure function of the key bytes,
+/// so the shard an entry lands in can be re-derived from the entry alone
+/// (checkpoint restore) and never depends on caller-supplied state hashes.
+Hash128 key_placement(std::string_view key) {
+  return hash128({reinterpret_cast<const std::byte*>(key.data()), key.size()});
+}
+
+}  // namespace
+
 ShardedSeenSet::ShardedSeenSet(Mode mode, std::size_t shards)
     : mode_(mode), select_(shards) {
   shards_.reserve(select_.count());
@@ -18,8 +29,8 @@ bool ShardedSeenSet::insert(const Hash128& h) {
   return inserted;
 }
 
-bool ShardedSeenSet::insert_key(const Hash128& h, std::string key) {
-  Shard& s = shard_of(h);
+bool ShardedSeenSet::insert_key(std::string key) {
+  Shard& s = shard_of(key_placement(key));
   std::lock_guard<std::mutex> lock(s.mu);
   const auto [it, inserted] = s.keys.insert(std::move(key));
   if (inserted) s.bytes += it->size();
@@ -42,6 +53,43 @@ std::uint64_t ShardedSeenSet::store_bytes() const {
     total += s->bytes;
   }
   return total;
+}
+
+void ShardedSeenSet::serialize(Ser& s) const {
+  s.put_u8(static_cast<std::uint8_t>(mode_));
+  s.put_u64(size());
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    if (mode_ == Mode::kHash) {
+      for (const Hash128& h : sh->hashes) {
+        s.put_u64(h.lo);
+        s.put_u64(h.hi);
+      }
+    } else {
+      for (const std::string& k : sh->keys) s.put_str(k);
+    }
+  }
+}
+
+bool ShardedSeenSet::restore(Des& d) {
+  if (static_cast<Mode>(d.get_u8()) != mode_) d.fail();
+  const std::uint64_t n =
+      d.get_count(mode_ == Mode::kHash ? sizeof(Hash128) : 4);
+  if (!d.ok()) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (mode_ == Mode::kHash) {
+      Hash128 h;
+      h.lo = d.get_u64();
+      h.hi = d.get_u64();
+      if (!d.ok()) return false;
+      insert(h);
+    } else {
+      const std::string_view k = d.get_str();
+      if (!d.ok()) return false;
+      insert_key(std::string(k));
+    }
+  }
+  return d.ok();
 }
 
 void ShardedSeenSet::clear() {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "util/hash.h"
+#include "util/ser.h"
 
 namespace nicemc::util {
 
@@ -72,12 +73,13 @@ class ShardedSeenSet {
 
   /// Full-state / collapsed modes: remember the state's identity key —
   /// the canonical serialized blob (kFullState) or the packed tuple of
-  /// interned component ids (kCollapsed). `h` (any deterministic hash of
-  /// the state — callers pass the combined per-component hash, NOT
-  /// necessarily hash128(key)) only selects the shard; the key itself is
-  /// the store key, so hash collisions can never merge distinct states.
-  /// Returns true when new.
-  bool insert_key(const Hash128& h, std::string key);
+  /// interned component ids (kCollapsed). The shard is selected by an
+  /// internal hash of the key bytes, so placement is a pure function of
+  /// the key — which is what lets a checkpoint restore entries into the
+  /// correct shards under any future shard count (mc/checkpoint.h). The
+  /// key itself is the store key, so hash collisions can never merge
+  /// distinct states. Returns true when new.
+  bool insert_key(std::string key);
 
   /// Unique entries across all shards.
   [[nodiscard]] std::uint64_t size() const;
@@ -92,6 +94,17 @@ class ShardedSeenSet {
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
   }
+
+  /// Checkpoint section: entry count + every entry (16-byte hashes in
+  /// hash mode, length-prefixed keys otherwise). Iteration order is
+  /// shard-then-bucket order — placement on restore is re-derived, so the
+  /// order carries no meaning. Not safe against concurrent inserts (the
+  /// drivers quiesce before snapshotting).
+  void serialize(Ser& s) const;
+  /// Restore a serialize() section into this (must-be-empty) store.
+  /// Returns false — leaving the store partially filled — on a malformed
+  /// section; callers discard the store on failure.
+  bool restore(Des& d);
 
   void clear();
 

@@ -120,6 +120,93 @@ Hash128 hash_of(const T& v) {
   return s.hash();
 }
 
+/// Bounds-checked reader over bytes produced by Ser — the inverse half of
+/// the serialization layer, used by the checkpoint/restore subsystem
+/// (mc/checkpoint.h). Unlike the writer, the reader must survive hostile
+/// input: a truncated or bit-flipped checkpoint may present impossible
+/// lengths and counts, so every read is range-checked and the first
+/// failure latches `ok() == false` (subsequent reads return zero values
+/// and never touch memory out of range). Callers check ok() at section
+/// boundaries instead of after every field.
+class Des {
+ public:
+  explicit Des(std::string_view bytes)
+      : p_(bytes.data()), end_(bytes.data() + bytes.size()) {}
+
+  [[nodiscard]] std::uint8_t get_u8() {
+    if (!need(1)) return 0;
+    return static_cast<std::uint8_t>(*p_++);
+  }
+
+  [[nodiscard]] std::uint16_t get_u16() {
+    const std::uint16_t hi = get_u8();
+    return static_cast<std::uint16_t>((hi << 8) | get_u8());
+  }
+
+  [[nodiscard]] std::uint32_t get_u32() {
+    const std::uint32_t hi = get_u16();
+    return (hi << 16) | get_u16();
+  }
+
+  [[nodiscard]] std::uint64_t get_u64() {
+    const std::uint64_t hi = get_u32();
+    return (hi << 32) | get_u32();
+  }
+
+  [[nodiscard]] std::int64_t get_i64() {
+    return static_cast<std::int64_t>(get_u64());
+  }
+
+  [[nodiscard]] bool get_bool() { return get_u8() != 0; }
+
+  /// Length-prefixed string written by Ser::put_str. The returned view
+  /// aliases the input buffer (no copy); empty on underflow.
+  [[nodiscard]] std::string_view get_str() {
+    const std::uint32_t n = get_u32();
+    if (!need(n)) return {};
+    const std::string_view out(p_, n);
+    p_ += n;
+    return out;
+  }
+
+  /// An element count about to drive a loop of elements each at least
+  /// `min_elem_bytes` long. Rejects counts the remaining bytes cannot
+  /// possibly satisfy, so corrupt headers can never trigger huge
+  /// allocations or quadratic scans.
+  [[nodiscard]] std::uint64_t get_count(std::size_t min_elem_bytes = 1) {
+    const std::uint64_t n = get_u64();
+    if (min_elem_bytes == 0) min_elem_bytes = 1;
+    if (n > remaining() / min_elem_bytes) {
+      ok_ = false;
+      return 0;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  /// True when the buffer was fully and cleanly consumed.
+  [[nodiscard]] bool done() const noexcept { return ok_ && p_ == end_; }
+  /// Latch a caller-detected inconsistency (bad tag, mismatched id, ...).
+  void fail() noexcept { ok_ = false; }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      p_ = end_;
+      return false;
+    }
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool ok_{true};
+};
+
 }  // namespace nicemc::util
 
 #endif  // NICE_UTIL_SER_H

@@ -16,11 +16,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "fuzz_scenarios.h"
 #include "mc/checker.h"
+#include "mc/checkpoint.h"
+#include "util/hash.h"
 
 namespace nicemc::mc {
 namespace {
@@ -164,6 +167,70 @@ TEST(FuzzScenarios, SourceDporKeepsTheContractAcrossFrontiers) {
     }
   }
   EXPECT_GT(replays, 0u);
+}
+
+TEST(FuzzScenarios, InterruptAtSeededPointAndResumeIsCountIdentical) {
+  // The durability axis (mc/checkpoint.h) of the differential harness:
+  // each scenario's search is cut at a seeded random transition count
+  // (the halt writes the at-halt checkpoint), resumed without the cap,
+  // and must report totals identical to the uninterrupted run. The
+  // reduction, store, frontier and thread axes rotate per seed so the
+  // subset still covers every combination class. Kill points past the
+  // end of the search double as resume-of-a-finished-run coverage.
+  constexpr std::uint64_t kSubset = 32;
+  constexpr FrontierKind kFrontiers[] = {
+      FrontierKind::kDfs, FrontierKind::kBfs, FrontierKind::kRandom};
+  util::SplitMix64 kill_rng(0xD00DFEEDULL);
+  for (std::uint64_t seed = kSeedBase; seed < kSeedBase + kSubset; ++seed) {
+    const std::uint64_t i = seed - kSeedBase;
+    CheckerOptions opt;
+    opt.stop_at_first_violation = false;
+    opt.reduction = kReductions[i % 4];
+    opt.state_store = kStores[i % 3];
+    opt.frontier = kFrontiers[i % 3];
+    opt.threads = (i % 2) == 0 ? 1u : 4u;
+
+    apps::Scenario s = apps::fuzz_scenario(seed);
+    const CheckerResult full = [&] {
+      apps::Scenario sf = apps::fuzz_scenario(seed);
+      Checker c(sf.config, opt, sf.properties);
+      return c.run();
+    }();
+    const std::string cell = apps::fuzz_scenario_name(seed) + " / " +
+                             reduction_name(opt.reduction) + " store=" +
+                             std::to_string(static_cast<int>(opt.state_store)) +
+                             " " + frontier_name(opt.frontier) +
+                             " threads=" + std::to_string(opt.threads);
+    ASSERT_TRUE(full.exhausted) << cell;
+
+    const std::string path =
+        ::testing::TempDir() + "nicemc_fuzz_ckpt_" + std::to_string(seed);
+    std::remove(checkpoint_slot_a(path).c_str());
+    std::remove(checkpoint_slot_b(path).c_str());
+    CheckerOptions cut = opt;
+    cut.checkpoint_path = path;
+    cut.checkpoint_interval_seconds = 0;
+    cut.max_transitions = 1 + kill_rng.next_below(full.transitions + 1);
+    {
+      apps::Scenario sc = apps::fuzz_scenario(seed);
+      Checker c(sc.config, cut, sc.properties);
+      (void)c.run();
+    }
+    cut.max_transitions = ~0ULL;
+    cut.resume = true;
+    apps::Scenario sr = apps::fuzz_scenario(seed);
+    Checker c(sr.config, cut, sr.properties);
+    const CheckerResult resumed = c.run();
+    EXPECT_TRUE(resumed.exhausted) << cell;
+    EXPECT_EQ(resumed.unique_states, full.unique_states) << cell;
+    EXPECT_EQ(resumed.quiescent_states, full.quiescent_states) << cell;
+    EXPECT_EQ(violation_key_set(resumed), violation_key_set(full)) << cell;
+    if (opt.threads == 1 || opt.reduction == Reduction::kNone) {
+      EXPECT_EQ(resumed.transitions, full.transitions) << cell;
+    }
+    std::remove(checkpoint_slot_a(path).c_str());
+    std::remove(checkpoint_slot_b(path).c_str());
+  }
 }
 
 TEST(FuzzScenarios, GeneratorIsDeterministicPerSeed) {

@@ -228,14 +228,13 @@ TEST(Por, ReductionComposesWithFlowIr) {
 
 TEST(Por, SleepStoreArrivalSemantics) {
   por::SleepStore store(4);
-  const util::Hash128 h{1, 2};
   const std::string id = "state-identity";
   por::Footprint fp;
 
   por::SleepSet z1;
   z1.push_back(por::SleepEntry{10, fp});
   z1.push_back(por::SleepEntry{20, fp});
-  const auto first = store.arrive(h, id, z1);
+  const auto first = store.arrive(id, z1);
   EXPECT_TRUE(first.first);
   EXPECT_TRUE(first.explore.empty());
 
@@ -243,41 +242,41 @@ TEST(Por, SleepStoreArrivalSemantics) {
   // and the stored set shrinks to the intersection.
   por::SleepSet z2;
   z2.push_back(por::SleepEntry{20, fp});
-  const auto second = store.arrive(h, id, z2);
+  const auto second = store.arrive(id, z2);
   EXPECT_FALSE(second.first);
   EXPECT_EQ(second.explore, (std::vector<std::uint64_t>{10}));
 
   // 10 is no longer stored-slept; arriving without it re-expands nothing.
-  const auto third = store.arrive(h, id, {});
+  const auto third = store.arrive(id, {});
   EXPECT_FALSE(third.first);
   EXPECT_EQ(third.explore, (std::vector<std::uint64_t>{20}));
-  const auto fourth = store.arrive(h, id, {});
+  const auto fourth = store.arrive(id, {});
   EXPECT_FALSE(fourth.first);
   EXPECT_TRUE(fourth.explore.empty());
 
   EXPECT_EQ(store.states(), 1u);
 }
 
-TEST(Por, SleepStoreSurvivesShardHashCollisions) {
-  // Two distinct states whose 128-bit hashes collide must keep separate
-  // sleep sets: the store keys on the seen-set's true identity (blob or
-  // id tuple), the hash only selects the shard.
+TEST(Por, SleepStoreKeysOnTrueIdentity) {
+  // Two distinct states must keep separate sleep sets even if they land
+  // in the same shard: the store keys on the seen-set's true identity
+  // (blob or id tuple); an internal hash of those bytes only selects the
+  // shard.
   por::SleepStore store(4);
-  const util::Hash128 h{7, 7};  // identical for both states
   por::Footprint fp;
 
   por::SleepSet z;
   z.push_back(por::SleepEntry{10, fp});
-  EXPECT_TRUE(store.arrive(h, "state-a", z).first);
+  EXPECT_TRUE(store.arrive("state-a", z).first);
   // A different state colliding on the hash is a fresh first arrival, and
   // its empty sleep set must not dig into state-a's bookkeeping.
-  const auto other = store.arrive(h, "state-b", {});
+  const auto other = store.arrive("state-b", {});
   EXPECT_TRUE(other.first);
   EXPECT_TRUE(other.explore.empty());
   EXPECT_EQ(store.states(), 2u);
 
   // state-a's stored sleep set survived the collision untouched.
-  const auto revisit = store.arrive(h, "state-a", {});
+  const auto revisit = store.arrive("state-a", {});
   EXPECT_FALSE(revisit.first);
   EXPECT_EQ(revisit.explore, (std::vector<std::uint64_t>{10}));
 }

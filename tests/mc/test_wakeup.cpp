@@ -96,27 +96,26 @@ TEST(WakeupTree, NormalizeAndSubsumeHelpers) {
 
 TEST(SleepStoreWakeup, RecordScheduleExposesDispatchOrderAndRaces) {
   SleepStore store(4);
-  const util::Hash128 h{1, 2};
   const std::string id = "state";
   Footprint fp;
   SleepSet z;
   z.push_back(SleepEntry{40, fp});
-  EXPECT_TRUE(store.arrive(h, id, z, /*wakeups=*/true).first);
+  EXPECT_TRUE(store.arrive(id, z, /*wakeups=*/true).first);
 
   // One batch: events 10, 20, 30 dispatched in that order; 10 and 30
   // conflict, recorded as the depth-2 race sequence 10·30.
   std::vector<WakeupContext> ctxs(3);
-  EXPECT_EQ(store.record_schedule(h, id, {10, 20, 30}, std::move(ctxs),
+  EXPECT_EQ(store.record_schedule(id, {10, 20, 30}, std::move(ctxs),
                                   {{0, 2}}),
             4u);
 
   // A pure revisit (nothing re-expanded) skips the roots copy; a revisit
   // that wakes the stored 40 gets them in first-dispatch order.
-  const auto pure = store.arrive(h, id, z, /*wakeups=*/true);
+  const auto pure = store.arrive(id, z, /*wakeups=*/true);
   EXPECT_FALSE(pure.first);
   EXPECT_TRUE(pure.explore.empty());
   EXPECT_TRUE(pure.dispatched.empty());
-  const auto revisit = store.arrive(h, id, {}, /*wakeups=*/true);
+  const auto revisit = store.arrive(id, {}, /*wakeups=*/true);
   EXPECT_FALSE(revisit.first);
   EXPECT_EQ(revisit.explore, (Seq{40}));
   EXPECT_EQ(revisit.dispatched, (Seq{10, 20, 30}));
@@ -124,69 +123,66 @@ TEST(SleepStoreWakeup, RecordScheduleExposesDispatchOrderAndRaces) {
   const auto totals = store.wakeup_totals();
   EXPECT_EQ(totals.trees, 1u);
   EXPECT_EQ(totals.sequences, 4u);  // three roots + one race pair
-  EXPECT_TRUE(store.covered(h, id, 20, {}));
-  EXPECT_FALSE(store.covered(h, id, 40, {}));
+  EXPECT_TRUE(store.covered(id, 20, {}));
+  EXPECT_FALSE(store.covered(id, 40, {}));
 }
 
 TEST(SleepStoreWakeup, ClaimWakeupsIsOnceOnlyPerPair) {
   SleepStore store(2);
-  const util::Hash128 h{3, 4};
   const std::string id = "s";
-  EXPECT_EQ(store.claim_wakeups(h, id, 10, {20, 30}), (Seq{20, 30}));
+  EXPECT_EQ(store.claim_wakeups(id, 10, {20, 30}), (Seq{20, 30}));
   // Second claim of the same pairs yields nothing; fresh wakees pass.
-  EXPECT_EQ(store.claim_wakeups(h, id, 10, {20, 30, 40}), (Seq{40}));
-  EXPECT_TRUE(store.claim_wakeups(h, id, 10, {30}).empty());
+  EXPECT_EQ(store.claim_wakeups(id, 10, {20, 30, 40}), (Seq{40}));
+  EXPECT_TRUE(store.claim_wakeups(id, 10, {30}).empty());
   // A different root event claims independently.
-  EXPECT_EQ(store.claim_wakeups(h, id, 11, {20}), (Seq{20}));
+  EXPECT_EQ(store.claim_wakeups(id, 11, {20}), (Seq{20}));
 }
 
 TEST(SleepStoreWakeup, TargetedArrivalWakesExactlyTheWakeList) {
   SleepStore store(2);
-  const util::Hash128 h{5, 6};
   const std::string id = "s";
   Footprint fp;
   SleepSet z;
   z.push_back(SleepEntry{10, fp});
   z.push_back(SleepEntry{20, fp});
   z.push_back(SleepEntry{30, fp});
-  EXPECT_TRUE(store.arrive(h, id, z).first);
+  EXPECT_TRUE(store.arrive(id, z).first);
 
   // Targeted: wake 20 (owed) and 40 (never slept here → nothing to do);
   // 10 and 30 keep their stored justification even though the carried
   // sleep set is empty.
   const Seq wake{20, 40};
-  const auto t = store.arrive(h, id, {}, false, &wake);
+  const auto t = store.arrive(id, {}, false, &wake);
   EXPECT_FALSE(t.first);
   EXPECT_EQ(t.explore, (Seq{20}));
 
   // The same wake again: 20 already dispatched, nothing owed.
-  const auto t2 = store.arrive(h, id, {}, false, &wake);
+  const auto t2 = store.arrive(id, {}, false, &wake);
   EXPECT_TRUE(t2.explore.empty());
 
   // A normal empty-sleep revisit still re-opens the untouched residue.
-  const auto n = store.arrive(h, id, {});
+  const auto n = store.arrive(id, {});
   EXPECT_EQ(n.explore, (Seq{10, 30}));
 }
 
 TEST(SleepStoreWakeup, ObserveArrivalTouchesNothing) {
   SleepStore store(2);
-  const util::Hash128 h{7, 8};
   const std::string id = "s";
   Footprint fp;
   SleepSet z;
   z.push_back(SleepEntry{10, fp});
-  EXPECT_TRUE(store.arrive(h, id, z).first);
+  EXPECT_TRUE(store.arrive(id, z).first);
 
   // Claim-free visit: no explore, and the stored set is left alone.
-  const auto o = store.arrive(h, id, {}, false, nullptr, /*observe=*/true);
+  const auto o = store.arrive(id, {}, false, nullptr, /*observe=*/true);
   EXPECT_FALSE(o.first);
   EXPECT_TRUE(o.explore.empty());
-  const auto n = store.arrive(h, id, {});
+  const auto n = store.arrive(id, {});
   EXPECT_EQ(n.explore, (Seq{10}));
 
   // At an unknown state, observe falls back to a first arrival.
   const auto f =
-      store.arrive(h, "other", z, false, nullptr, /*observe=*/true);
+      store.arrive("other", z, false, nullptr, /*observe=*/true);
   EXPECT_TRUE(f.first);
 }
 

@@ -27,11 +27,11 @@ TEST(ShardedSeenSet, HashModeDeduplicates) {
 
 TEST(ShardedSeenSet, FullStateModeKeysOnBlobNotHash) {
   ShardedSeenSet set(ShardedSeenSet::Mode::kFullState, 4);
-  // Same shard-selection hash, different blobs: both are distinct states
-  // (full-state mode must survive hash collisions).
-  EXPECT_TRUE(set.insert_key(h(0, 0), "state-a"));
-  EXPECT_TRUE(set.insert_key(h(0, 0), "state-bb"));
-  EXPECT_FALSE(set.insert_key(h(0, 0), "state-a"));
+  // Different blobs are distinct states; the shard-selection hash is
+  // derived internally from the key bytes and can never merge them.
+  EXPECT_TRUE(set.insert_key("state-a"));
+  EXPECT_TRUE(set.insert_key("state-bb"));
+  EXPECT_FALSE(set.insert_key("state-a"));
   EXPECT_EQ(set.size(), 2u);
   EXPECT_EQ(set.store_bytes(), std::string("state-a").size() +
                                    std::string("state-bb").size());
@@ -43,9 +43,9 @@ TEST(ShardedSeenSet, CollapsedModeKeysOnIdTupleNotHash) {
   // different tuples keeps both states.
   const std::string tuple_a("\x00\x00\x00\x01\x00\x00\x00\x02", 8);
   const std::string tuple_b("\x00\x00\x00\x01\x00\x00\x00\x03", 8);
-  EXPECT_TRUE(set.insert_key(h(0, 0), tuple_a));
-  EXPECT_TRUE(set.insert_key(h(0, 0), tuple_b));
-  EXPECT_FALSE(set.insert_key(h(0, 0), tuple_a));
+  EXPECT_TRUE(set.insert_key(tuple_a));
+  EXPECT_TRUE(set.insert_key(tuple_b));
+  EXPECT_FALSE(set.insert_key(tuple_a));
   EXPECT_EQ(set.size(), 2u);
   EXPECT_EQ(set.store_bytes(), tuple_a.size() + tuple_b.size());
 }
@@ -114,9 +114,7 @@ TEST(ShardedSeenSet, ConcurrentFullStateInserts) {
     workers.emplace_back([&set, &wins] {
       for (int i = 0; i < kBlobs; ++i) {
         std::string blob = "blob-" + std::to_string(i);
-        const Hash128 key = hash128(
-            std::as_bytes(std::span(blob.data(), blob.size())));
-        if (set.insert_key(key, std::move(blob))) {
+        if (set.insert_key(std::move(blob))) {
           wins.fetch_add(1, std::memory_order_relaxed);
         }
       }

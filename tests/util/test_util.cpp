@@ -171,5 +171,88 @@ TEST(Strings, HexFixedWidth) {
   EXPECT_EQ(hex_u64(0, 2), "00");
 }
 
+TEST(Des, RoundTripsSerOutput) {
+  Ser s;
+  s.put_u8(7);
+  s.put_u64(0x0102030405060708ULL);
+  s.put_bool(true);
+  s.put_str("payload");
+  const std::string bytes = s.take();  // Des aliases the buffer (no copy)
+  Des d(bytes);
+  EXPECT_EQ(d.get_u8(), 7u);
+  EXPECT_EQ(d.get_u64(), 0x0102030405060708ULL);
+  EXPECT_TRUE(d.get_bool());
+  EXPECT_EQ(d.get_str(), "payload");
+  EXPECT_TRUE(d.done());
+}
+
+TEST(Des, UnderflowLatchesNotOk) {
+  Ser s;
+  s.put_u32(42);
+  const std::string bytes = s.take();
+  Des d(bytes);
+  (void)d.get_u64();  // asks for more than the buffer holds
+  EXPECT_FALSE(d.ok());
+  EXPECT_FALSE(d.done());
+  // Latched: every later read is a zero-value no-op, never a re-read.
+  EXPECT_EQ(d.get_u32(), 0u);
+  EXPECT_EQ(d.get_str(), "");
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(Des, TruncatedStringRejected) {
+  Ser s;
+  s.put_str("hello");
+  const std::string bytes = s.take();
+  Des d(bytes.substr(0, bytes.size() - 2));
+  EXPECT_EQ(d.get_str(), "");
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(Des, GetCountRejectsImpossibleCounts) {
+  // A corrupt length claiming more elements than the remaining bytes can
+  // hold must fail fast, never drive a huge allocation.
+  Ser s;
+  s.put_u64(~0ULL);
+  const std::string huge = s.take();
+  Des d(huge);
+  EXPECT_EQ(d.get_count(8), 0u);
+  EXPECT_FALSE(d.ok());
+
+  Ser ok;
+  ok.put_u64(2);
+  ok.put_u64(1);
+  ok.put_u64(2);
+  const std::string two = ok.take();
+  Des d2(two);
+  EXPECT_EQ(d2.get_count(8), 2u);
+  EXPECT_EQ(d2.get_u64(), 1u);
+  EXPECT_EQ(d2.get_u64(), 2u);
+  EXPECT_TRUE(d2.done());
+}
+
+TEST(Des, FailLatchesCallerDetectedErrors) {
+  Ser s;
+  s.put_u8(1);
+  const std::string one = s.take();
+  Des d(one);
+  EXPECT_TRUE(d.ok());
+  d.fail();
+  EXPECT_FALSE(d.ok());
+  EXPECT_FALSE(d.done());
+}
+
+TEST(Des, DoneRequiresFullConsumption) {
+  Ser s;
+  s.put_u16(1);
+  s.put_u16(2);
+  const std::string bytes = s.take();
+  Des d(bytes);
+  EXPECT_EQ(d.get_u16(), 1u);
+  EXPECT_FALSE(d.done()) << "unread bytes remain";
+  EXPECT_EQ(d.get_u16(), 2u);
+  EXPECT_TRUE(d.done());
+}
+
 }  // namespace
 }  // namespace nicemc::util
