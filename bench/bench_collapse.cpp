@@ -21,6 +21,7 @@
 #include "mc/checker.h"
 #include "util/resource.h"
 #include "util/seen_set.h"
+#include "util/telemetry.h"
 
 using namespace nicemc;
 using mc::violation_key_set;
@@ -41,13 +42,14 @@ const char* mode_key(StoreMode m) {
 }
 
 mc::CheckerResult run_mode(const apps::NamedScenario& ns, StoreMode mode,
-                           int reps) {
+                           int reps, bool telemetry = false) {
   mc::CheckerResult best;
   for (int r = 0; r < reps; ++r) {
     auto s = ns.make();
     mc::CheckerOptions opt;
     opt.stop_at_first_violation = false;
     opt.state_store = mode;
+    opt.telemetry = telemetry;
     mc::Checker checker(s.config, opt, s.properties);
     mc::CheckerResult cr = checker.run();
     if (r == 0 || cr.seconds < best.seconds) best = std::move(cr);
@@ -79,6 +81,9 @@ void check_equivalent(const char* scenario, const mc::CheckerResult& base,
 struct Row {
   std::string name;
   mc::CheckerResult hash, full, collapsed;
+  /// Telemetry-on re-run of the collapsed mode: where does the collapsed
+  /// store's extra wall time go (kRemember holds the interning)?
+  mc::CheckerResult telem;
 
   [[nodiscard]] double compression() const {
     return collapsed.store_bytes > 0
@@ -107,25 +112,40 @@ int main(int argc, char** argv) {
   if (reps < 1) reps = 1;
 
   std::vector<Row> rows;
-  std::printf("%-22s %9s %12s %12s %12s %8s %7s %7s\n", "scenario", "unique",
-              "B(hash)", "B(full)", "B(collapsed)", "dedupe", "xfull",
-              "t/full");
+  std::printf("%-22s %9s %12s %12s %12s %8s %7s %7s %9s\n", "scenario",
+              "unique", "B(hash)", "B(full)", "B(collapsed)", "dedupe",
+              "xfull", "t/full", "remember%");
   for (const apps::NamedScenario& ns : apps::bundled_scenarios()) {
     Row row;
     row.name = ns.name;
     row.hash = run_mode(ns, StoreMode::kHash, reps);
     row.full = run_mode(ns, StoreMode::kFullState, reps);
     row.collapsed = run_mode(ns, StoreMode::kCollapsed, reps);
+    row.telem = run_mode(ns, StoreMode::kCollapsed, reps, /*telemetry=*/true);
     check_equivalent(ns.name.c_str(), row.hash, "full_state", row.full);
     check_equivalent(ns.name.c_str(), row.hash, "collapsed", row.collapsed);
-    std::printf("%-22s %9llu %12llu %12llu %12llu %7.1fx %6.1fx %6.2fx\n",
-                ns.name.c_str(),
-                static_cast<unsigned long long>(row.hash.unique_states),
-                static_cast<unsigned long long>(row.hash.store_bytes),
-                static_cast<unsigned long long>(row.full.store_bytes),
-                static_cast<unsigned long long>(row.collapsed.store_bytes),
-                row.collapsed.collapse.dedupe_ratio, row.compression(),
-                row.time_vs_full());
+    // The observer-effect half of the telemetry contract: an instrumented
+    // collapsed run must match the uninstrumented one count for count.
+    check_equivalent(ns.name.c_str(), row.hash, "collapsed+telemetry",
+                     row.telem);
+    const double remember_frac =
+        row.telem.telemetry.wall_ns > 0
+            ? static_cast<double>(
+                  row.telem.telemetry
+                      .phases[static_cast<std::size_t>(
+                          util::Phase::kRemember)]
+                      .total_ns) /
+                  static_cast<double>(row.telem.telemetry.wall_ns)
+            : 0.0;
+    std::printf(
+        "%-22s %9llu %12llu %12llu %12llu %7.1fx %6.1fx %6.2fx %8.0f%%\n",
+        ns.name.c_str(),
+        static_cast<unsigned long long>(row.hash.unique_states),
+        static_cast<unsigned long long>(row.hash.store_bytes),
+        static_cast<unsigned long long>(row.full.store_bytes),
+        static_cast<unsigned long long>(row.collapsed.store_bytes),
+        row.collapsed.collapse.dedupe_ratio, row.compression(),
+        row.time_vs_full(), 100.0 * remember_frac);
     rows.push_back(std::move(row));
   }
 
@@ -169,6 +189,18 @@ int main(int argc, char** argv) {
               r.collapsed.collapse.interned_bytes),
           static_cast<unsigned long long>(r.collapsed.collapse.intern_calls),
           r.collapsed.collapse.dedupe_ratio);
+      std::fprintf(f,
+                   "      \"telemetry\": {\"seconds_on\": %.4f, \"wall_ns\": "
+                   "%llu, \"phases\": {",
+                   r.telem.seconds,
+                   static_cast<unsigned long long>(r.telem.telemetry.wall_ns));
+      for (std::size_t p = 0; p < util::kPhaseCount; ++p) {
+        std::fprintf(f, "%s\"%s\": %llu", p == 0 ? "" : ", ",
+                     util::phase_name(static_cast<util::Phase>(p)),
+                     static_cast<unsigned long long>(
+                         r.telem.telemetry.phases[p].total_ns));
+      }
+      std::fprintf(f, "}},\n");
       std::fprintf(f,
                    "      \"compression_vs_full\": %.2f,\n"
                    "      \"collapsed_time_vs_full\": %.3f\n    }%s\n",

@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/scenarios.h"
@@ -32,6 +33,7 @@
 #include "mc/execute.h"
 #include "util/resource.h"
 #include "util/ser.h"
+#include "util/telemetry.h"
 
 using namespace nicemc;
 using Clock = std::chrono::steady_clock;
@@ -151,6 +153,31 @@ E2eResult run_e2e(const char* name, apps::Scenario s) {
   return E2eResult{name, r.transitions, r.unique_states, r.seconds};
 }
 
+/// Separate telemetry-on run per e2e scenario: the headline tps numbers
+/// above stay uninstrumented; this run only answers "where does the time
+/// go" with the per-phase breakdown.
+mc::CheckerResult run_e2e_telemetry(apps::Scenario s) {
+  mc::CheckerOptions opt;
+  opt.stop_at_first_violation = false;
+  opt.telemetry = true;
+  mc::Checker checker(s.config, opt, s.properties);
+  return checker.run();
+}
+
+void print_phases(const char* name, const mc::CheckerResult& r) {
+  std::printf("%-26s", name);
+  for (std::size_t p = 0; p < util::kPhaseCount; ++p) {
+    const double frac =
+        r.telemetry.wall_ns > 0
+            ? static_cast<double>(r.telemetry.phases[p].total_ns) /
+                  static_cast<double>(r.telemetry.wall_ns)
+            : 0.0;
+    std::printf(" %s=%.0f%%", util::phase_name(static_cast<util::Phase>(p)),
+                100.0 * frac);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,19 +204,18 @@ int main(int argc, char** argv) {
   std::printf("%18s %12.1f ns/op\n", "clone_remember", m.clone_remember_ns);
   std::printf("%18s %12.1f ns/op\n", "expand_step", m.expand_step_ns);
 
+  apps::LbScenarioOptions lbo;
+  lbo.fix_release_packet = true;
+  lbo.fix_install_before_delete = true;
+  lbo.fix_discard_arp = true;
+  lbo.fix_check_assignments = true;
+  lbo.client_sends_arp = true;
+  lbo.data_segments = 2;
+
   std::vector<E2eResult> e2e;
   e2e.push_back(run_e2e("pyswitch_full_search",
                         apps::pyswitch_ping_chain(pings)));
-  {
-    apps::LbScenarioOptions o;
-    o.fix_release_packet = true;
-    o.fix_install_before_delete = true;
-    o.fix_discard_arp = true;
-    o.fix_check_assignments = true;
-    o.client_sends_arp = true;
-    o.data_segments = 2;
-    e2e.push_back(run_e2e("loadbalancer_full_search", apps::lb_scenario(o)));
-  }
+  e2e.push_back(run_e2e("loadbalancer_full_search", apps::lb_scenario(lbo)));
 
   std::printf("\n%-26s %12s %12s %10s %14s\n", "scenario", "transitions",
               "unique", "seconds", "trans/sec");
@@ -199,6 +225,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.unique_states), r.seconds,
                 r.tps());
   }
+
+  std::vector<std::pair<std::string, mc::CheckerResult>> phases;
+  phases.emplace_back("pyswitch_full_search",
+                      run_e2e_telemetry(apps::pyswitch_ping_chain(pings)));
+  phases.emplace_back("loadbalancer_full_search",
+                      run_e2e_telemetry(apps::lb_scenario(lbo)));
+  std::printf("\nphase breakdown (separate telemetry-on runs)\n");
+  for (const auto& [name, r] : phases) print_phases(name.c_str(), r);
 
   if (json_path != nullptr) {
     std::FILE* f = std::fopen(json_path, "w");
@@ -228,6 +262,23 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(r.transitions),
                    static_cast<unsigned long long>(r.unique_states),
                    r.seconds, r.tps(), i + 1 < e2e.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    // Additive key: downstream bench_pipeline.sh parsing reads named keys
+    // only, so the telemetry block does not perturb existing consumers.
+    std::fprintf(f, "  \"telemetry\": [\n");
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const auto& [name, r] = phases[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"wall_ns\": %llu, \"phases\": {",
+                   name.c_str(),
+                   static_cast<unsigned long long>(r.telemetry.wall_ns));
+      for (std::size_t p = 0; p < util::kPhaseCount; ++p) {
+        std::fprintf(f, "%s\"%s\": %llu", p == 0 ? "" : ", ",
+                     util::phase_name(static_cast<util::Phase>(p)),
+                     static_cast<unsigned long long>(
+                         r.telemetry.phases[p].total_ns));
+      }
+      std::fprintf(f, "}}%s\n", i + 1 < phases.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -22,10 +22,19 @@
 // (transitions, unique states, quiescent states, violation set) must be
 // identical to the uninterrupted search's, under kNone and kSourceDpor.
 //
-// Usage: bench_por [--json out.json] [--repeat N]
+// A fourth runtime gate covers the observability layer (util/telemetry.h):
+// for every scenario an extra telemetry-on run must report counts
+// identical to the telemetry-off search (observation must not perturb the
+// search), and its wall time must stay within 1.05x of the off run plus a
+// small absolute slack for sub-100ms cells. The telemetry run's per-phase
+// breakdown lands in the stdout table and the JSON record.
+//
+// Usage: bench_por [--json out.json] [--repeat N] [--progress FILE]
 //   --repeat N re-runs every cell N times and records the minimum wall
 //   time (counts are asserted identical across repeats); use when
 //   regenerating the committed BENCH_por.json on a noisy machine.
+//   --progress FILE streams NDJSON snapshots of the telemetry-on runs
+//   (scenarios append to one file; CI uploads it as an artifact).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +44,7 @@
 #include "apps/scenarios.h"
 #include "mc/checker.h"
 #include "util/resource.h"
+#include "util/telemetry.h"
 
 using namespace nicemc;
 using mc::violation_key_set;
@@ -52,7 +62,8 @@ constexpr double kFootprintHitRateFloor = 0.30;
 
 mc::CheckerResult run_scenario(const apps::NamedScenario& ns,
                                mc::Reduction reduction, bool memo,
-                               int repeats) {
+                               int repeats, bool telemetry = false,
+                               const char* progress = nullptr) {
   mc::CheckerResult best;
   for (int i = 0; i < repeats; ++i) {
     apps::Scenario s = ns.make();
@@ -60,6 +71,14 @@ mc::CheckerResult run_scenario(const apps::NamedScenario& ns,
     opt.stop_at_first_violation = false;
     opt.reduction = reduction;
     opt.memo = memo;
+    opt.telemetry = telemetry;
+    if (progress != nullptr && i == 0) {
+      // Scenarios chain their snapshots into one NDJSON stream; only the
+      // first repeat streams so repeats don't re-report the same search.
+      opt.progress_path = progress;
+      opt.progress_interval_seconds = 0.05;
+      opt.progress_append = true;
+    }
     mc::Checker checker(s.config, opt, s.properties);
     mc::CheckerResult r = checker.run();
     if (i == 0) {
@@ -120,6 +139,47 @@ void check_memo_identical(const char* scenario, const char* mode,
         violation_key_set(on).size(), violation_key_set(off).size());
     std::exit(1);
   }
+}
+
+/// The observer-effect gate: telemetry must not perturb the search —
+/// identical counts and violation sets — and must stay cheap. The wall
+/// gate is 1.05x plus a small absolute slack: bundled-scenario cells run
+/// tens of milliseconds, where a single scheduler hiccup exceeds 5%.
+void check_telemetry(const char* scenario, const mc::CheckerResult& on,
+                     const mc::CheckerResult& off) {
+  if (on.transitions != off.transitions ||
+      on.unique_states != off.unique_states ||
+      on.quiescent_states != off.quiescent_states ||
+      violation_key_set(on) != violation_key_set(off)) {
+    std::fprintf(stderr,
+                 "FATAL: %s differs across the telemetry knob "
+                 "(transitions %llu vs %llu, unique %llu vs %llu)\n",
+                 scenario, static_cast<unsigned long long>(on.transitions),
+                 static_cast<unsigned long long>(off.transitions),
+                 static_cast<unsigned long long>(on.unique_states),
+                 static_cast<unsigned long long>(off.unique_states));
+    std::exit(1);
+  }
+  if (!on.telemetry.enabled) {
+    std::fprintf(stderr, "FATAL: %s: telemetry run reports enabled=false\n",
+                 scenario);
+    std::exit(1);
+  }
+  if (on.seconds > off.seconds * 1.05 + 0.05) {
+    std::fprintf(stderr,
+                 "FATAL: %s: telemetry overhead %.3fs on vs %.3fs off "
+                 "exceeds 1.05x + 50ms\n",
+                 scenario, on.seconds, off.seconds);
+    std::exit(1);
+  }
+}
+
+double phase_fraction(const mc::CheckerResult& r, util::Phase p) {
+  return r.telemetry.wall_ns > 0
+             ? static_cast<double>(
+                   r.telemetry.phases[static_cast<std::size_t>(p)].total_ns) /
+                   static_cast<double>(r.telemetry.wall_ns)
+             : 0.0;
 }
 
 double hit_rate(std::uint64_t hits, std::uint64_t misses) {
@@ -211,6 +271,9 @@ struct ModePair {
 struct Row {
   std::string name;
   ModePair none, sleep, persistent, source;
+  /// Telemetry-on re-run of the NONE cell (the largest transition count,
+  /// so per-transition instrumentation cost is most visible there).
+  mc::CheckerResult telem;
 };
 
 double ratio(const mc::CheckerResult& none, const mc::CheckerResult& red) {
@@ -228,19 +291,22 @@ double wall_ratio(double base, double red) {
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
+  const char* progress_path = nullptr;
   int repeats = 1;
   for (int i = 1; i < argc - 1; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--progress") == 0) progress_path = argv[i + 1];
     if (std::strcmp(argv[i], "--repeat") == 0) {
       repeats = std::atoi(argv[i + 1]);
       if (repeats < 1) repeats = 1;
     }
   }
+  if (progress_path != nullptr) std::remove(progress_path);
 
   std::vector<Row> rows;
-  std::printf("%-22s %10s %9s %9s %9s %7s %7s %7s %7s %6s\n", "scenario",
-              "t(NONE)", "t(S+P)", "t(SRC)", "s(NONE)", "s(S+P)", "s(SRC)",
-              "noMemo", "xWALL", "fpHit");
+  std::printf("%-22s %10s %9s %9s %9s %7s %7s %7s %7s %6s %6s %6s\n",
+              "scenario", "t(NONE)", "t(S+P)", "t(SRC)", "s(NONE)", "s(S+P)",
+              "s(SRC)", "noMemo", "xWALL", "fpHit", "xTEL", "apply%");
   for (const apps::NamedScenario& ns : apps::bundled_scenarios()) {
     Row row;
     row.name = ns.name;
@@ -252,6 +318,9 @@ int main(int argc, char** argv) {
     row.sleep = pair(mc::Reduction::kSleep);
     row.persistent = pair(mc::Reduction::kSleepPersistent);
     row.source = pair(mc::Reduction::kSourceDpor);
+    row.telem = run_scenario(ns, mc::Reduction::kNone, /*memo=*/true,
+                             repeats, /*telemetry=*/true, progress_path);
+    check_telemetry(ns.name.c_str(), row.telem, row.none.on);
 
     check_sound(ns.name.c_str(), "SLEEP", row.none.on, row.sleep.on);
     check_sound(ns.name.c_str(), "SLEEP+PERSISTENT", row.none.on,
@@ -286,7 +355,7 @@ int main(int argc, char** argv) {
 
     std::printf(
         "%-22s %10llu %9llu %9llu %6.3fs %6.3fs %6.3fs %6.3fs %6.2fx "
-        "%5.0f%%\n",
+        "%5.0f%% %5.2fx %5.0f%%\n",
         ns.name.c_str(),
         static_cast<unsigned long long>(row.none.on.transitions),
         static_cast<unsigned long long>(row.persistent.on.transitions),
@@ -294,7 +363,9 @@ int main(int argc, char** argv) {
         row.none.on.seconds, row.persistent.on.seconds, row.source.on.seconds,
         row.source.off.seconds,
         wall_ratio(row.none.on.seconds, row.source.on.seconds),
-        100.0 * fp_hit_rate(row.source.on));
+        100.0 * fp_hit_rate(row.source.on),
+        wall_ratio(row.none.on.seconds, row.telem.seconds),
+        100.0 * phase_fraction(row.telem, util::Phase::kApply));
     rows.push_back(std::move(row));
   }
 
@@ -338,6 +409,20 @@ int main(int argc, char** argv) {
       emit("sleep", r.sleep);
       emit("sleep_persistent", r.persistent);
       emit("source_dpor", r.source);
+      std::fprintf(f,
+                   "      \"telemetry\": {\"seconds_on\": %.4f, "
+                   "\"seconds_off\": %.4f, \"overhead\": %.3f, \"wall_ns\": "
+                   "%llu, \"phases\": {",
+                   r.telem.seconds, r.none.on.seconds,
+                   wall_ratio(r.none.on.seconds, r.telem.seconds),
+                   static_cast<unsigned long long>(r.telem.telemetry.wall_ns));
+      for (std::size_t p = 0; p < util::kPhaseCount; ++p) {
+        std::fprintf(f, "%s\"%s\": %llu", p == 0 ? "" : ", ",
+                     util::phase_name(static_cast<util::Phase>(p)),
+                     static_cast<unsigned long long>(
+                         r.telem.telemetry.phases[p].total_ns));
+      }
+      std::fprintf(f, "}},\n");
       std::fprintf(
           f,
           "      \"wakeup\": {\"replays\": %llu, \"woken\": %llu, "

@@ -19,22 +19,11 @@
 
 #include "apps/scenarios.h"
 #include "mc/checker.h"
+#include "mc/trace.h"
 
 using namespace nicemc;
 
 namespace {
-
-const char* limit_name(mc::LimitReason r) {
-  switch (r) {
-    case mc::LimitReason::kNone: return "none";
-    case mc::LimitReason::kTransitions: return "transitions";
-    case mc::LimitReason::kUniqueStates: return "unique_states";
-    case mc::LimitReason::kTime: return "time";
-    case mc::LimitReason::kMemory: return "memory";
-    case mc::LimitReason::kInterrupted: return "interrupted";
-  }
-  return "?";
-}
 
 int usage(const char* argv0) {
   std::fprintf(
@@ -44,7 +33,26 @@ int usage(const char* argv0) {
       "          [--threads N] [--frontier dfs|bfs|random]\n"
       "          [--reduction none|sleep|sleep-persistent|source-dpor]\n"
       "          [--store hash|full|collapsed] [--max-transitions N]\n"
-      "          [--json PATH] [--list]\n",
+      "          [--telemetry] [--progress PATH] [--progress-interval SECS]\n"
+      "          [--tty] [--trace-json PATH] [--trace-dot PATH]\n"
+      "          [--json PATH] [--list]\n"
+      "\n"
+      "observability (--telemetry; --progress/--tty imply it):\n"
+      "  metric                 meaning\n"
+      "  transitions_per_sec    expansion rate over the last interval\n"
+      "  unique_per_sec         new canonical states per second\n"
+      "  frontier               nodes currently queued for expansion\n"
+      "  utilization            1 - idle fraction across bound workers\n"
+      "  memo_*_hit_rate        footprint / discovery memo effectiveness\n"
+      "  wakeup_replays/woken   source-DPOR wakeup-tree activity\n"
+      "  engine_bytes           engine-accounted resident bytes\n"
+      "  peak_rss_bytes         OS-reported high-water mark\n"
+      "  phase_*_ns             per-phase time (clone, apply, enabled,\n"
+      "                         footprint, property_check, remember,\n"
+      "                         checkpoint, idle, other)\n"
+      "--progress streams NDJSON snapshots of those metrics; a resumed run\n"
+      "appends and continues the sequence numbers. --trace-json/--trace-dot\n"
+      "export the first violation's counterexample trace.\n",
       argv0);
   return 2;
 }
@@ -54,6 +62,8 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string scenario = "pyswitch-bug1";
   std::string json_path;
+  std::string trace_json_path;
+  std::string trace_dot_path;
   mc::CheckerOptions opt;
   opt.stop_at_first_violation = false;
   opt.checkpoint_interval_seconds = 30.0;
@@ -115,6 +125,28 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       json_path = v;
+    } else if (arg == "--telemetry") {
+      opt.telemetry = true;
+    } else if (arg == "--progress") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.telemetry = true;
+      opt.progress_path = v;
+    } else if (arg == "--progress-interval") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.progress_interval_seconds = std::atof(v);
+    } else if (arg == "--tty") {
+      opt.telemetry = true;
+      opt.progress_tty = true;
+    } else if (arg == "--trace-json") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      trace_json_path = v;
+    } else if (arg == "--trace-dot") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      trace_dot_path = v;
     } else if (arg == "--store") {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -154,9 +186,54 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(r.revisits),
       static_cast<unsigned long long>(r.quiescent_states),
       r.violations.size(), static_cast<int>(r.exhausted),
-      limit_name(r.hit_limit), static_cast<int>(r.durability.resumed),
+      mc::limit_reason_name(r.hit_limit),
+      static_cast<int>(r.durability.resumed),
       static_cast<unsigned long long>(r.durability.checkpoints_written),
       r.seconds);
+
+  if (r.telemetry.enabled) {
+    std::printf("phases:");
+    for (std::size_t p = 0; p < util::kPhaseCount; ++p) {
+      std::printf(" %s=%.3fs", util::phase_name(static_cast<util::Phase>(p)),
+                  static_cast<double>(r.telemetry.phases[p].total_ns) / 1e9);
+    }
+    std::printf(" (workers=%llu wall=%.3fs snapshots=%llu)\n",
+                static_cast<unsigned long long>(r.telemetry.workers),
+                static_cast<double>(r.telemetry.wall_ns) / 1e9,
+                static_cast<unsigned long long>(
+                    r.telemetry.progress_snapshots));
+    for (const std::string& line : r.telemetry.flight) {
+      std::printf("flight: %s\n", line.c_str());
+    }
+  }
+
+  if ((!trace_json_path.empty() || !trace_dot_path.empty()) &&
+      !r.violations.empty()) {
+    const mc::ViolationRecord& vr = r.violations.front();
+    if (!trace_json_path.empty()) {
+      std::FILE* f = std::fopen(trace_json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", trace_json_path.c_str());
+        return 2;
+      }
+      const std::string body = mc::violation_trace_json(
+          vr.violation.property, vr.violation.message, vr.trace);
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+    if (!trace_dot_path.empty()) {
+      std::FILE* f = std::fopen(trace_dot_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", trace_dot_path.c_str());
+        return 2;
+      }
+      const std::string body = mc::violation_trace_dot(
+          vr.violation.property, vr.violation.message, vr.trace);
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+    }
+  }
 
   // JSON record (the stdout line above is for humans): lets the CI smoke
   // job diff interrupted-and-resumed totals against an uninterrupted run
@@ -179,7 +256,8 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(r.quiescent_states));
     std::fprintf(f, "  \"violations\": %zu,\n", r.violations.size());
     std::fprintf(f, "  \"exhausted\": %s,\n", r.exhausted ? "true" : "false");
-    std::fprintf(f, "  \"limit\": \"%s\",\n", limit_name(r.hit_limit));
+    std::fprintf(f, "  \"limit\": \"%s\",\n",
+                 mc::limit_reason_name(r.hit_limit));
     std::fprintf(f, "  \"resumed\": %s,\n",
                  r.durability.resumed ? "true" : "false");
     std::fprintf(f, "  \"checkpoints_written\": %llu,\n",
@@ -189,6 +267,35 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(r.durability.checkpoint_bytes));
     std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
                  static_cast<unsigned long long>(r.peak_rss_bytes));
+    std::fprintf(f, "  \"telemetry\": {\n");
+    std::fprintf(f, "    \"enabled\": %s,\n",
+                 r.telemetry.enabled ? "true" : "false");
+    std::fprintf(f, "    \"workers\": %llu,\n",
+                 static_cast<unsigned long long>(r.telemetry.workers));
+    std::fprintf(f, "    \"wall_ns\": %llu,\n",
+                 static_cast<unsigned long long>(r.telemetry.wall_ns));
+    std::fprintf(f, "    \"progress_snapshots\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     r.telemetry.progress_snapshots));
+    std::fprintf(f, "    \"phases\": {");
+    for (std::size_t p = 0; p < util::kPhaseCount; ++p) {
+      std::fprintf(f, "%s\"%s\": %llu", p == 0 ? "" : ", ",
+                   util::phase_name(static_cast<util::Phase>(p)),
+                   static_cast<unsigned long long>(
+                       r.telemetry.phases[p].total_ns));
+    }
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "    \"flight\": [");
+    for (std::size_t i = 0; i < r.telemetry.flight.size(); ++i) {
+      std::string esc;
+      for (const char c : r.telemetry.flight[i]) {
+        if (c == '"' || c == '\\') esc += '\\';
+        esc += c;
+      }
+      std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ", esc.c_str());
+    }
+    std::fprintf(f, "]\n");
+    std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"seconds\": %.6f\n", r.seconds);
     std::fprintf(f, "}\n");
     std::fclose(f);

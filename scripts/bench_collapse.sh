@@ -5,6 +5,9 @@
 # store mode is not count-equivalent to hash mode, so a green run is also a
 # soundness check.
 #
+# The record carries an `environment` block (git SHA, compiler, Release
+# flags, CPU model, core count, timestamp) — see scripts/bench_env.py.
+#
 # Usage: scripts/bench_collapse.sh [out.json] [reps]
 set -euo pipefail
 
@@ -16,4 +19,6 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j --target bench_collapse >/dev/null
 
 ./build/bench_collapse --json "$OUT" "$REPS"
+BENCH_TIMESTAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+  python3 scripts/bench_env.py "$OUT"
 echo "benchmark record written to $OUT"

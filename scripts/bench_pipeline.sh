@@ -55,3 +55,8 @@ wrapped = {
 json.dump(wrapped, open(out_path, "w"), indent=2)
 print(f"benchmark record written to {out_path}")
 EOF
+
+# Stamp provenance (git SHA, compiler, CPU, timestamp) into the record —
+# see scripts/bench_env.py.
+BENCH_TIMESTAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+  python3 scripts/bench_env.py "$OUT"

@@ -12,6 +12,30 @@ namespace nicemc::mc {
 using detail::SearchClock;
 using detail::seconds_since;
 
+std::unique_ptr<util::ProgressReporter> Checker::make_reporter() const {
+  if (telem_ == nullptr ||
+      (options_.progress_path.empty() && !options_.progress_tty)) {
+    return nullptr;
+  }
+  util::ProgressReporter::Options po;
+  po.path = options_.progress_path;
+  po.interval_seconds = options_.progress_interval_seconds;
+  po.tty = options_.progress_tty;
+  // A resumed run appends and continues the stream's sequence numbers,
+  // so kill-and-resume yields one continuous monotone NDJSON stream.
+  po.append = options_.progress_append || options_.resume;
+  auto reporter = std::make_unique<util::ProgressReporter>(*telem_, po);
+  reporter->start();
+  return reporter;
+}
+
+void Checker::finish_reporter(util::ProgressReporter* reporter,
+                              CheckerResult& result) {
+  if (reporter == nullptr) return;
+  reporter->stop(limit_reason_name(result.hit_limit));
+  result.telemetry.progress_snapshots = reporter->snapshots_emitted();
+}
+
 CheckerResult Checker::run() {
   std::unique_ptr<Durability> durability;
   if (!options_.checkpoint_path.empty() ||
@@ -26,23 +50,35 @@ CheckerResult Checker::run() {
       (void)durability->resume(core_, error);
     }
   }
+  std::unique_ptr<util::ProgressReporter> reporter = make_reporter();
+  CheckerResult result;
   if (options_.threads > 1) {
-    return run_parallel(core_, options_.threads, durability.get());
+    result = run_parallel(core_, options_.threads, durability.get());
+  } else {
+    auto frontier = make_frontier(options_.frontier, options_.frontier_seed);
+    result = core_.run_sequential(*frontier, cache_, durability.get());
   }
-  auto frontier = make_frontier(options_.frontier, options_.frontier_seed);
-  return core_.run_sequential(*frontier, cache_, durability.get());
+  finish_reporter(reporter.get(), result);
+  return result;
 }
 
 CheckerResult Checker::random_walk(std::uint64_t seed, int walks,
                                    int max_steps) {
+  std::unique_ptr<util::ProgressReporter> reporter = make_reporter();
   if (options_.threads > 1) {
-    return run_random_walk_portfolio(core_, options_.threads, seed, walks,
-                                     max_steps);
+    CheckerResult result = run_random_walk_portfolio(
+        core_, options_.threads, seed, walks, max_steps);
+    finish_reporter(reporter.get(), result);
+    return result;
   }
 
   const auto start = SearchClock::now();
   CheckerResult result;
   util::SplitMix64 rng(seed);
+  const util::Telemetry::Binding bind(telem_.get(), 0);
+  util::WorkerTelemetry* const wt = util::Telemetry::current();
+  if (telem_ != nullptr) telem_->set_base(0, 0, 0, 0);
+  std::uint64_t steps_since_publish = 0;
 
   for (int w = 0; w < walks; ++w) {
     if (result.hit_limit == LimitReason::kTime) break;
@@ -58,6 +94,7 @@ CheckerResult Checker::random_walk(std::uint64_t seed, int walks,
                                executor_.enabled(state, cache_));
       if (ts.empty()) {
         ++result.quiescent_states;
+        if (wt != nullptr) wt->add_quiescent();
         std::vector<Violation> vs;
         executor_.at_quiescence(state, vs);
         for (Violation& v : vs) {
@@ -68,14 +105,26 @@ CheckerResult Checker::random_walk(std::uint64_t seed, int walks,
       }
       const Transition t = ts[static_cast<std::size_t>(
           rng.next_below(ts.size()))];
+      if (wt != nullptr) {
+        wt->record_expand(static_cast<std::uint32_t>(t.kind), t.a, t.aux);
+      }
       std::vector<Violation> violations;
       executor_.apply(state, t, violations);
       ++result.transitions;
+      if (wt != nullptr) {
+        wt->add_transitions();
+        if (++steps_since_publish >= 1024) {
+          steps_since_publish = 0;
+          core_.publish_gauges(0);
+        }
+      }
       path = std::make_shared<const PathNode>(PathNode{path, t});
       if (core_.remember(state)) {
         ++result.unique_states;
+        if (wt != nullptr) wt->add_unique();
       } else {
         ++result.revisits;
+        if (wt != nullptr) wt->add_revisits();
       }
       if (!violations.empty()) {
         for (Violation& v : violations) {
@@ -90,8 +139,9 @@ CheckerResult Checker::random_walk(std::uint64_t seed, int walks,
 
   result.seconds = seconds_since(start);
   result.discovery = cache_.stats();
-  core_.fill_store_stats(result);
-  result.peak_rss_bytes = util::peak_rss_bytes();
+  core_.publish_gauges(0);
+  core_.finish_stats(result, nullptr);
+  finish_reporter(reporter.get(), result);
   return result;
 }
 

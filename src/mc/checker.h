@@ -67,8 +67,13 @@ class Checker {
                              options.memo_budget_bytes -
                                  options.memo_budget_bytes / 2)
                        : nullptr),
+        telem_(options.telemetry
+                   ? std::make_unique<util::Telemetry>(
+                         options.threads > 1 ? options.threads : 1)
+                   : nullptr),
         core_(cfg_, options_, executor_, seen_, reducer_.get(),
-              collapse_.get(), fp_memo_.get(), disc_memo_.get()) {
+              collapse_.get(), fp_memo_.get(), disc_memo_.get(),
+              telem_.get()) {
     executor_.set_discovery_memo(disc_memo_.get());
   }
 
@@ -97,6 +102,13 @@ class Checker {
   }
 
  private:
+  /// Start the progress reporter when configured (telemetry on and a
+  /// stream path or TTY requested); returns nullptr otherwise.
+  std::unique_ptr<util::ProgressReporter> make_reporter() const;
+  /// Emit the final halt line and fold the stream counters into `result`.
+  static void finish_reporter(util::ProgressReporter* reporter,
+                              CheckerResult& result);
+
   static std::size_t shard_count(const CheckerOptions& options) {
     if (options.seen_shards != 0) return options.seen_shards;
     return options.threads <= 1 ? 1 : 4 * static_cast<std::size_t>(
@@ -117,6 +129,8 @@ class Checker {
   std::unique_ptr<por::Reducer> reducer_;
   std::unique_ptr<por::FootprintMemo> fp_memo_;
   std::unique_ptr<DiscoveryMemo> disc_memo_;
+  // Constructed before core_, which captures the raw pointer.
+  std::unique_ptr<util::Telemetry> telem_;
   SearchCore core_;
   DiscoveryCache cache_;
 };

@@ -306,6 +306,11 @@ bool Durability::due() const {
 bool Durability::save(const SearchCore& core, const Snapshot& snap) {
   if (!checkpointing()) return true;
 
+  // Serialization + slot write are attributed to the checkpoint phase
+  // (no-op when the calling thread carries no telemetry binding — e.g.
+  // the parallel driver's final save from the main thread).
+  const util::PhaseScope phase(util::Phase::kCheckpoint);
+
   util::Ser s;
   s.put_tag('C');
   s.put_u64(config_fp_.lo);
@@ -396,16 +401,21 @@ bool Durability::save(const SearchCore& core, const Snapshot& snap) {
   }
 
   const std::string payload = s.take();
-  const std::string slot =
-      (sequence_ % 2 == 1)
-          ? checkpoint_slot_a(options_.checkpoint_path)
-          : checkpoint_slot_b(options_.checkpoint_path);
+  const bool slot_a = sequence_ % 2 == 1;
+  const std::string slot = slot_a
+                               ? checkpoint_slot_a(options_.checkpoint_path)
+                               : checkpoint_slot_b(options_.checkpoint_path);
   std::string error;
   if (!write_checkpoint_slot(slot, sequence_, payload, error)) return false;
   ++sequence_;
   ++checkpoints_written_;
   checkpoint_bytes_ = payload.size() + kHeaderBytes;
   last_save_ = SearchClock::now();
+  if (util::WorkerTelemetry* wt = util::Telemetry::current();
+      wt != nullptr) {
+    wt->record_event(util::FlightEvent::Kind::kCheckpoint,
+                     checkpoint_bytes_, slot_a ? "slot_a" : "slot_b");
+  }
   return true;
 }
 
@@ -686,8 +696,12 @@ void Durability::seed(CheckerResult& result) {
 
 LimitReason Durability::poll(const SearchCore& core,
                              std::uint64_t frontier_nodes) {
+  util::WorkerTelemetry* const wt = util::Telemetry::current();
   if (interrupt_requested()) {
     clear_interrupt();  // honored: a second signal can request another halt
+    if (wt != nullptr) {
+      wt->record_event(util::FlightEvent::Kind::kSignal, 0, "interrupt");
+    }
     return LimitReason::kInterrupted;
   }
   if (options_.memory_budget_bytes == 0) return LimitReason::kNone;
@@ -702,6 +716,10 @@ LimitReason Durability::poll(const SearchCore& core,
       // Ladder exhausted: the irreducible search state (seen-set,
       // collapse table, sleep store, frontier) no longer fits. Halt
       // gracefully; the driver checkpoints before returning.
+      if (wt != nullptr) {
+        wt->record_event(util::FlightEvent::Kind::kWatchdog, bytes,
+                         "ladder_exhausted");
+      }
       return LimitReason::kMemory;
     }
     // Memo contents are count-invisible — halving them only costs
@@ -714,6 +732,10 @@ LimitReason Durability::poll(const SearchCore& core,
     ++memo_shrinks_;
     bytes = core.resident_bytes(frontier_nodes);
     watchdog_bytes_ = bytes;
+    if (wt != nullptr) {
+      wt->record_event(util::FlightEvent::Kind::kWatchdog, bytes,
+                       "shrink_memos");
+    }
   }
   return LimitReason::kNone;
 }

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "hosts/server.h"
+#include "util/telemetry.h"
 
 namespace nicemc::mc {
 
@@ -60,6 +61,9 @@ SystemState Executor::make_initial() const {
 
 std::vector<Transition> Executor::enabled(const SystemState& state,
                                           DiscoveryCache& cache) const {
+  // Covers symbolic-discovery candidate checks too: discovery runs as
+  // part of enumerating the enabled set.
+  const util::PhaseScope phase(util::Phase::kEnabled);
   std::vector<Transition> out;
   const util::Hash128 chash = state.ctrl_hash();
 
@@ -368,6 +372,7 @@ void Executor::drain_lockstep(SystemState& state, EventList& events) const {
 
 void Executor::apply(SystemState& state, const Transition& t,
                      std::vector<Violation>& violations) const {
+  const util::PhaseScope phase(util::Phase::kApply);
   EventList events;
   switch (t.kind) {
     case TKind::kHostSendScript: {
@@ -505,6 +510,7 @@ void Executor::apply(SystemState& state, const Transition& t,
 
 void Executor::at_quiescence(SystemState& state,
                              std::vector<Violation>& violations) const {
+  const util::PhaseScope phase(util::Phase::kPropertyCheck);
   for (std::size_t i = 0; i < props_.size(); ++i) {
     props_[i]->at_quiescence(state.prop_mut(i), state, violations);
   }
@@ -512,6 +518,9 @@ void Executor::at_quiescence(SystemState& state,
 
 void Executor::feed_properties(SystemState& state, const EventList& events,
                                std::vector<Violation>& violations) const {
+  // Nested inside kApply: the property slice is carved out of the apply
+  // time, so the two phases never double-count.
+  const util::PhaseScope phase(util::Phase::kPropertyCheck);
   // Monitors only react to events; with none, prop_mut() would unshare
   // and re-hash every monitor snapshot for nothing.
   if (events.empty()) return;

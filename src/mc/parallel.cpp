@@ -41,6 +41,8 @@ struct SharedSearch {
   /// the others. All guarded by `mu`.
   bool snapshot_pending{false};
   std::uint64_t poll_tick{0};
+  /// Telemetry gauge cadence (guarded by `mu`, like poll_tick).
+  std::uint64_t gauge_tick{0};
 
   /// Durability context (may be null); the discovery sources a snapshot
   /// must sum (resumed seed + init cache + per-worker caches).
@@ -125,15 +127,32 @@ void parallel_snapshot(const SearchCore& core, SharedSearch& shared) {
 }
 
 void search_worker(const SearchCore& core, SharedSearch& shared,
-                   DiscoveryCache& cache) {
+                   DiscoveryCache& cache, std::size_t worker) {
+  const util::Telemetry::Binding bind(core.telemetry(), worker);
+  util::WorkerTelemetry* const wt = util::Telemetry::current();
+  const auto runnable = [&shared] {
+    return shared.stop || shared.active == 0 ||
+           (!shared.work.empty() && !shared.snapshot_pending);
+  };
   for (;;) {
     SearchNode node;
     {
       std::unique_lock<std::mutex> lock(shared.mu);
-      shared.cv.wait(lock, [&] {
-        return shared.stop || shared.active == 0 ||
-               (!shared.work.empty() && !shared.snapshot_pending);
-      });
+      if (wt != nullptr) {
+        // Instrumented wait: re-enter the idle scope every 200ms so a
+        // long park is attributed as it happens — the reporter's
+        // utilization gauge would otherwise not see the wait until the
+        // worker wakes.
+        for (;;) {
+          const util::PhaseScope idle(util::Phase::kIdle);
+          if (shared.cv.wait_for(lock, std::chrono::milliseconds(200),
+                                 runnable)) {
+            break;
+          }
+        }
+      } else {
+        shared.cv.wait(lock, runnable);
+      }
       if (shared.stop) return;
       if (shared.dur != nullptr) {
         if (!shared.snapshot_pending && shared.dur->due()) {
@@ -165,13 +184,27 @@ void search_worker(const SearchCore& core, SharedSearch& shared,
         shared.cv.notify_all();
         return;
       }
+      if (wt != nullptr) {
+        core.telemetry()->frontier.store(shared.work.size(),
+                                         std::memory_order_relaxed);
+        // Expensive gauges (engine bytes, memo stats) on a coarse
+        // cadence; they take shard locks, so not every claim.
+        if (++shared.gauge_tick % 256 == 0) {
+          core.publish_gauges(shared.work.size());
+        }
+      }
       node = std::move(shared.work.back());
       shared.work.pop_back();
       ++shared.active;
     }
 
+    if (wt != nullptr) {
+      wt->record_expand(static_cast<std::uint32_t>(node.transition.kind),
+                        node.transition.a, node.transition.aux);
+    }
     SearchCore::Expansion e = core.expand(node, cache);
     shared.transitions.fetch_add(1, std::memory_order_relaxed);
+    if (wt != nullptr) wt->add_transitions();
 
     bool want_stop = false;
     if (e.transition_violated) {
@@ -181,10 +214,13 @@ void search_worker(const SearchCore& core, SharedSearch& shared,
       // (re-expansion of transitions every earlier arrival slept); they
       // are pushed below like any other successors.
       shared.revisits.fetch_add(1, std::memory_order_relaxed);
+      if (wt != nullptr) wt->add_revisits();
     } else {
       shared.unique_states.fetch_add(1, std::memory_order_relaxed);
+      if (wt != nullptr) wt->add_unique();
       if (e.quiescent) {
         shared.quiescent_states.fetch_add(1, std::memory_order_relaxed);
+        if (wt != nullptr) wt->add_quiescent();
         if (!e.violations.empty()) want_stop = shared.record(e.violations);
       }
     }
@@ -238,6 +274,13 @@ CheckerResult run_parallel(const SearchCore& core, unsigned threads,
   shared.init_cache = &init_cache;
   shared.caches = &caches;
 
+  if (core.telemetry() != nullptr) {
+    // Seed the reporter's cumulative totals with the resumed/init
+    // counters; the per-worker counters only add this process's work.
+    core.telemetry()->set_base(result.transitions, result.unique_states,
+                               result.revisits, result.quiescent_states);
+  }
+
   const bool stop_immediately =
       options.stop_at_first_violation && shared.found_violation();
   if (!stop_immediately && !shared.work.empty()) {
@@ -245,7 +288,7 @@ CheckerResult run_parallel(const SearchCore& core, unsigned threads,
     workers.reserve(threads);
     for (unsigned w = 0; w < threads; ++w) {
       workers.emplace_back(search_worker, std::cref(core), std::ref(shared),
-                           std::ref(caches[w]));
+                           std::ref(caches[w]), static_cast<std::size_t>(w));
     }
     for (std::thread& t : workers) t.join();
     for (const DiscoveryCache& c : caches) {
@@ -263,7 +306,7 @@ CheckerResult run_parallel(const SearchCore& core, unsigned threads,
                      !(options.stop_at_first_violation &&
                        result.found_violation());
   add_discovery_stats(result.discovery, init_cache.stats());
-  core.fill_store_stats(result);
+  core.publish_gauges(shared.work.size());
   if (dur != nullptr) {
     // Final checkpoint with the workers joined: whatever halted the run
     // (limit, interrupt, memory, exhaustion) leaves a resumable snapshot.
@@ -280,9 +323,8 @@ CheckerResult run_parallel(const SearchCore& core, unsigned threads,
           for (const SearchNode& n : shared.work) fn(n);
         };
     dur->save(core, snap);
-    dur->fill(result);
   }
-  result.peak_rss_bytes = util::peak_rss_bytes();
+  core.finish_stats(result, dur);
   result.seconds = seconds_since(start);
   return result;
 }
@@ -312,6 +354,9 @@ void walk_worker(const SearchCore& core, SharedWalks& shared,
   const CheckerOptions& options = core.options();
   const Executor& executor = core.executor();
   util::SplitMix64 rng(rng_seed);
+  const util::Telemetry::Binding bind(core.telemetry(), worker);
+  util::WorkerTelemetry* const wt = util::Telemetry::current();
+  std::uint64_t steps_since_publish = 0;
 
   auto record = [&](std::vector<ViolationRecord> vs) {
     std::lock_guard<std::mutex> lock(shared.violations_mu);
@@ -334,6 +379,7 @@ void walk_worker(const SearchCore& core, SharedWalks& shared,
                                executor.enabled(state, cache));
       if (ts.empty()) {
         shared.quiescent_states.fetch_add(1, std::memory_order_relaxed);
+        if (wt != nullptr) wt->add_quiescent();
         std::vector<Violation> vs;
         executor.at_quiescence(state, vs);
         if (!vs.empty()) {
@@ -349,14 +395,28 @@ void walk_worker(const SearchCore& core, SharedWalks& shared,
       }
       const Transition t =
           ts[static_cast<std::size_t>(rng.next_below(ts.size()))];
+      if (wt != nullptr) {
+        wt->record_expand(static_cast<std::uint32_t>(t.kind), t.a, t.aux);
+      }
       std::vector<Violation> violations;
       executor.apply(state, t, violations);
       shared.transitions.fetch_add(1, std::memory_order_relaxed);
+      if (wt != nullptr) {
+        wt->add_transitions();
+        // Walks have no frontier; publish just the byte/memo gauges on a
+        // coarse per-worker cadence.
+        if (++steps_since_publish >= 1024) {
+          steps_since_publish = 0;
+          core.publish_gauges(0);
+        }
+      }
       path = std::make_shared<const PathNode>(PathNode{path, t});
       if (core.remember(state)) {
         shared.unique_states.fetch_add(1, std::memory_order_relaxed);
+        if (wt != nullptr) wt->add_unique();
       } else {
         shared.revisits.fetch_add(1, std::memory_order_relaxed);
+        if (wt != nullptr) wt->add_revisits();
       }
       if (!violations.empty()) {
         std::vector<ViolationRecord> recs;
@@ -382,6 +442,7 @@ CheckerResult run_random_walk_portfolio(const SearchCore& core,
   if (threads < 1) threads = 1;
 
   SharedWalks shared(start);
+  if (core.telemetry() != nullptr) core.telemetry()->set_base(0, 0, 0, 0);
   std::vector<DiscoveryCache> caches(threads);
   std::vector<std::uint64_t> seeds;
   seeds.reserve(threads);
@@ -407,8 +468,8 @@ CheckerResult run_random_walk_portfolio(const SearchCore& core,
   for (const DiscoveryCache& c : caches) {
     add_discovery_stats(result.discovery, c.stats());
   }
-  core.fill_store_stats(result);
-  result.peak_rss_bytes = util::peak_rss_bytes();
+  core.publish_gauges(0);
+  core.finish_stats(result, nullptr);
   result.seconds = seconds_since(start);
   return result;
 }

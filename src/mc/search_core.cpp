@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <memory>
 #include <regex>
 #include <string>
@@ -17,6 +18,18 @@ namespace nicemc::mc {
 
 using detail::SearchClock;
 using detail::seconds_since;
+
+const char* limit_reason_name(LimitReason r) noexcept {
+  switch (r) {
+    case LimitReason::kNone: return "none";
+    case LimitReason::kTransitions: return "transitions";
+    case LimitReason::kUniqueStates: return "unique_states";
+    case LimitReason::kTime: return "time";
+    case LimitReason::kMemory: return "memory";
+    case LimitReason::kInterrupted: return "interrupted";
+  }
+  return "?";
+}
 
 std::vector<std::string> violation_keys(const std::vector<Violation>& vs) {
   static const std::regex uid_re("uid=[0-9]+(\\.[0-9]+)?");
@@ -88,6 +101,7 @@ SearchCore::StateKey SearchCore::state_key(const SystemState& state) const {
 }
 
 bool SearchCore::remember(const SystemState& state) const {
+  const util::PhaseScope ps(util::Phase::kRemember);
   if (seen_.mode() == util::ShardedSeenSet::Mode::kHash) {
     // Combined from the per-component hashes memoized on the shared
     // snapshots: only components the transition touched are re-serialized
@@ -122,6 +136,7 @@ SearchCore::ArriveOutcome SearchCore::arrive_reduced(
   // sync_seen() so the identity bytes — computed once — can first key the
   // wakeup-tree recording. The sleep keying is therefore exactly as
   // collision-proof as the seen-set mode.
+  const util::PhaseScope ps(util::Phase::kRemember);
   ArriveOutcome at;
   StateKey k = identity_key(state);
   at.hash = k.hash;
@@ -132,6 +147,7 @@ SearchCore::ArriveOutcome SearchCore::arrive_reduced(
 }
 
 void SearchCore::sync_seen(ArriveOutcome&& at) const {
+  const util::PhaseScope ps(util::Phase::kRemember);
   if (seen_.mode() == util::ShardedSeenSet::Mode::kHash) {
     seen_.insert(at.hash);
   } else {
@@ -172,6 +188,114 @@ void SearchCore::fill_store_stats(CheckerResult& result) const {
       result.memo.bytes += s.bytes;
     }
   }
+}
+
+namespace {
+
+/// Human rendering of one flight-recorder entry. The per-worker rings
+/// store compact payloads (no strings on the hot path); the transition
+/// label is reconstructed here, at dump time, from (kind, actor, aux).
+std::string render_flight_event(const util::FlightEvent& e) {
+  char head[48];
+  std::snprintf(head, sizeof head, "w%u +%.3fs ",
+                static_cast<unsigned>(e.seq),
+                static_cast<double>(e.t_ns) / 1e9);
+  std::string out = head;
+  switch (e.kind) {
+    case util::FlightEvent::Kind::kExpand: {
+      Transition t;
+      t.kind = static_cast<TKind>(e.a);
+      t.a = e.b;
+      t.aux = e.c;
+      out += "expand ";
+      out += t.label();
+      break;
+    }
+    case util::FlightEvent::Kind::kCheckpoint:
+      out += "checkpoint ";
+      if (e.detail != nullptr) {
+        out += e.detail;
+        out += ' ';
+      }
+      out += std::to_string(e.value) + "B";
+      break;
+    case util::FlightEvent::Kind::kWatchdog:
+      out += "watchdog ";
+      if (e.detail != nullptr) {
+        out += e.detail;
+        out += ' ';
+      }
+      out += "bytes=" + std::to_string(e.value);
+      break;
+    case util::FlightEvent::Kind::kSignal:
+      out += "signal ";
+      if (e.detail != nullptr) out += e.detail;
+      break;
+    case util::FlightEvent::Kind::kLimit:
+      out += "halt ";
+      if (e.detail != nullptr) out += e.detail;
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+void SearchCore::fill_telemetry(CheckerResult& result) const {
+  if (telem_ == nullptr) return;
+  CheckerResult::TelemetryStats& t = result.telemetry;
+  t.enabled = true;
+  t.workers = telem_->workers();
+  // The sequential drivers reach here still bound; close the live phase
+  // slice so the reported profile sums to the wall time exactly. (The
+  // parallel drivers joined their workers first — already flushed.)
+  if (util::WorkerTelemetry* wt = util::Telemetry::current();
+      wt != nullptr) {
+    wt->flush_if_current();
+  }
+  t.phases = telem_->merged_phases();
+  t.wall_ns = 0;
+  for (std::size_t i = 0; i < telem_->workers(); ++i) {
+    t.wall_ns += telem_->worker(i).wall_ns();
+  }
+  if (result.hit_limit != LimitReason::kNone) {
+    const std::vector<util::FlightEvent> events = telem_->merged_flight();
+    t.flight.reserve(events.size());
+    for (const util::FlightEvent& e : events) {
+      t.flight.push_back(render_flight_event(e));
+    }
+  }
+}
+
+void SearchCore::finish_stats(CheckerResult& result, Durability* dur) const {
+  fill_store_stats(result);
+  if (dur != nullptr) dur->fill(result);
+  fill_telemetry(result);
+  result.peak_rss_bytes = util::peak_rss_bytes();
+}
+
+void SearchCore::publish_gauges(std::uint64_t frontier_nodes) const {
+  if (telem_ == nullptr) return;
+  telem_->frontier.store(frontier_nodes, std::memory_order_relaxed);
+  telem_->engine_bytes.store(resident_bytes(frontier_nodes),
+                             std::memory_order_relaxed);
+  if (fp_memo_ != nullptr) {
+    const util::MemoCore::Stats s = fp_memo_->stats();
+    telem_->memo_fp_hits.store(s.hits, std::memory_order_relaxed);
+    telem_->memo_fp_misses.store(s.misses, std::memory_order_relaxed);
+  }
+  if (disc_memo_ != nullptr) {
+    const util::MemoCore::Stats p = disc_memo_->packet_stats();
+    const util::MemoCore::Stats q = disc_memo_->stats_stats();
+    telem_->memo_disc_hits.store(p.hits + q.hits,
+                                 std::memory_order_relaxed);
+    telem_->memo_disc_misses.store(p.misses + q.misses,
+                                   std::memory_order_relaxed);
+  }
+  telem_->wakeup_replays.store(replays_.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+  telem_->wakeup_woken.store(woken_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
 }
 
 std::vector<SearchNode> SearchCore::init(CheckerResult& result,
@@ -225,7 +349,10 @@ SearchCore::Expansion SearchCore::expand(const SearchNode& node,
                                          DiscoveryCache& cache) const {
   Expansion out;
 
-  SystemState next = node.state->clone();
+  SystemState next = [&node] {
+    const util::PhaseScope ps(util::Phase::kClone);
+    return node.state->clone();
+  }();
   std::vector<Violation> violations;
   executor_.apply(next, node.transition, violations);
 
@@ -400,8 +527,14 @@ void SearchCore::make_reduced_children(
   if (sel.empty()) return;
 
   std::vector<por::Footprint> fps(ts.size());
-  for (const std::size_t i : sel) {
-    fps[i] = footprint_of(*sp, ts[i]);
+  {
+    // One scope around the whole batch, not one per call: at ~200ns of
+    // total telemetry budget per transition, per-footprint boundaries
+    // would cost more than they attribute.
+    const util::PhaseScope ps(util::Phase::kFootprint);
+    for (const std::size_t i : sel) {
+      fps[i] = footprint_of(*sp, ts[i]);
+    }
   }
 
   // Source-DPOR revisits: a re-expanded transition may sleep a previously
@@ -420,6 +553,7 @@ void SearchCore::make_reduced_children(
   std::vector<std::size_t> redispatch;
   if (wake && !targeted && explore_only != nullptr &&
       !at.arr.dispatched.empty()) {
+    const util::PhaseScope ps(util::Phase::kFootprint);
     for (const std::uint64_t d : at.arr.dispatched) {
       // First-dispatch order; skip events not enabled here (strategy
       // filters that key on non-canonical tags can differ per path),
@@ -530,21 +664,29 @@ CheckerResult SearchCore::run_sequential(Frontier& frontier,
     return snap;
   };
 
+  // Worker slot 0 for the single-threaded search; a null telemetry
+  // context binds nothing and every scope below degrades to one branch.
+  const util::Telemetry::Binding bind(telem_, 0);
+  util::WorkerTelemetry* const wt = util::Telemetry::current();
+
   const auto finalize = [&](LimitReason reason) -> CheckerResult& {
     result.hit_limit = reason;
     result.seconds = seconds_since(start);
     // Accumulate, not assign: a resumed run's seed discovery counters are
     // already in result.discovery.
     add_discovery_stats(result.discovery, cache.stats());
-    fill_store_stats(result);
+    if (wt != nullptr && reason != LimitReason::kNone) {
+      wt->record_event(util::FlightEvent::Kind::kLimit, 0,
+                       limit_reason_name(reason));
+    }
+    publish_gauges(frontier.size());
     if (dur != nullptr) {
       // Every halt — limit, interrupt, memory, exhaustion — leaves a
       // final checkpoint, so resuming a finished run is an idempotent
       // no-op and an interrupted one continues where it stopped.
       dur->save(*this, make_snapshot(result.discovery));
-      dur->fill(result);
     }
-    result.peak_rss_bytes = util::peak_rss_bytes();
+    finish_stats(result, dur);
     return result;
   };
 
@@ -561,12 +703,19 @@ CheckerResult SearchCore::run_sequential(Frontier& frontier,
       frontier.push(std::move(root));
     }
   }
+  if (telem_ != nullptr) {
+    // Seed the reporter's cumulative totals: the resumed counters (or
+    // init's root state) are not re-counted by the per-worker counters.
+    telem_->set_base(result.transitions, result.unique_states,
+                     result.revisits, result.quiescent_states);
+  }
 
-  // Interrupt/watchdog polls and checkpoint-due checks run every
-  // kPollStride expansions — cheap enough to never show up in profiles,
-  // frequent enough that a signal halts promptly.
+  // Interrupt/watchdog polls, checkpoint-due checks, and telemetry gauge
+  // publication run every kPollStride expansions — cheap enough to never
+  // show up in profiles, frequent enough that a signal halts promptly.
   constexpr std::uint64_t kPollStride = 32;
   std::uint64_t since_poll = 0;
+  std::uint64_t polls = 0;
 
   while (!frontier.empty()) {
     if (result.transitions >= options_.max_transitions) {
@@ -579,14 +728,24 @@ CheckerResult SearchCore::run_sequential(Frontier& frontier,
         seconds_since(start) >= options_.time_limit_seconds) {
       return finalize(LimitReason::kTime);
     }
-    if (dur != nullptr && ++since_poll >= kPollStride) {
+    if ((dur != nullptr || telem_ != nullptr) &&
+        ++since_poll >= kPollStride) {
       since_poll = 0;
-      const LimitReason r = dur->poll(*this, frontier.size());
-      if (r != LimitReason::kNone) return finalize(r);
-      if (dur->due()) {
-        DiscoveryStats disc = result.discovery;
-        add_discovery_stats(disc, cache.stats());
-        dur->save(*this, make_snapshot(disc));
+      ++polls;
+      if (dur != nullptr) {
+        const LimitReason r = dur->poll(*this, frontier.size());
+        if (r != LimitReason::kNone) return finalize(r);
+        if (dur->due()) {
+          DiscoveryStats disc = result.discovery;
+          add_discovery_stats(disc, cache.stats());
+          dur->save(*this, make_snapshot(disc));
+        }
+      }
+      if (telem_ != nullptr) {
+        telem_->frontier.store(frontier.size(), std::memory_order_relaxed);
+        // The expensive gauges (engine bytes, memo stats) every ~1k
+        // expansions; they take shard locks, so not every poll.
+        if (polls % 32 == 0) publish_gauges(frontier.size());
       }
     }
     if (options_.stop_at_first_violation && result.found_violation()) break;
@@ -594,8 +753,13 @@ CheckerResult SearchCore::run_sequential(Frontier& frontier,
     SearchNode node;
     frontier.pop(node);
 
+    if (wt != nullptr) {
+      wt->record_expand(static_cast<std::uint32_t>(node.transition.kind),
+                        node.transition.a, node.transition.aux);
+    }
     Expansion e = expand(node, cache);
     ++result.transitions;
+    if (wt != nullptr) wt->add_transitions();
 
     if (e.transition_violated) {
       for (ViolationRecord& v : e.violations) {
@@ -607,6 +771,7 @@ CheckerResult SearchCore::run_sequential(Frontier& frontier,
 
     if (!e.new_state) {
       ++result.revisits;
+      if (wt != nullptr) wt->add_revisits();
       // Reduction mode only: a revisit carrying a smaller sleep set
       // re-expands the difference; e.children is empty otherwise.
       for (SearchNode& child : e.children) {
@@ -615,9 +780,11 @@ CheckerResult SearchCore::run_sequential(Frontier& frontier,
       continue;
     }
     ++result.unique_states;
+    if (wt != nullptr) wt->add_unique();
 
     if (e.quiescent) {
       ++result.quiescent_states;
+      if (wt != nullptr) wt->add_quiescent();
       if (!e.violations.empty()) {
         for (ViolationRecord& v : e.violations) {
           result.violations.push_back(std::move(v));

@@ -14,6 +14,7 @@
 #ifndef NICE_MC_SEARCH_CORE_H
 #define NICE_MC_SEARCH_CORE_H
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -31,6 +32,7 @@
 #include "mc/trace.h"
 #include "util/collapse.h"
 #include "util/seen_set.h"
+#include "util/telemetry.h"
 
 namespace nicemc::mc {
 
@@ -131,6 +133,28 @@ struct CheckerOptions {
   /// requests a graceful halt — the drivers checkpoint and return
   /// LimitReason::kInterrupted instead of dying mid-write.
   bool handle_signals{false};
+  /// Search observability (util/telemetry.h): per-worker phase profiling
+  /// and the halt-time flight recorder, reported in
+  /// CheckerResult::telemetry. Off (the default) costs strictly nothing
+  /// on the hot path — no clock reads, no atomics, one thread-local
+  /// null-pointer branch per instrumentation point. On, the overhead is
+  /// bounded by the bench_por gate (≤ 1.05× wall time) and the counts
+  /// (violations / unique / quiescent / transitions) are identical by
+  /// construction — telemetry only observes, never steers.
+  bool telemetry{false};
+  /// NDJSON progress-stream path (requires telemetry; empty = no stream):
+  /// the ProgressReporter appends one snapshot line per interval plus a
+  /// final "halt" line. A resumed run appends to the existing file and
+  /// continues its sequence numbers, so kill-and-resume yields one
+  /// continuous monotone stream.
+  std::string progress_path;
+  /// Seconds between progress snapshots.
+  double progress_interval_seconds{1.0};
+  /// Repaint a single-line live summary on stderr each interval.
+  bool progress_tty{false};
+  /// Append to an existing progress stream even on a fresh (non-resumed)
+  /// run — lets multi-scenario harnesses chain one stream file.
+  bool progress_append{false};
 };
 
 /// Which bound cut a search short (CheckerResult::hit_limit).
@@ -142,6 +166,11 @@ enum class LimitReason : std::uint8_t {
   kMemory,        // memory_budget_bytes exceeded past the eviction ladder
   kInterrupted,   // cooperative SIGINT/SIGTERM (or a test-injected request)
 };
+
+/// Stable lower-case name of a LimitReason ("none", "transitions", ...),
+/// shared by the JSON emitters, the progress stream's halt line, and the
+/// flight recorder.
+[[nodiscard]] const char* limit_reason_name(LimitReason r) noexcept;
 
 struct ViolationRecord {
   Violation violation;
@@ -216,6 +245,27 @@ struct CheckerResult {
     std::uint64_t watchdog_bytes{0};       // last engine-accounted bytes
   };
   DurabilityStats durability;
+  /// Observability-layer report (CheckerOptions::telemetry; enabled=false
+  /// and all-zero otherwise). Phase totals are exact at halt: every
+  /// nanosecond a worker was bound lands in exactly one phase, so
+  /// sum(phases[p].total_ns) == wall_ns up to clock-calibration error.
+  struct TelemetryStats {
+    bool enabled{false};
+    std::uint64_t workers{0};
+    /// Summed per-worker bound wall time (≈ workers × driver wall time
+    /// when utilization is high).
+    std::uint64_t wall_ns{0};
+    std::array<util::PhaseStat, util::kPhaseCount> phases{};
+    /// Halt-time flight recorder: the most recent per-worker events
+    /// (expanded transitions, checkpoint writes, watchdog ladder steps,
+    /// signal receipt), rendered human-readable and merged in time
+    /// order. Populated only when hit_limit != kNone — a cleanly
+    /// finished search needs no post-mortem.
+    std::vector<std::string> flight;
+    /// Progress-stream lines emitted this run (0 when no stream).
+    std::uint64_t progress_snapshots{0};
+  };
+  TelemetryStats telemetry;
   std::vector<ViolationRecord> violations;
   DiscoveryStats discovery;
 
@@ -245,13 +295,15 @@ class SearchCore {
   /// exact seed semantics). `collapse` is the shared component-interning
   /// table, required (and used) exactly when `seen` is in kCollapsed mode.
   /// `fp_memo` / `disc_memo` are the shared memo tables (nullptr = memo
-  /// off).
+  /// off). `telem` is the observability context (nullptr = telemetry
+  /// off; the drivers then skip every counter/gauge publication).
   SearchCore(const SystemConfig& cfg, const CheckerOptions& options,
              const Executor& executor, util::ShardedSeenSet& seen,
              por::Reducer* reducer = nullptr,
              util::CollapseTable* collapse = nullptr,
              por::FootprintMemo* fp_memo = nullptr,
-             DiscoveryMemo* disc_memo = nullptr)
+             DiscoveryMemo* disc_memo = nullptr,
+             util::Telemetry* telem = nullptr)
       : cfg_(cfg),
         options_(options),
         executor_(executor),
@@ -259,7 +311,8 @@ class SearchCore {
         reducer_(reducer),
         collapse_(collapse),
         fp_memo_(fp_memo),
-        disc_memo_(disc_memo) {}
+        disc_memo_(disc_memo),
+        telem_(telem) {}
 
   /// Result of expanding one SearchNode (applying its transition).
   struct Expansion {
@@ -310,6 +363,24 @@ class SearchCore {
   /// sequential, parallel, and random-walk drivers.
   void fill_store_stats(CheckerResult& result) const;
 
+  /// The shared end-of-run stat fill: store/collapse/wakeup/memo stats,
+  /// durability stats (when `dur` is non-null), the telemetry profile +
+  /// flight recorder, and peak_rss_bytes — every driver calls exactly
+  /// this, so a new stats block is filled in one place. The caller must
+  /// have set result.hit_limit first (the flight recorder dumps only on
+  /// a truncating halt) and have written any final checkpoint already.
+  void finish_stats(CheckerResult& result, Durability* dur) const;
+
+  /// Publish the poll-point gauges (frontier size, engine-accounted
+  /// bytes, memo hit/miss totals, wakeup counters) into the telemetry
+  /// context for the progress reporter. No-op when telemetry is off;
+  /// never called from the per-transition hot path.
+  void publish_gauges(std::uint64_t frontier_nodes) const;
+
+  [[nodiscard]] util::Telemetry* telemetry() const noexcept {
+    return telem_;
+  }
+
   [[nodiscard]] const CheckerOptions& options() const noexcept {
     return options_;
   }
@@ -352,6 +423,11 @@ class SearchCore {
   }
 
  private:
+  /// Telemetry leg of finish_stats: merge the per-worker phase profiles
+  /// and counters into result.telemetry, and render the flight recorder
+  /// when the run was truncated.
+  void fill_telemetry(CheckerResult& result) const;
+
   /// Reduction-mode tail of expand(): arrival bookkeeping in the
   /// SleepStore, sleep-filtered child enumeration, sleep inheritance,
   /// and (kSourceDpor) wakeup-tree recording.
@@ -429,6 +505,7 @@ class SearchCore {
   util::CollapseTable* collapse_;
   por::FootprintMemo* fp_memo_;
   DiscoveryMemo* disc_memo_;
+  util::Telemetry* telem_;
   /// Pre-sizing hint for full-state blobs: the previous remembered state's
   /// serialized length. Per-core (a core serves one search), so concurrent
   /// searches in one process never cross-pollinate their hints; relaxed

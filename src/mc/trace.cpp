@@ -22,6 +22,102 @@ std::vector<std::string> trace_lines(const std::vector<Transition>& trace) {
   return out;
 }
 
+namespace {
+
+/// Escape for both JSON strings and DOT double-quoted labels (the shared
+/// subset: backslash, quote, and control characters).
+std::string escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+void append_steps_json(std::string& out,
+                       const std::vector<Transition>& trace) {
+  out += "\"steps\":[";
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i != 0) out += ',';
+    const Transition& t = trace[i];
+    out += "{\"step\":" + std::to_string(i + 1);
+    out += ",\"kind\":\"";
+    out += tkind_name(t.kind);
+    out += "\",\"actor\":" + std::to_string(t.a);
+    out += ",\"aux\":" + std::to_string(t.aux);
+    out += ",\"label\":\"" + escaped(t.label()) + "\"}";
+  }
+  out += ']';
+}
+
+std::string steps_dot(const std::vector<Transition>& trace,
+                      std::string_view final_label) {
+  std::string out = "digraph trace {\n";
+  out += "  rankdir=LR;\n";
+  out += "  node [shape=box, fontname=\"monospace\"];\n";
+  out += "  s0 [label=\"s0: initial\"];\n";
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::string to = "s" + std::to_string(i + 1);
+    if (i + 1 == trace.size() && !final_label.empty()) {
+      out += "  " + to + " [label=\"" + to + ": " +
+             escaped(final_label) + "\", color=red, fontcolor=red];\n";
+    } else {
+      out += "  " + to + " [label=\"" + to + "\"];\n";
+    }
+    out += "  s" + std::to_string(i) + " -> " + to + " [label=\"" +
+           std::to_string(i + 1) + ". " + escaped(trace[i].label()) +
+           "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string trace_json(const std::vector<Transition>& trace) {
+  std::string out = "{\"length\":" + std::to_string(trace.size()) + ",";
+  append_steps_json(out, trace);
+  out += '}';
+  return out;
+}
+
+std::string violation_trace_json(std::string_view property,
+                                 std::string_view message,
+                                 const std::vector<Transition>& trace) {
+  std::string out = "{\"property\":\"";
+  out += escaped(property);
+  out += "\",\"message\":\"";
+  out += escaped(message);
+  out += "\",\"length\":" + std::to_string(trace.size()) + ",";
+  append_steps_json(out, trace);
+  out += '}';
+  return out;
+}
+
+std::string trace_dot(const std::vector<Transition>& trace) {
+  return steps_dot(trace, {});
+}
+
+std::string violation_trace_dot(std::string_view property,
+                                std::string_view message,
+                                const std::vector<Transition>& trace) {
+  std::string label = "VIOLATION ";
+  label += property;
+  if (!message.empty()) {
+    label += "\n";
+    label += message;
+  }
+  return steps_dot(trace, label);
+}
+
 SystemState replay(const Executor& executor,
                    const std::vector<Transition>& trace,
                    std::vector<Violation>& violations) {

@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mc/execute.h"
@@ -25,6 +26,22 @@ std::vector<Transition> trace_of(std::shared_ptr<const PathNode> node);
 
 /// Human-readable rendering, one line per step.
 std::vector<std::string> trace_lines(const std::vector<Transition>& trace);
+
+/// Structured trace exports. The JSON form carries one object per step —
+/// {"step": 1-based index, "kind": tkind_name, "actor": a, "aux": aux,
+/// "label": human label} — so downstream tooling never re-parses labels;
+/// the DOT form renders the trace as a Graphviz state chain
+/// (s0 -> s1 -> ... with transition labels on the edges). The violation
+/// variants wrap the same steps with the property/message (JSON) or mark
+/// the final state red with the violation text (DOT).
+[[nodiscard]] std::string trace_json(const std::vector<Transition>& trace);
+[[nodiscard]] std::string violation_trace_json(
+    std::string_view property, std::string_view message,
+    const std::vector<Transition>& trace);
+[[nodiscard]] std::string trace_dot(const std::vector<Transition>& trace);
+[[nodiscard]] std::string violation_trace_dot(
+    std::string_view property, std::string_view message,
+    const std::vector<Transition>& trace);
 
 /// Replay a trace from the initial state; returns the final state.
 /// Violations raised along the way are appended to `violations`.

@@ -4,6 +4,30 @@
 
 namespace nicemc::mc {
 
+const char* tkind_name(TKind kind) noexcept {
+  switch (kind) {
+    case TKind::kHostSendScript: return "host_send_script";
+    case TKind::kHostSendDiscovered: return "host_send_discovered";
+    case TKind::kHostSendDup: return "host_send_dup";
+    case TKind::kHostSendReply: return "host_send_reply";
+    case TKind::kHostRecv: return "host_recv";
+    case TKind::kHostMove: return "host_move";
+    case TKind::kSwitchProcessPkt: return "switch_process_pkt";
+    case TKind::kSwitchProcessOf: return "switch_process_of";
+    case TKind::kCtrlDispatch: return "ctrl_dispatch";
+    case TKind::kCtrlApplyCommand: return "ctrl_apply_command";
+    case TKind::kCtrlExternal: return "ctrl_external";
+    case TKind::kCtrlRequestStats: return "ctrl_request_stats";
+    case TKind::kCtrlProcessStats: return "ctrl_process_stats";
+    case TKind::kRuleExpire: return "rule_expire";
+    case TKind::kChannelDropHead: return "channel_drop_head";
+    case TKind::kChannelDupHead: return "channel_dup_head";
+    case TKind::kDiscoverPackets: return "discover_packets";
+    case TKind::kDiscoverStats: return "discover_stats";
+  }
+  return "?";
+}
+
 std::string Transition::label() const {
   switch (kind) {
     case TKind::kHostSendScript:

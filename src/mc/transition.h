@@ -40,6 +40,11 @@ enum class TKind : std::uint8_t {
   kDiscoverStats,      // run symbolic execution of stats handler, switch `a`
 };
 
+/// Stable machine-readable name of a TKind ("host_send_script", ...), for
+/// the structured trace exports (mc/trace.h) — Transition::label() is the
+/// human form with actor ids baked in.
+[[nodiscard]] const char* tkind_name(TKind kind) noexcept;
+
 struct Transition {
   TKind kind{TKind::kHostRecv};
   std::uint32_t a{0};    // host or switch id

@@ -33,7 +33,7 @@ constexpr std::uint64_t kSeeds = 120;  // ≥ 100, per the harness contract
 
 CheckerResult run(std::uint64_t seed, Reduction reduction,
                   util::ShardedSeenSet::Mode store, unsigned threads,
-                  bool memo = true) {
+                  bool memo = true, bool telemetry = false) {
   apps::Scenario s = apps::fuzz_scenario(seed);
   CheckerOptions opt;
   opt.stop_at_first_violation = false;
@@ -41,6 +41,7 @@ CheckerResult run(std::uint64_t seed, Reduction reduction,
   opt.state_store = store;
   opt.threads = threads;
   opt.memo = memo;
+  opt.telemetry = telemetry;
   Checker checker(s.config, opt, s.properties);
   return checker.run();
 }
@@ -131,6 +132,42 @@ TEST(FuzzScenarios, MemoKnobIsCountInvisibleAcrossReductionsAndStores) {
                       off.memo.bytes,
                   0u)
             << cell;
+      }
+    }
+  }
+}
+
+TEST(FuzzScenarios, TelemetryKnobIsCountInvisibleAcrossDrivers) {
+  // The observability axis: telemetry is pure observation, so flipping it
+  // must never change what the search explores or reports — per
+  // reduction, sequential and 4-thread (the parallel driver has its own
+  // instrumentation points: idle scopes, gauge publication under the
+  // shared lock). Full-binary sanitizer CI jobs run this sweep under
+  // TSan/ASan, which is where the reporter-vs-worker relaxed-atomic
+  // protocol earns its keep.
+  constexpr std::uint64_t kSubset = 16;
+  for (std::uint64_t seed = kSeedBase; seed < kSeedBase + kSubset; ++seed) {
+    const std::string tag = apps::fuzz_scenario_name(seed);
+    for (const Reduction r : kReductions) {
+      for (const unsigned threads : {1u, 4u}) {
+        const CheckerResult off =
+            run(seed, r, util::ShardedSeenSet::Mode::kHash, threads,
+                /*memo=*/true, /*telemetry=*/false);
+        const CheckerResult on =
+            run(seed, r, util::ShardedSeenSet::Mode::kHash, threads,
+                /*memo=*/true, /*telemetry=*/true);
+        const std::string cell = tag + " / " + reduction_name(r) +
+                                 " threads=" + std::to_string(threads);
+        EXPECT_EQ(on.unique_states, off.unique_states) << cell;
+        EXPECT_EQ(on.quiescent_states, off.quiescent_states) << cell;
+        EXPECT_EQ(violation_key_set(on), violation_key_set(off)) << cell;
+        if (threads == 1) {
+          // Sequential searches are fully deterministic, so the
+          // transition count must match exactly too.
+          EXPECT_EQ(on.transitions, off.transitions) << cell;
+        }
+        EXPECT_TRUE(on.telemetry.enabled) << cell;
+        EXPECT_FALSE(off.telemetry.enabled) << cell;
       }
     }
   }

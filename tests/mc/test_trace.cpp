@@ -58,6 +58,100 @@ TEST(Trace, TraceLinesAreHumanReadable) {
   EXPECT_EQ(lines[1], "2. sw1.process_pkt");
 }
 
+TEST(Trace, TraceJsonGoldenRendering) {
+  // Golden file for the structured export schema: tooling downstream
+  // parses these exact keys, so any change here is a breaking change.
+  std::vector<Transition> trace = {
+      Transition{.kind = TKind::kHostSendScript, .a = 0},
+      Transition{.kind = TKind::kSwitchProcessPkt, .a = 1},
+  };
+  EXPECT_EQ(
+      trace_json(trace),
+      "{\"length\":2,\"steps\":["
+      "{\"step\":1,\"kind\":\"host_send_script\",\"actor\":0,\"aux\":0,"
+      "\"label\":\"host0.send[script]\"},"
+      "{\"step\":2,\"kind\":\"switch_process_pkt\",\"actor\":1,\"aux\":0,"
+      "\"label\":\"sw1.process_pkt\"}]}");
+  EXPECT_EQ(
+      violation_trace_json("NoBlackHoles", "packet stuck at sw1", trace),
+      "{\"property\":\"NoBlackHoles\",\"message\":\"packet stuck at sw1\","
+      "\"length\":2,\"steps\":["
+      "{\"step\":1,\"kind\":\"host_send_script\",\"actor\":0,\"aux\":0,"
+      "\"label\":\"host0.send[script]\"},"
+      "{\"step\":2,\"kind\":\"switch_process_pkt\",\"actor\":1,\"aux\":0,"
+      "\"label\":\"sw1.process_pkt\"}]}");
+}
+
+TEST(Trace, TraceDotGoldenRendering) {
+  std::vector<Transition> trace = {
+      Transition{.kind = TKind::kHostSendScript, .a = 0},
+      Transition{.kind = TKind::kSwitchProcessPkt, .a = 1},
+  };
+  EXPECT_EQ(trace_dot(trace),
+            "digraph trace {\n"
+            "  rankdir=LR;\n"
+            "  node [shape=box, fontname=\"monospace\"];\n"
+            "  s0 [label=\"s0: initial\"];\n"
+            "  s1 [label=\"s1\"];\n"
+            "  s0 -> s1 [label=\"1. host0.send[script]\"];\n"
+            "  s2 [label=\"s2\"];\n"
+            "  s1 -> s2 [label=\"2. sw1.process_pkt\"];\n"
+            "}\n");
+  const std::string dot =
+      violation_trace_dot("NoBlackHoles", "packet stuck", trace);
+  // The final state carries the violation, rendered red.
+  EXPECT_NE(dot.find("s2 [label=\"s2: VIOLATION NoBlackHoles\\npacket "
+                     "stuck\", color=red, fontcolor=red];"),
+            std::string::npos);
+  EXPECT_NE(dot.find("s1 -> s2"), std::string::npos);
+}
+
+TEST(Trace, ExportEscapesQuotesAndBackslashes) {
+  std::vector<Transition> trace = {
+      Transition{.kind = TKind::kHostSendScript, .a = 0},
+  };
+  const std::string json =
+      violation_trace_json("P", "say \"hi\" \\ done", trace);
+  EXPECT_NE(json.find("\"message\":\"say \\\"hi\\\" \\\\ done\""),
+            std::string::npos);
+  const std::string dot = violation_trace_dot("P", "say \"hi\"", trace);
+  EXPECT_NE(dot.find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(Trace, BundledViolationRendersStructurally) {
+  // End-to-end: a real counterexample from a bundled buggy scenario must
+  // export as well-formed JSON/DOT with one step per transition.
+  auto s = apps::pyswitch_bug2();
+  Checker checker(s.config, CheckerOptions{}, s.properties);
+  const CheckerResult r = checker.run();
+  ASSERT_TRUE(r.found_violation());
+  const auto& record = r.violations.front();
+
+  const std::string json = violation_trace_json(
+      record.violation.property, record.violation.message, record.trace);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  std::size_t steps = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("{\"step\":", pos)) != std::string::npos; ++pos) {
+    ++steps;
+  }
+  EXPECT_EQ(steps, record.trace.size());
+  EXPECT_NE(json.find("\"property\":\"" + record.violation.property + "\""),
+            std::string::npos);
+
+  const std::string dot = violation_trace_dot(
+      record.violation.property, record.violation.message, record.trace);
+  EXPECT_EQ(dot.rfind("digraph trace {", 0), 0u);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  std::size_t edges = 0;
+  for (std::size_t pos = 0; (pos = dot.find(" -> ", pos)) != std::string::npos;
+       ++pos) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, record.trace.size());
+}
+
 TEST(Trace, TraceOfBuildsRootToLeafOrder) {
   auto n1 = std::make_shared<const PathNode>(
       PathNode{nullptr, Transition{.kind = TKind::kHostSendScript, .a = 0}});
