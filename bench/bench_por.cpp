@@ -270,11 +270,34 @@ struct ModePair {
 
 struct Row {
   std::string name;
+  std::string faults;
   ModePair none, sleep, persistent, source;
   /// Telemetry-on re-run of the NONE cell (the largest transition count,
   /// so per-transition instrumentation cost is most visible there).
   mc::CheckerResult telem;
 };
+
+/// Compact description of the fault classes a scenario arms and their
+/// per-execution budgets ("-" when the scenario injects no faults). The
+/// fault scenarios flow through every gate above like any other bundled
+/// scenario — this column is what makes their fault surface visible in
+/// the table and the committed JSON record.
+std::string fault_desc(const mc::SystemConfig& cfg) {
+  std::string out;
+  const auto add = [&](const char* tag, bool on, std::uint32_t cap) {
+    if (!on) return;
+    if (!out.empty()) out += ',';
+    out += tag;
+    out += '=';
+    out += cap == mc::kUnboundedFaults ? std::string("inf")
+                                       : std::to_string(cap);
+  };
+  add("link", cfg.enable_link_faults, cfg.max_link_failures);
+  add("chan", cfg.enable_ctrl_channel_faults, cfg.max_channel_losses);
+  add("rst", cfg.enable_switch_restarts, cfg.max_switch_restarts);
+  add("pkt", cfg.enable_channel_faults, cfg.max_packet_faults);
+  return out.empty() ? "-" : out;
+}
 
 double ratio(const mc::CheckerResult& none, const mc::CheckerResult& red) {
   return red.transitions > 0
@@ -304,12 +327,14 @@ int main(int argc, char** argv) {
   if (progress_path != nullptr) std::remove(progress_path);
 
   std::vector<Row> rows;
-  std::printf("%-22s %10s %9s %9s %9s %7s %7s %7s %7s %6s %6s %6s\n",
-              "scenario", "t(NONE)", "t(S+P)", "t(SRC)", "s(NONE)", "s(S+P)",
-              "s(SRC)", "noMemo", "xWALL", "fpHit", "xTEL", "apply%");
+  std::printf("%-22s %-14s %10s %9s %9s %9s %7s %7s %7s %7s %6s %6s %6s\n",
+              "scenario", "faults", "t(NONE)", "t(S+P)", "t(SRC)", "s(NONE)",
+              "s(S+P)", "s(SRC)", "noMemo", "xWALL", "fpHit", "xTEL",
+              "apply%");
   for (const apps::NamedScenario& ns : apps::bundled_scenarios()) {
     Row row;
     row.name = ns.name;
+    row.faults = fault_desc(ns.make().config);
     auto pair = [&](mc::Reduction r) {
       return ModePair{run_scenario(ns, r, /*memo=*/true, repeats),
                       run_scenario(ns, r, /*memo=*/false, repeats)};
@@ -354,9 +379,9 @@ int main(int argc, char** argv) {
     }
 
     std::printf(
-        "%-22s %10llu %9llu %9llu %6.3fs %6.3fs %6.3fs %6.3fs %6.2fx "
+        "%-22s %-14s %10llu %9llu %9llu %6.3fs %6.3fs %6.3fs %6.3fs %6.2fx "
         "%5.0f%% %5.2fx %5.0f%%\n",
-        ns.name.c_str(),
+        ns.name.c_str(), row.faults.c_str(),
         static_cast<unsigned long long>(row.none.on.transitions),
         static_cast<unsigned long long>(row.persistent.on.transitions),
         static_cast<unsigned long long>(row.source.on.transitions),
@@ -405,6 +430,7 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(cr.memo.bytes));
       };
       std::fprintf(f, "    {\n      \"name\": \"%s\",\n", r.name.c_str());
+      std::fprintf(f, "      \"faults\": \"%s\",\n", r.faults.c_str());
       emit("none", r.none);
       emit("sleep", r.sleep);
       emit("sleep_persistent", r.persistent);

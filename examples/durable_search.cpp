@@ -36,6 +36,16 @@ int usage(const char* argv0) {
       "          [--telemetry] [--progress PATH] [--progress-interval SECS]\n"
       "          [--tty] [--trace-json PATH] [--trace-dot PATH]\n"
       "          [--json PATH] [--list]\n"
+      "          [--faults CLASSES] [--fault-budget N|unbounded]\n"
+      "\n"
+      "fault injection (bounded environment faults, on top of whatever the\n"
+      "scenario already enables):\n"
+      "  --faults CLASSES       comma list of link,channel,restart,packet\n"
+      "                         (or 'all'): enable those fault transition\n"
+      "                         classes on the selected scenario\n"
+      "  --fault-budget N       per-execution cap for every enabled class\n"
+      "                         ('unbounded' removes the cap — searches may\n"
+      "                         not terminate; that is your choice)\n"
       "\n"
       "observability (--telemetry; --progress/--tty imply it):\n"
       "  metric                 meaning\n"
@@ -64,6 +74,9 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string trace_json_path;
   std::string trace_dot_path;
+  std::string faults;
+  bool have_fault_budget = false;
+  std::uint32_t fault_budget = 0;
   mc::CheckerOptions opt;
   opt.stop_at_first_violation = false;
   opt.checkpoint_interval_seconds = 30.0;
@@ -147,6 +160,18 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       trace_dot_path = v;
+    } else if (arg == "--faults") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      faults = v;
+    } else if (arg == "--fault-budget") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      have_fault_budget = true;
+      fault_budget = std::strcmp(v, "unbounded") == 0
+                         ? mc::kUnboundedFaults
+                         : static_cast<std::uint32_t>(
+                               std::strtoul(v, nullptr, 10));
     } else if (arg == "--store") {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -172,6 +197,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
                  scenario.c_str());
     return 2;
+  }
+
+  if (!faults.empty()) {
+    const auto has = [&](const char* cls) {
+      return faults == "all" || faults.find(cls) != std::string::npos;
+    };
+    if (has("link")) s.config.enable_link_faults = true;
+    if (has("channel")) s.config.enable_ctrl_channel_faults = true;
+    if (has("restart")) s.config.enable_switch_restarts = true;
+    if (has("packet")) s.config.enable_channel_faults = true;
+    if (!has("link") && !has("channel") && !has("restart") &&
+        !has("packet")) {
+      std::fprintf(stderr, "unknown fault classes '%s'\n", faults.c_str());
+      return 2;
+    }
+  }
+  if (have_fault_budget) {
+    s.config.max_link_failures = fault_budget;
+    s.config.max_channel_losses = fault_budget;
+    s.config.max_switch_restarts = fault_budget;
+    s.config.max_packet_faults = fault_budget;
   }
 
   mc::Checker checker(s.config, opt, s.properties);

@@ -43,6 +43,17 @@ of::Match LoadBalancer::wildcard_match(bool high_half) const {
 
 void LoadBalancer::switch_join(ctrl::AppState& state, ctrl::Ctx& ctx,
                                of::SwitchId sw) const {
+  if (const auto acc = options_.access_switches.find(sw);
+      acc != options_.access_switches.end()) {
+    // Access switch fronting one replica: everything that arrives (i.e.
+    // traffic steered over the uplink) goes to the server port.
+    of::Rule r;
+    r.match = of::Match::any();
+    r.priority = kWildcardPriority;
+    r.actions = {of::Action::output(acc->second)};
+    ctx.install_rule(sw, r);
+    return;
+  }
   if (sw != options_.sw) return;
   const auto& st = static_cast<LoadBalancerState&>(state);
   assert(options_.replicas.size() == 2);
@@ -59,9 +70,65 @@ void LoadBalancer::switch_join(ctrl::AppState& state, ctrl::Ctx& ctx,
 
 std::vector<std::string> LoadBalancer::external_events(
     const ctrl::AppState& state) const {
+  if (!options_.enable_reconfig) return {};
   const auto& st = static_cast<const LoadBalancerState&>(state);
   if (st.reconfigured) return {};
   return {"reconfig"};
+}
+
+void LoadBalancer::handle_port_status(ctrl::AppState& state, ctrl::Ctx& ctx,
+                                      of::SwitchId sw, of::PortId port,
+                                      bool up) const {
+  if (!options_.react_to_port_status || up || sw != options_.sw) return;
+  auto& st = static_cast<LoadBalancerState&>(state);
+
+  // Is the failed port one of the replica uplinks?
+  std::size_t dead = options_.replicas.size();
+  for (std::size_t i = 0; i < options_.replicas.size(); ++i) {
+    if (options_.replicas[i].port == port) dead = i;
+  }
+  if (dead >= options_.replicas.size()) return;
+  const std::uint8_t survivor = static_cast<std::uint8_t>(1 - dead);
+  const of::PortId out = options_.replicas[survivor].port;
+
+  // Re-steer the wildcard halves that forward to the dead replica. A
+  // FlowMod add replaces an existing rule with the same match and priority
+  // in place, so a single install swaps the action atomically — a
+  // delete-then-install pair would reopen the BUG-V window where packets
+  // miss every wildcard mid-repair. After the policy transition the
+  // wildcards are inspect rules (every flow goes through packet_in), so
+  // there is nothing to re-steer at this level.
+  if (!st.reconfigured) {
+    for (bool high : {false, true}) {
+      if (replica_for(st.policy, high ? 0x80000000ULL : 0) !=
+          static_cast<std::uint8_t>(dead)) {
+        continue;
+      }
+      of::Rule r;
+      r.match = wildcard_match(high);
+      r.priority = kWildcardPriority;
+      r.actions = {of::Action::output(out)};
+      ctx.install_rule(options_.sw, r);
+    }
+  }
+
+  // Established connections pinned to the dead replica move over too:
+  // replace their microflow rules and update the assignment map.
+  for (auto& [conn, replica] : st.assignments) {
+    if (replica != static_cast<std::uint8_t>(dead)) continue;
+    replica = survivor;
+    sym::PacketFields hdr;
+    hdr.ip_src = conn.ip_src;
+    hdr.ip_dst = conn.ip_dst;
+    hdr.ip_proto = conn.ip_proto;
+    hdr.tp_src = conn.tp_src;
+    hdr.tp_dst = conn.tp_dst;
+    of::Rule micro;
+    micro.match = of::Match::five_tuple(hdr);
+    micro.priority = kMicroflowPriority;
+    micro.actions = {of::Action::output(out)};
+    ctx.install_rule(options_.sw, micro);  // in-place action swap (see above)
+  }
 }
 
 void LoadBalancer::on_external(ctrl::AppState& state, ctrl::Ctx& ctx,

@@ -51,6 +51,19 @@ struct LbOptions {
   bool fix_install_before_delete{false};  // BUG-V
   bool fix_discard_arp{false};           // BUG-VI
   bool fix_check_assignments{false};     // BUG-VII
+
+  /// Multi-switch deployments: access switch → port its replica hangs off.
+  /// switch_join installs a catch-all forwarding rule there, so replica
+  /// traffic crossing the front-switch uplink reaches the server.
+  std::map<of::SwitchId, of::PortId> access_switches;
+  /// React to OFPT_PORT_STATUS on a replica uplink of the front switch:
+  /// re-steer the wildcard halves and established assignments that point
+  /// at the dead replica onto the surviving one. Off reproduces the
+  /// original app, which leaves black-hole rules behind.
+  bool react_to_port_status{false};
+  /// Expose the policy-change external event (paper Section 8.2). Fault
+  /// scenarios turn it off to keep failure interleavings in focus.
+  bool enable_reconfig{true};
 };
 
 class LoadBalancerState final : public ctrl::AppState {
@@ -83,6 +96,10 @@ class LoadBalancer final : public ctrl::App {
                  of::PortId in_port, const sym::SymPacket& pkt,
                  std::uint32_t buffer_id,
                  of::PacketIn::Reason reason) const override;
+
+  void handle_port_status(ctrl::AppState& state, ctrl::Ctx& ctx,
+                          of::SwitchId sw, of::PortId port,
+                          bool up) const override;
 
   /// One external event: the load-balancing policy change.
   [[nodiscard]] std::vector<std::string> external_events(

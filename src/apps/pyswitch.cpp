@@ -19,6 +19,23 @@ void PySwitch::switch_leave(ctrl::AppState& state, ctrl::Ctx& ctx,
   st.mactable.erase(sw);  // Figure 3 lines 20-22
 }
 
+void PySwitch::handle_port_status(ctrl::AppState& state, ctrl::Ctx& ctx,
+                                  of::SwitchId sw, of::PortId port,
+                                  bool up) const {
+  (void)ctx;
+  if (!options_.react_to_port_status || up) return;
+  auto& st = static_cast<PySwitchState&>(state);
+  const auto it = st.mactable.find(sw);
+  if (it == st.mactable.end()) return;
+  // Flush MACs learned behind the failed port: their location is now
+  // unreachable, so the next packet to them floods and re-learns.
+  std::vector<std::uint64_t> dead;
+  for (const auto& [mac, learned_port] : it->second.raw()) {
+    if (learned_port == std::uint64_t{port}) dead.push_back(mac);
+  }
+  for (std::uint64_t mac : dead) it->second.erase(mac);
+}
+
 bool PySwitch::is_same_flow(const sym::PacketFields& a,
                             const sym::PacketFields& b) const {
   if (!options_.microflow_grouping) return ctrl::App::is_same_flow(a, b);

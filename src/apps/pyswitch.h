@@ -37,6 +37,11 @@ struct PySwitchOptions {
   /// microflows are independent". Used by the ping workload, where
   /// concurrent pings are independent exchanges.
   bool microflow_grouping{false};
+  /// React to OFPT_PORT_STATUS: forget every MAC learned on a failed port
+  /// so later traffic floods (and re-learns) instead of following the
+  /// stale location. Off reproduces the Figure 3 app, which ignores port
+  /// status entirely.
+  bool react_to_port_status{false};
 };
 
 class PySwitchState final : public ctrl::AppState {
@@ -76,6 +81,10 @@ class PySwitch final : public ctrl::App {
                    of::SwitchId sw) const override;
   void switch_leave(ctrl::AppState& state, ctrl::Ctx& ctx,
                     of::SwitchId sw) const override;
+
+  void handle_port_status(ctrl::AppState& state, ctrl::Ctx& ctx,
+                          of::SwitchId sw, of::PortId port,
+                          bool up) const override;
 
   [[nodiscard]] bool is_same_flow(const sym::PacketFields& a,
                                   const sym::PacketFields& b) const override;

@@ -14,6 +14,31 @@ of::Rule path_rule(const sym::PacketFields& hdr, of::PortId out_port) {
   return r;
 }
 
+bool path_has_hop(const TePath& p, of::SwitchId sw, of::PortId port) {
+  for (const auto& hop : p.hops) {
+    if (hop.first == sw && hop.second == port) return true;
+  }
+  return false;
+}
+
+bool path_blocked(const RespondTeState& st, const TePath& p) {
+  for (const auto& [sw, port] : p.hops) {
+    const auto it = st.down_ports.find(sw);
+    if (it != st.down_ports.end() && it->second.contains(port)) return true;
+  }
+  return false;
+}
+
+sym::PacketFields conn_fields(const of::FiveTuple& conn) {
+  sym::PacketFields hdr;
+  hdr.ip_src = conn.ip_src;
+  hdr.ip_dst = conn.ip_dst;
+  hdr.ip_proto = conn.ip_proto;
+  hdr.tp_src = conn.tp_src;
+  hdr.tp_dst = conn.tp_dst;
+  return hdr;
+}
+
 }  // namespace
 
 void RespondTe::stats_in(ctrl::AppState& state, ctrl::Ctx& ctx,
@@ -46,6 +71,42 @@ TeTable RespondTe::chosen_table(const RespondTeState& st,
   return TeTable::kAlwaysOn;
 }
 
+void RespondTe::handle_port_status(ctrl::AppState& state, ctrl::Ctx& ctx,
+                                   of::SwitchId sw, of::PortId port,
+                                   bool up) const {
+  if (!options_.react_to_port_status) return;
+  auto& st = static_cast<RespondTeState&>(state);
+  if (up) {
+    const auto it = st.down_ports.find(sw);
+    if (it != st.down_ports.end()) {
+      it->second.erase(port);
+      if (it->second.empty()) st.down_ports.erase(it);
+    }
+    return;
+  }
+  st.down_ports[sw].insert(port);
+
+  // Re-route every established flow whose path crosses the failed port:
+  // tear down the old hop rules and install the other path class.
+  for (auto& [conn, tbl] : st.routed) {
+    const auto path_it =
+        options_.paths.find(static_cast<std::uint32_t>(conn.ip_dst));
+    if (path_it == options_.paths.end()) continue;
+    const TePath& cur = path_it->second[tbl];
+    if (!path_has_hop(cur, sw, port)) continue;
+    const auto other = static_cast<std::uint8_t>(1 - tbl);
+    const TePath& alt = path_it->second[other];
+    const sym::PacketFields hdr = conn_fields(conn);
+    for (const auto& hop : cur.hops) {
+      ctx.delete_rule(hop.first, of::Match::five_tuple(hdr), kRulePriority);
+    }
+    for (auto it = alt.hops.rbegin(); it != alt.hops.rend(); ++it) {
+      ctx.install_rule(it->first, path_rule(hdr, it->second));
+    }
+    tbl = other;
+  }
+}
+
 void RespondTe::packet_in(ctrl::AppState& state, ctrl::Ctx& ctx,
                           of::SwitchId sw, of::PortId in_port,
                           const sym::SymPacket& pkt, std::uint32_t buffer_id,
@@ -67,7 +128,18 @@ void RespondTe::packet_in(ctrl::AppState& state, ctrl::Ctx& ctx,
   hdr.tp_src = pkt.tp_src.concrete();
   hdr.tp_dst = pkt.tp_dst.concrete();
 
-  const TeTable table = chosen_table(st, pkt);
+  TeTable table = chosen_table(st, pkt);
+  if (options_.react_to_port_status &&
+      path_blocked(st, path_it->second[static_cast<std::size_t>(table)])) {
+    // Route around known link failures: prefer the other path class when
+    // the chosen one crosses a failed port (fall back to the choice if
+    // both are blocked — there is nothing better to do).
+    const TeTable other =
+        table == TeTable::kAlwaysOn ? TeTable::kOnDemand : TeTable::kAlwaysOn;
+    if (!path_blocked(st, path_it->second[static_cast<std::size_t>(other)])) {
+      table = other;
+    }
+  }
   const TePath& path =
       path_it->second[static_cast<std::size_t>(table)];
 
@@ -78,6 +150,10 @@ void RespondTe::packet_in(ctrl::AppState& state, ctrl::Ctx& ctx,
     // still not sufficient under unequal installation delays.
     for (auto it = path.hops.rbegin(); it != path.hops.rend(); ++it) {
       ctx.install_rule(it->first, path_rule(hdr, it->second));
+    }
+    if (options_.react_to_port_status) {
+      st.routed[of::FiveTuple::of_packet(hdr)] =
+          static_cast<std::uint8_t>(table);
     }
     if (options_.fix_release_packet) {
       // BUG-VIII fix: release the trigger packet along the first hop.

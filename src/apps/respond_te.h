@@ -28,6 +28,7 @@
 
 #include <array>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "ctrl/app.h"
@@ -53,6 +54,11 @@ struct TeOptions {
   bool fix_handle_intermediate{false};  // BUG-IX
   bool fix_per_flow_table{false};      // BUG-X
   bool fix_lookup_all_tables{false};   // BUG-XI
+  /// React to OFPT_PORT_STATUS: remember failed ports, route new flows
+  /// around them, and re-route established flows whose path crosses the
+  /// dead link onto the other path class. Off reproduces the original app,
+  /// which leaves rules forwarding into the failed link.
+  bool react_to_port_status{false};
 };
 
 class RespondTeState final : public ctrl::AppState {
@@ -60,6 +66,11 @@ class RespondTeState final : public ctrl::AppState {
   /// Perceived energy state — doubles as the "extra global routing table"
   /// of BUG-X (true = use on-demand for everything).
   bool energy_high{false};
+  /// Fault bookkeeping, populated only under react_to_port_status:
+  /// per-flow chosen path class, and the failed ports learned from
+  /// OFPT_PORT_STATUS (routing avoids paths that cross them).
+  std::map<of::FiveTuple, std::uint8_t> routed;
+  std::map<of::SwitchId, std::set<of::PortId>> down_ports;
 
   [[nodiscard]] std::unique_ptr<ctrl::AppState> clone() const override {
     return std::make_unique<RespondTeState>(*this);
@@ -67,6 +78,21 @@ class RespondTeState final : public ctrl::AppState {
   void serialize(util::Ser& s) const override {
     s.put_tag('T');
     s.put_bool(energy_high);
+    s.put_u32(static_cast<std::uint32_t>(routed.size()));
+    for (const auto& [t, tbl] : routed) {
+      s.put_u64(t.ip_src);
+      s.put_u64(t.ip_dst);
+      s.put_u64(t.ip_proto);
+      s.put_u64(t.tp_src);
+      s.put_u64(t.tp_dst);
+      s.put_u8(tbl);
+    }
+    s.put_u32(static_cast<std::uint32_t>(down_ports.size()));
+    for (const auto& [sw, ports] : down_ports) {
+      s.put_u32(sw);
+      s.put_u32(static_cast<std::uint32_t>(ports.size()));
+      for (of::PortId p : ports) s.put_u32(p);
+    }
   }
 };
 
@@ -87,6 +113,10 @@ class RespondTe final : public ctrl::App {
 
   void stats_in(ctrl::AppState& state, ctrl::Ctx& ctx, of::SwitchId sw,
                 const ctrl::SymStats& stats) const override;
+
+  void handle_port_status(ctrl::AppState& state, ctrl::Ctx& ctx,
+                          of::SwitchId sw, of::PortId port,
+                          bool up) const override;
 
   [[nodiscard]] bool wants_stats(const ctrl::AppState& state,
                                  of::SwitchId sw) const override {

@@ -8,6 +8,7 @@
 #include "props/no_black_holes.h"
 #include "props/no_forgotten_packets.h"
 #include "props/no_forwarding_loops.h"
+#include "props/no_stale_rules.h"
 
 namespace nicemc::apps {
 
@@ -233,6 +234,7 @@ Scenario te_scenario(const TeScenarioOptions& options) {
   te.fix_handle_intermediate = options.fix_handle_intermediate;
   te.fix_per_flow_table = options.fix_per_flow_table;
   te.fix_lookup_all_tables = options.fix_lookup_all_tables;
+  te.react_to_port_status = options.react_to_port_status;
   auto te_app = std::make_unique<RespondTe>(te);
   const RespondTe* te_ptr = te_app.get();
   s.app = std::move(te_app);
@@ -261,7 +263,9 @@ Scenario te_scenario(const TeScenarioOptions& options) {
   (void)recv1;
   (void)recv2;
 
-  if (options.check_routing_table) {
+  if (options.check_stale_rules) {
+    s.properties.push_back(std::make_unique<props::NoStaleRules>());
+  } else if (options.check_routing_table) {
     s.properties.push_back(std::make_unique<props::UseCorrectRoutingTable>(
         s0, [te_ptr](const ctrl::AppState& app_state,
                      const sym::PacketFields& hdr) {
@@ -280,6 +284,104 @@ Scenario te_scenario(const TeScenarioOptions& options) {
   } else {
     s.properties.push_back(std::make_unique<props::NoForgottenPackets>());
   }
+  return s;
+}
+
+Scenario pyswitch_linkfail(bool react) {
+  Scenario s = pyswitch_ping_chain(1);
+  PySwitchOptions opt;
+  opt.microflow_grouping = true;
+  opt.react_to_port_status = react;
+  s.app = std::make_unique<PySwitch>(opt);
+  s.config.app = s.app.get();
+  s.config.enable_link_faults = true;
+  s.config.max_link_failures = 1;
+  s.properties.push_back(std::make_unique<props::NoBlackHoles>());
+  return s;
+}
+
+Scenario pyswitch_ctrlloss() {
+  Scenario s = pyswitch_ping_chain(1);
+  s.config.enable_ctrl_channel_faults = true;
+  s.config.max_channel_losses = 1;
+  s.properties.push_back(std::make_unique<props::NoBlackHoles>());
+  return s;
+}
+
+Scenario pyswitch_restart() {
+  Scenario s = pyswitch_ping_chain(1);
+  s.config.enable_switch_restarts = true;
+  s.config.max_switch_restarts = 1;
+  s.properties.push_back(std::make_unique<props::NoBlackHoles>());
+  return s;
+}
+
+Scenario lb_linkfail(bool react) {
+  Scenario s;
+  s.topology = std::make_unique<topo::Topology>();
+  const auto sw0 = s.topology->add_switch({1, 2, 3});  // front switch
+  const auto sw1 = s.topology->add_switch({1, 2});     // access, replica 1
+  const auto sw2 = s.topology->add_switch({1, 2});     // access, replica 2
+  s.topology->add_link(sw0, 2, sw1, 2);
+  s.topology->add_link(sw0, 3, sw2, 2);
+  const std::uint32_t vip = 0x0a000064;        // 10.0.0.100
+  const std::uint64_t vmac = 0x00aa00000099ULL;
+  const auto client = s.topology->add_host("client", kMacA, kIpA, sw0, 1);
+  const auto r1 =
+      s.topology->add_host("replica1", 0x00aa00000011ULL, 0x0a000101, sw1, 1);
+  const auto r2 =
+      s.topology->add_host("replica2", 0x00aa00000012ULL, 0x0a000102, sw2, 1);
+
+  LbOptions lb;
+  lb.sw = sw0;
+  lb.vip = vip;
+  lb.vmac = vmac;
+  lb.replicas = {
+      LbReplica{r1, 2, 0x00aa00000011ULL, 0x0a000101},  // via uplink sw0:2
+      LbReplica{r2, 3, 0x00aa00000012ULL, 0x0a000102},  // via uplink sw0:3
+  };
+  lb.fix_release_packet = true;
+  lb.fix_install_before_delete = true;
+  lb.fix_discard_arp = true;
+  lb.fix_check_assignments = true;
+  lb.access_switches = {{sw1, 1}, {sw2, 1}};
+  lb.react_to_port_status = react;
+  lb.enable_reconfig = false;  // keep failure interleavings in focus
+  s.app = std::make_unique<LoadBalancer>(lb);
+
+  hosts::HostBehavior hc;
+  hosts::TcpConnectionSpec conn;
+  conn.dst_ip = vip;
+  conn.dst_mac = vmac;
+  conn.src_port = 1024;
+  conn.dst_port = 80;
+  conn.data_segments = 1;
+  conn.flow_id = 1;
+  hc.script = hosts::tcp_connection(s.topology->host(client), conn);
+  hc.initial_burst = static_cast<int>(hc.script.size());
+  hosts::HostBehavior hr1;
+  hosts::HostBehavior hr2;
+  s.config.host_behavior = {hc, hr1, hr2};
+  s.config.symbolic_discovery = false;
+  s.config.extra_domain_ips = {vip};
+  s.config.enable_link_faults = true;
+  s.config.enable_link_repair = false;  // quiescent states keep the failure
+  s.config.max_link_failures = 1;
+  finish_config(s);
+  s.properties.push_back(std::make_unique<props::NoStaleRules>());
+  return s;
+}
+
+Scenario te_linkfail(bool react) {
+  TeScenarioOptions o;
+  o.fix_release_packet = true;
+  o.fix_handle_intermediate = true;
+  o.react_to_port_status = react;
+  o.check_stale_rules = true;
+  Scenario s = te_scenario(o);
+  s.config.enable_link_faults = true;
+  s.config.enable_link_repair = false;  // quiescent states keep the failure
+  s.config.max_link_failures = 1;
   return s;
 }
 
@@ -322,6 +424,17 @@ std::vector<NamedScenario> bundled_scenarios() {
                    o.check_routing_table = true;
                    return te_scenario(o);
                  }});
+  // Bounded fault-injection presets: link failures, controller-channel
+  // loss and switch restarts as first-class transitions.
+  out.push_back({"pyswitch-linkfail", [] { return pyswitch_linkfail(false); }});
+  out.push_back(
+      {"pyswitch-linkfail-react", [] { return pyswitch_linkfail(true); }});
+  out.push_back({"pyswitch-ctrlloss", [] { return pyswitch_ctrlloss(); }});
+  out.push_back({"pyswitch-restart", [] { return pyswitch_restart(); }});
+  out.push_back({"lb-linkfail", [] { return lb_linkfail(false); }});
+  out.push_back({"lb-linkfail-react", [] { return lb_linkfail(true); }});
+  out.push_back({"te-linkfail", [] { return te_linkfail(false); }});
+  out.push_back({"te-linkfail-react", [] { return te_linkfail(true); }});
   return out;
 }
 

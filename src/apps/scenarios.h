@@ -81,14 +81,46 @@ struct TeScenarioOptions {
   bool fix_handle_intermediate{false};  // BUG-IX fixed
   bool fix_per_flow_table{false};       // BUG-X fixed
   bool fix_lookup_all_tables{false};    // BUG-XI fixed
+  bool react_to_port_status{false};     // route around failed links
   std::uint32_t stats_rounds{0};        // port-stats query budget
   bool check_routing_table{false};      // property set for BUG-X
+  bool check_stale_rules{false};        // property set for link failures
   int flows{1};                         // concurrent flows from the sender
 };
 
 /// Triangle topology: ingress S0 (sender), egress S1 (two receivers),
 /// on-demand switch S2.
 Scenario te_scenario(const TeScenarioOptions& options);
+
+// --- Fault-injection scenarios (bounded environment faults) ---
+
+/// Figure 1 ping chain under a bounded link failure (budget 1, repair
+/// enabled). Property: NoBlackHoles — violated *only* when the fault
+/// fires (a flooded/forwarded copy dies at the failed port), which makes
+/// this the fault-only-violation regression scenario. `react` turns on
+/// the MAC-flush port-status reaction (same property; exercises the
+/// OFPT_PORT_STATUS dispatch path).
+Scenario pyswitch_linkfail(bool react = false);
+
+/// Ping chain under bounded controller-channel loss (budget 1).
+/// NoBlackHoles holds across the disconnect and the handshake replay.
+Scenario pyswitch_ctrlloss();
+
+/// Ping chain under a bounded switch restart (budget 1). NoBlackHoles
+/// holds across the wipe: buffered packets count as consumed, and the
+/// rejoin handshake restores the controller's view.
+Scenario pyswitch_restart();
+
+/// Load balancer with the replicas behind two access switches, each on
+/// its own front-switch uplink, under a bounded link failure with repair
+/// off. Property: NoStaleRules — holds iff the app re-steers the wildcard
+/// rules on OFPT_PORT_STATUS (`react`).
+Scenario lb_linkfail(bool react);
+
+/// TE triangle under a bounded link failure with repair off. Property:
+/// NoStaleRules — holds iff the app re-routes established flows and
+/// routes new ones around the failure (`react`).
+Scenario te_linkfail(bool react);
 
 // --- Bundled scenario registry ---
 

@@ -138,6 +138,18 @@ class App {
     (void)xid;
   }
 
+  /// OFPT_PORT_STATUS: port `port` of switch `sw` went down (link failure)
+  /// or came back up. Robust applications react — flush learned state,
+  /// re-steer flows, recompute paths — so traffic survives the failure.
+  virtual void handle_port_status(AppState& state, Ctx& ctx, of::SwitchId sw,
+                                  of::PortId port, bool up) const {
+    (void)state;
+    (void)ctx;
+    (void)sw;
+    (void)port;
+    (void)up;
+  }
+
   /// FLOW-IR support: do two packets belong to the same flow group
   /// (the user-provided isSameFlow of Section 4)?
   [[nodiscard]] virtual bool is_same_flow(

@@ -61,6 +61,8 @@ DispatchResult dispatch_message(const App& app, ControllerState& state,
   } else if (const auto* sr = std::get_if<of::StatsReply>(&msg)) {
     state.pending_stats.erase(from);
     app.stats_in(*state.app, ctx, from, SymStats::concrete(*sr));
+  } else if (const auto* ps = std::get_if<of::PortStatus>(&msg)) {
+    app.handle_port_status(*state.app, ctx, from, ps->port, ps->up);
   } else {
     const auto& br = std::get<of::BarrierReply>(msg);
     app.barrier_in(*state.app, ctx, from, br.xid);

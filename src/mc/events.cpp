@@ -18,6 +18,7 @@ std::string brief(const Event& e) {
           if (v.to_controller) s += " ->ctrl";
           if (v.dropped_by_rule) s += " drop_rule";
           if (v.dropped_buffer_full) s += " drop_full";
+          if (v.dropped_no_ctrl) s += " drop_no_ctrl";
           if (v.revisited) s += " LOOP";
           if (v.from_buffer) s += " from_buf";
           return s;
@@ -44,8 +45,35 @@ std::string brief(const Event& e) {
         } else if constexpr (std::is_same_v<T, EvChannelDrop>) {
           return "chan_drop sw=" + std::to_string(v.sw) + " port=" +
                  std::to_string(v.port);
+        } else if constexpr (std::is_same_v<T, EvChannelDup>) {
+          return "chan_dup sw=" + std::to_string(v.sw) + " port=" +
+                 std::to_string(v.port);
         } else if constexpr (std::is_same_v<T, EvStatsHandled>) {
           return "stats_handled sw=" + std::to_string(v.sw);
+        } else if constexpr (std::is_same_v<T, EvLinkDown>) {
+          return "link_down link=" + std::to_string(v.link) + " sw" +
+                 std::to_string(v.sw_a) + ":" + std::to_string(v.port_a) +
+                 "<->sw" + std::to_string(v.sw_b) + ":" +
+                 std::to_string(v.port_b);
+        } else if constexpr (std::is_same_v<T, EvLinkUp>) {
+          return "link_up link=" + std::to_string(v.link) + " sw" +
+                 std::to_string(v.sw_a) + ":" + std::to_string(v.port_a) +
+                 "<->sw" + std::to_string(v.sw_b) + ":" +
+                 std::to_string(v.port_b);
+        } else if constexpr (std::is_same_v<T, EvCtrlChannelDown>) {
+          return "ctrl_channel_down sw=" + std::to_string(v.sw) + " lost=" +
+                 std::to_string(v.lost_to_switch) + "+" +
+                 std::to_string(v.lost_to_ctrl);
+        } else if constexpr (std::is_same_v<T, EvCtrlChannelUp>) {
+          return "ctrl_channel_up sw=" + std::to_string(v.sw);
+        } else if constexpr (std::is_same_v<T, EvSwitchRestart>) {
+          return "switch_restart sw=" + std::to_string(v.sw) +
+                 " lost_rules=" + std::to_string(v.lost_rules) +
+                 " lost_buffered=" + std::to_string(v.lost_buffered);
+        } else if constexpr (std::is_same_v<T, EvPortStatusHandled>) {
+          return "port_status_handled sw=" + std::to_string(v.sw) +
+                 " port=" + std::to_string(v.port) +
+                 (v.up ? " up" : " down");
         } else {
           return "host_moved host=" + std::to_string(v.host) + " -> sw=" +
                  std::to_string(v.to_sw) + ":" + std::to_string(v.to_port);

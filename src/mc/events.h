@@ -43,6 +43,7 @@ struct EvPacketProcessed {
   bool to_controller{false};   // buffered + packet_in emitted
   bool dropped_by_rule{false};  // matched a rule with no actions
   bool dropped_buffer_full{false};
+  bool dropped_no_ctrl{false};  // needed the controller while disconnected
   bool revisited{false};        // forwarding-loop signal
   bool from_buffer{false};      // packet_out release (vs. ingress)
   bool explicit_discard{false};  // packet_out with empty actions
@@ -109,6 +110,14 @@ struct EvChannelDrop {
   of::Packet pkt;
 };
 
+/// Fault-model event: the head packet of an ingress channel was duplicated
+/// (balance +1: one extra in-flight copy).
+struct EvChannelDup {
+  of::SwitchId sw{0};
+  of::PortId port{0};
+  of::Packet pkt;
+};
+
 struct EvStatsHandled {
   of::SwitchId sw{0};
 };
@@ -119,11 +128,59 @@ struct EvHostMoved {
   of::PortId to_port{0};
 };
 
+/// Fault-model event: topology link `link` (both endpoint ports) failed.
+struct EvLinkDown {
+  std::uint32_t link{0};
+  of::SwitchId sw_a{0};
+  of::PortId port_a{0};
+  of::SwitchId sw_b{0};
+  of::PortId port_b{0};
+};
+
+/// Fault-model event: topology link `link` repaired.
+struct EvLinkUp {
+  std::uint32_t link{0};
+  of::SwitchId sw_a{0};
+  of::PortId port_a{0};
+  of::SwitchId sw_b{0};
+  of::PortId port_b{0};
+};
+
+/// Fault-model event: switch `sw` lost its controller connection; the
+/// counts are the OpenFlow messages wiped from the two channel directions.
+struct EvCtrlChannelDown {
+  of::SwitchId sw{0};
+  std::size_t lost_to_switch{0};
+  std::size_t lost_to_ctrl{0};
+};
+
+/// Fault-model event: switch `sw` reconnected and the handshake replayed.
+struct EvCtrlChannelUp {
+  of::SwitchId sw{0};
+};
+
+/// Fault-model event: switch `sw` rebooted — flow table, buffer and both
+/// OpenFlow channels wiped.
+struct EvSwitchRestart {
+  of::SwitchId sw{0};
+  std::size_t lost_rules{0};
+  std::size_t lost_buffered{0};
+};
+
+/// The controller dispatched an OFPT_PORT_STATUS notification.
+struct EvPortStatusHandled {
+  of::SwitchId sw{0};
+  of::PortId port{0};
+  bool up{true};
+};
+
 using Event =
     std::variant<EvPacketSent, EvCtrlPacketInjected, EvPacketProcessed,
                  EvPacketDeadPort, EvPacketDelivered, EvPacketIn,
                  EvPacketInHandled, EvRuleInstalled, EvRuleRemoved,
-                 EvRuleExpired, EvChannelDrop, EvStatsHandled, EvHostMoved>;
+                 EvRuleExpired, EvChannelDrop, EvChannelDup, EvStatsHandled,
+                 EvHostMoved, EvLinkDown, EvLinkUp, EvCtrlChannelDown,
+                 EvCtrlChannelUp, EvSwitchRestart, EvPortStatusHandled>;
 
 using EventList = std::vector<Event>;
 

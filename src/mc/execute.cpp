@@ -28,8 +28,12 @@ SystemState Executor::make_initial() const {
   st.ctrl_mut().app = cfg_.app->make_initial_state();
 
   for (const topo::SwitchSpec& spec : cfg_.topology->switches()) {
-    st.add_switch(of::Switch(spec.id, spec.ports,
-                             cfg_.switch_buffer_capacity));
+    of::Switch sw(spec.id, spec.ports, cfg_.switch_buffer_capacity);
+    // enable_channel_faults arms every switch; callers can still narrow
+    // the fault surface by clearing individual switches' flags afterwards.
+    sw.pkt_channel_faults = {.may_drop = cfg_.enable_channel_faults,
+                             .may_duplicate = cfg_.enable_channel_faults};
+    st.add_switch(std::move(sw));
   }
   for (const topo::HostSpec& spec : cfg_.topology->hosts()) {
     hosts::HostState hs;
@@ -129,6 +133,15 @@ std::vector<Transition> Executor::enabled(const SystemState& state,
   }
 
   // --- switches ---
+  const bool pkt_faults_ok =
+      cfg_.max_packet_faults == kUnboundedFaults ||
+      state.faults.packet_faults < cfg_.max_packet_faults;
+  const bool channel_losses_ok =
+      cfg_.max_channel_losses == kUnboundedFaults ||
+      state.faults.channel_losses < cfg_.max_channel_losses;
+  const bool restarts_ok =
+      cfg_.max_switch_restarts == kUnboundedFaults ||
+      state.faults.switch_restarts < cfg_.max_switch_restarts;
   for (const of::Switch& sw : state.switches()) {
     if (sw.can_process_pkt()) {
       out.push_back(Transition{.kind = TKind::kSwitchProcessPkt, .a = sw.id});
@@ -143,7 +156,7 @@ std::vector<Transition> Executor::enabled(const SystemState& state,
                                  .aux = static_cast<std::uint32_t>(idx)});
       }
     }
-    if (cfg_.enable_channel_faults) {
+    if (cfg_.enable_channel_faults && pkt_faults_ok) {
       for (const auto& [port, chan] : sw.in_ports) {
         if (chan.empty()) continue;
         if (sw.pkt_channel_faults.may_drop) {
@@ -151,11 +164,45 @@ std::vector<Transition> Executor::enabled(const SystemState& state,
                                    .a = sw.id,
                                    .aux = port});
         }
-        if (sw.pkt_channel_faults.may_duplicate) {
+        if (sw.pkt_channel_faults.may_duplicate &&
+            chan.size() < cfg_.channel_depth_limit) {
           out.push_back(Transition{.kind = TKind::kChannelDupHead,
                                    .a = sw.id,
                                    .aux = port});
         }
+      }
+    }
+    if (cfg_.enable_ctrl_channel_faults) {
+      if (sw.ctrl_channel_down) {
+        // Reconnect is free: the number of disconnects is what's bounded.
+        out.push_back(Transition{.kind = TKind::kCtrlChannelUp, .a = sw.id});
+      } else if (channel_losses_ok) {
+        out.push_back(Transition{.kind = TKind::kCtrlChannelDown,
+                                 .a = sw.id});
+      }
+    }
+    if (cfg_.enable_switch_restarts && restarts_ok) {
+      out.push_back(Transition{.kind = TKind::kSwitchRestart, .a = sw.id});
+    }
+  }
+
+  // --- topology links (fault model) ---
+  if (cfg_.enable_link_faults) {
+    const bool link_failures_ok =
+        cfg_.max_link_failures == kUnboundedFaults ||
+        state.faults.link_failures < cfg_.max_link_failures;
+    const auto& links = cfg_.topology->links();
+    for (std::size_t li = 0; li < links.size(); ++li) {
+      const topo::LinkSpec& l = links[li];
+      const bool down = state.sw(l.sw_a).down_ports.contains(l.port_a);
+      if (down) {
+        if (cfg_.enable_link_repair) {
+          out.push_back(Transition{.kind = TKind::kLinkUp,
+                                   .a = static_cast<std::uint32_t>(li)});
+        }
+      } else if (link_failures_ok) {
+        out.push_back(Transition{.kind = TKind::kLinkDown,
+                                 .a = static_cast<std::uint32_t>(li)});
       }
     }
   }
@@ -235,6 +282,12 @@ void Executor::inject_host_packet(SystemState& state, of::HostId host,
 void Executor::deliver(SystemState& state, of::SwitchId from_sw,
                        of::PortId out_port, of::Packet pkt,
                        EventList& events) const {
+  if (state.sw(from_sw).down_ports.contains(out_port)) {
+    // The attached link is down: the copy is lost on the wire. A rule that
+    // keeps forwarding here after the failure is a stale-state black hole.
+    events.push_back(EvPacketDeadPort{from_sw, out_port, std::move(pkt)});
+    return;
+  }
   const topo::PortPeer peer = cfg_.topology->switch_peer(from_sw, out_port);
   if (peer.kind == topo::PortPeer::Kind::kSwitchLink) {
     state.sw_mut(peer.sw).enqueue_packet(peer.port, std::move(pkt));
@@ -262,6 +315,7 @@ void Executor::handle_outcome(SystemState& state, of::SwitchId sw,
       .to_controller = oc.to_controller,
       .dropped_by_rule = oc.dropped_by_rule && !oc.explicit_discard,
       .dropped_buffer_full = oc.dropped_buffer_full,
+      .dropped_no_ctrl = oc.dropped_no_ctrl,
       .revisited = oc.revisited,
       .from_buffer = oc.from_buffer,
       .explicit_discard = oc.explicit_discard,
@@ -319,6 +373,8 @@ void Executor::ctrl_dispatch(SystemState& state, of::SwitchId sw,
     events.push_back(std::move(handled));
   } else if (std::holds_alternative<of::StatsReply>(msg)) {
     events.push_back(EvStatsHandled{sw});
+  } else if (const auto* ps = std::get_if<of::PortStatus>(&msg)) {
+    events.push_back(EvPortStatusHandled{sw, ps->port, ps->up});
   }
   push_commands(state, std::move(res.commands), events);
 }
@@ -342,9 +398,28 @@ void Executor::push_commands(SystemState& state,
     }
     if (cfg_.fine_interleaving) {
       ctrl.pending_commands.emplace_back(target, std::move(msg));
-    } else {
+    } else if (!state.sw(target).ctrl_channel_down) {
+      // A message sent to a disconnected switch is lost in transit.
       state.sw_mut(target).push_of(std::move(msg), ctrl.next_of_seq++);
     }
+  }
+}
+
+void Executor::replay_handshake(SystemState& state, of::SwitchId sw,
+                                EventList& events) const {
+  ctrl::ControllerState& ctrl = state.ctrl_mut();
+  // An outstanding stats request to this switch can never be answered
+  // across a reconnect; clear it so stats polling stays live.
+  ctrl.pending_stats.erase(sw);
+  ctrl::Ctx ctx(&ctrl.next_xid);
+  cfg_.app->switch_leave(*ctrl.app, ctx, sw);
+  cfg_.app->switch_join(*ctrl.app, ctx, sw);
+  push_commands(state, ctx.take_commands(), events);
+  const std::vector<of::PortId> down(state.sw(sw).down_ports.begin(),
+                                     state.sw(sw).down_ports.end());
+  if (!down.empty()) {
+    of::Switch& swm = state.sw_mut(sw);
+    for (of::PortId p : down) swm.emit_port_status(p, /*up=*/false);
   }
 }
 
@@ -449,7 +524,9 @@ void Executor::apply(SystemState& state, const Transition& t,
       ctrl::ControllerState& ctrl = state.ctrl_mut();
       auto [target, msg] = std::move(ctrl.pending_commands.front());
       ctrl.pending_commands.pop_front();
-      state.sw_mut(target).push_of(std::move(msg), ctrl.next_of_seq++);
+      if (!state.sw(target).ctrl_channel_down) {
+        state.sw_mut(target).push_of(std::move(msg), ctrl.next_of_seq++);
+      }
       break;
     }
     case TKind::kCtrlExternal: {
@@ -491,10 +568,19 @@ void Executor::apply(SystemState& state, const Transition& t,
       auto& chan = swm.in_ports.at(t.aux);
       events.push_back(EvChannelDrop{t.a, t.aux, chan.front()});
       chan.drop_head();
+      if (cfg_.max_packet_faults != kUnboundedFaults) {
+        ++state.faults.packet_faults;
+      }
       break;
     }
     case TKind::kChannelDupHead: {
-      state.sw_mut(t.a).in_ports.at(t.aux).duplicate_head();
+      of::Switch& swm = state.sw_mut(t.a);
+      auto& chan = swm.in_ports.at(t.aux);
+      events.push_back(EvChannelDup{t.a, t.aux, chan.front()});
+      chan.duplicate_head();
+      if (cfg_.max_packet_faults != kUnboundedFaults) {
+        ++state.faults.packet_faults;
+      }
       break;
     }
     case TKind::kDiscoverPackets:
@@ -502,6 +588,65 @@ void Executor::apply(SystemState& state, const Transition& t,
       // Discovery runs synchronously inside enabled(); these labels exist
       // for trace output only.
       break;
+    case TKind::kLinkDown: {
+      const topo::LinkSpec& l = cfg_.topology->links()[t.a];
+      {
+        of::Switch& swm = state.sw_mut(l.sw_a);
+        swm.down_ports.insert(l.port_a);
+        swm.emit_port_status(l.port_a, /*up=*/false);
+      }
+      {
+        of::Switch& swm = state.sw_mut(l.sw_b);
+        swm.down_ports.insert(l.port_b);
+        swm.emit_port_status(l.port_b, /*up=*/false);
+      }
+      if (cfg_.max_link_failures != kUnboundedFaults) {
+        ++state.faults.link_failures;
+      }
+      events.push_back(EvLinkDown{t.a, l.sw_a, l.port_a, l.sw_b, l.port_b});
+      break;
+    }
+    case TKind::kLinkUp: {
+      const topo::LinkSpec& l = cfg_.topology->links()[t.a];
+      {
+        of::Switch& swm = state.sw_mut(l.sw_a);
+        swm.down_ports.erase(l.port_a);
+        swm.emit_port_status(l.port_a, /*up=*/true);
+      }
+      {
+        of::Switch& swm = state.sw_mut(l.sw_b);
+        swm.down_ports.erase(l.port_b);
+        swm.emit_port_status(l.port_b, /*up=*/true);
+      }
+      events.push_back(EvLinkUp{t.a, l.sw_a, l.port_a, l.sw_b, l.port_b});
+      break;
+    }
+    case TKind::kCtrlChannelDown: {
+      const of::Switch::ChannelLoss loss =
+          state.sw_mut(t.a).disconnect_ctrl();
+      if (cfg_.max_channel_losses != kUnboundedFaults) {
+        ++state.faults.channel_losses;
+      }
+      events.push_back(
+          EvCtrlChannelDown{t.a, loss.lost_to_switch, loss.lost_to_ctrl});
+      break;
+    }
+    case TKind::kCtrlChannelUp: {
+      state.sw_mut(t.a).reconnect_ctrl();
+      replay_handshake(state, t.a, events);
+      events.push_back(EvCtrlChannelUp{t.a});
+      break;
+    }
+    case TKind::kSwitchRestart: {
+      const of::Switch::RestartSummary sum = state.sw_mut(t.a).restart();
+      if (cfg_.max_switch_restarts != kUnboundedFaults) {
+        ++state.faults.switch_restarts;
+      }
+      replay_handshake(state, t.a, events);
+      events.push_back(
+          EvSwitchRestart{t.a, sum.lost_rules, sum.lost_buffered});
+      break;
+    }
   }
 
   if (cfg_.no_delay) drain_lockstep(state, events);

@@ -61,6 +61,11 @@ class Executor {
                      EventList& events) const;
   void push_commands(SystemState& state, std::vector<ctrl::Command> cmds,
                      EventList& events) const;
+  /// Reconnect handshake (kCtrlChannelUp / kSwitchRestart): replay
+  /// switch_leave + switch_join so the app resyncs, then report every
+  /// still-down port over the fresh connection.
+  void replay_handshake(SystemState& state, of::SwitchId sw,
+                        EventList& events) const;
   /// NO-DELAY: drain all pending controller↔switch communication so the
   /// exchange appears atomic. Leaves stats replies in place when symbolic
   /// discovery is on (they are consumed by discover/process-stats).

@@ -54,11 +54,15 @@ void add_outcome(Footprint& fp, const SystemConfig& cfg,
   if (oc.to_controller) fp.write(rid(Res::kSwOfOutTail, sw));
   if (oc.forwards.empty()) return;
   // Forward resolution reads the attachment map of this switch (a host
-  // moving onto/off one of these ports changes where copies land).
+  // moving onto/off one of these ports changes where copies land) and the
+  // switch's down-port set (link faults redirect copies into a dead port).
   fp.read(rid(Res::kSwAttach, sw));
   if (!cfg.canonical_flowtables) fp.write(rid(Res::kCopyCounter));
   for (const auto& [port, pkt] : oc.forwards) {
     add_packet_keys(fp, pkt);
+    if (state.sw(sw).down_ports.contains(port)) {
+      continue;  // mirror of Executor::deliver: dies at the down port
+    }
     const topo::PortPeer peer = cfg.topology->switch_peer(sw, port);
     if (peer.kind == topo::PortPeer::Kind::kSwitchLink) {
       fp.write(rid(Res::kSwInTail, peer.sw, peer.port));
@@ -96,6 +100,42 @@ void host_send_common(Footprint& fp, const SystemConfig& cfg,
   fp.write(rid(Res::kSwInTail, hs.sw, hs.port));
   fp.write(rid(Res::kUidCounter));
   if (!cfg.canonical_flowtables) fp.write(rid(Res::kCopyCounter));
+}
+
+/// Conflict keys of every packet a channel wipe / restart destroys:
+/// packet-keyed monitors account for those packets, so destroying them
+/// order-interferes with any transition touching the same identities.
+void add_wiped_packet_keys(Footprint& fp, const of::Switch& sw,
+                           bool include_buffer) {
+  for (const of::ToSwitch& m : sw.of_in.items()) {
+    if (const auto* po = std::get_if<of::PacketOut>(&m)) {
+      if (po->packet.has_value()) add_packet_keys(fp, *po->packet);
+    }
+  }
+  for (const of::ToController& m : sw.of_out.items()) {
+    if (const auto* pin = std::get_if<of::PacketIn>(&m)) {
+      add_packet_keys(fp, pin->packet);
+    }
+  }
+  if (include_buffer) {
+    for (const auto& [bid, bp] : sw.buffer) add_packet_keys(fp, bp.packet);
+  }
+}
+
+/// Footprint of the kCtrlChannelUp / kSwitchRestart reconnect handshake
+/// (Executor::replay_handshake): app handlers run, commands flow to their
+/// targets, and every still-down port is reported over the new connection.
+void add_handshake(Footprint& fp, const SystemConfig& cfg,
+                   const SystemState& state, of::SwitchId sw) {
+  fp.write(rid(Res::kCtrl));  // app state + pending_stats reset
+  ctrl::ControllerState sim(state.ctrl());
+  ctrl::Ctx ctx(&sim.next_xid);
+  cfg.app->switch_leave(*sim.app, ctx, sw);
+  cfg.app->switch_join(*sim.app, ctx, sw);
+  add_commands(fp, cfg, ctx.take_commands());
+  // The port-status replay reads down_ports (written under kSwAttach).
+  fp.read(rid(Res::kSwAttach, sw));
+  fp.write(rid(Res::kSwOfOutTail, sw));
 }
 
 }  // namespace
@@ -280,12 +320,18 @@ Footprint compute_footprint(const SystemConfig& cfg, const SystemState& state,
     case TKind::kChannelDropHead: {
       fp.write(rid(Res::kSwInHead, t.a, t.aux));
       add_packet_keys(fp, state.sw(t.a).in_ports.at(t.aux).front());
+      if (cfg.max_packet_faults != kUnboundedFaults) {
+        fp.write(rid(Res::kFaultBudget, 3));
+      }
       break;
     }
     case TKind::kChannelDupHead: {
       fp.write(rid(Res::kSwInHead, t.a, t.aux));
       fp.write(rid(Res::kSwInTail, t.a, t.aux));
       add_packet_keys(fp, state.sw(t.a).in_ports.at(t.aux).front());
+      if (cfg.max_packet_faults != kUnboundedFaults) {
+        fp.write(rid(Res::kFaultBudget, 3));
+      }
       break;
     }
     case TKind::kDiscoverPackets:
@@ -293,6 +339,62 @@ Footprint compute_footprint(const SystemConfig& cfg, const SystemState& state,
       // Never enabled (discovery runs inline); conflict with everything.
       fp.universal = true;
       break;
+    case TKind::kLinkDown:
+    case TKind::kLinkUp: {
+      const topo::LinkSpec& l = cfg.topology->links()[t.a];
+      if (t.kind == TKind::kLinkDown &&
+          cfg.max_link_failures != kUnboundedFaults) {
+        fp.write(rid(Res::kFaultBudget, 0));
+      }
+      // Both endpoint down-port sets change (delivery resolution state,
+      // filed under kSwAttach), and each live connection gets a
+      // port-status push. The of_out write also orders link transitions
+      // against the channel-state writers (disconnect wipes of_out), which
+      // is exactly the read of ctrl_channel_down that emit_port_status
+      // performs.
+      fp.write(rid(Res::kSwAttach, l.sw_a));
+      fp.write(rid(Res::kSwAttach, l.sw_b));
+      fp.write(rid(Res::kSwOfOutTail, l.sw_a));
+      fp.write(rid(Res::kSwOfOutTail, l.sw_b));
+      break;
+    }
+    case TKind::kCtrlChannelDown: {
+      if (cfg.max_channel_losses != kUnboundedFaults) {
+        fp.write(rid(Res::kFaultBudget, 1));
+      }
+      // The wipe empties both OpenFlow channels (head and tail) and flips
+      // the connection flag, which the pipeline (kSwCore) and every sender
+      // to this switch read.
+      fp.write(rid(Res::kSwCore, t.a));
+      fp.write(rid(Res::kSwOfInHead, t.a));
+      fp.write(rid(Res::kSwOfInTail, t.a));
+      fp.write(rid(Res::kSwOfOutHead, t.a));
+      fp.write(rid(Res::kSwOfOutTail, t.a));
+      add_wiped_packet_keys(fp, state.sw(t.a), /*include_buffer=*/false);
+      break;
+    }
+    case TKind::kCtrlChannelUp: {
+      fp.write(rid(Res::kSwCore, t.a));  // connection flag
+      fp.write(rid(Res::kSwOfInTail, t.a));  // handshake commands land here
+      add_handshake(fp, cfg, state, t.a);
+      break;
+    }
+    case TKind::kSwitchRestart: {
+      if (cfg.max_switch_restarts != kUnboundedFaults) {
+        fp.write(rid(Res::kFaultBudget, 2));
+      }
+      // Everything on the switch is wiped: table/buffer/stats (kSwCore)
+      // and both OpenFlow channels; the handshake then touches the
+      // controller and the fresh channels.
+      fp.write(rid(Res::kSwCore, t.a));
+      fp.write(rid(Res::kSwOfInHead, t.a));
+      fp.write(rid(Res::kSwOfInTail, t.a));
+      fp.write(rid(Res::kSwOfOutHead, t.a));
+      fp.write(rid(Res::kSwOfOutTail, t.a));
+      add_wiped_packet_keys(fp, state.sw(t.a), /*include_buffer=*/true);
+      add_handshake(fp, cfg, state, t.a);
+      break;
+    }
   }
   fp.finish();
   return fp;

@@ -61,6 +61,8 @@ enum class Res : std::uint8_t {
   kHostInTail,   // host a: input FIFO tail
   kHostReplyHead,  // host a: pending_replies front
   kHostReplyTail,  // host a: pending_replies back
+  kFaultBudget,  // per-class consumed fault budget, a = fault class
+                 // (0 = link, 1 = ctrl channel, 2 = restart, 3 = packet)
 };
 
 [[nodiscard]] constexpr std::uint64_t rid(Res r, std::uint64_t a = 0,

@@ -12,6 +12,7 @@ SystemState SystemState::clone() const {
   c.props_ = props_;
   c.next_uid = next_uid;
   c.next_copy = next_copy;
+  c.faults = faults;
   return c;
 }
 
@@ -28,6 +29,9 @@ void SystemState::serialize(util::Ser& s, bool canonical) const {
   s.put_u32(static_cast<std::uint32_t>(props_.size()));
   for (const auto& p : props_) s.append(p.form(canonical).bytes);
   s.put_u32(next_uid);
+  // The consumed fault budget is semantic state: a state with one link
+  // failure left differs from the same configuration with none.
+  faults.serialize(s);
   // The copy-id counter is naming bookkeeping (see of::Packet::serialize);
   // only the raw (NO-SWITCH-REDUCTION) form distinguishes states by it.
   if (!canonical) s.put_u32(next_copy);
@@ -52,6 +56,7 @@ std::string SystemState::collapse_key(util::CollapseTable& table,
   for (const auto& h : hosts_) s.put_u32(h.form_id(canonical, table));
   for (const auto& p : props_) s.put_u32(p.form_id(canonical, table));
   s.put_u32(next_uid);
+  faults.serialize(s);
   if (!canonical) s.put_u32(next_copy);
   return s.take();
 }
@@ -77,6 +82,12 @@ util::Hash128 SystemState::hash(bool canonical) const {
     h = util::hash128_combine(h, p.form_hash(canonical));
   }
   h = util::hash128_combine(h, static_cast<std::uint64_t>(next_uid));
+  h = util::hash128_combine(
+      h, (static_cast<std::uint64_t>(faults.link_failures) << 32) |
+             faults.channel_losses);
+  h = util::hash128_combine(
+      h, (static_cast<std::uint64_t>(faults.switch_restarts) << 32) |
+             faults.packet_faults);
   if (!canonical) {
     h = util::hash128_combine(h, static_cast<std::uint64_t>(next_copy));
   }

@@ -31,6 +31,12 @@
 
 namespace nicemc::mc {
 
+/// Sentinel fault cap: the class is not budgeted at all — its counter is
+/// never incremented (and never splits states), restoring the legacy
+/// unbounded-fault behaviour. Searches with an unbounded cap may not
+/// terminate; that is the caller's deliberate choice.
+inline constexpr std::uint32_t kUnboundedFaults = 0xffffffffu;
+
 /// Static model configuration — everything that stays fixed during a
 /// search. Owned by the caller; the checker and executor hold pointers.
 struct SystemConfig {
@@ -55,6 +61,30 @@ struct SystemConfig {
   /// Enable drop/duplicate fault transitions on ingress packet channels.
   bool enable_channel_faults{false};
 
+  // ---- bounded fault-injection layer (paper Sections 2.2 and 4:
+  // environment faults as explicit transitions, capped per execution) ----
+  /// Enable kLinkDown/kLinkUp on every topology link.
+  bool enable_link_faults{false};
+  /// Allow failed links to repair (kLinkUp). With repair on, quiescent
+  /// states only exist with all links up; turn it off to model permanent
+  /// failures and check quiescent-state properties like NoStaleRules.
+  bool enable_link_repair{true};
+  /// Enable kCtrlChannelDown/kCtrlChannelUp per switch.
+  bool enable_ctrl_channel_faults{false};
+  /// Enable kSwitchRestart per switch.
+  bool enable_switch_restarts{false};
+  /// Per-execution fault caps (see FaultBudget). kUnboundedFaults removes
+  /// the cap for that class.
+  std::uint32_t max_link_failures{1};
+  std::uint32_t max_channel_losses{1};
+  std::uint32_t max_switch_restarts{1};
+  /// Cap folding in the pre-existing per-packet drop/dup faults, which were
+  /// historically unbounded (kUnboundedFaults keeps them that way).
+  std::uint32_t max_packet_faults{2};
+  /// kChannelDupHead never grows an ingress channel past this depth, even
+  /// under an unbounded packet-fault budget.
+  std::size_t channel_depth_limit{8};
+
   std::size_t switch_buffer_capacity{64};
   /// Bound on stats request/reply rounds (keeps the state space finite).
   std::uint32_t max_stats_rounds{1};
@@ -68,6 +98,26 @@ struct SystemConfig {
   std::vector<std::uint64_t> extra_domain_ports;
 };
 
+/// Per-execution fault consumption, carried inside SystemState so it
+/// collapses/checkpoints/hashes with everything else and enabled() stays a
+/// pure function of the state: a fault transition is enabled iff its class
+/// counter is below the configured cap. Classes capped at kUnboundedFaults
+/// never increment their counter (legacy behaviour, identical state space).
+struct FaultBudget {
+  std::uint32_t link_failures{0};
+  std::uint32_t channel_losses{0};
+  std::uint32_t switch_restarts{0};
+  std::uint32_t packet_faults{0};
+
+  friend bool operator==(const FaultBudget&, const FaultBudget&) = default;
+  void serialize(util::Ser& s) const {
+    s.put_u32(link_failures);
+    s.put_u32(channel_losses);
+    s.put_u32(switch_restarts);
+    s.put_u32(packet_faults);
+  }
+};
+
 /// The complete system state. Components are held in shared copy-on-write
 /// snapshots; reads go through the const accessors, mutations through the
 /// explicit *_mut() accessors (which unshare and invalidate the memoized
@@ -75,6 +125,7 @@ struct SystemConfig {
 struct SystemState {
   std::uint32_t next_uid{1};
   std::uint32_t next_copy{1};
+  FaultBudget faults;
 
   SystemState() = default;
   SystemState(SystemState&&) noexcept = default;

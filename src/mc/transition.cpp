@@ -24,6 +24,11 @@ const char* tkind_name(TKind kind) noexcept {
     case TKind::kChannelDupHead: return "channel_dup_head";
     case TKind::kDiscoverPackets: return "discover_packets";
     case TKind::kDiscoverStats: return "discover_stats";
+    case TKind::kLinkDown: return "link_down";
+    case TKind::kLinkUp: return "link_up";
+    case TKind::kCtrlChannelDown: return "ctrl_channel_down";
+    case TKind::kCtrlChannelUp: return "ctrl_channel_up";
+    case TKind::kSwitchRestart: return "switch_restart";
   }
   return "?";
 }
@@ -72,6 +77,16 @@ std::string Transition::label() const {
       return "host" + std::to_string(a) + ".discover_packets";
     case TKind::kDiscoverStats:
       return "ctrl.discover_stats(sw" + std::to_string(a) + ")";
+    case TKind::kLinkDown:
+      return "link" + std::to_string(a) + ".down";
+    case TKind::kLinkUp:
+      return "link" + std::to_string(a) + ".up";
+    case TKind::kCtrlChannelDown:
+      return "sw" + std::to_string(a) + ".ctrl_channel_down";
+    case TKind::kCtrlChannelUp:
+      return "sw" + std::to_string(a) + ".ctrl_channel_up";
+    case TKind::kSwitchRestart:
+      return "sw" + std::to_string(a) + ".restart";
   }
   return "?";
 }
@@ -99,7 +114,7 @@ void Transition::serialize(util::Ser& s) const {
 Transition Transition::deserialize(util::Des& d) {
   Transition t;
   const std::uint8_t kind = d.get_u8();
-  if (kind > static_cast<std::uint8_t>(TKind::kDiscoverStats)) d.fail();
+  if (kind > static_cast<std::uint8_t>(TKind::kSwitchRestart)) d.fail();
   if (!d.ok()) return t;
   t.kind = static_cast<TKind>(kind);
   t.a = d.get_u32();

@@ -38,6 +38,11 @@ enum class TKind : std::uint8_t {
   kChannelDupHead,     // fault model: duplicate head of <switch a, port aux>
   kDiscoverPackets,    // run symbolic execution of packet_in for host `a`
   kDiscoverStats,      // run symbolic execution of stats handler, switch `a`
+  kLinkDown,           // fault model: topology link `a` fails (both ends)
+  kLinkUp,             // fault model: topology link `a` repairs
+  kCtrlChannelDown,    // fault model: switch `a` loses its controller link
+  kCtrlChannelUp,      // fault model: switch `a` reconnects (handshake)
+  kSwitchRestart,      // fault model: switch `a` reboots (table/buffers wiped)
 };
 
 /// Stable machine-readable name of a TKind ("host_send_script", ...), for

@@ -38,8 +38,11 @@ std::string brief(const ToController& m) {
           return s;
         } else if constexpr (std::is_same_v<T, StatsReply>) {
           return "stats_reply(xid=" + std::to_string(v.xid) + ")";
-        } else {
+        } else if constexpr (std::is_same_v<T, BarrierReply>) {
           return "barrier_reply(xid=" + std::to_string(v.xid) + ")";
+        } else {
+          return "port_status(port=" + std::to_string(v.port) +
+                 (v.up ? " up)" : " down)");
         }
       },
       m);

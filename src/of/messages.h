@@ -138,7 +138,21 @@ struct BarrierReply {
   }
 };
 
-using ToController = std::variant<PacketIn, StatsReply, BarrierReply>;
+/// Asynchronous port-status notification (OFPT_PORT_STATUS): the switch
+/// reports that one of its ports went down (link failure) or came back up.
+struct PortStatus {
+  PortId port{0};
+  bool up{true};
+
+  friend bool operator==(const PortStatus&, const PortStatus&) = default;
+  void serialize(util::Ser& s) const {
+    s.put_tag('P');
+    s.put_u32(port);
+    s.put_bool(up);
+  }
+};
+
+using ToController = std::variant<PacketIn, StatsReply, BarrierReply, PortStatus>;
 
 template <typename Variant>
 void serialize_message(util::Ser& s, const Variant& m) {

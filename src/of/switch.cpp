@@ -61,6 +61,10 @@ PacketOutcome Switch::run_pipeline(Packet p, PortId in_port, bool record_hop) {
   if (!hit) {
     // No matching rule: buffer the packet and punt to the controller
     // (OpenFlow NO_MATCH behaviour).
+    if (ctrl_channel_down) {
+      oc.dropped_no_ctrl = true;
+      return oc;
+    }
     if (buffer.size() >= buffer_capacity) {
       oc.dropped_buffer_full = true;
       return oc;
@@ -86,6 +90,10 @@ PacketOutcome Switch::run_pipeline(Packet p, PortId in_port, bool record_hop) {
   }
   for (const Action& a : rule.actions) {
     if (a.type == ActionType::kController) {
+      if (ctrl_channel_down) {
+        oc.dropped_no_ctrl = true;
+        continue;
+      }
       if (buffer.size() >= buffer_capacity) {
         oc.dropped_buffer_full = true;
         continue;
@@ -203,6 +211,31 @@ OfOutcome Switch::process_of() {
   return oc;
 }
 
+Switch::ChannelLoss Switch::disconnect_ctrl() {
+  ChannelLoss loss{.lost_to_switch = of_in.size(),
+                   .lost_to_ctrl = of_out.size()};
+  of_in = Fifo<ToSwitch>{};
+  of_in_seq.clear();
+  of_out = Fifo<ToController>{};
+  ctrl_channel_down = true;
+  return loss;
+}
+
+Switch::RestartSummary Switch::restart() {
+  RestartSummary sum{.lost_rules = table.size(),
+                     .lost_buffered = buffer.size(),
+                     .lost_to_switch = of_in.size(),
+                     .lost_to_ctrl = of_out.size()};
+  table = FlowTable{};
+  buffer.clear();
+  of_in = Fifo<ToSwitch>{};
+  of_in_seq.clear();
+  of_out = Fifo<ToController>{};
+  for (auto& [port, st] : port_stats) st = PortStatsEntry{};
+  ctrl_channel_down = false;
+  return sum;
+}
+
 std::vector<std::size_t> Switch::expirable_rules() const {
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < table.rules().size(); ++i) {
@@ -237,7 +270,8 @@ std::size_t Switch::serialized_size_hint() const {
   std::size_t ingress = 0;
   for (const auto& [port, chan] : in_ports) ingress += 8 + chan.size() * 160;
   return 64 + table.rules().size() * 96 + ingress + of_in.size() * 160 +
-         of_out.size() * 192 + buffer.size() * 176 + port_stats.size() * 40;
+         of_out.size() * 192 + buffer.size() * 176 + port_stats.size() * 40 +
+         8 + down_ports.size() * 4;
 }
 
 void Switch::serialize(util::Ser& s, bool canonical) const {
@@ -257,10 +291,13 @@ void Switch::serialize_parts(util::Ser& s, bool canonical,
     return it == rename.end() ? bid : it->second;
   };
 
-  // part 0: identity + flow table
+  // part 0: identity + fault state + flow table
   bounds[0] = s.size() - base;
   s.put_tag('W');
   s.put_u32(id);
+  s.put_bool(ctrl_channel_down);
+  s.put_u32(static_cast<std::uint32_t>(down_ports.size()));
+  for (PortId p : down_ports) s.put_u32(p);
   table.serialize(s, canonical);
 
   // part 1: ingress packet channels

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "of/channel.h"
@@ -53,6 +54,9 @@ struct PacketOutcome {
   PacketIn::Reason reason{PacketIn::Reason::kNoMatch};
   bool dropped_by_rule{false};
   bool dropped_buffer_full{false};
+  /// Needed the controller (no match / kController action) while the
+  /// control channel was down: the packet is lost, not buffered.
+  bool dropped_no_ctrl{false};
   /// The packet had already entered this <switch, in_port> — forwarding loop.
   bool revisited{false};
   /// Released from the awaiting-controller buffer by a packet_out.
@@ -91,6 +95,12 @@ struct Switch {
   std::uint32_t next_buffer_id{1};
   std::map<PortId, PortStatsEntry> port_stats;
   ChannelFaults pkt_channel_faults;
+  /// Ports whose attached link is down (kLinkDown marks both endpoints).
+  /// Forwarding into a down port loses the packet at delivery time.
+  std::set<PortId> down_ports;
+  /// Controller connection lost (kCtrlChannelDown): both OpenFlow channels
+  /// are wiped and stay frozen until kCtrlChannelUp replays the handshake.
+  bool ctrl_channel_down{false};
 
   Switch() = default;
   Switch(SwitchId sw_id, std::vector<PortId> port_list,
@@ -127,6 +137,35 @@ struct Switch {
 
   /// All packets awaiting a controller decision (NoForgottenPackets).
   [[nodiscard]] std::size_t forgotten_packets() const { return buffer.size(); }
+
+  /// Messages lost when the controller connection drops.
+  struct ChannelLoss {
+    std::size_t lost_to_switch{0};
+    std::size_t lost_to_ctrl{0};
+  };
+  /// kCtrlChannelDown: wipe both OpenFlow channels, freeze the connection.
+  ChannelLoss disconnect_ctrl();
+  /// kCtrlChannelUp: unfreeze; the executor replays the app handshake.
+  void reconnect_ctrl() { ctrl_channel_down = false; }
+
+  /// Push an OFPT_PORT_STATUS notification unless the connection is down.
+  void emit_port_status(PortId port, bool up) {
+    if (!ctrl_channel_down) of_out.push(PortStatus{.port = port, .up = up});
+  }
+
+  /// What a kSwitchRestart wiped (for the EvSwitchRestart event).
+  struct RestartSummary {
+    std::size_t lost_rules{0};
+    std::size_t lost_buffered{0};
+    std::size_t lost_to_switch{0};
+    std::size_t lost_to_ctrl{0};
+  };
+  /// kSwitchRestart: wipe flow table, buffer and both OpenFlow channels,
+  /// zero port counters, and come back with a fresh controller connection.
+  /// `down_ports` persists (links stay physically down across the reboot)
+  /// and so does next_buffer_id, so stale packet_outs from before the
+  /// restart can never alias a fresh buffer entry.
+  RestartSummary restart();
 
   /// Canonical serialization (Section 2.2.2): rules in canonical order,
   /// buffer ids densely renamed by content, copy ids and the buffer-id

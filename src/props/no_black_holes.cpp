@@ -41,6 +41,9 @@ void NoBlackHoles::on_events(mc::PropState& ps,
     } else if (const auto* drop = std::get_if<mc::EvChannelDrop>(&e)) {
       // Fault-model drop: not a bug in the controller program.
       st.balance[drop->pkt.uid] -= 1;
+    } else if (const auto* dup = std::get_if<mc::EvChannelDup>(&e)) {
+      // Fault-model duplication: one extra copy is now in flight.
+      st.balance[dup->pkt.uid] += 1;
     }
   }
 }

@@ -1,0 +1,38 @@
+// NoStaleRules: at the end of a system execution, no installed rule may
+// forward out a failed port. A robust controller reacts to OFPT_PORT_STATUS
+// by deleting or re-steering the rules that point at the dead link;
+// controllers that ignore port status leave black-hole rules behind.
+//
+// A pure quiescent-state predicate over the flow tables and the switches'
+// down-port sets — meaningful only with link repair disabled
+// (enable_link_repair = false): with repair enabled, a state with a link
+// down still has the repair transition enabled and is never quiescent.
+#ifndef NICE_PROPS_NO_STALE_RULES_H
+#define NICE_PROPS_NO_STALE_RULES_H
+
+#include "mc/property.h"
+
+namespace nicemc::props {
+
+class NoStaleRules final : public mc::Property {
+ public:
+  [[nodiscard]] std::string name() const override { return "NoStaleRules"; }
+  /// Pure quiescent-state predicate — no monitor state across transitions.
+  [[nodiscard]] MonitorDomain monitor_domain() const override {
+    return MonitorDomain::kEventLocal;
+  }
+  void on_events(mc::PropState& ps, std::span<const mc::Event> events,
+                 const mc::SystemState& state,
+                 std::vector<mc::Violation>& out) const override {
+    (void)ps;
+    (void)events;
+    (void)state;
+    (void)out;  // purely a quiescence check
+  }
+  void at_quiescence(mc::PropState& ps, const mc::SystemState& state,
+                     std::vector<mc::Violation>& out) const override;
+};
+
+}  // namespace nicemc::props
+
+#endif  // NICE_PROPS_NO_STALE_RULES_H

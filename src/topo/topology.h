@@ -68,6 +68,9 @@ class Topology {
     return hosts_;
   }
   [[nodiscard]] const HostSpec& host(HostId h) const { return hosts_[h]; }
+  [[nodiscard]] const std::vector<LinkSpec>& links() const noexcept {
+    return links_;
+  }
 
   /// Static switch-switch peer of a port (host attachment is dynamic and
   /// resolved by the model checker against current host locations).

@@ -105,6 +105,102 @@ TEST(FuzzScenarios, DifferentialSweepAcrossReductionsStoresAndThreads) {
   }
 }
 
+TEST(FuzzScenarios, FaultBudgetAxisIsCountIdenticalAcrossTheGrid) {
+  // The bounded fault-injection axis: layer one seeded fault class (link
+  // failures / controller-channel loss / switch restarts) with a seeded
+  // budget of 0–2 onto generated worlds and require the full reduction ×
+  // store × thread grid to agree with the unreduced hash-store baseline
+  // of the same faulty configuration. Budget 0 pins the cap-gate (the
+  // class is enabled but can never fire); budgets 1–2 grow the space with
+  // real fault interleavings.
+  constexpr std::uint64_t kSubset = 18;
+  std::uint64_t swept = 0;
+  for (std::uint64_t seed = kSeedBase;
+       swept < kSubset && seed < kSeedBase + kSeeds; ++seed) {
+    const CheckerResult plain =
+        run(seed, Reduction::kNone, util::ShardedSeenSet::Mode::kHash, 1);
+    // Faults multiply the space; keep the grid affordable by lifting the
+    // axis only onto the smaller worlds.
+    if (!plain.exhausted || plain.transitions > 2000) continue;
+    const std::uint64_t i = swept++;
+    const std::uint32_t budget = static_cast<std::uint32_t>(i % 3);
+    const std::uint64_t fault_class = (i / 3) % 3;
+
+    auto make_faulty = [&] {
+      apps::Scenario s = apps::fuzz_scenario(seed);
+      switch (fault_class) {
+        case 0:
+          if (!s.topology->links().empty()) {
+            s.config.enable_link_faults = true;
+            s.config.max_link_failures = budget;
+            break;
+          }
+          [[fallthrough]];  // single-switch world: no links to fail
+        case 1:
+          s.config.enable_ctrl_channel_faults = true;
+          s.config.max_channel_losses = budget;
+          break;
+        default:
+          // Restarts are the heaviest class (they re-enable from any
+          // state until the budget runs dry): cap at one reboot.
+          s.config.enable_switch_restarts = true;
+          s.config.max_switch_restarts = budget == 0 ? 0 : 1;
+          break;
+      }
+      return s;
+    };
+    auto frun = [&](Reduction r, util::ShardedSeenSet::Mode store,
+                    unsigned threads) {
+      apps::Scenario s = make_faulty();
+      CheckerOptions opt;
+      opt.stop_at_first_violation = false;
+      opt.reduction = r;
+      opt.state_store = store;
+      opt.threads = threads;
+      Checker checker(s.config, opt, s.properties);
+      return checker.run();
+    };
+
+    const CheckerResult base =
+        frun(Reduction::kNone, util::ShardedSeenSet::Mode::kHash, 1);
+    const std::string tag = apps::fuzz_scenario_name(seed) + " class=" +
+                            std::to_string(fault_class) + " budget=" +
+                            std::to_string(budget);
+    ASSERT_TRUE(base.exhausted) << tag;
+    if (budget == 0) {
+      // Cap 0: the class contributes no transitions at all.
+      EXPECT_EQ(base.transitions, plain.transitions) << tag;
+      EXPECT_EQ(base.unique_states, plain.unique_states) << tag;
+    }
+    const auto base_keys = violation_key_set(base);
+    for (const util::ShardedSeenSet::Mode store : kStores) {
+      for (const Reduction r : kReductions) {
+        for (const unsigned threads : {1u, 4u}) {
+          if (r == Reduction::kNone && threads == 1 &&
+              store == util::ShardedSeenSet::Mode::kHash) {
+            continue;  // that run is `base` itself
+          }
+          const CheckerResult cr = frun(r, store, threads);
+          const std::string cell = tag + " / " + reduction_name(r) +
+                                   " store=" +
+                                   std::to_string(static_cast<int>(store)) +
+                                   " threads=" + std::to_string(threads);
+          EXPECT_TRUE(cr.exhausted) << cell;
+          EXPECT_EQ(cr.unique_states, base.unique_states) << cell;
+          EXPECT_EQ(cr.quiescent_states, base.quiescent_states) << cell;
+          EXPECT_EQ(violation_key_set(cr), base_keys) << cell;
+          if (r == Reduction::kNone) {
+            EXPECT_EQ(cr.transitions, base.transitions) << cell;
+          } else {
+            EXPECT_LE(cr.transitions, base.transitions) << cell;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(swept, kSubset);
+}
+
 TEST(FuzzScenarios, MemoKnobIsCountInvisibleAcrossReductionsAndStores) {
   // The memoization layer (CheckerOptions::memo) caches pure functions —
   // footprints and discovery results — so flipping it must change wall

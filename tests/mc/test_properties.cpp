@@ -100,6 +100,34 @@ TEST_F(PropertiesTest, NoBlackHolesImbalanceAtQuiescence) {
   ASSERT_EQ(out_.size(), 1u);  // sent but never delivered/consumed
 }
 
+TEST_F(PropertiesTest, NoBlackHolesCountsChannelDupAsExtraCopy) {
+  props::NoBlackHoles prop;
+  auto ps = prop.make_state();
+  const of::Packet p = packet(1, 0xa, 0xb);
+  // Sent, duplicated in the channel, but only one copy delivered: the
+  // duplicate is still in flight — imbalance at quiescence.
+  const std::vector<Event> events = {EvPacketSent{0, p}, EvChannelDup{0, 1, p},
+                                     EvPacketDelivered{1, p}};
+  prop.on_events(*ps, events, state_, out_);
+  prop.at_quiescence(*ps, state_, out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].property, "NoBlackHoles");
+}
+
+TEST_F(PropertiesTest, NoBlackHolesBalancesChannelDupAndDrop) {
+  props::NoBlackHoles prop;
+  auto ps = prop.make_state();
+  const of::Packet p = packet(1, 0xa, 0xb);
+  // The duplicated copy is dropped by a second fault, the original is
+  // delivered: the books balance without a violation.
+  const std::vector<Event> events = {EvPacketSent{0, p}, EvChannelDup{0, 1, p},
+                                     EvChannelDrop{0, 1, p},
+                                     EvPacketDelivered{1, p}};
+  prop.on_events(*ps, events, state_, out_);
+  prop.at_quiescence(*ps, state_, out_);
+  EXPECT_TRUE(out_.empty());
+}
+
 TEST_F(PropertiesTest, NoBlackHolesTreatsBufferingAsConsumption) {
   props::NoBlackHoles prop;
   auto ps = prop.make_state();

@@ -106,6 +106,92 @@ TEST(Trace, TraceDotGoldenRendering) {
   EXPECT_NE(dot.find("s1 -> s2"), std::string::npos);
 }
 
+TEST(Trace, FaultTransitionsRenderWithStableNamesAndLabels) {
+  // The fault kinds are part of the structured export schema too.
+  std::vector<Transition> trace = {
+      Transition{.kind = TKind::kLinkDown, .a = 0},
+      Transition{.kind = TKind::kLinkUp, .a = 0},
+      Transition{.kind = TKind::kCtrlChannelDown, .a = 1},
+      Transition{.kind = TKind::kCtrlChannelUp, .a = 1},
+      Transition{.kind = TKind::kSwitchRestart, .a = 0},
+  };
+  const auto lines = trace_lines(trace);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0], "1. link0.down");
+  EXPECT_EQ(lines[1], "2. link0.up");
+  EXPECT_EQ(lines[2], "3. sw1.ctrl_channel_down");
+  EXPECT_EQ(lines[3], "4. sw1.ctrl_channel_up");
+  EXPECT_EQ(lines[4], "5. sw0.restart");
+
+  const std::string json = trace_json(trace);
+  for (const char* kind : {"\"kind\":\"link_down\"", "\"kind\":\"link_up\"",
+                           "\"kind\":\"ctrl_channel_down\"",
+                           "\"kind\":\"ctrl_channel_up\"",
+                           "\"kind\":\"switch_restart\""}) {
+    EXPECT_NE(json.find(kind), std::string::npos) << kind;
+  }
+  EXPECT_EQ(trace_json({Transition{.kind = TKind::kLinkDown, .a = 0}}),
+            "{\"length\":1,\"steps\":["
+            "{\"step\":1,\"kind\":\"link_down\",\"actor\":0,\"aux\":0,"
+            "\"label\":\"link0.down\"}]}");
+}
+
+TEST(Trace, FaultCounterexampleRendersStructurally) {
+  // End-to-end: the fault-only violation of the bundled link-failure
+  // scenario exports with one step per transition and includes the
+  // link_down step that makes it reachable at all.
+  auto s = apps::pyswitch_linkfail(/*react=*/false);
+  Checker checker(s.config, CheckerOptions{}, s.properties);
+  const CheckerResult r = checker.run();
+  ASSERT_TRUE(r.found_violation());
+  const auto& record = r.violations.front();
+  ASSERT_FALSE(record.trace.empty());
+
+  bool has_fault_step = false;
+  for (const Transition& t : record.trace) {
+    has_fault_step = has_fault_step || t.kind == TKind::kLinkDown;
+  }
+  EXPECT_TRUE(has_fault_step);
+
+  const std::string json = violation_trace_json(
+      record.violation.property, record.violation.message, record.trace);
+  EXPECT_NE(json.find("\"kind\":\"link_down\""), std::string::npos);
+  std::size_t steps = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("{\"step\":", pos)) != std::string::npos; ++pos) {
+    ++steps;
+  }
+  EXPECT_EQ(steps, record.trace.size());
+
+  const std::string dot = violation_trace_dot(
+      record.violation.property, record.violation.message, record.trace);
+  EXPECT_NE(dot.find("link0.down"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  std::size_t edges = 0;
+  for (std::size_t pos = 0; (pos = dot.find(" -> ", pos)) != std::string::npos;
+       ++pos) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, record.trace.size());
+}
+
+TEST(Trace, FaultTransitionsSurviveSerializationRoundTrip) {
+  // Checkpointed frontiers store transitions verbatim; the new kinds must
+  // round-trip like the rest.
+  const std::vector<Transition> trace = {
+      Transition{.kind = TKind::kLinkDown, .a = 3, .aux = 0},
+      Transition{.kind = TKind::kCtrlChannelUp, .a = 2},
+      Transition{.kind = TKind::kSwitchRestart, .a = 1},
+  };
+  for (const Transition& t : trace) {
+    util::Ser s;
+    t.serialize(s);
+    const std::string bytes = s.take();
+    util::Des d(bytes);
+    EXPECT_EQ(Transition::deserialize(d), t);
+  }
+}
+
 TEST(Trace, ExportEscapesQuotesAndBackslashes) {
   std::vector<Transition> trace = {
       Transition{.kind = TKind::kHostSendScript, .a = 0},
