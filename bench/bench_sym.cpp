@@ -1,0 +1,235 @@
+// Symmetry-reduction benchmark: the k-client scaling curves of the
+// "millions of interchangeable users" lever. For each symmetric scenario
+// family (pyswitch ping fan-in, load balancer, traffic engineering) and
+// client count k = 2..max, runs the exhaustive search with symmetry off
+// and on and records unique states, transitions and wall time — with the
+// soundness contract enforced at runtime: whenever both runs exhaust,
+// they must report the identical canonicalized violation set and the
+// symmetric run must visit no more unique states, or the run aborts
+// loudly.
+//
+// Symmetry-off explodes factorially, so off runs are capped by a
+// transition budget: the first k whose off run blows the budget is
+// recorded as censored ("off_exhausted": false) and larger k in that
+// family run symmetry-on only. The canonical space still grows (the k!
+// cut removes role permutations, not interleavings), so on runs carry
+// their own larger budget: the first censored on run ends the family's
+// curve. Wall times are the minimum over `reps` runs.
+//
+// Usage: bench_sym [--json out.json] [reps] [max_clients] [off_budget]
+//                  [on_budget]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/scenarios.h"
+#include "mc/checker.h"
+#include "mc/sym_reduce.h"
+#include "util/resource.h"
+
+using namespace nicemc;
+
+namespace {
+
+mc::CheckerResult run_once(const std::function<apps::Scenario(int)>& make,
+                           int k, bool symmetry, std::uint64_t budget,
+                           int reps) {
+  mc::CheckerResult best;
+  for (int r = 0; r < reps; ++r) {
+    apps::Scenario s = make(k);
+    mc::CheckerOptions opt;
+    opt.stop_at_first_violation = false;
+    opt.symmetry = symmetry;
+    opt.max_transitions = budget;
+    mc::Checker checker(s.config, opt, s.properties);
+    mc::CheckerResult cr = checker.run();
+    if (r == 0 || cr.seconds < best.seconds) best = std::move(cr);
+  }
+  return best;
+}
+
+std::set<std::string> canonical_violations(const mc::CheckerResult& r,
+                                           const mc::SymContext& sym) {
+  std::vector<mc::Violation> vs;
+  vs.reserve(r.violations.size());
+  for (const mc::ViolationRecord& rec : r.violations) {
+    vs.push_back(mc::Violation{
+        rec.violation.property,
+        sym.canonicalize_violation(rec.violation.message)});
+  }
+  const std::vector<std::string> keys = mc::violation_keys(vs);
+  return {keys.begin(), keys.end()};
+}
+
+struct Point {
+  int clients{0};
+  mc::CheckerResult on;
+  mc::CheckerResult off;
+  bool off_ran{false};
+};
+
+struct Family {
+  std::string name;
+  std::function<apps::Scenario(int)> make;
+  std::vector<Point> points;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  int reps = pos.size() > 0 ? std::atoi(pos[0]) : 2;
+  if (reps < 1) reps = 1;
+  int max_clients = pos.size() > 1 ? std::atoi(pos[1]) : 10;
+  if (max_clients < 2) max_clients = 2;
+  const std::uint64_t off_budget =
+      pos.size() > 2 ? std::strtoull(pos[2], nullptr, 10) : 2000000ULL;
+  const std::uint64_t on_budget =
+      pos.size() > 3 ? std::strtoull(pos[3], nullptr, 10) : 5000000ULL;
+
+  std::vector<Family> families;
+  families.push_back(
+      {"sym-ping", [](int k) { return apps::sym_ping_scenario(k); }, {}});
+  families.push_back(
+      {"lb-sym", [](int k) { return apps::lb_sym_scenario(k); }, {}});
+  families.push_back(
+      {"te-sym", [](int k) { return apps::te_sym_scenario(k); }, {}});
+
+  std::printf("%-10s %3s %12s %12s %8s %10s %10s %8s\n", "family", "k",
+              "unique(off)", "unique(on)", "ratio", "t_off(s)", "t_on(s)",
+              "speedup");
+  for (Family& fam : families) {
+    bool off_alive = true;
+    for (int k = 2; k <= max_clients; ++k) {
+      Point p;
+      p.clients = k;
+      p.on = run_once(fam.make, k, true, on_budget, reps);
+      if (!p.on.exhausted) {
+        // Even the canonical space blew the budget: the curve ends here.
+        std::printf("%-10s %3d %12s %12s %8s %10s %10s %8s\n",
+                    fam.name.c_str(), k, "-", ">budget", "-", "-", "-", "-");
+        fam.points.push_back(std::move(p));
+        break;
+      }
+      if (off_alive) {
+        p.off = run_once(fam.make, k, false, off_budget, reps);
+        p.off_ran = true;
+        if (!p.off.exhausted) off_alive = false;  // censored from here up
+      }
+      if (p.off_ran && p.off.exhausted) {
+        // The runtime soundness gate.
+        const apps::Scenario ref = fam.make(k);
+        const mc::SymContext sym(ref.config);
+        if (canonical_violations(p.on, sym) !=
+                canonical_violations(p.off, sym) ||
+            p.on.unique_states > p.off.unique_states) {
+          std::fprintf(stderr,
+                       "FATAL: %s k=%d symmetry run disagrees with the "
+                       "unreduced search (unique %llu vs %llu, violation "
+                       "sets %zu vs %zu)\n",
+                       fam.name.c_str(), k,
+                       static_cast<unsigned long long>(p.on.unique_states),
+                       static_cast<unsigned long long>(p.off.unique_states),
+                       canonical_violations(p.on, sym).size(),
+                       canonical_violations(p.off, sym).size());
+          return 1;
+        }
+      }
+      const bool have_off = p.off_ran && p.off.exhausted;
+      std::printf(
+          "%-10s %3d %12s %12llu %7s %10s %10.3f %7s\n", fam.name.c_str(),
+          k,
+          have_off
+              ? std::to_string(p.off.unique_states).c_str()
+              : (p.off_ran ? ">budget" : "-"),
+          static_cast<unsigned long long>(p.on.unique_states),
+          have_off
+              ? (std::to_string(p.off.unique_states /
+                                (p.on.unique_states ? p.on.unique_states
+                                                    : 1)) +
+                 "x")
+                    .c_str()
+              : "-",
+          have_off ? std::to_string(p.off.seconds).substr(0, 8).c_str()
+                   : "-",
+          p.on.seconds,
+          have_off && p.on.seconds > 0
+              ? (std::to_string(p.off.seconds / p.on.seconds).substr(0, 6) +
+                 "x")
+                    .c_str()
+              : "-");
+      fam.points.push_back(std::move(p));
+    }
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"sym\",\n  \"reps\": %d,\n", reps);
+    std::fprintf(f, "  \"max_clients\": %d,\n", max_clients);
+    std::fprintf(f, "  \"off_transition_budget\": %llu,\n",
+                 static_cast<unsigned long long>(off_budget));
+    std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(util::peak_rss_bytes()));
+    std::fprintf(f, "  \"families\": [\n");
+    for (std::size_t fi = 0; fi < families.size(); ++fi) {
+      const Family& fam = families[fi];
+      std::fprintf(f, "    {\n      \"name\": \"%s\",\n      \"points\": [\n",
+                   fam.name.c_str());
+      for (std::size_t pi = 0; pi < fam.points.size(); ++pi) {
+        const Point& p = fam.points[pi];
+        const bool have_off = p.off_ran && p.off.exhausted;
+        std::fprintf(
+            f,
+            "        {\"clients\": %d, \"on\": {\"unique_states\": %llu, "
+            "\"transitions\": %llu, \"seconds\": %.4f, "
+            "\"canonicalizations\": %llu, \"violations\": %zu}, "
+            "\"on_exhausted\": %s",
+            p.clients, static_cast<unsigned long long>(p.on.unique_states),
+            static_cast<unsigned long long>(p.on.transitions), p.on.seconds,
+            static_cast<unsigned long long>(p.on.symmetry.canonicalizations),
+            p.on.violations.size(), p.on.exhausted ? "true" : "false");
+        if (p.off_ran) {
+          std::fprintf(
+              f,
+              ", \"off\": {\"unique_states\": %llu, \"transitions\": %llu, "
+              "\"seconds\": %.4f, \"violations\": %zu}, "
+              "\"off_exhausted\": %s",
+              static_cast<unsigned long long>(p.off.unique_states),
+              static_cast<unsigned long long>(p.off.transitions),
+              p.off.seconds, p.off.violations.size(),
+              p.off.exhausted ? "true" : "false");
+        }
+        if (have_off && p.on.unique_states > 0) {
+          std::fprintf(f, ", \"state_ratio\": %.2f",
+                       static_cast<double>(p.off.unique_states) /
+                           static_cast<double>(p.on.unique_states));
+        }
+        std::fprintf(f, "}%s\n",
+                     pi + 1 < fam.points.size() ? "," : "");
+      }
+      std::fprintf(f, "      ]\n    }%s\n",
+                   fi + 1 < families.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("benchmark record written to %s\n", json_path);
+  }
+  return 0;
+}

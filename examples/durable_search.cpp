@@ -35,8 +35,12 @@ int usage(const char* argv0) {
       "          [--store hash|full|collapsed] [--max-transitions N]\n"
       "          [--telemetry] [--progress PATH] [--progress-interval SECS]\n"
       "          [--tty] [--trace-json PATH] [--trace-dot PATH]\n"
-      "          [--json PATH] [--list]\n"
+      "          [--json PATH] [--list] [--symmetry]\n"
       "          [--faults CLASSES] [--fault-budget N|unbounded]\n"
+      "\n"
+      "--symmetry merges states that differ only by a permutation of the\n"
+      "scenario's declared interchangeable hosts (plus uid renumbering);\n"
+      "forces --reduction none.\n"
       "\n"
       "fault injection (bounded environment faults, on top of whatever the\n"
       "scenario already enables):\n"
@@ -105,6 +109,8 @@ int main(int argc, char** argv) {
       opt.checkpoint_interval_seconds = std::atof(v);
     } else if (arg == "--resume") {
       opt.resume = true;
+    } else if (arg == "--symmetry") {
+      opt.symmetry = true;
     } else if (arg == "--handle-signals") {
       opt.handle_signals = true;
     } else if (arg == "--memory-budget") {
@@ -200,17 +206,34 @@ int main(int argc, char** argv) {
   }
 
   if (!faults.empty()) {
-    const auto has = [&](const char* cls) {
-      return faults == "all" || faults.find(cls) != std::string::npos;
-    };
-    if (has("link")) s.config.enable_link_faults = true;
-    if (has("channel")) s.config.enable_ctrl_channel_faults = true;
-    if (has("restart")) s.config.enable_switch_restarts = true;
-    if (has("packet")) s.config.enable_channel_faults = true;
-    if (!has("link") && !has("channel") && !has("restart") &&
-        !has("packet")) {
-      std::fprintf(stderr, "unknown fault classes '%s'\n", faults.c_str());
-      return 2;
+    // Strict comma-separated parse: every token must name a known class
+    // ('--faults chanel' used to be silently ignored as long as some
+    // other token matched — a typo'd class is a misconfigured search).
+    std::string rest = faults;
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string cls = rest.substr(0, comma);
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+      if (cls == "all") {
+        s.config.enable_link_faults = true;
+        s.config.enable_ctrl_channel_faults = true;
+        s.config.enable_switch_restarts = true;
+        s.config.enable_channel_faults = true;
+      } else if (cls == "link") {
+        s.config.enable_link_faults = true;
+      } else if (cls == "channel") {
+        s.config.enable_ctrl_channel_faults = true;
+      } else if (cls == "restart") {
+        s.config.enable_switch_restarts = true;
+      } else if (cls == "packet") {
+        s.config.enable_channel_faults = true;
+      } else {
+        std::fprintf(stderr,
+                     "unknown fault class '%s' in '--faults %s' "
+                     "(known: link, channel, restart, packet, all)\n",
+                     cls.c_str(), faults.c_str());
+        return 2;
+      }
     }
   }
   if (have_fault_budget) {
@@ -236,6 +259,13 @@ int main(int argc, char** argv) {
       static_cast<int>(r.durability.resumed),
       static_cast<unsigned long long>(r.durability.checkpoints_written),
       r.seconds);
+
+  if (r.symmetry.enabled) {
+    std::printf("symmetry: orbits=%u orbit_hosts=%u canonicalizations=%llu\n",
+                r.symmetry.orbits, r.symmetry.orbit_hosts,
+                static_cast<unsigned long long>(
+                    r.symmetry.canonicalizations));
+  }
 
   if (r.telemetry.enabled) {
     std::printf("phases:");
@@ -313,6 +343,12 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(r.durability.checkpoint_bytes));
     std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
                  static_cast<unsigned long long>(r.peak_rss_bytes));
+    std::fprintf(f, "  \"symmetry\": {\"enabled\": %s, \"orbits\": %u, "
+                 "\"orbit_hosts\": %u, \"canonicalizations\": %llu},\n",
+                 r.symmetry.enabled ? "true" : "false", r.symmetry.orbits,
+                 r.symmetry.orbit_hosts,
+                 static_cast<unsigned long long>(
+                     r.symmetry.canonicalizations));
     std::fprintf(f, "  \"telemetry\": {\n");
     std::fprintf(f, "    \"enabled\": %s,\n",
                  r.telemetry.enabled ? "true" : "false");

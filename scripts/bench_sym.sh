@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build (Release) and run the symmetry-reduction scaling benchmark
+# (k-client symmetric families, symmetry off vs on), writing the
+# machine-readable BENCH_sym.json at the repo root (or $1). The benchmark
+# aborts if a symmetry-on run disagrees with the unreduced search on any
+# point where both exhaust (canonicalized violation sets must be
+# identical, unique states must not grow), so a green run is also a
+# soundness check.
+#
+# The record carries an `environment` block (git SHA, compiler, Release
+# flags, CPU model, core count, timestamp) — see scripts/bench_env.py.
+#
+# Usage: scripts/bench_sym.sh [out.json] [reps] [max_clients] [off_budget]
+#        [on_budget]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_sym.json}"
+REPS="${2:-2}"
+MAX_CLIENTS="${3:-10}"
+OFF_BUDGET="${4:-2000000}"
+ON_BUDGET="${5:-5000000}"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j --target bench_sym >/dev/null
+
+./build/bench_sym --json "$OUT" "$REPS" "$MAX_CLIENTS" "$OFF_BUDGET" "$ON_BUDGET"
+BENCH_TIMESTAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+  python3 scripts/bench_env.py "$OUT"
+echo "benchmark record written to $OUT"

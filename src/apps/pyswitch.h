@@ -55,9 +55,21 @@ class PySwitchState final : public ctrl::AppState {
   void serialize(util::Ser& s) const override {
     s.put_tag('p');
     s.put_u32(static_cast<std::uint32_t>(mactable.size()));
+    const util::Renamer* rn = util::Renamer::active();
     for (const auto& [sw, table] : mactable) {
       s.put_u32(sw);
-      table.serialize(s);
+      if (rn == nullptr) {
+        table.serialize(s);
+      } else {
+        // MAC keys and learned ports both rename; re-sort the keys so the
+        // emission matches put_map_u64's byte format on the renamed map.
+        std::map<std::uint64_t, std::uint64_t> renamed;
+        for (const auto& [m, p] : table.raw()) {
+          renamed.emplace(rn->r_mac(m),
+                          rn->r_port(sw, static_cast<std::uint32_t>(p)));
+        }
+        s.put_map_u64(renamed);
+      }
     }
   }
 };

@@ -26,6 +26,7 @@
 #ifndef NICE_APPS_RESPOND_TE_H
 #define NICE_APPS_RESPOND_TE_H
 
+#include <algorithm>
 #include <array>
 #include <map>
 #include <set>
@@ -76,22 +77,43 @@ class RespondTeState final : public ctrl::AppState {
     return std::make_unique<RespondTeState>(*this);
   }
   void serialize(util::Ser& s) const override {
+    const util::Renamer* rn = util::Renamer::active();
     s.put_tag('T');
     s.put_bool(energy_high);
     s.put_u32(static_cast<std::uint32_t>(routed.size()));
-    for (const auto& [t, tbl] : routed) {
+    auto emit = [&s](const of::FiveTuple& t, std::uint8_t tbl) {
       s.put_u64(t.ip_src);
       s.put_u64(t.ip_dst);
       s.put_u64(t.ip_proto);
       s.put_u64(t.tp_src);
       s.put_u64(t.tp_dst);
       s.put_u8(tbl);
+    };
+    if (rn == nullptr) {
+      for (const auto& [t, tbl] : routed) emit(t, tbl);
+    } else {
+      std::map<of::FiveTuple, std::uint8_t> renamed;
+      for (const auto& [t, tbl] : routed) {
+        of::FiveTuple rt = t;
+        rt.ip_src = rn->r_ip(t.ip_src);
+        rt.ip_dst = rn->r_ip(t.ip_dst);
+        renamed.emplace(rt, tbl);
+      }
+      for (const auto& [t, tbl] : renamed) emit(t, tbl);
     }
     s.put_u32(static_cast<std::uint32_t>(down_ports.size()));
     for (const auto& [sw, ports] : down_ports) {
       s.put_u32(sw);
       s.put_u32(static_cast<std::uint32_t>(ports.size()));
-      for (of::PortId p : ports) s.put_u32(p);
+      if (rn == nullptr) {
+        for (of::PortId p : ports) s.put_u32(p);
+      } else {
+        std::vector<of::PortId> renamed_ports;
+        renamed_ports.reserve(ports.size());
+        for (of::PortId p : ports) renamed_ports.push_back(rn->r_port(sw, p));
+        std::sort(renamed_ports.begin(), renamed_ports.end());
+        for (of::PortId p : renamed_ports) s.put_u32(p);
+      }
     }
   }
 };

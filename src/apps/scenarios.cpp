@@ -23,6 +23,7 @@ constexpr std::uint32_t kIpB = 0x0a000002;  // 10.0.0.2
 void finish_config(Scenario& s) {
   s.config.topology = s.topology.get();
   s.config.app = s.app.get();
+  s.config.symmetry_orbits = s.symmetry;
 }
 
 }  // namespace
@@ -385,6 +386,182 @@ Scenario te_linkfail(bool react) {
   return s;
 }
 
+Scenario sym_ping_scenario(int clients) {
+  Scenario s;
+  s.topology = std::make_unique<topo::Topology>();
+  std::vector<of::PortId> ports;
+  for (int p = 1; p <= clients + 1; ++p) {
+    ports.push_back(static_cast<of::PortId>(p));
+  }
+  const auto sw0 = s.topology->add_switch(ports);
+  const std::uint64_t server_mac = 0x00aa00000001ULL;
+  const std::uint32_t server_ip = 0x0a0000fe;  // 10.0.0.254
+  std::vector<of::HostId> orbit;
+  for (int j = 0; j < clients; ++j) {
+    // Identical clients modulo their own MAC/IP/flow id: same switch,
+    // same script shape, same tp fields.
+    const auto c = s.topology->add_host(
+        "c" + std::to_string(j), 0x00aa00000030ULL + static_cast<std::uint64_t>(j),
+        0x0a000001 + static_cast<std::uint32_t>(j), sw0,
+        static_cast<of::PortId>(1 + j));
+    orbit.push_back(c);
+  }
+  const auto server = s.topology->add_host(
+      "server", server_mac, server_ip, sw0,
+      static_cast<of::PortId>(clients + 1));
+
+  PySwitchOptions ps_opt;
+  ps_opt.microflow_grouping = true;
+  s.app = std::make_unique<PySwitch>(ps_opt);
+
+  for (int j = 0; j < clients; ++j) {
+    hosts::HostBehavior hc;
+    hc.script = hosts::l2_ping_script(
+        s.topology->host(orbit[static_cast<std::size_t>(j)]),
+        s.topology->host(server), /*count=*/1,
+        /*first_flow_id=*/static_cast<std::uint32_t>(1 + j));
+    hc.initial_burst = 1;
+    s.config.host_behavior.push_back(hc);
+  }
+  hosts::HostBehavior hsrv;
+  hsrv.echo = true;
+  s.config.host_behavior.push_back(hsrv);
+  s.config.symbolic_discovery = false;
+  s.symmetry = {orbit};
+  finish_config(s);
+  s.properties.push_back(std::make_unique<props::DirectPaths>());
+  s.properties.push_back(std::make_unique<props::NoBlackHoles>());
+  return s;
+}
+
+Scenario lb_sym_scenario(int clients, bool fixed) {
+  Scenario s;
+  s.topology = std::make_unique<topo::Topology>();
+  std::vector<of::PortId> ports;
+  for (int p = 1; p <= clients + 2; ++p) {
+    ports.push_back(static_cast<of::PortId>(p));
+  }
+  const auto sw0 = s.topology->add_switch(ports);
+  const std::uint32_t vip = 0x0a000064;        // 10.0.0.100
+  const std::uint64_t vmac = 0x00aa00000099ULL;
+  std::vector<of::HostId> orbit;
+  for (int j = 0; j < clients; ++j) {
+    // Client IPs all share the (ip >> 31) & 1 bucket the balancer hashes
+    // on, so every client deterministically maps to the same replica and
+    // the clients stay genuinely interchangeable.
+    const auto c = s.topology->add_host(
+        "c" + std::to_string(j), 0x00aa00000030ULL + static_cast<std::uint64_t>(j),
+        0x0a000001 + static_cast<std::uint32_t>(j), sw0,
+        static_cast<of::PortId>(1 + j));
+    orbit.push_back(c);
+  }
+  const auto r1 = s.topology->add_host("replica1", 0x00aa00000011ULL,
+                                       0x0a000101, sw0,
+                                       static_cast<of::PortId>(clients + 1));
+  const auto r2 = s.topology->add_host("replica2", 0x00aa00000012ULL,
+                                       0x0a000102, sw0,
+                                       static_cast<of::PortId>(clients + 2));
+
+  LbOptions lb;
+  lb.sw = sw0;
+  lb.vip = vip;
+  lb.vmac = vmac;
+  lb.replicas = {
+      LbReplica{r1, static_cast<of::PortId>(clients + 1), 0x00aa00000011ULL,
+                0x0a000101},
+      LbReplica{r2, static_cast<of::PortId>(clients + 2), 0x00aa00000012ULL,
+                0x0a000102},
+  };
+  lb.fix_release_packet = fixed;
+  lb.fix_install_before_delete = fixed;
+  lb.fix_discard_arp = fixed;
+  lb.fix_check_assignments = fixed;
+  s.app = std::make_unique<LoadBalancer>(lb);
+
+  for (int j = 0; j < clients; ++j) {
+    hosts::HostBehavior hc;
+    hosts::TcpConnectionSpec conn;
+    conn.dst_ip = vip;
+    conn.dst_mac = vmac;
+    conn.src_port = 1024;  // clients are told apart by IP, not src port
+    conn.dst_port = 80;
+    conn.data_segments = 0;  // SYN only: rule install is the interesting part
+    conn.flow_id = static_cast<std::uint32_t>(1 + j);
+    hc.script = hosts::tcp_connection(
+        s.topology->host(orbit[static_cast<std::size_t>(j)]), conn);
+    hc.initial_burst = static_cast<int>(hc.script.size());
+    s.config.host_behavior.push_back(hc);
+  }
+  s.config.host_behavior.push_back({});  // replica 1
+  s.config.host_behavior.push_back({});  // replica 2
+  s.config.symbolic_discovery = false;
+  s.config.extra_domain_ips = {vip};
+  s.symmetry = {orbit};
+  finish_config(s);
+  s.properties.push_back(std::make_unique<props::NoForgottenPackets>());
+  return s;
+}
+
+Scenario te_sym_scenario(int clients) {
+  Scenario s;
+  s.topology = std::make_unique<topo::Topology>();
+  std::vector<of::PortId> ingress_ports;
+  for (int p = 1; p <= clients + 2; ++p) {
+    ingress_ports.push_back(static_cast<of::PortId>(p));
+  }
+  const auto s0 = s.topology->add_switch(ingress_ports);     // ingress
+  const auto s1 = s.topology->add_switch({1, 2, 3});         // egress
+  const auto s2 = s.topology->add_switch({2, 3});            // on-demand
+  const auto up1 = static_cast<of::PortId>(clients + 1);
+  const auto up2 = static_cast<of::PortId>(clients + 2);
+  s.topology->add_link(s0, up1, s1, 2);
+  s.topology->add_link(s0, up2, s2, 2);
+  s.topology->add_link(s2, 3, s1, 3);
+  std::vector<of::HostId> orbit;
+  for (int j = 0; j < clients; ++j) {
+    const auto c = s.topology->add_host(
+        "sender" + std::to_string(j),
+        0x00aa00000030ULL + static_cast<std::uint64_t>(j),
+        0x0a000001 + static_cast<std::uint32_t>(j), s0,
+        static_cast<of::PortId>(1 + j));
+    orbit.push_back(c);
+  }
+  const auto recv =
+      s.topology->add_host("recv", 0x00aa00000021ULL, 0x0a000201, s1, 1);
+  (void)recv;
+
+  TeOptions te;
+  te.ingress = s0;
+  te.monitored_port = up1;
+  te.threshold = 500;
+  te.paths[0x0a000201] = {TePath{{{s0, up1}, {s1, 1}}},
+                          TePath{{{s0, up2}, {s2, 3}, {s1, 1}}}};
+  te.fix_release_packet = true;
+  te.fix_handle_intermediate = true;
+  s.app = std::make_unique<RespondTe>(te);
+
+  for (int j = 0; j < clients; ++j) {
+    hosts::HostBehavior hc;
+    hosts::TcpConnectionSpec conn;
+    conn.dst_ip = 0x0a000201;
+    conn.dst_mac = 0x00aa00000021ULL;
+    conn.src_port = 1024;
+    conn.dst_port = 80;
+    conn.data_segments = 0;  // first packets only: TE routes per flow
+    conn.flow_id = static_cast<std::uint32_t>(1 + j);
+    hc.script = hosts::tcp_connection(
+        s.topology->host(orbit[static_cast<std::size_t>(j)]), conn);
+    hc.initial_burst = 1;
+    s.config.host_behavior.push_back(hc);
+  }
+  s.config.host_behavior.push_back({});  // receiver
+  s.config.symbolic_discovery = false;
+  s.symmetry = {orbit};
+  finish_config(s);
+  s.properties.push_back(std::make_unique<props::NoForgottenPackets>());
+  return s;
+}
+
 std::vector<NamedScenario> bundled_scenarios() {
   std::vector<NamedScenario> out;
   out.push_back({"pyswitch-ping1", [] { return pyswitch_ping_chain(1); }});
@@ -435,6 +612,12 @@ std::vector<NamedScenario> bundled_scenarios() {
   out.push_back({"lb-linkfail-react", [] { return lb_linkfail(true); }});
   out.push_back({"te-linkfail", [] { return te_linkfail(false); }});
   out.push_back({"te-linkfail-react", [] { return te_linkfail(true); }});
+  // Symmetric multi-client families (appended — tests index the entries
+  // above positionally). Small instances only; the benchmarks scale the
+  // same factories to 10+ clients.
+  out.push_back({"sym-ping3", [] { return sym_ping_scenario(3); }});
+  out.push_back({"lb-sym4", [] { return lb_sym_scenario(4); }});
+  out.push_back({"te-sym2", [] { return te_sym_scenario(2); }});
   return out;
 }
 

@@ -29,6 +29,11 @@ struct Scenario {
   std::unique_ptr<ctrl::App> app;
   mc::SystemConfig config;
   mc::PropertyList properties;
+  /// Interchangeable-host orbits (host indices), e.g. {{0,1,2}} for three
+  /// identical clients. Copied into config.symmetry_orbits by the scenario
+  /// factories; acted on only when CheckerOptions::symmetry is set, and
+  /// validated then by mc::SymContext.
+  std::vector<std::vector<of::HostId>> symmetry;
 };
 
 /// Apply a search strategy to a scenario + checker options pair (NO-DELAY
@@ -121,6 +126,28 @@ Scenario lb_linkfail(bool react);
 /// NoStaleRules — holds iff the app re-routes established flows and
 /// routes new ones around the failure (`react`).
 Scenario te_linkfail(bool react);
+
+// --- Symmetric multi-client families (the "millions of users" lever) ---
+
+/// Single pyswitch switch, `clients` identical hosts (ports 1..k) each
+/// pinging one echo server (port k+1) with identical scripts modulo
+/// their own MAC/IP/flow id. Declares all clients as one symmetry orbit:
+/// with CheckerOptions::symmetry the search merges the k! role
+/// permutations. Property: DirectPaths.
+Scenario sym_ping_scenario(int clients);
+
+/// Load balancer with `clients` identical clients behind the virtual IP
+/// (all client IPs share the `(ip >> 31) & 1` bucket, so every client maps
+/// to the same replica set deterministically). One symmetry orbit over the
+/// clients. `fixed = false` leaves the Section 8.2 bugs live, so the
+/// scenario violates NoForgottenPackets — the differential tests use it to
+/// compare violation *sets* between symmetry on and off.
+Scenario lb_sym_scenario(int clients, bool fixed = true);
+
+/// TE triangle with `clients` identical senders on the ingress switch,
+/// one flow each to the first receiver. One symmetry orbit over the
+/// senders. Property: NoBlackHoles.
+Scenario te_sym_scenario(int clients);
 
 // --- Bundled scenario registry ---
 

@@ -31,6 +31,8 @@ void ControllerState::serialize(util::Ser& s) const {
   s.put_u32(static_cast<std::uint32_t>(pending_commands.size()));
   for (const auto& [sw, msg] : pending_commands) {
     s.put_u32(sw);
+    // Port fields inside a queued command belong to its target switch.
+    const util::Renamer::SwScope sw_scope(sw);
     of::serialize_message(s, msg);
   }
 }

@@ -39,16 +39,17 @@ struct PendingReply {
   friend bool operator==(const PendingReply&, const PendingReply&) = default;
 
   void serialize(util::Ser& s) const {
-    s.put_u64(hdr.eth_src);
-    s.put_u64(hdr.eth_dst);
+    const util::Renamer* rn = util::Renamer::active();
+    s.put_u64(util::rn_mac(rn, hdr.eth_src));
+    s.put_u64(util::rn_mac(rn, hdr.eth_dst));
     s.put_u64(hdr.eth_type);
-    s.put_u64(hdr.ip_src);
-    s.put_u64(hdr.ip_dst);
+    s.put_u64(util::rn_ip(rn, hdr.ip_src));
+    s.put_u64(util::rn_ip(rn, hdr.ip_dst));
     s.put_u64(hdr.ip_proto);
     s.put_u64(hdr.tp_src);
     s.put_u64(hdr.tp_dst);
     s.put_u64(hdr.tcp_flags);
-    s.put_u32(flow_id);
+    s.put_u32(util::rn_flow(rn, flow_id));
   }
 };
 
@@ -102,12 +103,15 @@ struct HostState {
   void serialize_parts(util::Ser& s, bool canonical,
                        std::size_t* bounds) const {
     const std::size_t base = s.size();
+    const util::Renamer* rn = util::Renamer::active();
+    // Port fields below this host belong to its attachment switch.
+    const util::Renamer::SwScope sw_scope(sw);
     // part 0: identity + attachment + input queue
     bounds[0] = s.size() - base;
     s.put_tag('H');
-    s.put_u32(id);
+    s.put_u32(util::rn_host(rn, id));
     s.put_u32(sw);
-    s.put_u32(port);
+    s.put_u32(util::rn_port(rn, sw, port));
     input.serialize(s, [canonical](util::Ser& ser, const of::Packet& p) {
       p.serialize(ser, /*include_copy_id=*/!canonical);
     });

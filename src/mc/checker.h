@@ -47,7 +47,10 @@ class Checker {
                       ? std::make_unique<util::CollapseTable>(
                             shard_count(options))
                       : nullptr),
-        reducer_(options.reduction == Reduction::kNone
+        // Symmetry forces the reducer off: POR's sleep/wakeup bookkeeping
+        // assumes key-equal states enable identically *labelled*
+        // transitions, which merging permutation-equivalent states breaks.
+        reducer_(options.reduction == Reduction::kNone || options.symmetry
                      ? nullptr
                      : std::make_unique<por::Reducer>(options.reduction,
                                                       packet_keyed(props),
@@ -71,9 +74,15 @@ class Checker {
                    ? std::make_unique<util::Telemetry>(
                          options.threads > 1 ? options.threads : 1)
                    : nullptr),
+        // Built even when the scenario declares no orbits: the symmetry
+        // canonicalizer also renumbers uids (and drops next_uid where it
+        // is pure allocation history), which merges states on its own.
+        // Throws std::invalid_argument on an invalid orbit declaration.
+        sym_(options.symmetry ? std::make_unique<SymContext>(cfg)
+                              : nullptr),
         core_(cfg_, options_, executor_, seen_, reducer_.get(),
               collapse_.get(), fp_memo_.get(), disc_memo_.get(),
-              telem_.get()) {
+              telem_.get(), sym_.get()) {
     executor_.set_discovery_memo(disc_memo_.get());
   }
 
@@ -131,6 +140,7 @@ class Checker {
   std::unique_ptr<DiscoveryMemo> disc_memo_;
   // Constructed before core_, which captures the raw pointer.
   std::unique_ptr<util::Telemetry> telem_;
+  std::unique_ptr<SymContext> sym_;
   SearchCore core_;
   DiscoveryCache cache_;
 };

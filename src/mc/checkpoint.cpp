@@ -216,6 +216,14 @@ util::Hash128 search_config_fingerprint(const SystemConfig& cfg,
   s.put_u64(options.max_depth);
   s.put_bool(options.stop_at_first_violation);
   s.put_bool(cfg.canonical_flowtables);
+  // Symmetry changes what a stored key *means* (canonical image, not the
+  // raw state), so a resume must match both the knob and the orbits.
+  s.put_bool(options.symmetry);
+  s.put_u32(static_cast<std::uint32_t>(cfg.symmetry_orbits.size()));
+  for (const auto& orbit : cfg.symmetry_orbits) {
+    s.put_u32(static_cast<std::uint32_t>(orbit.size()));
+    for (of::HostId h : orbit) s.put_u32(h);
+  }
   // The scenario itself: topology, app, hosts, scripts, and installed
   // property monitors all shape the canonical initial state.
   const SystemState initial = executor.make_initial();

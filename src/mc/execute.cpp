@@ -226,8 +226,11 @@ std::vector<Transition> Executor::enabled(const SystemState& state,
         }
       }
     }
+    // A duplicate SYN is a packet-level fault like a channel dup, and
+    // spends from the same FaultBudget class (it predates the budget and
+    // used to be free, letting --faults exclude channels but not this).
     if (hb.can_dup && !hs.dup_used && hs.sends_done > 0 && hs.burst > 0 &&
-        !hb.script.empty()) {
+        !hb.script.empty() && pkt_faults_ok) {
       out.push_back(Transition{.kind = TKind::kHostSendDup, .a = hs.id});
     }
     if (!hs.can_send(hb)) continue;
@@ -477,6 +480,9 @@ void Executor::apply(SystemState& state, const Transition& t,
       inject_host_packet(state, t.a, e.hdr, e.flow_id, events);
       hs.dup_used = true;
       --hs.burst;
+      if (cfg_.max_packet_faults != kUnboundedFaults) {
+        ++state.faults.packet_faults;
+      }
       break;
     }
     case TKind::kHostSendReply: {

@@ -80,6 +80,21 @@ SearchCore::StateKey SearchCore::state_key(const SystemState& state) const {
   // searches key states differently.
   const bool canon = cfg_.canonical_flowtables;
   StateKey k;
+  if (sym_ != nullptr) {
+    // Symmetry mode: the store key is the canonical serialization of a
+    // permuted/renamed/uid-renumbered image of the state, so symmetric
+    // states merge. In kCollapsed mode the canonicalizer interns each
+    // renamed component itself (the Snap-memoized form ids belong to the
+    // *un*-renamed bytes and cannot be reused — the renaming is
+    // per-state).
+    SymKey sk = sym_->canonical_key(
+        state, seen_.mode() == util::ShardedSeenSet::Mode::kCollapsed
+                   ? collapse_
+                   : nullptr);
+    k.hash = sk.hash;
+    k.key = std::move(sk.key);
+    return k;
+  }
   if (seen_.mode() == util::ShardedSeenSet::Mode::kFullState) {
     // Serialize first so each changed component's bytes + hash are
     // memoized in one pass (hash() below then reads the memoized
@@ -103,6 +118,12 @@ SearchCore::StateKey SearchCore::state_key(const SystemState& state) const {
 bool SearchCore::remember(const SystemState& state) const {
   const util::PhaseScope ps(util::Phase::kRemember);
   if (seen_.mode() == util::ShardedSeenSet::Mode::kHash) {
+    if (sym_ != nullptr) {
+      // Hash of the canonical symmetric image (the blob is built and
+      // dropped — hash mode keeps the memory trade, paying one full
+      // canonicalization per arrival instead of per-component memos).
+      return seen_.insert(sym_->canonical_key(state, nullptr).hash);
+    }
     // Combined from the per-component hashes memoized on the shared
     // snapshots: only components the transition touched are re-serialized
     // (and no component bytes are retained — hash mode is Section 6's
@@ -119,7 +140,10 @@ SearchCore::StateKey SearchCore::identity_key(const SystemState& state) const {
   // the byte-keyed modes.
   if (seen_.mode() == util::ShardedSeenSet::Mode::kHash) {
     StateKey k;
-    k.hash = state.hash(cfg_.canonical_flowtables);
+    // Reduction never runs together with symmetry (the Checker enforces
+    // it), but keep the identity consistent with remember() regardless.
+    k.hash = sym_ != nullptr ? sym_->canonical_key(state, nullptr).hash
+                             : state.hash(cfg_.canonical_flowtables);
     const std::array<char, 16> id = hash_identity(k.hash);
     k.key.assign(id.data(), id.size());
     return k;
@@ -269,6 +293,12 @@ void SearchCore::fill_telemetry(CheckerResult& result) const {
 
 void SearchCore::finish_stats(CheckerResult& result, Durability* dur) const {
   fill_store_stats(result);
+  if (sym_ != nullptr) {
+    result.symmetry.enabled = true;
+    result.symmetry.orbits = sym_->orbit_count();
+    result.symmetry.orbit_hosts = sym_->orbit_host_count();
+    result.symmetry.canonicalizations = sym_->canonicalizations();
+  }
   if (dur != nullptr) dur->fill(result);
   fill_telemetry(result);
   result.peak_rss_bytes = util::peak_rss_bytes();

@@ -28,6 +28,7 @@
 #include "mc/por/reduction.h"
 #include "mc/property.h"
 #include "mc/strategy.h"
+#include "mc/sym_reduce.h"
 #include "mc/system.h"
 #include "mc/trace.h"
 #include "util/collapse.h"
@@ -91,6 +92,21 @@ struct CheckerOptions {
   /// collision-proof as the configured state_store mode (see
   /// por::SleepStore).
   Reduction reduction{Reduction::kNone};
+  /// Symmetry reduction over the scenario's declared interchangeable-host
+  /// orbits (SystemConfig::symmetry_orbits; see mc/sym_reduce.h): the
+  /// seen-set key becomes the canonical serialization of a permuted,
+  /// identifier-renamed, uid-renumbered image of the state, so executions
+  /// that differ only by which orbit member played which role merge. An
+  /// exponential cut (up to k! per k-host orbit) that no partial-order
+  /// mode can make — and one that composes with every store mode, driver
+  /// and the checkpoint layer, but NOT with partial-order reduction: the
+  /// sleep/wakeup bookkeeping assumes key-equal states have identical
+  /// enabled-transition *labels*, which symmetric merging breaks, so the
+  /// Checker runs symmetry with the reducer disabled (reduction is
+  /// ignored while this is set). Default off. With empty orbits this
+  /// still canonicalizes uid allocation order (and drops next_uid from
+  /// keys when no host uses discovery sends).
+  bool symmetry{false};
   /// Wall-clock budget in seconds; 0 = off. Honored by the sequential,
   /// parallel and random-walk drivers; a timed-out search reports
   /// hit_limit = kTime and never claims exhaustion.
@@ -266,6 +282,9 @@ struct CheckerResult {
     std::uint64_t progress_snapshots{0};
   };
   TelemetryStats telemetry;
+  /// Symmetry-reduction statistics (CheckerOptions::symmetry; enabled =
+  /// false and zeros otherwise).
+  SymmetryStats symmetry;
   std::vector<ViolationRecord> violations;
   DiscoveryStats discovery;
 
@@ -297,13 +316,17 @@ class SearchCore {
   /// `fp_memo` / `disc_memo` are the shared memo tables (nullptr = memo
   /// off). `telem` is the observability context (nullptr = telemetry
   /// off; the drivers then skip every counter/gauge publication).
+  /// `sym` (nullable) is the compiled symmetry context: when set, every
+  /// remembered key goes through SymContext::canonical_key and `reducer`
+  /// must be nullptr (the Checker enforces this).
   SearchCore(const SystemConfig& cfg, const CheckerOptions& options,
              const Executor& executor, util::ShardedSeenSet& seen,
              por::Reducer* reducer = nullptr,
              util::CollapseTable* collapse = nullptr,
              por::FootprintMemo* fp_memo = nullptr,
              DiscoveryMemo* disc_memo = nullptr,
-             util::Telemetry* telem = nullptr)
+             util::Telemetry* telem = nullptr,
+             const SymContext* sym = nullptr)
       : cfg_(cfg),
         options_(options),
         executor_(executor),
@@ -312,7 +335,8 @@ class SearchCore {
         collapse_(collapse),
         fp_memo_(fp_memo),
         disc_memo_(disc_memo),
-        telem_(telem) {}
+        telem_(telem),
+        sym_(sym) {}
 
   /// Result of expanding one SearchNode (applying its transition).
   struct Expansion {
@@ -399,6 +423,7 @@ class SearchCore {
   [[nodiscard]] DiscoveryMemo* discovery_memo() const noexcept {
     return disc_memo_;
   }
+  [[nodiscard]] const SymContext* sym() const noexcept { return sym_; }
 
   /// Engine-accounted resident bytes of the search: seen-set + collapse
   /// table + sleep store + memo tables + a coarse per-node estimate for
@@ -506,6 +531,7 @@ class SearchCore {
   por::FootprintMemo* fp_memo_;
   DiscoveryMemo* disc_memo_;
   util::Telemetry* telem_;
+  const SymContext* sym_;
   /// Pre-sizing hint for full-state blobs: the previous remembered state's
   /// serialized length. Per-core (a core serves one search), so concurrent
   /// searches in one process never cross-pollinate their hints; relaxed

@@ -1,0 +1,351 @@
+#include "mc/sym_reduce.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "util/ser.h"
+#include "util/strings.h"
+
+namespace nicemc::mc {
+
+namespace {
+
+// Signature-pass placeholder identities: the ranked member maps to TAG,
+// every other member of the same orbit to a shared BOTTOM. All values live
+// outside the ranges real identifiers can take (MACs are 48-bit, IPs
+// 32-bit, host/port ids small dense ints, flow ids scenario-assigned small
+// ints), so a placeholder can never alias a non-orbit identifier.
+constexpr std::uint64_t kSigTagMac = 0xffffffffffff0001ULL;
+constexpr std::uint64_t kSigBotMac = 0xffffffffffff0002ULL;
+constexpr std::uint64_t kSigTagIp = 0xffffffff00000001ULL;
+constexpr std::uint64_t kSigBotIp = 0xffffffff00000002ULL;
+constexpr std::uint32_t kSigTagHost = 0xffffff01u;
+constexpr std::uint32_t kSigBotHost = 0xffffff02u;
+constexpr std::uint32_t kSigTagPort = 0xffffff01u;
+constexpr std::uint32_t kSigBotPort = 0xffffff02u;
+constexpr std::uint32_t kSigTagFlowBase = 0xff000000u;
+constexpr std::uint32_t kSigBotFlowBase = 0xfe000000u;
+
+std::uint64_t port_key(of::SwitchId sw, of::PortId p) {
+  return (static_cast<std::uint64_t>(sw) << 32) | p;
+}
+
+[[noreturn]] void invalid(const std::string& why) {
+  throw std::invalid_argument("symmetry orbit: " + why);
+}
+
+/// Replace every occurrence of `needle` in `s` with `with`.
+void replace_all(std::string& s, const std::string& needle,
+                 const std::string& with) {
+  if (needle.empty()) return;
+  std::size_t pos = 0;
+  while ((pos = s.find(needle, pos)) != std::string::npos) {
+    s.replace(pos, needle.size(), with);
+    pos += with.size();
+  }
+}
+
+}  // namespace
+
+SymContext::SymContext(const SystemConfig& cfg)
+    : cfg_(&cfg), canonical_(cfg.canonical_flowtables) {
+  if (cfg.topology == nullptr) invalid("config has no topology");
+  const topo::Topology& topo = *cfg.topology;
+
+  include_next_uid_ = false;
+  for (const hosts::HostBehavior& hb : cfg.host_behavior) {
+    // Discovery sends consume next_uid as the discovered flow id, so the
+    // counter is semantic there and must stay in the canonical key.
+    if (hb.discovery_sends) include_next_uid_ = true;
+  }
+
+  std::set<of::HostId> claimed;
+  for (const std::vector<of::HostId>& decl : cfg.symmetry_orbits) {
+    if (decl.size() < 2) invalid("needs at least two member hosts");
+    Orbit orbit;
+    std::vector<of::HostId> ids = decl;
+    std::sort(ids.begin(), ids.end());
+    if (std::adjacent_find(ids.begin(), ids.end()) != ids.end()) {
+      invalid("repeats a member host");
+    }
+    for (const of::HostId id : ids) {
+      if (id >= topo.hosts().size() || id >= cfg.host_behavior.size()) {
+        invalid("member host index out of range");
+      }
+      if (!claimed.insert(id).second) invalid("host in two orbits");
+      const topo::HostSpec& spec = topo.host(id);
+      const hosts::HostBehavior& hb = cfg.host_behavior[id];
+      if (hb.can_move || !spec.alt_locations.empty()) {
+        invalid("mobile hosts are not interchangeable");
+      }
+      Member m;
+      m.host_index = id;
+      m.mac = spec.mac;
+      m.ip = spec.ip;
+      m.sw = spec.attach_switch;
+      m.port = spec.attach_port;
+      m.flows.reserve(hb.script.size());
+      for (const hosts::ScriptEntry& e : hb.script) m.flows.push_back(e.flow_id);
+      orbit.members.push_back(std::move(m));
+    }
+
+    // Members must be behaviourally identical up to the identifier
+    // renaming this layer applies. Anything the renaming does not cover
+    // (behaviour flags, script length, non-renamed header fields) must be
+    // exactly equal, and the positional flow-id correspondence must be a
+    // consistent function.
+    const Member& m0 = orbit.members.front();
+    const hosts::HostBehavior& hb0 = cfg.host_behavior[m0.host_index];
+    for (std::size_t j = 1; j < orbit.members.size(); ++j) {
+      const Member& mj = orbit.members[j];
+      const hosts::HostBehavior& hbj = cfg.host_behavior[mj.host_index];
+      if (mj.sw != m0.sw) invalid("members attach to different switches");
+      if (hbj.echo != hb0.echo || hbj.can_dup != hb0.can_dup ||
+          hbj.discovery_sends != hb0.discovery_sends ||
+          hbj.max_sends != hb0.max_sends ||
+          hbj.initial_burst != hb0.initial_burst) {
+        invalid("members have different behaviour flags");
+      }
+      if (hbj.script.size() != hb0.script.size()) {
+        invalid("members have different script lengths");
+      }
+      std::map<std::uint32_t, std::uint32_t> flow_map;
+      std::map<std::uint32_t, std::uint32_t> flow_rev;
+      for (std::size_t e = 0; e < hb0.script.size(); ++e) {
+        const sym::PacketFields& h0 = hb0.script[e].hdr;
+        const sym::PacketFields& hj = hbj.script[e].hdr;
+        auto rename_mac = [&](std::uint64_t v) {
+          return v == m0.mac ? mj.mac : v;
+        };
+        auto rename_ip = [&](std::uint64_t v) {
+          return v == m0.ip ? mj.ip : v;
+        };
+        if (rename_mac(h0.eth_src) != hj.eth_src ||
+            rename_mac(h0.eth_dst) != hj.eth_dst ||
+            h0.eth_type != hj.eth_type ||
+            rename_ip(h0.ip_src) != hj.ip_src ||
+            rename_ip(h0.ip_dst) != hj.ip_dst ||
+            h0.ip_proto != hj.ip_proto || h0.tp_src != hj.tp_src ||
+            h0.tp_dst != hj.tp_dst || h0.tcp_flags != hj.tcp_flags) {
+          invalid("scripts differ beyond the member renaming");
+        }
+        const auto [it, inserted] =
+            flow_map.try_emplace(m0.flows[e], mj.flows[e]);
+        if (!inserted && it->second != mj.flows[e]) {
+          invalid("flow-id correspondence is inconsistent across entries");
+        }
+        const auto [rit, rinserted] =
+            flow_rev.try_emplace(mj.flows[e], m0.flows[e]);
+        if (!rinserted && rit->second != m0.flows[e]) {
+          invalid("flow-id correspondence is not a bijection");
+        }
+      }
+    }
+    orbits_.push_back(std::move(orbit));
+  }
+}
+
+std::uint32_t SymContext::orbit_host_count() const {
+  std::uint32_t n = 0;
+  for (const Orbit& o : orbits_) n += static_cast<std::uint32_t>(o.members.size());
+  return n;
+}
+
+void SymContext::serialize_whole(
+    const SystemState& state, util::Ser& s,
+    const std::vector<std::uint32_t>& host_emit_order,
+    std::vector<std::pair<std::size_t, std::size_t>>* bounds) const {
+  // Mirrors SystemState::serialize byte-for-byte, but serializes the live
+  // component values directly: the Snap-memoized forms are shared across
+  // states and must never be built under an active Renamer.
+  auto mark = [&](auto&& emit) {
+    const std::size_t begin = s.size();
+    emit();
+    if (bounds != nullptr) bounds->emplace_back(begin, s.size());
+  };
+  mark([&] { state.ctrl().serialize(s); });
+  s.put_u32(static_cast<std::uint32_t>(state.switch_count()));
+  for (std::size_t i = 0; i < state.switch_count(); ++i) {
+    mark([&] { state.sw(i).serialize(s, canonical_); });
+  }
+  s.put_u32(static_cast<std::uint32_t>(state.host_count()));
+  for (std::size_t i = 0; i < state.host_count(); ++i) {
+    mark([&] { state.host(host_emit_order[i]).serialize(s, canonical_); });
+  }
+  s.put_u32(static_cast<std::uint32_t>(state.prop_count()));
+  for (std::size_t i = 0; i < state.prop_count(); ++i) {
+    mark([&] { state.prop(i).serialize(s); });
+  }
+  if (include_next_uid_) s.put_u32(state.next_uid);
+  state.faults.serialize(s);
+  if (!canonical_) s.put_u32(state.next_copy);
+}
+
+std::string SymContext::member_signature(const SystemState& state,
+                                         const Orbit& orbit,
+                                         std::size_t member) const {
+  util::Renamer rn;
+  rn.uid_mode = util::Renamer::UidMode::kElide;
+  for (std::size_t j = 0; j < orbit.members.size(); ++j) {
+    const Member& m = orbit.members[j];
+    const bool tag = (j == member);
+    rn.mac.emplace(m.mac, tag ? kSigTagMac : kSigBotMac);
+    rn.ip.emplace(m.ip, tag ? kSigTagIp : kSigBotIp);
+    rn.host.emplace(m.host_index, tag ? kSigTagHost : kSigBotHost);
+    rn.port.emplace(port_key(m.sw, m.port), tag ? kSigTagPort : kSigBotPort);
+    for (std::size_t e = 0; e < m.flows.size(); ++e) {
+      rn.flow.try_emplace(m.flows[e],
+                          (tag ? kSigTagFlowBase : kSigBotFlowBase) +
+                              static_cast<std::uint32_t>(e));
+    }
+  }
+
+  const util::Renamer::Scope scope(&rn);
+  util::Ser s;
+  state.ctrl().serialize(s);
+  for (std::size_t i = 0; i < state.switch_count(); ++i) {
+    state.sw(i).serialize(s, canonical_);
+  }
+  // The orbit's own host components are emitted as a sorted multiset so
+  // the signature is invariant under relabelings of the non-tagged
+  // members (they all map to the same BOTTOM identity, leaving only
+  // their dynamic payload to distinguish the blobs).
+  std::vector<std::string> orbit_blobs;
+  orbit_blobs.reserve(orbit.members.size());
+  for (const Member& m : orbit.members) {
+    util::Ser tmp;
+    state.host(m.host_index).serialize(tmp, canonical_);
+    orbit_blobs.push_back(tmp.take());
+  }
+  std::sort(orbit_blobs.begin(), orbit_blobs.end());
+  std::size_t next_blob = 0;
+  std::size_t next_member = 0;
+  for (std::size_t i = 0; i < state.host_count(); ++i) {
+    if (next_member < orbit.members.size() &&
+        orbit.members[next_member].host_index == i) {
+      s.append(orbit_blobs[next_blob++]);
+      ++next_member;
+    } else {
+      state.host(i).serialize(s, canonical_);
+    }
+  }
+  for (std::size_t i = 0; i < state.prop_count(); ++i) {
+    state.prop(i).serialize(s);
+  }
+  return s.take();
+}
+
+SymKey SymContext::canonical_key(const SystemState& state,
+                                 util::CollapseTable* table) const {
+  canonicalizations_.fetch_add(1, std::memory_order_relaxed);
+
+  // 1. Rank each orbit's members by structural signature; rank r is
+  // renamed onto orbit slot r. Ties mean the tied members are genuinely
+  // interchangeable in this state (signatures are invariant under
+  // relabelings of the other members), so the index tie-break of
+  // stable_sort is harmless.
+  std::vector<std::uint32_t> emit(state.host_count());
+  for (std::size_t i = 0; i < emit.size(); ++i) {
+    emit[i] = static_cast<std::uint32_t>(i);
+  }
+  util::Renamer rn;
+  for (const Orbit& orbit : orbits_) {
+    const std::size_t k = orbit.members.size();
+    std::vector<std::pair<std::string, std::size_t>> ranked;
+    ranked.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      ranked.emplace_back(member_signature(state, orbit, j), j);
+    }
+    std::stable_sort(
+        ranked.begin(), ranked.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t r = 0; r < k; ++r) {
+      const Member& src = orbit.members[ranked[r].second];
+      const Member& dst = orbit.members[r];
+      emit[dst.host_index] = src.host_index;
+      rn.mac.emplace(src.mac, dst.mac);
+      rn.ip.emplace(src.ip, dst.ip);
+      rn.host.emplace(src.host_index, dst.host_index);
+      rn.port.emplace(port_key(src.sw, src.port), dst.port);
+      for (std::size_t e = 0; e < src.flows.size(); ++e) {
+        // Positional flow correspondence; validation guaranteed that
+        // repeated flow ids map consistently.
+        rn.flow.try_emplace(src.flows[e], dst.flows[e]);
+      }
+    }
+  }
+
+  // 2. Assign pass: walk the serialization once to hand out dense uids at
+  // first appearance (bytes discarded), then map uids that only key
+  // containers.
+  rn.uid_mode = util::Renamer::UidMode::kAssign;
+  {
+    const util::Renamer::Scope scope(&rn);
+    util::Ser discard;
+    serialize_whole(state, discard, emit, nullptr);
+  }
+  rn.finalize_uids();
+
+  // 3. Frozen pass: the real canonical bytes.
+  rn.uid_mode = util::Renamer::UidMode::kFrozen;
+  util::Ser blob;
+  std::vector<std::pair<std::size_t, std::size_t>> bounds;
+  {
+    const util::Renamer::Scope scope(&rn);
+    serialize_whole(state, blob, emit, table != nullptr ? &bounds : nullptr);
+  }
+
+  SymKey out;
+  out.hash = blob.hash();
+  if (table == nullptr) {
+    out.key = blob.take();
+    return out;
+  }
+
+  // kCollapsed: intern each renamed component and pack the id tuple in
+  // the same layout as SystemState::collapse_key. The memoized Snap ids
+  // cannot be used here — the renaming is per-state — but interning keeps
+  // the per-state key at ~4 bytes per component.
+  const auto bytes = blob.bytes();
+  const std::string_view view(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size());
+  util::Ser key;
+  key.reserve(4 * (bounds.size() + 4));
+  key.put_u32(static_cast<std::uint32_t>((state.switch_count() << 20) |
+                                         (state.host_count() << 10) |
+                                         state.prop_count()));
+  for (const auto& [begin, end] : bounds) {
+    key.put_u32(table->intern(view.substr(begin, end - begin)));
+  }
+  if (include_next_uid_) key.put_u32(state.next_uid);
+  state.faults.serialize(key);
+  if (!canonical_) key.put_u32(state.next_copy);
+  out.key = key.take();
+  return out;
+}
+
+std::string SymContext::canonicalize_violation(std::string msg) const {
+  // Violation messages embed concrete identifiers via Packet::brief()
+  // (MAC/IP strings, "flow=N") — rewrite every orbit member's spelling to
+  // a member-independent placeholder. uids are already normalized by
+  // violation_keys() ("uid=#").
+  for (std::size_t o = 0; o < orbits_.size(); ++o) {
+    const std::string slot = "<sym" + std::to_string(o) + ">";
+    for (const Member& m : orbits_[o].members) {
+      replace_all(msg, util::mac_to_string(m.mac), slot + "mac");
+      replace_all(msg,
+                  util::ip_to_string(static_cast<std::uint32_t>(m.ip)),
+                  slot + "ip");
+      for (std::size_t e = 0; e < m.flows.size(); ++e) {
+        replace_all(msg, "flow=" + std::to_string(m.flows[e]),
+                    "flow=" + slot + std::to_string(e));
+      }
+    }
+  }
+  return msg;
+}
+
+}  // namespace nicemc::mc

@@ -1,0 +1,132 @@
+// Symmetry reduction over interchangeable hosts (clients/replicas that
+// differ only in their identifiers). Scenarios with k identical clients
+// explore k! permutations of the same behaviour; no partial-order mode can
+// collapse them, because the permuted executions touch *different* state
+// components. This layer collapses them at the seen-set instead: the
+// remembered key of a state is the canonical serialization of a symmetric
+// image of the state, so two states that differ only by a permutation of
+// orbit members (plus the identifier renaming that permutation induces on
+// packets in flight, learned tables, rules, property monitors and uids)
+// produce the same key and merge.
+//
+// Soundness does not depend on how well the representative permutation is
+// chosen: the key of s is serialize(pi(s)) for *some* orbit permutation
+// pi, and orbit members are validated to be behaviourally interchangeable,
+// so key(s1) == key(s2) implies pi1(s1) == pi2(s2) as states — s1 and s2
+// have isomorphic futures and one representative suffices. The selection
+// heuristic (per-member structural signatures) only determines how often
+// equivalent states actually map to the *same* permutation image, i.e. the
+// reduction strength, never correctness. See ARCHITECTURE.md ("Symmetry
+// layer").
+#ifndef NICE_MC_SYM_REDUCE_H
+#define NICE_MC_SYM_REDUCE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mc/system.h"
+#include "util/collapse.h"
+#include "util/hash.h"
+#include "util/rename.h"
+
+namespace nicemc::mc {
+
+/// Canonical seen-set key for one state under the symmetry map.
+struct SymKey {
+  /// Store key: the canonical byte blob (kHash/kFullState) or the packed
+  /// component-id tuple interned per renamed component (kCollapsed).
+  std::string key;
+  /// Hash of the canonical blob — shard selection and kHash inserts.
+  util::Hash128 hash;
+};
+
+struct SymmetryStats {
+  bool enabled{false};
+  std::uint32_t orbits{0};
+  std::uint32_t orbit_hosts{0};
+  /// Canonical keys built (== symmetry-reduced remember() calls).
+  std::uint64_t canonicalizations{0};
+};
+
+/// Compiled, validated symmetry declaration for one search. Built once by
+/// the Checker from SystemConfig::symmetry_orbits; const and shared across
+/// worker threads (the per-canonicalization Renamer is thread-local).
+class SymContext {
+ public:
+  /// Validates every declared orbit against the topology, host behaviours
+  /// and scripts; throws std::invalid_argument when members are not
+  /// actually interchangeable (different attach switch, mobile hosts,
+  /// behaviour-flag or script-shape mismatches, scripts that are not equal
+  /// modulo the member renaming, inconsistent flow-id correspondence).
+  explicit SymContext(const SystemConfig& cfg);
+
+  /// The canonical key of `state`: pick a representative orbit permutation
+  /// by structural signature, then serialize the permuted, renamed,
+  /// uid-renumbered state. `table` must be the search's collapse table in
+  /// kCollapsed mode (per-component interning; key = packed id tuple) and
+  /// nullptr otherwise (key = the blob itself).
+  [[nodiscard]] SymKey canonical_key(const SystemState& state,
+                                     util::CollapseTable* table) const;
+
+  /// Rewrite orbit-member identifiers inside a violation message to
+  /// orbit-slot placeholders, so violation *sets* can be compared between
+  /// symmetry-on and symmetry-off searches (the unsymmetrized search
+  /// reports one message per member, the reduced search one per orbit).
+  [[nodiscard]] std::string canonicalize_violation(std::string msg) const;
+
+  [[nodiscard]] std::uint32_t orbit_count() const {
+    return static_cast<std::uint32_t>(orbits_.size());
+  }
+  [[nodiscard]] std::uint32_t orbit_host_count() const;
+  [[nodiscard]] std::uint64_t canonicalizations() const {
+    return canonicalizations_.load(std::memory_order_relaxed);
+  }
+  /// Whether next_uid is part of the canonical key (it must be whenever a
+  /// host's sends *consume* it semantically — discovery sends use it as
+  /// the flow id — and is allocation-history noise otherwise).
+  [[nodiscard]] bool includes_next_uid() const { return include_next_uid_; }
+
+ private:
+  /// One interchangeable host, with every packet-visible identifier the
+  /// renaming has to cover.
+  struct Member {
+    std::uint32_t host_index{0};  // == of::HostId == SystemState host slot
+    std::uint64_t mac{0};
+    std::uint64_t ip{0};
+    of::SwitchId sw{0};
+    of::PortId port{0};
+    /// flow ids in script order (the positional flow correspondence).
+    std::vector<std::uint32_t> flows;
+  };
+  struct Orbit {
+    std::vector<Member> members;  // in ascending host-index order
+  };
+
+  /// Per-member discrimination signature: the state serialized with this
+  /// member's identifiers mapped to a TAG, every other member of the same
+  /// orbit mapped to a shared BOTTOM, uids elided, and the orbit's host
+  /// components emitted as a sorted multiset — invariant under renaming of
+  /// the *other* members, so equal-signature members really are
+  /// interchangeable in this state and any rank tie-break is harmless.
+  [[nodiscard]] std::string member_signature(const SystemState& state,
+                                             const Orbit& orbit,
+                                             std::size_t member) const;
+
+  void serialize_whole(
+      const SystemState& state, util::Ser& s,
+      const std::vector<std::uint32_t>& host_emit_order,
+      std::vector<std::pair<std::size_t, std::size_t>>* bounds) const;
+
+  const SystemConfig* cfg_;
+  bool canonical_;
+  bool include_next_uid_;
+  std::vector<Orbit> orbits_;
+  mutable std::atomic<std::uint64_t> canonicalizations_{0};
+};
+
+}  // namespace nicemc::mc
+
+#endif  // NICE_MC_SYM_REDUCE_H

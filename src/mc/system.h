@@ -96,6 +96,13 @@ struct SystemConfig {
   /// balancer's virtual IP / service port).
   std::vector<std::uint64_t> extra_domain_ips;
   std::vector<std::uint64_t> extra_domain_ports;
+
+  /// Interchangeable-host orbits for symmetry reduction: each inner vector
+  /// lists host indices that are behaviourally identical up to their
+  /// identifiers (MAC, IP, attach port, script flow ids). Declared by the
+  /// scenario (apps::Scenario::symmetry), validated by mc::SymContext, and
+  /// only acted on when CheckerOptions::symmetry is set.
+  std::vector<std::vector<of::HostId>> symmetry_orbits;
 };
 
 /// Per-execution fault consumption, carried inside SystemState so it

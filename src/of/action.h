@@ -30,7 +30,9 @@ struct Action {
 
   void serialize(util::Ser& s) const {
     s.put_u8(static_cast<std::uint8_t>(type));
-    s.put_u32(port);
+    s.put_u32(type == ActionType::kOutput
+                  ? util::rn_port_cur(util::Renamer::active(), port)
+                  : port);
   }
 
   [[nodiscard]] std::string brief() const {

@@ -1,5 +1,6 @@
 #include "of/match.h"
 
+#include "util/rename.h"
 #include "util/strings.h"
 
 namespace nicemc::of {
@@ -62,14 +63,15 @@ Match Match::five_tuple(const sym::PacketFields& h) {
 }
 
 void Match::serialize(util::Ser& s) const {
+  const util::Renamer* rn = util::Renamer::active();
   s.put_tag('M');
   s.put_u16(fields);
-  s.put_u32(in_port);
-  s.put_u64(eth_src);
-  s.put_u64(eth_dst);
+  s.put_u32(util::rn_port_cur(rn, in_port));
+  s.put_u64(util::rn_mac(rn, eth_src));
+  s.put_u64(util::rn_mac(rn, eth_dst));
   s.put_u64(eth_type);
-  s.put_u64(ip_src);
-  s.put_u64(ip_dst);
+  s.put_u64(util::rn_ip(rn, ip_src));
+  s.put_u64(util::rn_ip(rn, ip_dst));
   s.put_u8(ip_src_plen);
   s.put_u8(ip_dst_plen);
   s.put_u64(ip_proto);

@@ -6,14 +6,18 @@
 #ifndef NICE_OF_MESSAGES_H
 #define NICE_OF_MESSAGES_H
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <variant>
+#include <vector>
 
 #include "of/packet.h"
 #include "of/rule.h"
+#include "util/rename.h"
 #include "util/ser.h"
 
 namespace nicemc::of {
@@ -49,7 +53,7 @@ struct PacketOut {
     s.put_u32(buffer_id);
     s.put_bool(packet.has_value());
     if (packet) packet->serialize(s);
-    s.put_u32(in_port);
+    s.put_u32(util::rn_port_cur(util::Renamer::active(), in_port));
     serialize_actions(s, actions);
   }
 };
@@ -90,7 +94,7 @@ struct PacketIn {
   void serialize(util::Ser& s) const {
     s.put_tag('I');
     packet.serialize(s);
-    s.put_u32(in_port);
+    s.put_u32(util::rn_port_cur(util::Renamer::active(), in_port));
     s.put_u32(buffer_id);
     s.put_u8(static_cast<std::uint8_t>(reason));
   }
@@ -121,9 +125,26 @@ struct StatsReply {
     s.put_tag('s');
     s.put_u32(xid);
     s.put_u32(static_cast<std::uint32_t>(ports.size()));
-    for (const auto& [p, st] : ports) {
-      s.put_u32(p);
-      st.serialize(s);
+    const util::Renamer* rn = util::Renamer::active();
+    if (rn == nullptr) {
+      for (const auto& [p, st] : ports) {
+        s.put_u32(p);
+        st.serialize(s);
+      }
+    } else {
+      // Port renaming can reorder the keys; re-sort so the canonical form
+      // stays independent of the original port naming.
+      std::vector<std::pair<PortId, const PortStatsEntry*>> renamed;
+      renamed.reserve(ports.size());
+      for (const auto& [p, st] : ports) {
+        renamed.emplace_back(rn->r_port_cur(p), &st);
+      }
+      std::sort(renamed.begin(), renamed.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [p, st] : renamed) {
+        s.put_u32(p);
+        st->serialize(s);
+      }
     }
   }
 };
@@ -147,7 +168,7 @@ struct PortStatus {
   friend bool operator==(const PortStatus&, const PortStatus&) = default;
   void serialize(util::Ser& s) const {
     s.put_tag('P');
-    s.put_u32(port);
+    s.put_u32(util::rn_port_cur(util::Renamer::active(), port));
     s.put_bool(up);
   }
 };

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sym/sympacket.h"
+#include "util/rename.h"
 #include "util/ser.h"
 
 namespace nicemc::of {
@@ -41,8 +42,9 @@ struct Hop {
   friend bool operator==(const Hop&, const Hop&) = default;
 
   void serialize(util::Ser& s) const {
+    const util::Renamer* rn = util::Renamer::active();
     s.put_u32(sw);
-    s.put_u32(port);
+    s.put_u32(util::rn_port(rn, sw, port));
   }
 };
 
@@ -72,20 +74,21 @@ struct Packet {
   /// semantically equivalent (part of the Section 2.2.2 switch-state
   /// canonicalization; the NO-SWITCH-REDUCTION baseline keeps it).
   void serialize(util::Ser& s, bool include_copy_id = true) const {
+    const util::Renamer* rn = util::Renamer::active();
     s.put_tag('P');
-    s.put_u64(hdr.eth_src);
-    s.put_u64(hdr.eth_dst);
+    s.put_u64(util::rn_mac(rn, hdr.eth_src));
+    s.put_u64(util::rn_mac(rn, hdr.eth_dst));
     s.put_u64(hdr.eth_type);
-    s.put_u64(hdr.ip_src);
-    s.put_u64(hdr.ip_dst);
+    s.put_u64(util::rn_ip(rn, hdr.ip_src));
+    s.put_u64(util::rn_ip(rn, hdr.ip_dst));
     s.put_u64(hdr.ip_proto);
     s.put_u64(hdr.tp_src);
     s.put_u64(hdr.tp_dst);
     s.put_u64(hdr.tcp_flags);
-    s.put_u32(flow_id);
-    s.put_u32(uid);
+    s.put_u32(util::rn_flow(rn, flow_id));
+    s.put_u32(util::rn_uid(rn, uid));
     if (include_copy_id) s.put_u32(copy_id);
-    s.put_u32(sender);
+    s.put_u32(util::rn_host(rn, sender));
     s.put_u32(size_bytes);
     s.put_u32(static_cast<std::uint32_t>(visited.size()));
     for (const Hop& h : visited) h.serialize(s);

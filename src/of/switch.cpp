@@ -252,10 +252,11 @@ std::map<std::uint32_t, std::uint32_t> Switch::canonical_buffer_ids() const {
   // so the renamed state is behaviourally isomorphic to the original.
   std::vector<std::pair<std::string, std::uint32_t>> entries;
   entries.reserve(buffer.size());
+  const util::Renamer* rn = util::Renamer::active();
   for (const auto& [bid, bp] : buffer) {
     util::Ser content;
     bp.packet.serialize(content, /*include_copy_id=*/false);
-    content.put_u32(bp.in_port);
+    content.put_u32(util::rn_port(rn, id, bp.in_port));
     entries.emplace_back(content.take(), bid);
   }
   std::sort(entries.begin(), entries.end());
@@ -282,6 +283,9 @@ void Switch::serialize(util::Ser& s, bool canonical) const {
 void Switch::serialize_parts(util::Ser& s, bool canonical,
                              std::size_t* bounds) const {
   const std::size_t base = s.size();
+  // All port fields below belong to this switch.
+  const util::Renamer::SwScope sw_scope(id);
+  const util::Renamer* rn = util::Renamer::active();
   const std::map<std::uint32_t, std::uint32_t> rename =
       canonical ? canonical_buffer_ids()
                 : std::map<std::uint32_t, std::uint32_t>{};
@@ -297,17 +301,38 @@ void Switch::serialize_parts(util::Ser& s, bool canonical,
   s.put_u32(id);
   s.put_bool(ctrl_channel_down);
   s.put_u32(static_cast<std::uint32_t>(down_ports.size()));
-  for (PortId p : down_ports) s.put_u32(p);
+  if (rn == nullptr) {
+    for (PortId p : down_ports) s.put_u32(p);
+  } else {
+    std::vector<PortId> renamed_down;
+    renamed_down.reserve(down_ports.size());
+    for (PortId p : down_ports) renamed_down.push_back(rn->r_port(id, p));
+    std::sort(renamed_down.begin(), renamed_down.end());
+    for (PortId p : renamed_down) s.put_u32(p);
+  }
   table.serialize(s, canonical);
 
   // part 1: ingress packet channels
   bounds[1] = s.size() - base;
   s.put_u32(static_cast<std::uint32_t>(in_ports.size()));
-  for (const auto& [port, chan] : in_ports) {
+  auto emit_chan = [&](PortId port, const Fifo<Packet>& chan) {
     s.put_u32(port);
     chan.serialize(s, [&](util::Ser& ser, const Packet& p) {
       p.serialize(ser, /*include_copy_id=*/!canonical);
     });
+  };
+  if (rn == nullptr) {
+    for (const auto& [port, chan] : in_ports) emit_chan(port, chan);
+  } else {
+    // Port renaming can reorder the channel keys; re-sort them.
+    std::vector<std::pair<PortId, const Fifo<Packet>*>> chans;
+    chans.reserve(in_ports.size());
+    for (const auto& [port, chan] : in_ports) {
+      chans.emplace_back(rn->r_port(id, port), &chan);
+    }
+    std::sort(chans.begin(), chans.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [port, chan] : chans) emit_chan(port, *chan);
   }
 
   // part 2: controller → switch channel
@@ -351,7 +376,7 @@ void Switch::serialize_parts(util::Ser& s, bool canonical,
       s.put_u32(dense);
       const BufferedPacket& bp = buffer.at(raw);
       bp.packet.serialize(s, /*include_copy_id=*/false);
-      s.put_u32(bp.in_port);
+      s.put_u32(util::rn_port(rn, id, bp.in_port));
     }
   } else {
     for (const auto& [bid, bp] : buffer) {
@@ -364,9 +389,23 @@ void Switch::serialize_parts(util::Ser& s, bool canonical,
   // part 5: port statistics
   bounds[5] = s.size() - base;
   s.put_u32(static_cast<std::uint32_t>(port_stats.size()));
-  for (const auto& [port, st] : port_stats) {
-    s.put_u32(port);
-    st.serialize(s);
+  if (rn == nullptr) {
+    for (const auto& [port, st] : port_stats) {
+      s.put_u32(port);
+      st.serialize(s);
+    }
+  } else {
+    std::vector<std::pair<PortId, const PortStatsEntry*>> stats;
+    stats.reserve(port_stats.size());
+    for (const auto& [port, st] : port_stats) {
+      stats.emplace_back(rn->r_port(id, port), &st);
+    }
+    std::sort(stats.begin(), stats.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [port, st] : stats) {
+      s.put_u32(port);
+      st->serialize(s);
+    }
   }
   bounds[6] = s.size() - base;
 }

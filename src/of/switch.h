@@ -38,7 +38,7 @@ struct BufferedPacket {
                          const BufferedPacket&) = default;
   void serialize(util::Ser& s) const {
     packet.serialize(s);
-    s.put_u32(in_port);
+    s.put_u32(util::rn_port_cur(util::Renamer::active(), in_port));
   }
 };
 

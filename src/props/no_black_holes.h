@@ -9,6 +9,7 @@
 #include <map>
 
 #include "mc/property.h"
+#include "util/rename.h"
 
 namespace nicemc::props {
 
@@ -23,9 +24,28 @@ class NoBlackHolesState final : public mc::PropState {
   void serialize(util::Ser& s) const override {
     s.put_tag('B');
     s.put_u32(static_cast<std::uint32_t>(balance.size()));
-    for (const auto& [uid, n] : balance) {
-      s.put_u32(uid);
-      s.put_i64(n);
+    const util::Renamer* rn = util::Renamer::active();
+    if (!util::rn_uid_renumbering(rn)) {
+      for (const auto& [uid, n] : balance) {
+        s.put_u32(uid);
+        s.put_i64(n);
+      }
+    } else if (util::rn_uid_assigning(rn)) {
+      // Assign pass: the sorted position is unknown until the uid map is
+      // complete — register the keys and emit raw order. These bytes are
+      // discarded; the frozen pass below produces the real form.
+      for (const auto& [uid, n] : balance) {
+        rn->note_uid(uid);
+        s.put_u32(uid);
+        s.put_i64(n);
+      }
+    } else {
+      std::map<std::uint32_t, std::int64_t> renamed;
+      for (const auto& [uid, n] : balance) renamed.emplace(rn->r_uid(uid), n);
+      for (const auto& [uid, n] : renamed) {
+        s.put_u32(uid);
+        s.put_i64(n);
+      }
     }
   }
 };

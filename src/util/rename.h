@@ -1,0 +1,216 @@
+// Identifier renaming for symmetry canonicalization (mc/sym_reduce.h).
+//
+// The symmetry layer canonicalizes a state by serializing the *renamed*
+// state: MACs, IPs, host ids, attach ports and flow ids of interchangeable
+// hosts are mapped onto a canonical orbit slot, and packet uids are
+// renumbered densely in order of first appearance. Rather than clone and
+// rewrite every component, the canonicalizer installs a thread-local
+// Renamer and re-runs the ordinary serializers: every serializer that
+// writes a packet-visible identifier funnels it through the rn_* helpers
+// below, which are identity (and branch-predictable no-ops) when no
+// renamer is active — the normal hashing/collapse hot path pays one
+// thread-local load per serializer body, nothing more.
+//
+// Port numbers are per-switch names, so the port map is keyed on
+// (switch << 32 | port) and serializers that write ports without an
+// explicit switch id (rules, OpenFlow messages, host attach ports) rely on
+// a "current switch" context set by the enclosing component via SwScope.
+//
+// Uid renumbering is two-pass (see sym_reduce.cpp): a kAssign pass walks
+// the serialization order once, handing out dense uids at first
+// appearance; containers *keyed* on uids cannot know their sorted
+// position until the map is complete, so they register their keys with
+// note_uid() and emit in raw order during the assign pass. finalize_uids()
+// then maps any still-unseen registered uids, and a kFrozen pass produces
+// the final byte form with uid-keyed containers sorted by renamed uid.
+#ifndef NICE_UTIL_RENAME_H
+#define NICE_UTIL_RENAME_H
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace nicemc::util {
+
+class Renamer {
+ public:
+  enum class UidMode : std::uint8_t {
+    kKeep,    // uids pass through unchanged
+    kElide,   // uids serialize as 0 (signature passes: allocation-neutral)
+    kAssign,  // dense renumbering, assigned at first appearance
+    kFrozen,  // dense renumbering, map complete — misses pass through
+  };
+
+  std::map<std::uint64_t, std::uint64_t> mac;
+  std::map<std::uint64_t, std::uint64_t> ip;
+  std::map<std::uint32_t, std::uint32_t> host;
+  std::map<std::uint32_t, std::uint32_t> flow;
+  /// Ports are per-switch names: keyed (switch << 32 | port).
+  std::map<std::uint64_t, std::uint32_t> port;
+
+  UidMode uid_mode{UidMode::kKeep};
+
+  /// Current-switch context for serializers that write port numbers
+  /// without an explicit switch id (set via SwScope by the enclosing
+  /// switch / host / controller-command serializer).
+  std::uint32_t cur_sw{0xffffffffu};
+
+  [[nodiscard]] std::uint64_t r_mac(std::uint64_t m) const {
+    const auto it = mac.find(m);
+    return it == mac.end() ? m : it->second;
+  }
+  [[nodiscard]] std::uint64_t r_ip(std::uint64_t i) const {
+    const auto it = ip.find(i);
+    return it == ip.end() ? i : it->second;
+  }
+  [[nodiscard]] std::uint32_t r_host(std::uint32_t h) const {
+    const auto it = host.find(h);
+    return it == host.end() ? h : it->second;
+  }
+  [[nodiscard]] std::uint32_t r_flow(std::uint32_t f) const {
+    const auto it = flow.find(f);
+    return it == flow.end() ? f : it->second;
+  }
+  [[nodiscard]] std::uint32_t r_port(std::uint32_t sw, std::uint32_t p) const {
+    const auto it = port.find((static_cast<std::uint64_t>(sw) << 32) | p);
+    return it == port.end() ? p : it->second;
+  }
+  [[nodiscard]] std::uint32_t r_port_cur(std::uint32_t p) const {
+    return r_port(cur_sw, p);
+  }
+
+  /// Renamed uid under the active mode. kAssign allocates on first sight;
+  /// uid 0 ("no uid") is always preserved.
+  [[nodiscard]] std::uint32_t r_uid(std::uint32_t u) const {
+    switch (uid_mode) {
+      case UidMode::kKeep:
+        return u;
+      case UidMode::kElide:
+        return 0;
+      case UidMode::kAssign: {
+        if (u == 0) return 0;
+        const auto [it, inserted] = uid_.try_emplace(u, next_dense_uid_);
+        if (inserted) ++next_dense_uid_;
+        return it->second;
+      }
+      case UidMode::kFrozen: {
+        const auto it = uid_.find(u);
+        return it == uid_.end() ? u : it->second;
+      }
+    }
+    return u;
+  }
+
+  /// Register a uid that keys a container (order-sensitive emission is
+  /// deferred to the frozen pass). Assignments happen in finalize_uids()
+  /// for uids that never appear as packet fields.
+  void note_uid(std::uint32_t u) const {
+    if (uid_mode == UidMode::kAssign && u != 0) deferred_uids_.push_back(u);
+  }
+
+  /// After the assign pass: map any registered-but-unassigned uids, in
+  /// ascending original order (a canonicality heuristic, not a soundness
+  /// requirement — the map just has to be a permutation).
+  void finalize_uids() {
+    std::sort(deferred_uids_.begin(), deferred_uids_.end());
+    for (const std::uint32_t u : deferred_uids_) {
+      const auto [it, inserted] = uid_.try_emplace(u, next_dense_uid_);
+      if (inserted) ++next_dense_uid_;
+    }
+    deferred_uids_.clear();
+  }
+
+  [[nodiscard]] std::uint32_t uids_assigned() const {
+    return next_dense_uid_ - 1;
+  }
+
+  void reset_uids() {
+    uid_.clear();
+    deferred_uids_.clear();
+    next_dense_uid_ = 1;
+  }
+
+  /// The thread's active renamer, or nullptr outside a canonicalization
+  /// pass (the common case: plain hashing, collapse, checkpointing).
+  [[nodiscard]] static const Renamer* active() noexcept { return tls_; }
+
+  /// RAII activation. Not nestable (the canonicalizer is the only user).
+  class Scope {
+   public:
+    explicit Scope(const Renamer* r) noexcept { tls_ = r; }
+    ~Scope() { tls_ = nullptr; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+
+  /// RAII current-switch context (no-op when no renamer is active).
+  class SwScope {
+   public:
+    explicit SwScope(std::uint32_t sw) noexcept {
+      if (tls_ != nullptr) {
+        prev_ = tls_->cur_sw;
+        const_cast<Renamer*>(tls_)->cur_sw = sw;
+      }
+    }
+    ~SwScope() {
+      if (tls_ != nullptr) const_cast<Renamer*>(tls_)->cur_sw = prev_;
+    }
+    SwScope(const SwScope&) = delete;
+    SwScope& operator=(const SwScope&) = delete;
+
+   private:
+    std::uint32_t prev_{0xffffffffu};
+  };
+
+ private:
+  // Uid state is logically part of serialization *output*, so the const
+  // serializers can grow it through a const Renamer*.
+  mutable std::map<std::uint32_t, std::uint32_t> uid_;
+  mutable std::vector<std::uint32_t> deferred_uids_;
+  mutable std::uint32_t next_dense_uid_{1};
+
+  static inline thread_local const Renamer* tls_ = nullptr;
+};
+
+// --- Serializer-side helpers: identity when no renamer is active. ---
+
+[[nodiscard]] inline std::uint64_t rn_mac(const Renamer* r, std::uint64_t m) {
+  return r == nullptr ? m : r->r_mac(m);
+}
+[[nodiscard]] inline std::uint64_t rn_ip(const Renamer* r, std::uint64_t i) {
+  return r == nullptr ? i : r->r_ip(i);
+}
+[[nodiscard]] inline std::uint32_t rn_host(const Renamer* r, std::uint32_t h) {
+  return r == nullptr ? h : r->r_host(h);
+}
+[[nodiscard]] inline std::uint32_t rn_flow(const Renamer* r, std::uint32_t f) {
+  return r == nullptr ? f : r->r_flow(f);
+}
+[[nodiscard]] inline std::uint32_t rn_port(const Renamer* r, std::uint32_t sw,
+                                           std::uint32_t p) {
+  return r == nullptr ? p : r->r_port(sw, p);
+}
+[[nodiscard]] inline std::uint32_t rn_port_cur(const Renamer* r,
+                                               std::uint32_t p) {
+  return r == nullptr ? p : r->r_port_cur(p);
+}
+[[nodiscard]] inline std::uint32_t rn_uid(const Renamer* r, std::uint32_t u) {
+  return r == nullptr ? u : r->r_uid(u);
+}
+
+/// True while a uid-keyed container must defer its sorted emission: the
+/// assign pass registers keys (note_uid) and emits raw order; the frozen
+/// pass emits sorted by renamed uid.
+[[nodiscard]] inline bool rn_uid_assigning(const Renamer* r) {
+  return r != nullptr && r->uid_mode == Renamer::UidMode::kAssign;
+}
+[[nodiscard]] inline bool rn_uid_renumbering(const Renamer* r) {
+  return r != nullptr && (r->uid_mode == Renamer::UidMode::kAssign ||
+                          r->uid_mode == Renamer::UidMode::kFrozen ||
+                          r->uid_mode == Renamer::UidMode::kElide);
+}
+
+}  // namespace nicemc::util
+
+#endif  // NICE_UTIL_RENAME_H

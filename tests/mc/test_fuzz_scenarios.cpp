@@ -366,6 +366,45 @@ TEST(FuzzScenarios, InterruptAtSeededPointAndResumeIsCountIdentical) {
   }
 }
 
+TEST(FuzzScenarios, SymmetryAxisKeepsViolationSetsOnTheCorpus) {
+  // The symmetry axis over generated worlds. No fuzz scenario declares
+  // orbits, so this isolates the uid-renumbering half of the canonical
+  // key (plus the next_uid exclusion rule): across stores and drivers,
+  // a symmetry-on run may merge states that differ only in uid
+  // allocation history but must report the identical violation key set
+  // (violation keys already normalize uid digits) and never *more*
+  // unique states than the unreduced baseline.
+  constexpr std::uint64_t kSubset = 24;
+  for (std::uint64_t seed = kSeedBase; seed < kSeedBase + kSubset; ++seed) {
+    const CheckerResult base =
+        run(seed, Reduction::kNone, util::ShardedSeenSet::Mode::kHash, 1);
+    const std::string tag = apps::fuzz_scenario_name(seed);
+    ASSERT_TRUE(base.exhausted) << tag;
+    const auto base_keys = violation_key_set(base);
+    for (const util::ShardedSeenSet::Mode store : kStores) {
+      for (const unsigned threads : {1u, 4u}) {
+        apps::Scenario s = apps::fuzz_scenario(seed);
+        CheckerOptions opt;
+        opt.stop_at_first_violation = false;
+        opt.symmetry = true;
+        opt.state_store = store;
+        opt.threads = threads;
+        Checker checker(s.config, opt, s.properties);
+        const CheckerResult cr = checker.run();
+        const std::string cell = tag + " / sym store=" +
+                                 std::to_string(static_cast<int>(store)) +
+                                 " threads=" + std::to_string(threads);
+        EXPECT_TRUE(cr.exhausted) << cell;
+        EXPECT_EQ(violation_key_set(cr), base_keys) << cell;
+        EXPECT_LE(cr.unique_states, base.unique_states) << cell;
+        EXPECT_LE(cr.quiescent_states, base.quiescent_states) << cell;
+        EXPECT_TRUE(cr.symmetry.enabled) << cell;
+        EXPECT_EQ(cr.symmetry.orbits, 0u) << cell;
+      }
+    }
+  }
+}
+
 TEST(FuzzScenarios, GeneratorIsDeterministicPerSeed) {
   // Same seed → same scenario: the differential sweep compares runs of
   // independently constructed Scenario objects, which is only meaningful
